@@ -1,0 +1,58 @@
+//! **Experiment F3 — Fig 3: the cyclic-prefix ping-pong buffer.**
+//!
+//! Verifies the continuous-streaming property (the reason the memory
+//! is twice the frame size) and times the cycle model.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mimo_fixed::CQ15;
+use mimo_ofdm::{symbol_len, CpBuffer};
+
+fn print_streaming_report() {
+    let n = 64;
+    let mut buf = CpBuffer::new(n).expect("supported size");
+    let cycles = 100 * symbol_len(n) as u64;
+    let mut writes = 0u64;
+    let mut outputs = 0u64;
+    let mut v = 0usize;
+    for _ in 0..cycles {
+        let input = if buf.ready_for_data() {
+            v += 1;
+            Some(CQ15::from_f64(((v % 128) as f64 - 64.0) / 1024.0, 0.0))
+        } else {
+            None
+        };
+        if input.is_some() {
+            writes += 1;
+        }
+        if buf.clock(input).is_some() {
+            outputs += 1;
+        }
+    }
+    eprintln!("\n=== F3: Cyclic-prefix buffer streaming (Fig 3) ===");
+    eprintln!("memory: {} words (2x the {}-sample frame)", buf.memory_words(), n);
+    eprintln!(
+        "over {cycles} cycles: write duty {:.1}% (model: 80%), output duty {:.1}%",
+        100.0 * writes as f64 / cycles as f64,
+        100.0 * outputs as f64 / cycles as f64,
+    );
+    eprintln!("CP = last 25% of the symbol, transmitted first.\n");
+}
+
+fn bench(c: &mut Criterion) {
+    print_streaming_report();
+
+    let mut buf = CpBuffer::new(64).expect("supported size");
+    let sample = CQ15::from_f64(0.1, -0.1);
+    let mut group = c.benchmark_group("fig3_cp");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("clock_cycle", |b| {
+        b.iter(|| {
+            let input = buf.ready_for_data().then_some(sample);
+            buf.clock(input)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! **Experiment F7 — CORDIC/QRD latency claims.**
+//!
+//! The paper: "Each CORDIC element has a latency of 20 clock cycles
+//! ... The QRD circuit therefore has a data-path latency of 440 clock
+//! cycles." Regenerates both the analytic model and the event-driven
+//! measurement, plus the channel-estimation latency budget.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mimo_chanest::{qrd_datapath_latency_cycles, CordicQrd, QrdScheduler};
+use mimo_cordic::{Cordic, CORDIC_LATENCY_CYCLES};
+use mimo_fixed::Q16;
+use mimo_fpga::timing;
+
+fn print_latency_report() {
+    let qrd = CordicQrd::new();
+    eprintln!("\n=== F7: Latency claims ===");
+    eprintln!("CORDIC element latency: {CORDIC_LATENCY_CYCLES} cycles (paper: 20)");
+    eprintln!(
+        "QRD datapath latency: model {} cycles, event-driven measurement {} cycles (paper: 440)",
+        qrd_datapath_latency_cycles(4, CORDIC_LATENCY_CYCLES),
+        qrd.measured_latency_cycles()
+    );
+    let sched = QrdScheduler::new(52);
+    eprintln!(
+        "QRD scheduler ingest, 52 subcarriers: {} cycles (bursts of {})",
+        sched.total_ingest_cycles(),
+        sched.burst_len()
+    );
+    for n in [64usize, 512] {
+        eprintln!(
+            "Channel-estimation total latency, {n}-pt: {} cycles ({:.1} us @ 100 MHz)",
+            timing::channel_estimation_latency_cycles(n),
+            timing::channel_estimation_latency_cycles(n) as f64 / 100.0
+        );
+    }
+    eprintln!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_latency_report();
+
+    let cordic = Cordic::new();
+    let (x, y) = (Q16::from_f64(0.6), Q16::from_f64(0.8));
+    c.bench_function("fig7/cordic_vectoring", |b| b.iter(|| cordic.vector(x, y)));
+    c.bench_function("fig7/cordic_rotation", |b| {
+        b.iter(|| cordic.rotate(x, y, Q16::from_f64(1.1)))
+    });
+
+    let qrd = CordicQrd::new();
+    c.bench_function("fig7/qrd_latency_model", |b| {
+        b.iter(|| qrd.measured_latency_cycles())
+    });
+
+    let sched = QrdScheduler::new(512);
+    c.bench_function("fig7/scheduler_512sc_column", |b| {
+        b.iter(|| sched.column_schedule(0).len())
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! **Experiment F1 — the 1 Gbps headline.**
+//!
+//! Regenerates the throughput arithmetic for every modulation × rate
+//! pair at the 100 MHz clock, and measures the software model's
+//! simulated sample throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mimo_coding::CodeRate;
+use mimo_core::{MimoTransmitter, PhyConfig};
+use mimo_fpga::timing::data_rate_bps;
+use mimo_modem::Modulation;
+
+fn print_throughput_table() {
+    eprintln!("\n=== F1: Information throughput @ 100 MHz, 4x4, 64-pt OFDM ===");
+    eprintln!("{:<10}{:>8}{:>8}{:>8}", "", "r=1/2", "r=2/3", "r=3/4");
+    for m in Modulation::ALL {
+        let row: Vec<f64> = CodeRate::ALL
+            .iter()
+            .map(|r| {
+                data_rate_bps(4, 64, m.bits_per_symbol(), r.numerator(), r.denominator()) / 1e6
+            })
+            .collect();
+        eprintln!(
+            "{:<10}{:>7.0}M{:>7.0}M{:>7.0}M",
+            m.to_string(),
+            row[0],
+            row[1],
+            row[2]
+        );
+    }
+    let headline = data_rate_bps(4, 64, 6, 3, 4);
+    eprintln!(
+        "Headline: 64-QAM r=3/4 -> {:.2} Gbps (paper claims 1 Gbps)\n",
+        headline / 1e9
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_throughput_table();
+
+    // Measure the software transmitter's sample throughput so the
+    // simulation speed is on record next to the modelled line rate.
+    let tx = MimoTransmitter::new(PhyConfig::gigabit()).expect("valid config");
+    let payload: Vec<u8> = (0..1000).map(|i| (i * 17) as u8).collect();
+    let burst = tx.transmit_burst(&payload).expect("burst");
+    let samples = (burst.len_samples() * burst.streams.len()) as u64;
+
+    let mut group = c.benchmark_group("fig1_throughput");
+    group.throughput(Throughput::Elements(samples));
+    group.bench_function("tx_gigabit_1000B", |b| {
+        b.iter(|| tx.transmit_burst(&payload).expect("burst"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

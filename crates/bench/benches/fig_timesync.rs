@@ -1,0 +1,76 @@
+//! **Experiment F4 — Fig 4: the time synchroniser.**
+//!
+//! Detection-accuracy statistics under noise and timing offset, and
+//! the correlator's software throughput (the hardware does one window
+//! per 10 ns clock with 128 parallel 18-bit multipliers).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mimo_channel::{AwgnChannel, ChannelModel, TimingOffset};
+use mimo_fft::FixedFft;
+use mimo_fixed::CQ15;
+use mimo_ofdm::{preamble, SubcarrierMap};
+use mimo_sync::{TimeSynchronizer, CORRELATOR_MULTIPLIERS, DEFAULT_THRESHOLD_FACTOR};
+
+fn build_burst() -> (Vec<CQ15>, usize, Vec<CQ15>) {
+    let fft = FixedFft::new(64).expect("size");
+    let map = SubcarrierMap::new(64).expect("size");
+    let taps = preamble::sync_reference(&fft, &map, 0.5).expect("reference");
+    let mut burst = preamble::sts_time(&fft, &map, 0.5).expect("sts");
+    let lts_start = burst.len();
+    burst.extend(preamble::lts_time(&fft, &map, 0.5).expect("lts"));
+    (burst, lts_start, taps)
+}
+
+fn print_detection_stats() {
+    let (burst, lts_start, taps) = build_burst();
+    eprintln!("\n=== F4: Time synchroniser (32 taps, {CORRELATOR_MULTIPLIERS} multipliers) ===");
+    eprintln!("{:<12}{:>10}{:>14}{:>14}", "SNR (dB)", "trials", "detect rate", "exact offset");
+    for snr in [0.0f64, 5.0, 10.0, 20.0] {
+        let trials = 50;
+        let mut detected = 0;
+        let mut exact = 0;
+        for t in 0..trials {
+            let delay = 11 + (t % 37) as usize;
+            let mut chain = TimingOffset::new(1, delay);
+            let shifted = chain.propagate(&[burst.clone()]);
+            let mut noisy = AwgnChannel::new(1, snr, 1000 + t as u64);
+            let rx = noisy.propagate(&shifted);
+            let mut sync = TimeSynchronizer::new(taps.clone(), DEFAULT_THRESHOLD_FACTOR)
+                .expect("valid taps");
+            if let Some(event) = sync.scan_peak(&rx[0]) {
+                detected += 1;
+                if event.lts_start == lts_start + delay {
+                    exact += 1;
+                }
+            }
+        }
+        eprintln!(
+            "{:<12}{:>10}{:>13.0}%{:>13.0}%",
+            snr,
+            trials,
+            100.0 * detected as f64 / trials as f64,
+            100.0 * exact as f64 / trials as f64
+        );
+    }
+    eprintln!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_detection_stats();
+
+    let (burst, _, taps) = build_burst();
+    let mut sync = TimeSynchronizer::new(taps.clone(), 0.99).expect("valid taps");
+    let sample = CQ15::from_f64(0.05, -0.02);
+    c.bench_function("fig4/correlator_step", |b| b.iter(|| sync.push(sample)));
+
+    let scan_sync = TimeSynchronizer::new(taps, DEFAULT_THRESHOLD_FACTOR).expect("valid taps");
+    let mut group = c.benchmark_group("fig4_scan");
+    group.throughput(Throughput::Elements(burst.len() as u64));
+    group.bench_function("scan_320_sample_burst", |b| {
+        b.iter(|| scan_sync.scan_peak(&burst))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! **Experiment T1 — Table 1: MIMO Transmitter Synthesis Results.**
+//!
+//! Regenerates the transmitter resource totals from the calibrated
+//! model and times the functional transmitter the table describes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mimo_core::{MimoTransmitter, PhyConfig};
+use mimo_fpga::{SynthConfig, SynthesisReport};
+
+fn print_table1() {
+    let report = SynthesisReport::transmitter(SynthConfig::paper());
+    let t = report.total();
+    let (a, r, m, d) = report.utilization();
+    eprintln!("\n=== Table 1: MIMO Transmitter Synthesis Results (model) ===");
+    eprintln!("{:<16}{:>12}{:>12}{:>10}", "Resource", "Used", "Available", "% Used");
+    let cap = report.device().capacity();
+    eprintln!("{:<16}{:>12}{:>12}{:>10.1}", "ALUTs", t.aluts, cap.aluts, a);
+    eprintln!("{:<16}{:>12}{:>12}{:>10.1}", "Registers", t.registers, cap.registers, r);
+    eprintln!("{:<16}{:>12}{:>12}{:>10.1}", "Memory bits", t.memory_bits, cap.memory_bits, m);
+    eprintln!("{:<16}{:>12}{:>12}{:>10.1}", "18-bit DSP", t.dsp18, cap.dsp18, d);
+    eprintln!("Paper: 33,423 / 12,320 / 265,408 / 32 (7.8/2.9/1.2/3.1 %)\n");
+}
+
+fn bench(c: &mut Criterion) {
+    print_table1();
+    let cfg = PhyConfig::paper_synthesis();
+    let tx = MimoTransmitter::new(cfg).expect("valid config");
+    let payload: Vec<u8> = (0..400).map(|i| (i * 37) as u8).collect();
+
+    c.bench_function("table1/model_report", |b| {
+        b.iter(|| SynthesisReport::transmitter(SynthConfig::paper()).total())
+    });
+    c.bench_function("table1/tx_burst_400B", |b| {
+        b.iter(|| tx.transmit_burst(&payload).expect("burst"))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! **Experiment T3 — Table 3: MIMO Receiver Synthesis Results.**
+//!
+//! Regenerates the receiver totals (including the 86 %/77 %
+//! channel-estimation share claim) and times the full receiver.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mimo_channel::{ChannelModel, IdealChannel};
+use mimo_core::{MimoReceiver, MimoTransmitter, PhyConfig};
+use mimo_fpga::{SynthConfig, SynthesisReport};
+
+fn print_table3() {
+    let report = SynthesisReport::receiver(SynthConfig::paper());
+    let t = report.total();
+    let (a, r, m, d) = report.utilization();
+    eprintln!("\n=== Table 3: MIMO Receiver Synthesis Results (model) ===");
+    eprintln!("{:<16}{:>12}{:>12}{:>10}", "Resource", "Used", "Available", "% Used");
+    let cap = report.device().capacity();
+    eprintln!("{:<16}{:>12}{:>12}{:>10.1}", "ALUTs", t.aluts, cap.aluts, a);
+    eprintln!("{:<16}{:>12}{:>12}{:>10.1}", "Registers", t.registers, cap.registers, r);
+    eprintln!("{:<16}{:>12}{:>12}{:>10.2}", "Memory bits", t.memory_bits, cap.memory_bits, m);
+    eprintln!("{:<16}{:>12}{:>12}{:>10.1}", "18-bit DSP", t.dsp18, cap.dsp18, d);
+    let (est_aluts, est_dsps) = report.channel_est_share().expect("receiver report");
+    eprintln!(
+        "Channel-est + EQ share: {est_aluts:.1}% of ALUTs, {est_dsps:.1}% of DSPs \
+         (paper: 86% / 77%)"
+    );
+    eprintln!("Paper totals: 183,957 / 173,335 / 367,060 / 896 (43.2/40.7/1.72/87.5 %)\n");
+}
+
+fn bench(c: &mut Criterion) {
+    print_table3();
+    let cfg = PhyConfig::paper_synthesis();
+    let tx = MimoTransmitter::new(cfg.clone()).expect("valid config");
+    let mut rx = MimoReceiver::new(cfg).expect("valid config");
+    let payload: Vec<u8> = (0..400).map(|i| (i * 53) as u8).collect();
+    let burst = tx.transmit_burst(&payload).expect("burst");
+    let received = IdealChannel::new(4).propagate(&burst.streams);
+
+    c.bench_function("table3/model_report", |b| {
+        b.iter(|| SynthesisReport::receiver(SynthConfig::paper()).total())
+    });
+    c.bench_function("table3/rx_burst_400B", |b| {
+        b.iter(|| rx.receive_burst(&received).expect("decode"))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

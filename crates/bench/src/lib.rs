@@ -1,0 +1,1 @@
+//! Benchmark harness: see `benches/` — one target per paper table/figure.

@@ -1,0 +1,143 @@
+//! Double-precision Givens QR — the oracle for the CORDIC array.
+
+use mimo_fixed::Cf64;
+
+use crate::matrix::Mat4;
+
+/// QR decomposition by complex Givens rotations, mirroring the exact
+/// operation sequence of the systolic array (phase-zero the pivot pair,
+/// then a real Givens), so the fixed-point array can be validated
+/// element-by-element against it.
+///
+/// Returns `(q, r)` with `q` unitary, `r` upper triangular with real
+/// non-negative diagonal, and `q * r ≈ input`.
+///
+/// # Examples
+///
+/// ```
+/// use mimo_chanest::{qr_givens_f64, Mat4};
+/// use mimo_fixed::Cf64;
+///
+/// let h = Mat4::from_fn(|r, c| Cf64::new((r * 4 + c) as f64 * 0.1, 0.05));
+/// let (q, r) = qr_givens_f64(&h);
+/// assert!((q * r).max_distance(&h) < 1e-12);
+/// ```
+pub fn qr_givens_f64(h: &Mat4) -> (Mat4, Mat4) {
+    // Work on the augmented rows [H | I]; accumulate U·[H|I] = [R | Q^H].
+    let mut a = *h;
+    let mut u = Mat4::identity();
+
+    for k in 0..4 {
+        // Phase-zero the diagonal element first (boundary cell's first
+        // vectoring CORDIC acting on the stored row).
+        phase_zero(&mut a, &mut u, k, k);
+        for i in (k + 1)..4 {
+            // Phase-zero the element to eliminate.
+            phase_zero(&mut a, &mut u, i, k);
+            // Real Givens between rows k and i zeroing a[i][k].
+            let x = a[(k, k)].re;
+            let y = a[(i, k)].re;
+            let hyp = x.hypot(y);
+            if hyp == 0.0 {
+                continue;
+            }
+            let c = x / hyp;
+            let s = y / hyp;
+            for j in 0..4 {
+                let top = a[(k, j)];
+                let bot = a[(i, j)];
+                a[(k, j)] = top.scale(c) + bot.scale(s);
+                a[(i, j)] = bot.scale(c) - top.scale(s);
+                let ut = u[(k, j)];
+                let ub = u[(i, j)];
+                u[(k, j)] = ut.scale(c) + ub.scale(s);
+                u[(i, j)] = ub.scale(c) - ut.scale(s);
+            }
+        }
+    }
+    // u = Q^H; a = R.
+    (u.hermitian(), a)
+}
+
+/// Rotates row `row` by `e^{-j·arg(a[row][col])}` so that element
+/// becomes real non-negative (the vectoring CORDIC's phase output
+/// applied across the row).
+fn phase_zero(a: &mut Mat4, u: &mut Mat4, row: usize, col: usize) {
+    let v = a[(row, col)];
+    if v.norm() == 0.0 {
+        return;
+    }
+    let phase = Cf64::from_polar(1.0, -v.arg());
+    for j in 0..4 {
+        a[(row, j)] = a[(row, j)] * phase;
+        u[(row, j)] = u[(row, j)] * phase;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Mat4;
+
+    fn rand_matrix(seed: u64) -> Mat4 {
+        // Small deterministic LCG so the oracle has no rand dependency.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        Mat4::from_fn(|_, _| Cf64::new(next(), next()))
+    }
+
+    #[test]
+    fn qr_reconstructs_input() {
+        for seed in 1..20 {
+            let h = rand_matrix(seed);
+            let (q, r) = qr_givens_f64(&h);
+            assert!(
+                (q * r).max_distance(&h) < 1e-12,
+                "seed {seed}: ||QR - H|| too large"
+            );
+        }
+    }
+
+    #[test]
+    fn q_is_unitary() {
+        for seed in 1..20 {
+            let h = rand_matrix(seed);
+            let (q, _) = qr_givens_f64(&h);
+            let qhq = q.hermitian() * q;
+            assert!(qhq.max_distance(&Mat4::identity()) < 1e-12, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn r_is_upper_triangular_with_real_nonneg_diagonal() {
+        for seed in 1..20 {
+            let h = rand_matrix(seed);
+            let (_, r) = qr_givens_f64(&h);
+            for row in 0..4 {
+                for col in 0..row {
+                    assert!(r[(row, col)].norm() < 1e-12, "seed {seed} ({row},{col})");
+                }
+                assert!(r[(row, row)].im.abs() < 1e-12, "seed {seed} diag imag");
+                assert!(r[(row, row)].re >= -1e-12, "seed {seed} diag sign");
+            }
+        }
+    }
+
+    #[test]
+    fn identity_decomposes_trivially() {
+        let (q, r) = qr_givens_f64(&Mat4::identity());
+        assert!(q.max_distance(&Mat4::identity()) < 1e-12);
+        assert!(r.max_distance(&Mat4::identity()) < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_does_not_panic() {
+        // Rank-1 matrix: QR still well-defined.
+        let h = Mat4::from_fn(|r, _| Cf64::new(r as f64 + 1.0, 0.0));
+        let (q, r) = qr_givens_f64(&h);
+        assert!((q * r).max_distance(&h) < 1e-12);
+    }
+}

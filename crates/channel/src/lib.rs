@@ -1,0 +1,125 @@
+//! Channel simulator: the stand-in for the paper's RF front-end and
+//! over-the-air channel.
+//!
+//! The paper evaluates on real hardware behind DACs/ADCs (JESD204A).
+//! This crate substitutes that analog world with controlled impairment
+//! models so every receiver block has the stimulus it was designed for:
+//!
+//! * [`IdealChannel`] — direct wiring (TX *i* → RX *i*), for loopback
+//!   and bit-exactness tests.
+//! * [`AwgnChannel`] — complex white Gaussian noise at a target SNR.
+//! * [`FlatRayleighMimo`] — a random 4×4 (or N×M) complex channel
+//!   matrix, constant over a burst: the model the QRD channel
+//!   estimator/inverter targets.
+//! * [`MultipathMimo`] — per-antenna-pair tapped delay lines shorter
+//!   than the cyclic prefix: the frequency-selective case.
+//! * [`CfoImpairment`] — common phase rotation (residual carrier
+//!   offset) that the pilot phase corrector must remove.
+//! * [`PhaseNoise`] — Wiener oscillator phase wander, the other
+//!   stimulus the pilot corrector exists for.
+//! * [`TimingOffset`] — unknown burst start the time synchroniser must
+//!   find.
+//! * [`ChannelChain`] — composition of the above.
+//!
+//! All models process the fixed-point sample streams in `f64` and
+//! re-quantize to Q1.15 at the output — the ADC model.
+
+mod chain;
+mod fading;
+mod noise;
+
+pub use chain::{ChannelChain, CfoImpairment, PhaseNoise, TimingOffset};
+pub use fading::{FlatRayleighMimo, MultipathMimo};
+pub use noise::AwgnChannel;
+
+use mimo_fixed::{CQ15, Cf64};
+
+/// A channel model: consumes one sample stream per transmit antenna,
+/// produces one per receive antenna.
+///
+/// Models take `&mut self` because fading and noise consume PRNG state.
+pub trait ChannelModel {
+    /// Number of receive antennas this model produces.
+    fn n_rx(&self) -> usize;
+
+    /// Propagates the transmit streams. All streams must share one
+    /// length; the output streams share one (possibly longer) length.
+    fn propagate(&mut self, tx: &[Vec<CQ15>]) -> Vec<Vec<CQ15>>;
+}
+
+/// Direct TX→RX wiring with ADC re-quantization. RX count equals TX
+/// count.
+///
+/// # Examples
+///
+/// ```
+/// use mimo_channel::{ChannelModel, IdealChannel};
+/// use mimo_fixed::CQ15;
+///
+/// let mut chan = IdealChannel::new(2);
+/// let tx = vec![vec![CQ15::from_f64(0.1, -0.1); 8]; 2];
+/// let rx = chan.propagate(&tx);
+/// assert_eq!(rx, tx);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IdealChannel {
+    n: usize,
+}
+
+impl IdealChannel {
+    /// Creates an identity channel with `n` antennas on both sides.
+    pub fn new(n: usize) -> Self {
+        Self { n }
+    }
+}
+
+impl ChannelModel for IdealChannel {
+    fn n_rx(&self) -> usize {
+        self.n
+    }
+
+    fn propagate(&mut self, tx: &[Vec<CQ15>]) -> Vec<Vec<CQ15>> {
+        assert_eq!(tx.len(), self.n, "stream count mismatch");
+        tx.to_vec()
+    }
+}
+
+/// Measures the average sample power of a set of streams (used to
+/// calibrate noise to a target SNR).
+pub fn average_power(streams: &[Vec<CQ15>]) -> f64 {
+    let mut acc = 0.0;
+    let mut count = 0usize;
+    for stream in streams {
+        for &s in stream {
+            acc += Cf64::from_fixed(s).norm_sqr();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        acc / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_channel_is_identity() {
+        let mut chan = IdealChannel::new(4);
+        let tx: Vec<Vec<CQ15>> = (0..4)
+            .map(|a| (0..16).map(|i| CQ15::from_f64(0.01 * (a * 16 + i) as f64, 0.0)).collect())
+            .collect();
+        assert_eq!(chan.propagate(&tx), tx);
+        assert_eq!(chan.n_rx(), 4);
+    }
+
+    #[test]
+    fn average_power_of_known_signal() {
+        let streams = vec![vec![CQ15::from_f64(0.5, 0.0); 100]];
+        assert!((average_power(&streams) - 0.25).abs() < 1e-4);
+        assert_eq!(average_power(&[]), 0.0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Bit/byte packing helpers.
+//!
+//! Bits are carried as `u8` values of 0 or 1 throughout the coding and
+//! modulation stack, least-significant bit of each byte first (the
+//! 802.11a transmission order).
+
+/// Unpacks bytes into bits, LSB of each byte first.
+///
+/// # Examples
+///
+/// ```
+/// use mimo_coding::bits::bytes_to_bits;
+/// assert_eq!(bytes_to_bits(&[0b0000_0101]), vec![1, 0, 1, 0, 0, 0, 0, 0]);
+/// ```
+pub fn bytes_to_bits(bytes: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(bytes.len() * 8);
+    for &byte in bytes {
+        for bit in 0..8 {
+            out.push((byte >> bit) & 1);
+        }
+    }
+    out
+}
+
+/// Packs bits (LSB-first per byte) into bytes. The final partial byte,
+/// if any, is zero-padded in its high bits.
+///
+/// # Examples
+///
+/// ```
+/// use mimo_coding::bits::bits_to_bytes;
+/// assert_eq!(bits_to_bytes(&[1, 0, 1]), vec![0b0000_0101]);
+/// ```
+pub fn bits_to_bytes(bits: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(bits.len().div_ceil(8));
+    for chunk in bits.chunks(8) {
+        let mut byte = 0u8;
+        for (i, &bit) in chunk.iter().enumerate() {
+            debug_assert!(bit <= 1, "bit values must be 0 or 1");
+            byte |= (bit & 1) << i;
+        }
+        out.push(byte);
+    }
+    out
+}
+
+/// Counts positions where two bit slices differ (Hamming distance over
+/// the common prefix).
+pub fn hamming_distance(a: &[u8], b: &[u8]) -> usize {
+    a.iter().zip(b).filter(|(x, y)| x != y).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_bytes() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(bits_to_bytes(&bytes_to_bits(&data)), data);
+    }
+
+    #[test]
+    fn lsb_first_order() {
+        assert_eq!(bytes_to_bits(&[0x01]), vec![1, 0, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(bytes_to_bits(&[0x80]), vec![0, 0, 0, 0, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn partial_byte_zero_padded() {
+        assert_eq!(bits_to_bytes(&[1]), vec![1]);
+        assert_eq!(bits_to_bytes(&[0, 1]), vec![2]);
+    }
+
+    #[test]
+    fn hamming() {
+        assert_eq!(hamming_distance(&[0, 1, 1], &[0, 1, 1]), 0);
+        assert_eq!(hamming_distance(&[0, 1, 1], &[1, 1, 0]), 2);
+    }
+}

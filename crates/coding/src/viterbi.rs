@@ -1,0 +1,432 @@
+//! Soft-decision Viterbi decoder with full-block traceback.
+//!
+//! "Error correction is performed using the Viterbi decoder" (§IV.B).
+//! The symbol demapper "can be set up to perform hard or soft symbol
+//! demapping", so the decoder accepts LLRs; hard decisions are just
+//! ±[`HARD_LLR`](crate::HARD_LLR).
+
+use std::collections::VecDeque;
+
+use crate::{CodeSpec, CodingError, Llr};
+
+/// A soft-decision Viterbi decoder over the trellis of a [`CodeSpec`].
+///
+/// The decoder performs add-compare-select over all `2^(K-1)` states
+/// per branch and keeps the full survivor memory for an exact
+/// end-of-block traceback (the hardware equivalent uses a sliding
+/// traceback window; for the paper's burst sizes a full traceback is
+/// the exact limit of that architecture).
+///
+/// # Examples
+///
+/// ```
+/// use mimo_coding::{CodeSpec, ConvolutionalEncoder, ViterbiDecoder, hard_to_llr};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let spec = CodeSpec::ieee80211a();
+/// let mut enc = ConvolutionalEncoder::new(spec.clone());
+/// let dec = ViterbiDecoder::new(spec);
+///
+/// let info = vec![1, 0, 0, 1, 1, 0, 1, 0];
+/// let coded = enc.encode_terminated(&info);
+/// let soft: Vec<_> = coded.iter().map(|&b| hard_to_llr(b)).collect();
+/// let decoded = dec.decode_terminated(&soft)?;
+/// assert_eq!(decoded, info);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ViterbiDecoder {
+    spec: CodeSpec,
+    /// For each state and input bit: (coded output, next state).
+    transitions: Vec<[(u32, u32); 2]>,
+}
+
+impl ViterbiDecoder {
+    /// Builds the decoder trellis for a code.
+    pub fn new(spec: CodeSpec) -> Self {
+        let n_states = spec.num_states();
+        let transitions = (0..n_states as u32)
+            .map(|s| [spec.step(s, 0), spec.step(s, 1)])
+            .collect();
+        Self { spec, transitions }
+    }
+
+    /// The code this decoder targets.
+    pub fn spec(&self) -> &CodeSpec {
+        &self.spec
+    }
+
+    /// Decodes a zero-terminated block (encoded with
+    /// [`ConvolutionalEncoder::encode_terminated`](crate::ConvolutionalEncoder::encode_terminated)),
+    /// stripping the `K-1` flush bits from the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodingError::BadBlockLength`] if the input is not a
+    /// whole number of branches or is shorter than the flush tail.
+    pub fn decode_terminated(&self, soft: &[Llr]) -> Result<Vec<u8>, CodingError> {
+        let flush = self.spec.constraint_length() - 1;
+        let decoded = self.decode_block(soft, true)?;
+        if decoded.len() < flush {
+            return Err(CodingError::BadBlockLength {
+                got: soft.len(),
+                multiple: self.spec.outputs_per_input() * (flush + 1),
+            });
+        }
+        let info_len = decoded.len() - flush;
+        Ok(decoded[..info_len].to_vec())
+    }
+
+    /// Decodes a block without termination assumptions (traceback
+    /// starts from the best metric over all end states).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodingError::BadBlockLength`] if the input is not a
+    /// whole number of branches.
+    pub fn decode_stream(&self, soft: &[Llr]) -> Result<Vec<u8>, CodingError> {
+        self.decode_block(soft, false)
+    }
+
+    /// Decodes with a sliding traceback window of `window` branches —
+    /// the architecture a hardware Viterbi core (the paper's "Viterbi
+    /// decoder" entity with its 18,460 memory bits of survivor RAM)
+    /// actually implements: decisions commit once they are `window`
+    /// branches old, bounding survivor memory at `window × states`
+    /// bits instead of the whole burst.
+    ///
+    /// With `window ≥ ~5K` (35 for K=7) the output is virtually always
+    /// identical to full traceback.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodingError::BadBlockLength`] if the input is not a
+    /// whole number of branches, or if `window` is zero.
+    pub fn decode_windowed(&self, soft: &[Llr], window: usize) -> Result<Vec<u8>, CodingError> {
+        if window == 0 {
+            return Err(CodingError::BadBlockLength {
+                got: 0,
+                multiple: 1,
+            });
+        }
+        let n_out = self.spec.outputs_per_input();
+        if soft.len() % n_out != 0 {
+            return Err(CodingError::BadBlockLength {
+                got: soft.len(),
+                multiple: n_out,
+            });
+        }
+        let n_branches = soft.len() / n_out;
+        let n_states = self.spec.num_states();
+        const NEG_INF: i64 = i64::MIN / 4;
+
+        let mut metrics = vec![NEG_INF; n_states];
+        metrics[0] = 0;
+        let mut next_metrics = vec![NEG_INF; n_states];
+        // Ring buffer of survivor decisions, `window` deep.
+        let mut survivors: VecDeque<Vec<(u32, u8)>> = VecDeque::with_capacity(window);
+        let mut decoded = Vec::with_capacity(n_branches);
+
+        let traceback_emit =
+            |survivors: &VecDeque<Vec<(u32, u8)>>, metrics: &[i64], emit: usize, out: &mut Vec<u8>| {
+                // Start from the best current state, walk back through
+                // the whole window, emit the oldest `emit` decisions.
+                let mut state = metrics
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, &m)| m)
+                    .map(|(s, _)| s)
+                    .unwrap_or(0);
+                let mut path = Vec::with_capacity(survivors.len());
+                for surv in survivors.iter().rev() {
+                    let (prev, input) = surv[state];
+                    path.push(input);
+                    state = prev as usize;
+                }
+                path.reverse();
+                out.extend(&path[..emit.min(path.len())]);
+            };
+
+        for t in 0..n_branches {
+            let branch = &soft[t * n_out..(t + 1) * n_out];
+            next_metrics.fill(NEG_INF);
+            let mut surv = vec![(0u32, 0u8); n_states];
+            for state in 0..n_states {
+                let pm = metrics[state];
+                if pm == NEG_INF {
+                    continue;
+                }
+                for input in 0..2u8 {
+                    let (coded, next) = self.transitions[state][input as usize];
+                    let mut bm: i64 = 0;
+                    for (i, &llr) in branch.iter().enumerate() {
+                        let expected = (coded >> i) & 1;
+                        bm += if expected == 0 { llr as i64 } else { -(llr as i64) };
+                    }
+                    let cand = pm + bm;
+                    let next = next as usize;
+                    if cand > next_metrics[next] {
+                        next_metrics[next] = cand;
+                        surv[next] = (state as u32, input);
+                    }
+                }
+            }
+            std::mem::swap(&mut metrics, &mut next_metrics);
+            survivors.push_back(surv);
+            if survivors.len() == window {
+                // Commit the oldest decision.
+                traceback_emit(&survivors, &metrics, 1, &mut decoded);
+                survivors.pop_front();
+            }
+            let _ = t;
+        }
+        // Flush: final traceback from the best end state.
+        if !survivors.is_empty() {
+            traceback_emit(&survivors, &metrics, survivors.len(), &mut decoded);
+        }
+        Ok(decoded)
+    }
+
+    fn decode_block(&self, soft: &[Llr], terminated: bool) -> Result<Vec<u8>, CodingError> {
+        let n_out = self.spec.outputs_per_input();
+        if soft.len() % n_out != 0 {
+            return Err(CodingError::BadBlockLength {
+                got: soft.len(),
+                multiple: n_out,
+            });
+        }
+        let n_branches = soft.len() / n_out;
+        let n_states = self.spec.num_states();
+
+        const NEG_INF: i64 = i64::MIN / 4;
+        // Path metrics: larger is better. Start locked to state 0.
+        let mut metrics = vec![NEG_INF; n_states];
+        metrics[0] = 0;
+        let mut next_metrics = vec![NEG_INF; n_states];
+        // survivors[t][next_state] = (prev_state, input_bit)
+        let mut survivors: Vec<Vec<(u32, u8)>> = Vec::with_capacity(n_branches);
+
+        for t in 0..n_branches {
+            let branch = &soft[t * n_out..(t + 1) * n_out];
+            next_metrics.fill(NEG_INF);
+            let mut surv = vec![(0u32, 0u8); n_states];
+            for state in 0..n_states {
+                let pm = metrics[state];
+                if pm == NEG_INF {
+                    continue;
+                }
+                for input in 0..2u8 {
+                    let (coded, next) = self.transitions[state][input as usize];
+                    // Branch metric: correlation of expected bits with
+                    // LLRs (positive LLR favours bit 0).
+                    let mut bm: i64 = 0;
+                    for (i, &llr) in branch.iter().enumerate() {
+                        let expected = (coded >> i) & 1;
+                        bm += if expected == 0 { llr as i64 } else { -(llr as i64) };
+                    }
+                    let cand = pm + bm;
+                    let next = next as usize;
+                    if cand > next_metrics[next] {
+                        next_metrics[next] = cand;
+                        surv[next] = (state as u32, input);
+                    }
+                }
+            }
+            std::mem::swap(&mut metrics, &mut next_metrics);
+            survivors.push(surv);
+        }
+
+        // Traceback.
+        let mut state = if terminated {
+            0usize
+        } else {
+            metrics
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &m)| m)
+                .map(|(s, _)| s)
+                .unwrap_or(0)
+        };
+        let mut decoded = vec![0u8; n_branches];
+        for t in (0..n_branches).rev() {
+            let (prev, input) = survivors[t][state];
+            decoded[t] = input;
+            state = prev as usize;
+        }
+        Ok(decoded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{hard_to_llr, ConvolutionalEncoder, HARD_LLR};
+
+    fn roundtrip(info: &[u8]) -> Vec<u8> {
+        let spec = CodeSpec::ieee80211a();
+        let mut enc = ConvolutionalEncoder::new(spec.clone());
+        let dec = ViterbiDecoder::new(spec);
+        let coded = enc.encode_terminated(info);
+        let soft: Vec<Llr> = coded.iter().map(|&b| hard_to_llr(b)).collect();
+        dec.decode_terminated(&soft).unwrap()
+    }
+
+    #[test]
+    fn noiseless_roundtrip() {
+        let info: Vec<u8> = (0..100).map(|i| ((i * 31 + 7) % 5 < 2) as u8).collect();
+        assert_eq!(roundtrip(&info), info);
+    }
+
+    #[test]
+    fn corrects_scattered_bit_errors() {
+        let spec = CodeSpec::ieee80211a();
+        let mut enc = ConvolutionalEncoder::new(spec.clone());
+        let dec = ViterbiDecoder::new(spec);
+        let info: Vec<u8> = (0..200).map(|i| ((i * 13) % 7 < 3) as u8).collect();
+        let mut coded = enc.encode_terminated(&info);
+        // Flip well-separated bits: free distance 10 corrects these.
+        for pos in [3usize, 40, 90, 150, 220, 300, 390] {
+            coded[pos] ^= 1;
+        }
+        let soft: Vec<Llr> = coded.iter().map(|&b| hard_to_llr(b)).collect();
+        assert_eq!(dec.decode_terminated(&soft).unwrap(), info);
+    }
+
+    #[test]
+    fn soft_information_beats_hard_on_weak_bits() {
+        let spec = CodeSpec::ieee80211a();
+        let mut enc = ConvolutionalEncoder::new(spec.clone());
+        let dec = ViterbiDecoder::new(spec);
+        let info: Vec<u8> = (0..64).map(|i| ((i * 29) % 3 == 0) as u8).collect();
+        let coded = enc.encode_terminated(&info);
+        // A burst of 6 adjacent hard flips defeats hard decisions...
+        let mut hard: Vec<Llr> = coded.iter().map(|&b| hard_to_llr(b)).collect();
+        let mut soft = hard.clone();
+        for pos in 20..26 {
+            hard[pos] = -hard[pos];
+            // ...but soft decoding sees those bits as unreliable.
+            soft[pos] = -soft[pos].signum() * (HARD_LLR / 16).max(1);
+        }
+        let soft_result = dec.decode_terminated(&soft).unwrap();
+        assert_eq!(soft_result, info, "soft decoder must survive a weak burst");
+    }
+
+    #[test]
+    fn erasures_are_tolerated() {
+        let spec = CodeSpec::ieee80211a();
+        let mut enc = ConvolutionalEncoder::new(spec.clone());
+        let dec = ViterbiDecoder::new(spec);
+        let info: Vec<u8> = (0..80).map(|i| (i % 3 == 1) as u8).collect();
+        let coded = enc.encode_terminated(&info);
+        let mut soft: Vec<Llr> = coded.iter().map(|&b| hard_to_llr(b)).collect();
+        // Erase every 4th bit (heavier than r=3/4 puncturing).
+        for llr in soft.iter_mut().step_by(4) {
+            *llr = 0;
+        }
+        assert_eq!(dec.decode_terminated(&soft).unwrap(), info);
+    }
+
+    #[test]
+    fn stream_decode_without_termination() {
+        let spec = CodeSpec::ieee80211a();
+        let mut enc = ConvolutionalEncoder::new(spec.clone());
+        let dec = ViterbiDecoder::new(spec);
+        let info: Vec<u8> = (0..60).map(|i| (i % 2) as u8).collect();
+        let coded = enc.encode(&info);
+        enc.reset();
+        let soft: Vec<Llr> = coded.iter().map(|&b| hard_to_llr(b)).collect();
+        let decoded = dec.decode_stream(&soft).unwrap();
+        // Tail bits may be wrong without termination; the body must match.
+        assert_eq!(&decoded[..50], &info[..50]);
+    }
+
+    #[test]
+    fn rejects_ragged_input() {
+        let dec = ViterbiDecoder::new(CodeSpec::ieee80211a());
+        assert!(matches!(
+            dec.decode_terminated(&[1, 2, 3]),
+            Err(CodingError::BadBlockLength { got: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn empty_block_is_rejected() {
+        let dec = ViterbiDecoder::new(CodeSpec::ieee80211a());
+        assert!(dec.decode_terminated(&[]).is_err());
+    }
+
+    #[test]
+    fn windowed_matches_full_traceback_noiseless() {
+        let spec = CodeSpec::ieee80211a();
+        let mut enc = ConvolutionalEncoder::new(spec.clone());
+        let dec = ViterbiDecoder::new(spec);
+        let info: Vec<u8> = (0..300).map(|i| ((i * 23 + 1) % 7 < 3) as u8).collect();
+        let coded = enc.encode_terminated(&info);
+        let soft: Vec<Llr> = coded.iter().map(|&b| hard_to_llr(b)).collect();
+        let full = dec.decode_terminated(&soft).unwrap();
+        // Window of 5K = 35 branches: the classic rule of thumb.
+        let windowed = dec.decode_windowed(&soft, 35).unwrap();
+        // Windowed output includes the flush tail; compare the body.
+        assert_eq!(&windowed[..full.len()], &full[..]);
+    }
+
+    #[test]
+    fn windowed_corrects_errors_like_full() {
+        let spec = CodeSpec::ieee80211a();
+        let mut enc = ConvolutionalEncoder::new(spec.clone());
+        let dec = ViterbiDecoder::new(spec);
+        let info: Vec<u8> = (0..200).map(|i| (i % 3 == 1) as u8).collect();
+        let mut coded = enc.encode_terminated(&info);
+        for pos in [10usize, 60, 130, 250, 330] {
+            coded[pos] ^= 1;
+        }
+        let soft: Vec<Llr> = coded.iter().map(|&b| hard_to_llr(b)).collect();
+        let windowed = dec.decode_windowed(&soft, 48).unwrap();
+        assert_eq!(&windowed[..info.len()], &info[..]);
+    }
+
+    #[test]
+    fn too_small_window_degrades_gracefully() {
+        // A window below ~3K truncates paths too early: errors appear
+        // but decoding must not panic. This documents *why* hardware
+        // pays for 5K-deep survivor memory.
+        let spec = CodeSpec::ieee80211a();
+        let mut enc = ConvolutionalEncoder::new(spec.clone());
+        let dec = ViterbiDecoder::new(spec);
+        let info: Vec<u8> = (0..120).map(|i| ((i * 31) % 5 < 2) as u8).collect();
+        let mut coded = enc.encode_terminated(&info);
+        for pos in (7..coded.len()).step_by(37) {
+            coded[pos] ^= 1;
+        }
+        let soft: Vec<Llr> = coded.iter().map(|&b| hard_to_llr(b)).collect();
+        let tight = dec.decode_windowed(&soft, 8).unwrap();
+        let roomy = dec.decode_windowed(&soft, 64).unwrap();
+        let errs = |out: &[u8]| info.iter().zip(out).filter(|(a, b)| a != b).count();
+        assert!(
+            errs(&roomy) <= errs(&tight),
+            "wider window must not be worse: {} vs {}",
+            errs(&roomy),
+            errs(&tight)
+        );
+        assert_eq!(errs(&roomy), 0, "64-deep window must fully correct");
+    }
+
+    #[test]
+    fn windowed_rejects_zero_window() {
+        let dec = ViterbiDecoder::new(CodeSpec::ieee80211a());
+        assert!(dec.decode_windowed(&[1, 2], 0).is_err());
+    }
+
+    #[test]
+    fn works_for_other_codes() {
+        // K=3 (5,7) toy code.
+        let spec = CodeSpec::new(3, vec![0o5, 0o7], 1).unwrap();
+        let mut enc = ConvolutionalEncoder::new(spec.clone());
+        let dec = ViterbiDecoder::new(spec);
+        let info = vec![1, 1, 0, 1, 0, 0, 1, 0, 1, 1];
+        let coded = enc.encode_terminated(&info);
+        let soft: Vec<Llr> = coded.iter().map(|&b| hard_to_llr(b)).collect();
+        assert_eq!(dec.decode_terminated(&soft).unwrap(), info);
+    }
+}

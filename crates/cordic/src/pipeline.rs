@@ -1,0 +1,232 @@
+//! Cycle-accurate pipelined CORDIC models.
+//!
+//! The paper keeps clock speed high by pipelining each CORDIC to a
+//! 20-cycle latency. These wrappers reproduce that behaviour: one input
+//! is accepted per clock, and the matching output emerges exactly
+//! [`latency`](PipelinedVectoring::latency_cycles) clocks later. They
+//! are used by the QRD systolic-array cycle model to measure the
+//! 440-cycle datapath latency the paper reports.
+
+use std::collections::VecDeque;
+
+use mimo_fixed::Q16;
+
+use crate::engine::{Cordic, Rotated, Vectored};
+
+/// A fixed-depth delay line holding in-flight pipeline results.
+#[derive(Debug, Clone)]
+struct DelayLine<T> {
+    depth: usize,
+    slots: VecDeque<Option<T>>,
+}
+
+impl<T> DelayLine<T> {
+    fn new(depth: usize) -> Self {
+        let mut slots = VecDeque::with_capacity(depth);
+        for _ in 0..depth {
+            slots.push_back(None);
+        }
+        Self { depth, slots }
+    }
+
+    /// Advances one clock: pushes `input` in, pops the oldest slot out.
+    fn clock(&mut self, input: Option<T>) -> Option<T> {
+        self.slots.push_back(input);
+        debug_assert_eq!(self.slots.len(), self.depth + 1);
+        self.slots.pop_front().flatten()
+    }
+}
+
+/// A vectoring-mode CORDIC with the paper's pipeline behaviour: call
+/// [`clock`](Self::clock) once per clock cycle; results appear
+/// [`CORDIC_LATENCY_CYCLES`](crate::CORDIC_LATENCY_CYCLES) cycles after
+/// their inputs.
+///
+/// # Examples
+///
+/// ```
+/// use mimo_cordic::PipelinedVectoring;
+/// use mimo_fixed::Q16;
+///
+/// let mut pv = PipelinedVectoring::new();
+/// let mut out = None;
+/// for cycle in 0..pv.latency_cycles() {
+///     let input = if cycle == 0 {
+///         Some((Q16::from_f64(0.6), Q16::from_f64(0.8)))
+///     } else {
+///         None
+///     };
+///     out = pv.clock(input);
+///     if cycle + 1 < pv.latency_cycles() {
+///         assert!(out.is_none());
+///     }
+/// }
+/// assert!((out.unwrap().magnitude.to_f64() - 1.0).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PipelinedVectoring {
+    cordic: Cordic,
+    line: DelayLine<Vectored>,
+}
+
+impl Default for PipelinedVectoring {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PipelinedVectoring {
+    /// Creates a pipeline with the default 20-cycle latency.
+    pub fn new() -> Self {
+        Self::with_cordic(Cordic::new())
+    }
+
+    /// Creates a pipeline around a custom engine (latency follows the
+    /// engine's iteration count).
+    pub fn with_cordic(cordic: Cordic) -> Self {
+        let depth = cordic.latency_cycles() as usize - 1;
+        Self {
+            cordic,
+            line: DelayLine::new(depth),
+        }
+    }
+
+    /// Pipeline latency in clock cycles.
+    pub fn latency_cycles(&self) -> u32 {
+        self.line.depth as u32 + 1
+    }
+
+    /// Advances one clock cycle. `input` is `(x, y)`; the return value
+    /// is the result of the input fed `latency_cycles()` clocks ago, if
+    /// any.
+    pub fn clock(&mut self, input: Option<(Q16, Q16)>) -> Option<Vectored> {
+        let computed = input.map(|(x, y)| self.cordic.vector(x, y));
+        self.line.clock(computed)
+    }
+}
+
+/// A rotation-mode CORDIC with the paper's 20-cycle pipeline behaviour.
+/// See [`PipelinedVectoring`] for the clocking contract.
+#[derive(Debug, Clone)]
+pub struct PipelinedRotator {
+    cordic: Cordic,
+    line: DelayLine<Rotated>,
+}
+
+impl Default for PipelinedRotator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PipelinedRotator {
+    /// Creates a pipeline with the default 20-cycle latency.
+    pub fn new() -> Self {
+        Self::with_cordic(Cordic::new())
+    }
+
+    /// Creates a pipeline around a custom engine.
+    pub fn with_cordic(cordic: Cordic) -> Self {
+        let depth = cordic.latency_cycles() as usize - 1;
+        Self {
+            cordic,
+            line: DelayLine::new(depth),
+        }
+    }
+
+    /// Pipeline latency in clock cycles.
+    pub fn latency_cycles(&self) -> u32 {
+        self.line.depth as u32 + 1
+    }
+
+    /// Advances one clock cycle with optional `(x, y, angle)` input.
+    pub fn clock(&mut self, input: Option<(Q16, Q16, Q16)>) -> Option<Rotated> {
+        let computed = input.map(|(x, y, a)| self.cordic.rotate(x, y, a));
+        self.line.clock(computed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(v: f64) -> Q16 {
+        Q16::from_f64(v)
+    }
+
+    #[test]
+    fn vectoring_latency_is_exact() {
+        let mut pv = PipelinedVectoring::new();
+        assert_eq!(pv.latency_cycles(), 20);
+        let mut first_out_at = None;
+        for cycle in 0..40 {
+            let input = if cycle == 0 { Some((q(0.6), q(0.8))) } else { None };
+            if let Some(out) = pv.clock(input) {
+                first_out_at = Some(cycle);
+                assert!((out.magnitude.to_f64() - 1.0).abs() < 1e-3);
+                break;
+            }
+        }
+        // Input at cycle 0 emerges at the end of cycle 19 (20 cycles).
+        assert_eq!(first_out_at, Some(19));
+    }
+
+    #[test]
+    fn pipeline_sustains_one_input_per_cycle() {
+        let mut pv = PipelinedVectoring::new();
+        let n = 100;
+        let mut outputs = Vec::new();
+        for cycle in 0..(n + 20) {
+            let input = if cycle < n {
+                let x = 0.001 * (cycle as f64 + 1.0);
+                Some((q(x), q(0.0)))
+            } else {
+                None
+            };
+            if let Some(out) = pv.clock(input) {
+                outputs.push(out.magnitude.to_f64());
+            }
+        }
+        assert_eq!(outputs.len(), n, "full throughput: one result per input");
+        // Results arrive in order.
+        for (i, m) in outputs.iter().enumerate() {
+            assert!((m - 0.001 * (i as f64 + 1.0)).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn rotator_latency_and_value() {
+        let mut pr = PipelinedRotator::new();
+        let mut got = None;
+        for cycle in 0..20 {
+            let input = if cycle == 0 {
+                Some((q(1.0), q(0.0), q(std::f64::consts::FRAC_PI_2)))
+            } else {
+                None
+            };
+            got = pr.clock(input);
+        }
+        let r = got.expect("output after exactly 20 clocks");
+        assert!(r.x.to_f64().abs() < 1e-3);
+        assert!((r.y.to_f64() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn bubbles_propagate_as_bubbles() {
+        let mut pv = PipelinedVectoring::new();
+        // Feed input on even cycles only; outputs must mirror that.
+        let mut results = 0;
+        for cycle in 0..60 {
+            let input = if cycle % 2 == 0 && cycle < 20 {
+                Some((q(0.5), q(0.0)))
+            } else {
+                None
+            };
+            if pv.clock(input).is_some() {
+                assert_eq!((cycle - 19) % 2, 0, "output cadence mirrors input");
+                results += 1;
+            }
+        }
+        assert_eq!(results, 10);
+    }
+}

@@ -1,0 +1,264 @@
+//! Transceiver configuration: the synthesis-time generics of the
+//! paper's design.
+
+use mimo_coding::CodeRate;
+use mimo_modem::Modulation;
+
+use crate::error::PhyError;
+
+/// Configuration of the baseband transceiver.
+///
+/// The paper's entities are parameterized "prior to logic synthesis":
+/// data-path width, code rate, puncture pattern, modulation (mapper LUT
+/// width), FFT size and the number of antennas. This struct is that
+/// parameter set.
+///
+/// # Examples
+///
+/// ```
+/// use mimo_core::PhyConfig;
+///
+/// let cfg = PhyConfig::gigabit();
+/// // 4 streams × 48 carriers × 6 bits × 3/4 over an 80-sample symbol
+/// // at 100 MHz = 1.08 Gbps: the paper's headline.
+/// assert!(cfg.throughput_bps() > 1.0e9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhyConfig {
+    n_streams: usize,
+    fft_size: usize,
+    modulation: Modulation,
+    code_rate: CodeRate,
+    scramble: bool,
+    soft_decoding: bool,
+    clock_hz: f64,
+}
+
+impl PhyConfig {
+    /// The configuration of the paper's synthesis tables (Tables 1–4):
+    /// 4×4 MIMO, 16-QAM, rate 1/2, 64-point OFDM.
+    pub fn paper_synthesis() -> Self {
+        Self {
+            n_streams: 4,
+            fft_size: 64,
+            modulation: Modulation::Qam16,
+            code_rate: CodeRate::Half,
+            scramble: true,
+            soft_decoding: true,
+            clock_hz: 100.0e6,
+        }
+    }
+
+    /// The 1 Gbps headline operating point: 4×4 MIMO, 64-QAM, rate 3/4,
+    /// 64-point OFDM at the 100 MHz achieved clock.
+    pub fn gigabit() -> Self {
+        Self {
+            modulation: Modulation::Qam64,
+            code_rate: CodeRate::ThreeQuarters,
+            ..Self::paper_synthesis()
+        }
+    }
+
+    /// The SISO baseline system (1×1) at the paper's synthesis point.
+    pub fn siso() -> Self {
+        Self {
+            n_streams: 1,
+            ..Self::paper_synthesis()
+        }
+    }
+
+    /// Sets the number of spatial streams (1 or 4).
+    pub fn with_streams(mut self, n: usize) -> Self {
+        self.n_streams = n;
+        self
+    }
+
+    /// Sets the FFT size (64, 128, 256 or 512).
+    pub fn with_fft_size(mut self, n: usize) -> Self {
+        self.fft_size = n;
+        self
+    }
+
+    /// Sets the modulation scheme.
+    pub fn with_modulation(mut self, m: Modulation) -> Self {
+        self.modulation = m;
+        self
+    }
+
+    /// Sets the code rate.
+    pub fn with_code_rate(mut self, r: CodeRate) -> Self {
+        self.code_rate = r;
+        self
+    }
+
+    /// Enables or disables the data scrambler.
+    pub fn with_scrambling(mut self, on: bool) -> Self {
+        self.scramble = on;
+        self
+    }
+
+    /// Selects soft (true) or hard (false) demapping into the Viterbi
+    /// decoder.
+    pub fn with_soft_decoding(mut self, on: bool) -> Self {
+        self.soft_decoding = on;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhyError::BadConfig`] describing the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), PhyError> {
+        if self.n_streams != 1 && self.n_streams != 4 {
+            return Err(PhyError::BadConfig(format!(
+                "n_streams must be 1 or 4, got {}",
+                self.n_streams
+            )));
+        }
+        if !mimo_ofdm::SUPPORTED_FFT_SIZES.contains(&self.fft_size) {
+            return Err(PhyError::BadConfig(format!(
+                "unsupported FFT size {}",
+                self.fft_size
+            )));
+        }
+        if self.clock_hz <= 0.0 {
+            return Err(PhyError::BadConfig("clock must be positive".into()));
+        }
+        Ok(())
+    }
+
+    /// Number of spatial streams.
+    pub fn n_streams(&self) -> usize {
+        self.n_streams
+    }
+
+    /// FFT size.
+    pub fn fft_size(&self) -> usize {
+        self.fft_size
+    }
+
+    /// Modulation scheme.
+    pub fn modulation(&self) -> Modulation {
+        self.modulation
+    }
+
+    /// Channel code rate.
+    pub fn code_rate(&self) -> CodeRate {
+        self.code_rate
+    }
+
+    /// Whether the data scrambler is enabled.
+    pub fn scramble(&self) -> bool {
+        self.scramble
+    }
+
+    /// Whether soft demapping feeds the Viterbi decoder.
+    pub fn soft_decoding(&self) -> bool {
+        self.soft_decoding
+    }
+
+    /// Baseband clock (= sample rate), Hz. The paper achieves 100 MHz.
+    pub fn clock_hz(&self) -> f64 {
+        self.clock_hz
+    }
+
+    /// Data carriers per OFDM symbol (48 per 64-point unit).
+    pub fn data_carriers(&self) -> usize {
+        48 * self.fft_size / 64
+    }
+
+    /// Coded bits per OFDM symbol per stream (N_CBPS).
+    pub fn coded_bits_per_symbol(&self) -> usize {
+        self.data_carriers() * self.modulation.bits_per_symbol()
+    }
+
+    /// Information bits per OFDM symbol per stream (N_DBPS).
+    pub fn info_bits_per_symbol(&self) -> usize {
+        self.coded_bits_per_symbol() * self.code_rate.numerator() / self.code_rate.denominator()
+    }
+
+    /// Samples per OFDM symbol on air (N + N/4).
+    pub fn symbol_samples(&self) -> usize {
+        mimo_ofdm::symbol_len(self.fft_size)
+    }
+
+    /// OFDM symbol duration in seconds at the configured clock
+    /// (one sample per cycle).
+    pub fn symbol_duration_s(&self) -> f64 {
+        self.symbol_samples() as f64 / self.clock_hz
+    }
+
+    /// Aggregate information throughput in bits per second:
+    /// streams × N_DBPS / symbol duration. This is the arithmetic
+    /// behind the paper's 1 Gbps claim.
+    pub fn throughput_bps(&self) -> f64 {
+        (self.n_streams * self.info_bits_per_symbol()) as f64 / self.symbol_duration_s()
+    }
+}
+
+impl Default for PhyConfig {
+    fn default() -> Self {
+        Self::paper_synthesis()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_synthesis_point() {
+        let cfg = PhyConfig::paper_synthesis();
+        cfg.validate().unwrap();
+        assert_eq!(cfg.n_streams(), 4);
+        assert_eq!(cfg.data_carriers(), 48);
+        assert_eq!(cfg.coded_bits_per_symbol(), 192);
+        assert_eq!(cfg.info_bits_per_symbol(), 96);
+        // 4 × 96 bits / 800 ns = 480 Mbps.
+        assert!((cfg.throughput_bps() - 480.0e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn gigabit_point_exceeds_1gbps() {
+        let cfg = PhyConfig::gigabit();
+        // 4 × 216 / 800 ns = 1.08 Gbps.
+        assert!((cfg.throughput_bps() - 1.08e9).abs() < 1e3);
+    }
+
+    #[test]
+    fn info_bits_are_integral_for_all_rate_modulation_pairs() {
+        use mimo_coding::CodeRate;
+        use mimo_modem::Modulation;
+        for m in Modulation::ALL {
+            for r in CodeRate::ALL {
+                let cfg = PhyConfig::paper_synthesis()
+                    .with_modulation(m)
+                    .with_code_rate(r);
+                let ncbps = cfg.coded_bits_per_symbol();
+                let ndbps = cfg.info_bits_per_symbol();
+                // N_DBPS = N_CBPS · rate must be exact.
+                assert_eq!(
+                    ndbps * r.denominator(),
+                    ncbps * r.numerator(),
+                    "{m} {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn throughput_independent_of_fft_size() {
+        // Carriers and symbol duration scale together.
+        let a = PhyConfig::gigabit().with_fft_size(64).throughput_bps();
+        let b = PhyConfig::gigabit().with_fft_size(512).throughput_bps();
+        assert!((a - b).abs() < 1.0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        assert!(PhyConfig::paper_synthesis().with_streams(2).validate().is_err());
+        assert!(PhyConfig::paper_synthesis().with_fft_size(96).validate().is_err());
+    }
+}

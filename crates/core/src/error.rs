@@ -1,0 +1,115 @@
+//! The transceiver's error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the transceiver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhyError {
+    /// Invalid configuration (message describes the constraint).
+    BadConfig(String),
+    /// Payload too large for a single burst.
+    PayloadTooLarge {
+        /// Bytes supplied.
+        got: usize,
+        /// Maximum burst payload.
+        max: usize,
+    },
+    /// Wrong number of receive streams.
+    BadStreamCount {
+        /// Streams expected.
+        expected: usize,
+        /// Streams supplied.
+        got: usize,
+    },
+    /// The time synchroniser found no burst.
+    SyncNotFound,
+    /// The burst is truncated: samples missing after the located start.
+    TruncatedBurst {
+        /// Samples required from the sync point.
+        needed: usize,
+        /// Samples available.
+        available: usize,
+    },
+    /// Channel estimation / inversion failed.
+    Estimation(String),
+    /// Decoding failed (length header implausible or coding error).
+    Decode(String),
+}
+
+impl fmt::Display for PhyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhyError::BadConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            PhyError::PayloadTooLarge { got, max } => {
+                write!(f, "payload of {got} bytes exceeds burst maximum {max}")
+            }
+            PhyError::BadStreamCount { expected, got } => {
+                write!(f, "expected {expected} receive streams, got {got}")
+            }
+            PhyError::SyncNotFound => write!(f, "no preamble found in the received streams"),
+            PhyError::TruncatedBurst { needed, available } => {
+                write!(f, "burst truncated: need {needed} samples, have {available}")
+            }
+            PhyError::Estimation(msg) => write!(f, "channel estimation failed: {msg}"),
+            PhyError::Decode(msg) => write!(f, "decode failed: {msg}"),
+        }
+    }
+}
+
+impl Error for PhyError {}
+
+impl From<mimo_chanest::ChanestError> for PhyError {
+    fn from(err: mimo_chanest::ChanestError) -> Self {
+        PhyError::Estimation(err.to_string())
+    }
+}
+
+impl From<mimo_coding::CodingError> for PhyError {
+    fn from(err: mimo_coding::CodingError) -> Self {
+        PhyError::Decode(err.to_string())
+    }
+}
+
+impl From<mimo_detect::DetectError> for PhyError {
+    fn from(err: mimo_detect::DetectError) -> Self {
+        PhyError::Decode(err.to_string())
+    }
+}
+
+impl From<mimo_ofdm::OfdmError> for PhyError {
+    fn from(err: mimo_ofdm::OfdmError) -> Self {
+        PhyError::BadConfig(err.to_string())
+    }
+}
+
+impl From<mimo_interleave::InterleaveError> for PhyError {
+    fn from(err: mimo_interleave::InterleaveError) -> Self {
+        PhyError::BadConfig(err.to_string())
+    }
+}
+
+impl From<mimo_modem::ModemError> for PhyError {
+    fn from(err: mimo_modem::ModemError) -> Self {
+        PhyError::BadConfig(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let err = PhyError::PayloadTooLarge { got: 9000, max: 4096 };
+        assert!(err.to_string().contains("9000"));
+        assert!(PhyError::SyncNotFound.to_string().contains("preamble"));
+    }
+
+    #[test]
+    fn conversions_preserve_detail() {
+        let src = mimo_chanest::ChanestError::SingularChannel { diagonal: 1 };
+        let err: PhyError = src.into();
+        assert!(err.to_string().contains("singular"));
+    }
+}

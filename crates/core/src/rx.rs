@@ -1,0 +1,445 @@
+//! The MIMO receiver (Fig 5).
+
+use mimo_chanest::{ChannelEstimator, CordicQrd};
+use mimo_coding::{
+    bits, depuncture, hard_to_llr, CodeSpec, Llr, Scrambler, ViterbiDecoder,
+};
+use mimo_fixed::{CQ15, Cf64};
+use mimo_interleave::BlockInterleaver;
+use mimo_modem::{SymbolDemapper, SymbolMapper};
+use mimo_ofdm::preamble::{sync_reference, DEFAULT_AMPLITUDE};
+use mimo_ofdm::{OfdmDemodulator, SubcarrierMap};
+use mimo_sync::{SyncEvent, TimeSynchronizer, DEFAULT_THRESHOLD_FACTOR};
+
+use crate::config::PhyConfig;
+use crate::error::PhyError;
+use crate::tx::{LENGTH_HEADER_BITS, SCRAMBLER_SEED};
+use crate::DATA_PILOT_START;
+
+/// Samples the demodulation windows retreat into the cyclic
+/// prefix/guard. Multipath makes the correlator lock on the strongest
+/// (possibly delayed) tap; without backoff a late lock slides the FFT
+/// window into the next symbol (inter-symbol interference). The
+/// backoff's phase ramp appears identically in the LTS windows, so the
+/// channel estimate absorbs it.
+pub(crate) const WINDOW_BACKOFF: usize = 6;
+
+/// Per-burst receiver diagnostics.
+#[derive(Debug, Clone)]
+pub struct RxDiagnostics {
+    /// The time-synchroniser detection.
+    pub sync: SyncEvent,
+    /// Error-vector magnitude of the equalized data constellation,
+    /// in dB (lower is better).
+    pub evm_db: f64,
+    /// Mean pilot common-phase estimate over the burst, radians.
+    pub mean_phase_rad: f64,
+    /// Payload OFDM symbols decoded.
+    pub n_symbols: usize,
+}
+
+/// A decoded burst.
+#[derive(Debug, Clone)]
+pub struct RxResult {
+    /// The recovered payload bytes.
+    pub payload: Vec<u8>,
+    /// Link-quality diagnostics.
+    pub diagnostics: RxDiagnostics,
+}
+
+/// The 4×4 MIMO receiver: time sync → FFT ×4 → channel estimation
+/// (CORDIC QRD pipeline) → zero-forcing detection → pilot corrections
+/// → demap → deinterleave → Viterbi, per stream.
+#[derive(Debug, Clone)]
+pub struct MimoReceiver {
+    cfg: PhyConfig,
+    sync: TimeSynchronizer,
+    demodulator: OfdmDemodulator,
+    estimator: ChannelEstimator,
+    qrd: CordicQrd,
+    detector: mimo_detect::ZfDetector,
+    phase: mimo_detect::PilotPhaseCorrector,
+    timing: mimo_detect::TimingCorrector,
+    demapper: SymbolDemapper,
+    interleaver: BlockInterleaver,
+    viterbi: ViterbiDecoder,
+    /// Positions of data carriers within the occupied-carrier order.
+    data_pos: Vec<usize>,
+    /// Positions of pilot carriers within the occupied-carrier order.
+    pilot_pos: Vec<usize>,
+    /// Logical indices of the occupied carriers.
+    occupied: Vec<i32>,
+}
+
+impl MimoReceiver {
+    /// Builds the receiver.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhyError::BadConfig`] for invalid configurations.
+    pub fn new(cfg: PhyConfig) -> Result<Self, PhyError> {
+        cfg.validate()?;
+        if cfg.n_streams() != 4 {
+            return Err(PhyError::BadConfig(format!(
+                "MimoReceiver requires 4 streams, got {}",
+                cfg.n_streams()
+            )));
+        }
+        let demodulator = OfdmDemodulator::new(cfg.fft_size())?;
+        let taps = sync_reference(demodulator.fft(), demodulator.map(), DEFAULT_AMPLITUDE)?;
+        let sync = TimeSynchronizer::new(taps, DEFAULT_THRESHOLD_FACTOR)
+            .map_err(|e| PhyError::BadConfig(e.to_string()))?;
+        let estimator = ChannelEstimator::new(cfg.fft_size())?;
+        let mapper = SymbolMapper::new(cfg.modulation())?;
+        let demapper = SymbolDemapper::matched_to(&mapper);
+        let interleaver = BlockInterleaver::new(
+            cfg.coded_bits_per_symbol(),
+            cfg.modulation().bits_per_symbol(),
+        )?;
+        let viterbi = ViterbiDecoder::new(CodeSpec::ieee80211a());
+        let (data_pos, pilot_pos, occupied) = carrier_positions(demodulator.map());
+        Ok(Self {
+            cfg,
+            sync,
+            demodulator,
+            estimator,
+            qrd: CordicQrd::new(),
+            detector: mimo_detect::ZfDetector::new(),
+            phase: mimo_detect::PilotPhaseCorrector::new(),
+            timing: mimo_detect::TimingCorrector::new(),
+            demapper,
+            interleaver,
+            viterbi,
+            data_pos,
+            pilot_pos,
+            occupied,
+        })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PhyConfig {
+        &self.cfg
+    }
+
+    /// Receives one burst from the four antenna streams.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhyError::SyncNotFound`] when no preamble is detected,
+    /// [`PhyError::TruncatedBurst`] when samples run out, and
+    /// estimation/decoding errors otherwise.
+    pub fn receive_burst(&mut self, streams: &[Vec<CQ15>]) -> Result<RxResult, PhyError> {
+        if streams.len() != 4 {
+            return Err(PhyError::BadStreamCount {
+                expected: 4,
+                got: streams.len(),
+            });
+        }
+        let n = self.cfg.fft_size();
+        let field = 5 * n / 2;
+
+        // --- Time synchronisation, two stages. Coarse: the
+        // gain-invariant lag-16 STS autocorrelation across all
+        // antennas (a fixed cross-correlation threshold is defeated by
+        // fading, and payload data — four antennas vs the STS's one —
+        // can out-correlate a faded preamble). Fine: the paper's
+        // 32-tap cross-correlator, scanned in a ±48-sample window
+        // around the coarse estimate, best antenna wins. ---
+        self.sync.reset();
+        let event = match mimo_sync::coarse_sts_end(streams) {
+            Some(coarse) => {
+                let lo = coarse.sts_end.saturating_sub(48);
+                let hi = coarse.sts_end + 48;
+                streams
+                    .iter()
+                    .filter_map(|s| self.sync.scan_peak_window(s, lo, hi))
+                    .max_by_key(|e| e.magnitude)
+            }
+            None => streams
+                .iter()
+                .filter_map(|s| self.sync.scan_peak(s))
+                .max_by_key(|e| e.magnitude),
+        }
+        .ok_or(PhyError::SyncNotFound)?;
+        let lts0 = event.lts_start.saturating_sub(WINDOW_BACKOFF);
+
+        // --- Channel estimation from the four staggered LTS slots. ---
+        let needed = 4 * field;
+        let shortest = streams.iter().map(Vec::len).min().unwrap_or(0);
+        if lts0 + needed > shortest {
+            return Err(PhyError::TruncatedBurst {
+                needed: lts0 + needed,
+                available: shortest,
+            });
+        }
+        let mut lts_blocks: Vec<Vec<Vec<CQ15>>> = Vec::with_capacity(4);
+        for stream in streams {
+            let per_slot = (0..4)
+                .map(|slot| {
+                    let start = lts0 + slot * field + n / 2;
+                    stream[start..start + 2 * n].to_vec()
+                })
+                .collect();
+            lts_blocks.push(per_slot);
+        }
+        let estimate = self.estimator.estimate(&lts_blocks)?;
+        let h_inv = estimate.invert_all(&self.qrd)?;
+
+        // --- Demodulate and detect payload symbols. ---
+        let data_start = lts0 + 4 * field;
+        let sym_len = self.cfg.symbol_samples();
+        let available = (shortest - data_start) / sym_len;
+        if available == 0 {
+            return Err(PhyError::TruncatedBurst {
+                needed: data_start + sym_len,
+                available: shortest,
+            });
+        }
+
+        let ncbps = self.cfg.coded_bits_per_symbol();
+        let mut per_stream_llrs: Vec<Vec<Llr>> = vec![Vec::new(); 4];
+        let mut evm_num = 0.0f64;
+        let mut evm_den = 0.0f64;
+        let mut phase_acc = 0.0f64;
+        let mut n_decoded_symbols = 0usize;
+
+        for m in 0..available {
+            // Per-antenna occupied carriers for this symbol.
+            let mut rx_occ: Vec<Vec<CQ15>> = Vec::with_capacity(4);
+            for stream in streams {
+                let start = data_start + m * sym_len;
+                let on_air = &stream[start..start + sym_len];
+                let freq = self.fft_symbol(on_air)?;
+                rx_occ.push(freq);
+            }
+            // Zero-forcing MIMO detection over all occupied carriers.
+            let equalized = self.detector.detect(&h_inv, &rx_occ)?;
+
+            // Per-stream pilot corrections and demapping.
+            for (stream_idx, occ) in equalized.iter().enumerate() {
+                let polarity = mimo_coding::pilot_polarity(DATA_PILOT_START + m);
+                let signs: Vec<i8> = self
+                    .demodulator
+                    .map()
+                    .pilot_pattern()
+                    .iter()
+                    .map(|&base| base * polarity)
+                    .collect();
+                let pilots: Vec<CQ15> =
+                    self.pilot_pos.iter().map(|&p| occ[p]).collect();
+
+                // Common phase from the de-scrambled pilot average.
+                let phi = self.phase.estimate_phase(&pilots, &signs);
+                let corrected = self.phase.correct(occ, phi);
+                if stream_idx == 0 {
+                    phase_acc += phi.to_f64();
+                }
+
+                // Feed-forward timing (tau) from the corrected pilots.
+                let pilots2: Vec<CQ15> =
+                    self.pilot_pos.iter().map(|&p| corrected[p]).collect();
+                let pilot_indices: Vec<i32> =
+                    self.pilot_pos.iter().map(|&p| self.occupied[p]).collect();
+                let tau = self.timing.estimate_tau(&pilots2, &signs, &pilot_indices);
+                let corrected = self.timing.correct(&corrected, &self.occupied, tau);
+
+                // Demap the data carriers.
+                let data: Vec<CQ15> = self.data_pos.iter().map(|&p| corrected[p]).collect();
+                if stream_idx == 0 {
+                    let (num, den) = evm_contribution(&data, &self.demapper);
+                    evm_num += num;
+                    evm_den += den;
+                }
+                let llrs: Vec<Llr> = if self.cfg.soft_decoding() {
+                    self.demapper.soft_demap(&data)
+                } else {
+                    self.demapper
+                        .hard_demap(&data)
+                        .into_iter()
+                        .map(hard_to_llr)
+                        .collect()
+                };
+                debug_assert_eq!(llrs.len(), ncbps);
+                // De-interleave (soft values).
+                let deinterleaved = self.interleaver.deinterleave(&llrs)?;
+                per_stream_llrs[stream_idx].extend(deinterleaved);
+            }
+            n_decoded_symbols = m + 1;
+        }
+
+        // --- Per-stream decode: depuncture → Viterbi → descramble →
+        // length header → payload bits. ---
+        let mut per_stream_bytes: Vec<Vec<u8>> = Vec::with_capacity(4);
+        for llrs in &per_stream_llrs {
+            per_stream_bytes.push(self.decode_stream(llrs)?);
+        }
+
+        // Round-robin reassembly.
+        let total: usize = per_stream_bytes.iter().map(Vec::len).sum();
+        let mut payload = Vec::with_capacity(total);
+        let mut cursors = vec![0usize; 4];
+        for i in 0..total {
+            let s = i % 4;
+            let Some(&b) = per_stream_bytes[s].get(cursors[s]) else {
+                return Err(PhyError::Decode(
+                    "stream lengths inconsistent with round-robin split".into(),
+                ));
+            };
+            payload.push(b);
+            cursors[s] += 1;
+        }
+
+        let evm_db = if evm_den > 0.0 && evm_num > 0.0 {
+            10.0 * (evm_num / evm_den).log10()
+        } else {
+            f64::NEG_INFINITY
+        };
+        Ok(RxResult {
+            payload,
+            diagnostics: RxDiagnostics {
+                sync: event,
+                evm_db,
+                mean_phase_rad: phase_acc / n_decoded_symbols.max(1) as f64,
+                n_symbols: n_decoded_symbols,
+            },
+        })
+    }
+
+    /// Strips the CP, transforms, and returns the occupied carriers in
+    /// ascending logical order.
+    fn fft_symbol(&self, on_air: &[CQ15]) -> Result<Vec<CQ15>, PhyError> {
+        let time = mimo_ofdm::strip_cyclic_prefix(on_air, self.cfg.fft_size())?;
+        let freq = self.demodulator.fft_block(&time)?;
+        let map = self.demodulator.map();
+        Ok(self
+            .occupied
+            .iter()
+            .map(|&l| freq[map.bin(l)])
+            .collect())
+    }
+
+    /// One stream's bit pipeline, inverse of the transmitter's.
+    fn decode_stream(&self, llrs: &[Llr]) -> Result<Vec<u8>, PhyError> {
+        let rate = self.cfg.code_rate();
+        let pattern = rate.keep_pattern();
+        let keeps: usize = pattern.iter().filter(|&&k| k).count();
+        // kept/period = keeps, so mother_len = llrs/keeps*period.
+        if llrs.len() % keeps != 0 {
+            return Err(PhyError::Decode(format!(
+                "coded length {} not a multiple of the puncture pattern",
+                llrs.len()
+            )));
+        }
+        let mother_len = llrs.len() / keeps * pattern.len();
+        let restored = depuncture(llrs, rate, mother_len)?;
+        let decoded = self.viterbi.decode_terminated(&restored)?;
+        let descrambled = if self.cfg.scramble() {
+            Scrambler::new(SCRAMBLER_SEED).scramble(&decoded)
+        } else {
+            decoded
+        };
+        if descrambled.len() < LENGTH_HEADER_BITS {
+            return Err(PhyError::Decode("stream shorter than length header".into()));
+        }
+        let mut len = 0usize;
+        for bit in 0..LENGTH_HEADER_BITS {
+            len |= (descrambled[bit] as usize) << bit;
+        }
+        let have = (descrambled.len() - LENGTH_HEADER_BITS) / 8;
+        if len > have {
+            return Err(PhyError::Decode(format!(
+                "length header {len} exceeds decoded capacity {have}"
+            )));
+        }
+        let body = &descrambled[LENGTH_HEADER_BITS..LENGTH_HEADER_BITS + 8 * len];
+        Ok(bits::bits_to_bytes(body))
+    }
+}
+
+/// Splits the occupied-carrier order into data and pilot positions.
+fn carrier_positions(map: &SubcarrierMap) -> (Vec<usize>, Vec<usize>, Vec<i32>) {
+    let occupied = map.occupied_indices();
+    let pilots: std::collections::HashSet<i32> = map.pilot_indices().iter().copied().collect();
+    let mut data_pos = Vec::new();
+    let mut pilot_pos = Vec::new();
+    for (i, &l) in occupied.iter().enumerate() {
+        if pilots.contains(&l) {
+            pilot_pos.push(i);
+        } else {
+            data_pos.push(i);
+        }
+    }
+    (data_pos, pilot_pos, occupied)
+}
+
+/// EVM contribution of one symbol: squared error vs the nearest
+/// constellation point over squared reference power.
+fn evm_contribution(data: &[CQ15], demapper: &SymbolDemapper) -> (f64, f64) {
+    // Reconstruct the nearest point by demapping and re-mapping.
+    let mapper = SymbolMapper::new(demapper.modulation()).expect("valid modulation");
+    let hard = demapper.hard_demap(data);
+    let ideal = mapper.map_bits(&hard).expect("demap output is well-formed");
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (&got, &want) in data.iter().zip(&ideal) {
+        num += (Cf64::from_fixed(got) - Cf64::from_fixed(want)).norm_sqr();
+        den += Cf64::from_fixed(want).norm_sqr();
+    }
+    (num, den)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tx::MimoTransmitter;
+
+    #[test]
+    fn loopback_recovers_payload() {
+        let cfg = PhyConfig::paper_synthesis();
+        let tx = MimoTransmitter::new(cfg.clone()).unwrap();
+        let mut rx = MimoReceiver::new(cfg).unwrap();
+        let payload: Vec<u8> = (0..120).map(|i| (i * 31 + 7) as u8).collect();
+        let burst = tx.transmit_burst(&payload).unwrap();
+        let result = rx.receive_burst(&burst.streams).unwrap();
+        assert_eq!(result.payload, payload);
+        // Ideal channel: EVM well below -20 dB.
+        assert!(result.diagnostics.evm_db < -20.0, "EVM {}", result.diagnostics.evm_db);
+    }
+
+    #[test]
+    fn loopback_all_modulations_and_rates() {
+        use mimo_coding::CodeRate;
+        use mimo_modem::Modulation;
+        for m in Modulation::ALL {
+            for r in CodeRate::ALL {
+                let cfg = PhyConfig::paper_synthesis()
+                    .with_modulation(m)
+                    .with_code_rate(r);
+                let tx = MimoTransmitter::new(cfg.clone()).unwrap();
+                let mut rx = MimoReceiver::new(cfg).unwrap();
+                let payload: Vec<u8> = (0..64).map(|i| (i * 17) as u8).collect();
+                let burst = tx.transmit_burst(&payload).unwrap();
+                let result = rx.receive_burst(&burst.streams).unwrap();
+                assert_eq!(result.payload, payload, "{m} {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn missing_streams_rejected() {
+        let mut rx = MimoReceiver::new(PhyConfig::paper_synthesis()).unwrap();
+        assert!(matches!(
+            rx.receive_burst(&vec![vec![CQ15::ZERO; 100]; 3]),
+            Err(PhyError::BadStreamCount { got: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn noise_only_input_fails_gracefully() {
+        let mut rx = MimoReceiver::new(PhyConfig::paper_synthesis()).unwrap();
+        // Constant-amplitude junk: either no sync or a failed decode,
+        // never a panic.
+        let junk = vec![vec![CQ15::from_f64(0.01, -0.01); 4000]; 4];
+        let _ = rx.receive_burst(&junk);
+    }
+}

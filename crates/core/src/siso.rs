@@ -1,0 +1,336 @@
+//! The 1×1 SISO baseline transceiver.
+//!
+//! §V of the paper compares every MIMO entity against "the SISO
+//! system": the same chain with one channel, no QRD (equalization is a
+//! single complex multiply per carrier) and a two-slot preamble.
+
+use mimo_coding::{bits, depuncture, hard_to_llr, CodeSpec, Llr, Scrambler, ViterbiDecoder};
+use mimo_fixed::{CQ15, CQ16, Q16};
+use mimo_interleave::BlockInterleaver;
+use mimo_modem::{SymbolDemapper, SymbolMapper};
+use mimo_ofdm::preamble::{lts_reference, sync_reference, DEFAULT_AMPLITUDE};
+use mimo_ofdm::{OfdmDemodulator, SubcarrierMap};
+use mimo_sync::{TimeSynchronizer, DEFAULT_THRESHOLD_FACTOR};
+
+use crate::config::PhyConfig;
+use crate::error::PhyError;
+use crate::rx::{RxDiagnostics, RxResult};
+use crate::tx::{MimoTransmitter, TxBurst, LENGTH_HEADER_BITS, SCRAMBLER_SEED};
+use crate::DATA_PILOT_START;
+
+/// The SISO transmitter: one instance of the Fig 1 per-channel chain
+/// with an STS + single-LTS preamble.
+#[derive(Debug, Clone)]
+pub struct SisoTransmitter {
+    inner: MimoTransmitter,
+}
+
+impl SisoTransmitter {
+    /// Builds the transmitter (requires `n_streams == 1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhyError::BadConfig`] otherwise.
+    pub fn new(cfg: PhyConfig) -> Result<Self, PhyError> {
+        cfg.validate()?;
+        if cfg.n_streams() != 1 {
+            return Err(PhyError::BadConfig(format!(
+                "SisoTransmitter requires 1 stream, got {}",
+                cfg.n_streams()
+            )));
+        }
+        Ok(Self {
+            inner: MimoTransmitter::build(cfg)?,
+        })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PhyConfig {
+        self.inner.config()
+    }
+
+    /// Transmits one burst on the single antenna.
+    ///
+    /// # Errors
+    ///
+    /// See [`MimoTransmitter::transmit_burst`].
+    pub fn transmit_burst(&self, payload: &[u8]) -> Result<TxBurst, PhyError> {
+        self.inner.transmit_burst(payload)
+    }
+}
+
+/// The SISO receiver: scalar channel estimation from one LTS and
+/// single-multiply equalization per carrier.
+#[derive(Debug, Clone)]
+pub struct SisoReceiver {
+    cfg: PhyConfig,
+    sync: TimeSynchronizer,
+    demodulator: OfdmDemodulator,
+    lts_ref: Vec<i8>,
+    inv_amplitude: Q16,
+    phase: mimo_detect::PilotPhaseCorrector,
+    timing: mimo_detect::TimingCorrector,
+    demapper: SymbolDemapper,
+    interleaver: BlockInterleaver,
+    viterbi: ViterbiDecoder,
+    data_pos: Vec<usize>,
+    pilot_pos: Vec<usize>,
+    occupied: Vec<i32>,
+}
+
+impl SisoReceiver {
+    /// Builds the receiver (requires `n_streams == 1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhyError::BadConfig`] otherwise.
+    pub fn new(cfg: PhyConfig) -> Result<Self, PhyError> {
+        cfg.validate()?;
+        if cfg.n_streams() != 1 {
+            return Err(PhyError::BadConfig(format!(
+                "SisoReceiver requires 1 stream, got {}",
+                cfg.n_streams()
+            )));
+        }
+        let demodulator = OfdmDemodulator::new(cfg.fft_size())?;
+        let taps = sync_reference(demodulator.fft(), demodulator.map(), DEFAULT_AMPLITUDE)?;
+        let sync = TimeSynchronizer::new(taps, DEFAULT_THRESHOLD_FACTOR)
+            .map_err(|e| PhyError::BadConfig(e.to_string()))?;
+        let mapper = SymbolMapper::new(cfg.modulation())?;
+        let demapper = SymbolDemapper::matched_to(&mapper);
+        let interleaver = BlockInterleaver::new(
+            cfg.coded_bits_per_symbol(),
+            cfg.modulation().bits_per_symbol(),
+        )?;
+        let viterbi = ViterbiDecoder::new(CodeSpec::ieee80211a());
+        let lts_ref = lts_reference(demodulator.map());
+        let (data_pos, pilot_pos, occupied) = positions(demodulator.map());
+        Ok(Self {
+            cfg,
+            sync,
+            demodulator,
+            lts_ref,
+            inv_amplitude: Q16::from_f64(1.0 / DEFAULT_AMPLITUDE),
+            phase: mimo_detect::PilotPhaseCorrector::new(),
+            timing: mimo_detect::TimingCorrector::new(),
+            demapper,
+            interleaver,
+            viterbi,
+            data_pos,
+            pilot_pos,
+            occupied,
+        })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PhyConfig {
+        &self.cfg
+    }
+
+    /// Receives one burst from the single antenna stream.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors [`crate::MimoReceiver::receive_burst`].
+    pub fn receive_burst(&mut self, stream: &[CQ15]) -> Result<RxResult, PhyError> {
+        let n = self.cfg.fft_size();
+        let field = 5 * n / 2;
+        self.sync.reset();
+        // Two-stage sync: coarse STS-periodicity detection, then the
+        // fine cross-correlator in a window (see MimoReceiver).
+        let event = match mimo_sync::coarse_sts_end(std::slice::from_ref(&stream.to_vec())) {
+            Some(coarse) => self.sync.scan_peak_window(
+                stream,
+                coarse.sts_end.saturating_sub(48),
+                coarse.sts_end + 48,
+            ),
+            None => self.sync.scan_peak(stream),
+        }
+        .ok_or(PhyError::SyncNotFound)?;
+        let lts0 = event.lts_start.saturating_sub(crate::rx::WINDOW_BACKOFF);
+        if lts0 + 2 * field > stream.len() {
+            return Err(PhyError::TruncatedBurst {
+                needed: lts0 + 2 * field,
+                available: stream.len(),
+            });
+        }
+
+        // Scalar channel estimate from the two LTS repetitions.
+        let reps = &stream[lts0 + n / 2..lts0 + n / 2 + 2 * n];
+        let first = self.demodulator.fft_block(&reps[..n])?;
+        let second = self.demodulator.fft_block(&reps[n..])?;
+        let h: Vec<CQ16> = self
+            .occupied
+            .iter()
+            .zip(&self.lts_ref)
+            .map(|(&l, &sign)| {
+                let bin = self.demodulator.map().bin(l);
+                let avg = (first[bin] + second[bin]).shr_round(1);
+                let wide: CQ16 = avg.convert();
+                let signed = if sign >= 0 { wide } else { -wide };
+                signed.scale(self.inv_amplitude)
+            })
+            .collect();
+        let equalizer = mimo_detect::SisoEqualizer::new(&h);
+
+        // Payload symbols.
+        let data_start = lts0 + field;
+        let sym_len = self.cfg.symbol_samples();
+        let available = (stream.len() - data_start) / sym_len;
+        if available == 0 {
+            return Err(PhyError::TruncatedBurst {
+                needed: data_start + sym_len,
+                available: stream.len(),
+            });
+        }
+        let mut llrs_all: Vec<Llr> = Vec::new();
+        let mut phase_acc = 0.0;
+        for m in 0..available {
+            let start = data_start + m * sym_len;
+            let time = mimo_ofdm::strip_cyclic_prefix(&stream[start..start + sym_len], n)?;
+            let freq = self.demodulator.fft_block(&time)?;
+            let occ: Vec<CQ15> = self
+                .occupied
+                .iter()
+                .map(|&l| freq[self.demodulator.map().bin(l)])
+                .collect();
+            let equalized = equalizer.equalize(&occ)?;
+
+            let polarity = mimo_coding::pilot_polarity(DATA_PILOT_START + m);
+            let signs: Vec<i8> = self
+                .demodulator
+                .map()
+                .pilot_pattern()
+                .iter()
+                .map(|&b| b * polarity)
+                .collect();
+            let pilots: Vec<CQ15> = self.pilot_pos.iter().map(|&p| equalized[p]).collect();
+            let phi = self.phase.estimate_phase(&pilots, &signs);
+            phase_acc += phi.to_f64();
+            let corrected = self.phase.correct(&equalized, phi);
+            let pilots2: Vec<CQ15> = self.pilot_pos.iter().map(|&p| corrected[p]).collect();
+            let pilot_indices: Vec<i32> =
+                self.pilot_pos.iter().map(|&p| self.occupied[p]).collect();
+            let tau = self.timing.estimate_tau(&pilots2, &signs, &pilot_indices);
+            let corrected = self.timing.correct(&corrected, &self.occupied, tau);
+
+            let data: Vec<CQ15> = self.data_pos.iter().map(|&p| corrected[p]).collect();
+            let llrs: Vec<Llr> = if self.cfg.soft_decoding() {
+                self.demapper.soft_demap(&data)
+            } else {
+                self.demapper
+                    .hard_demap(&data)
+                    .into_iter()
+                    .map(hard_to_llr)
+                    .collect()
+            };
+            llrs_all.extend(self.interleaver.deinterleave(&llrs)?);
+        }
+
+        let payload = self.decode_stream(&llrs_all)?;
+        Ok(RxResult {
+            diagnostics: RxDiagnostics {
+                sync: event,
+                evm_db: f64::NAN,
+                mean_phase_rad: phase_acc / available as f64,
+                n_symbols: available,
+            },
+            payload,
+        })
+    }
+
+    fn decode_stream(&self, llrs: &[Llr]) -> Result<Vec<u8>, PhyError> {
+        let rate = self.cfg.code_rate();
+        let pattern = rate.keep_pattern();
+        let keeps: usize = pattern.iter().filter(|&&k| k).count();
+        if llrs.len() % keeps != 0 {
+            return Err(PhyError::Decode(format!(
+                "coded length {} not a multiple of the puncture pattern",
+                llrs.len()
+            )));
+        }
+        let mother_len = llrs.len() / keeps * pattern.len();
+        let restored = depuncture(llrs, rate, mother_len)?;
+        let decoded = self.viterbi.decode_terminated(&restored)?;
+        let descrambled = if self.cfg.scramble() {
+            Scrambler::new(SCRAMBLER_SEED).scramble(&decoded)
+        } else {
+            decoded
+        };
+        if descrambled.len() < LENGTH_HEADER_BITS {
+            return Err(PhyError::Decode("stream shorter than length header".into()));
+        }
+        let mut len = 0usize;
+        for bit in 0..LENGTH_HEADER_BITS {
+            len |= (descrambled[bit] as usize) << bit;
+        }
+        let have = (descrambled.len() - LENGTH_HEADER_BITS) / 8;
+        if len > have {
+            return Err(PhyError::Decode(format!(
+                "length header {len} exceeds decoded capacity {have}"
+            )));
+        }
+        Ok(bits::bits_to_bytes(
+            &descrambled[LENGTH_HEADER_BITS..LENGTH_HEADER_BITS + 8 * len],
+        ))
+    }
+}
+
+fn positions(map: &SubcarrierMap) -> (Vec<usize>, Vec<usize>, Vec<i32>) {
+    let occupied = map.occupied_indices();
+    let pilots: std::collections::HashSet<i32> = map.pilot_indices().iter().copied().collect();
+    let mut data_pos = Vec::new();
+    let mut pilot_pos = Vec::new();
+    for (i, &l) in occupied.iter().enumerate() {
+        if pilots.contains(&l) {
+            pilot_pos.push(i);
+        } else {
+            data_pos.push(i);
+        }
+    }
+    (data_pos, pilot_pos, occupied)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn siso_loopback() {
+        let cfg = PhyConfig::siso();
+        let tx = SisoTransmitter::new(cfg.clone()).unwrap();
+        let mut rx = SisoReceiver::new(cfg).unwrap();
+        let payload: Vec<u8> = (0..80).map(|i| (i * 29 + 3) as u8).collect();
+        let burst = tx.transmit_burst(&payload).unwrap();
+        assert_eq!(burst.streams.len(), 1);
+        let result = rx.receive_burst(&burst.streams[0]).unwrap();
+        assert_eq!(result.payload, payload);
+    }
+
+    #[test]
+    fn siso_preamble_is_two_fields() {
+        let cfg = PhyConfig::siso();
+        let tx = SisoTransmitter::new(cfg).unwrap();
+        assert_eq!(tx.inner.preamble_schedule().data_offset(), 320);
+    }
+
+    #[test]
+    fn siso_rejects_mimo_config() {
+        assert!(SisoTransmitter::new(PhyConfig::paper_synthesis()).is_err());
+        assert!(SisoReceiver::new(PhyConfig::paper_synthesis()).is_err());
+    }
+
+    #[test]
+    fn siso_all_modulations() {
+        use mimo_modem::Modulation;
+        for m in Modulation::ALL {
+            let cfg = PhyConfig::siso().with_modulation(m);
+            let tx = SisoTransmitter::new(cfg.clone()).unwrap();
+            let mut rx = SisoReceiver::new(cfg).unwrap();
+            let payload: Vec<u8> = (0..32).map(|i| (i * 11) as u8).collect();
+            let burst = tx.transmit_burst(&payload).unwrap();
+            let result = rx.receive_burst(&burst.streams[0]).unwrap();
+            assert_eq!(result.payload, payload, "{m}");
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! The MIMO transmitter (Fig 1).
+
+use mimo_coding::{bits, puncture, CodeSpec, ConvolutionalEncoder, Scrambler};
+use mimo_fixed::CQ15;
+use mimo_interleave::BlockInterleaver;
+use mimo_modem::SymbolMapper;
+use mimo_ofdm::preamble::{lts_time, sts_time, PreambleSchedule, DEFAULT_AMPLITUDE};
+use mimo_ofdm::OfdmModulator;
+
+use crate::config::PhyConfig;
+use crate::error::PhyError;
+use crate::DATA_PILOT_START;
+
+/// Bits of the per-stream length header prepended to each stream's
+/// information bits (the SIGNAL-field equivalent: the receiver learns
+/// the payload length from the air, not out of band).
+pub(crate) const LENGTH_HEADER_BITS: usize = 16;
+
+/// Scrambler seed shared by transmitter and receiver.
+pub(crate) const SCRAMBLER_SEED: u8 = 0x5D;
+
+/// Trellis flush bits appended by the terminated encoder (K − 1).
+const FLUSH_BITS: usize = 6;
+
+/// Maximum per-stream payload bytes a burst can carry (bounded by the
+/// 16-bit length header).
+const MAX_STREAM_BYTES: usize = 8190;
+
+/// One transmitted burst: the per-antenna sample streams of Fig 2
+/// (preamble) followed by the payload OFDM symbols.
+#[derive(Debug, Clone)]
+pub struct TxBurst {
+    /// One Q1.15 sample stream per transmit antenna.
+    pub streams: Vec<Vec<CQ15>>,
+    /// Payload OFDM symbols per stream.
+    pub n_symbols: usize,
+    /// Payload bytes carried.
+    pub payload_len: usize,
+}
+
+impl TxBurst {
+    /// Total burst length in samples (identical across streams).
+    pub fn len_samples(&self) -> usize {
+        self.streams.first().map_or(0, Vec::len)
+    }
+
+    /// Burst duration in seconds at a given clock.
+    pub fn duration_s(&self, clock_hz: f64) -> f64 {
+        self.len_samples() as f64 / clock_hz
+    }
+}
+
+/// The 4×4 MIMO transmitter: "the data is broken into four separate
+/// and independent channels that will each be encoded and modulated
+/// for transmission."
+#[derive(Debug, Clone)]
+pub struct MimoTransmitter {
+    cfg: PhyConfig,
+    mapper: SymbolMapper,
+    interleaver: BlockInterleaver,
+    modulator: OfdmModulator,
+    schedule: PreambleSchedule,
+    sts: Vec<CQ15>,
+    lts: Vec<CQ15>,
+}
+
+impl MimoTransmitter {
+    /// Builds the transmitter for a 4-stream configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhyError::BadConfig`] for invalid configurations
+    /// (including `n_streams != 4`; use [`crate::SisoTransmitter`] for
+    /// the baseline).
+    pub fn new(cfg: PhyConfig) -> Result<Self, PhyError> {
+        cfg.validate()?;
+        if cfg.n_streams() != 4 {
+            return Err(PhyError::BadConfig(format!(
+                "MimoTransmitter requires 4 streams, got {}",
+                cfg.n_streams()
+            )));
+        }
+        Self::build(cfg)
+    }
+
+    pub(crate) fn build(cfg: PhyConfig) -> Result<Self, PhyError> {
+        let mapper = SymbolMapper::new(cfg.modulation())?;
+        let interleaver = BlockInterleaver::new(
+            cfg.coded_bits_per_symbol(),
+            cfg.modulation().bits_per_symbol(),
+        )?;
+        let modulator = OfdmModulator::new(cfg.fft_size())?;
+        let schedule = PreambleSchedule::new(cfg.n_streams(), cfg.fft_size());
+        let sts = sts_time(modulator.fft(), modulator.map(), DEFAULT_AMPLITUDE)?;
+        let lts = lts_time(modulator.fft(), modulator.map(), DEFAULT_AMPLITUDE)?;
+        Ok(Self {
+            cfg,
+            mapper,
+            interleaver,
+            modulator,
+            schedule,
+            sts,
+            lts,
+        })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PhyConfig {
+        &self.cfg
+    }
+
+    /// The preamble schedule (Fig 2).
+    pub fn preamble_schedule(&self) -> &PreambleSchedule {
+        &self.schedule
+    }
+
+    /// Maximum payload bytes per burst.
+    pub fn max_payload(&self) -> usize {
+        MAX_STREAM_BYTES * self.cfg.n_streams()
+    }
+
+    /// Transmits one burst: splits `payload` across the four streams
+    /// (round-robin by byte), runs each through the Fig 1 chain, and
+    /// prepends the Fig 2 staggered preamble.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhyError::PayloadTooLarge`] beyond
+    /// [`MimoTransmitter::max_payload`].
+    pub fn transmit_burst(&self, payload: &[u8]) -> Result<TxBurst, PhyError> {
+        let n_streams = self.cfg.n_streams();
+        if payload.len() > self.max_payload() {
+            return Err(PhyError::PayloadTooLarge {
+                got: payload.len(),
+                max: self.max_payload(),
+            });
+        }
+        // Round-robin byte split.
+        let mut per_stream: Vec<Vec<u8>> = vec![Vec::new(); n_streams];
+        for (i, &b) in payload.iter().enumerate() {
+            per_stream[i % n_streams].push(b);
+        }
+
+        // Common symbol count: every stream must fill the same number
+        // of OFDM symbols.
+        let ndbps = self.cfg.info_bits_per_symbol();
+        let n_symbols = per_stream
+            .iter()
+            .map(|bytes| {
+                let info_bits = LENGTH_HEADER_BITS + 8 * bytes.len() + FLUSH_BITS;
+                info_bits.div_ceil(ndbps)
+            })
+            .max()
+            .unwrap_or(1)
+            .max(1);
+
+        // Per-stream bit pipeline.
+        let mut symbol_streams: Vec<Vec<CQ15>> = Vec::with_capacity(n_streams);
+        for bytes in &per_stream {
+            let coded = self.encode_stream(bytes, n_symbols)?;
+            let mut on_air = Vec::new();
+            for (sym_idx, block) in coded.chunks(self.cfg.coded_bits_per_symbol()).enumerate() {
+                let interleaved = self.interleaver.interleave(block)?;
+                let symbols = self.mapper.map_bits(&interleaved)?;
+                let time = self
+                    .modulator
+                    .modulate_symbol(&symbols, DATA_PILOT_START + sym_idx)?;
+                on_air.extend(time);
+            }
+            symbol_streams.push(on_air);
+        }
+
+        // Assemble: preamble (Fig 2) then simultaneous data.
+        let pre_len = self.schedule.data_offset();
+        let data_len = symbol_streams[0].len();
+        let mut streams = vec![vec![CQ15::ZERO; pre_len + data_len]; n_streams];
+        for slot in self.schedule.slots() {
+            let field = match slot.kind {
+                mimo_ofdm::preamble::FieldKind::Sts => &self.sts,
+                mimo_ofdm::preamble::FieldKind::Lts => &self.lts,
+            };
+            streams[slot.tx][slot.offset..slot.offset + slot.len].copy_from_slice(field);
+        }
+        for (stream, data) in streams.iter_mut().zip(&symbol_streams) {
+            stream[pre_len..].copy_from_slice(data);
+        }
+
+        Ok(TxBurst {
+            streams,
+            n_symbols,
+            payload_len: payload.len(),
+        })
+    }
+
+    /// Runs one stream's bit pipeline: header + payload + pad →
+    /// scramble → encode (terminated) → puncture. The result is exactly
+    /// `n_symbols · N_CBPS` coded bits.
+    fn encode_stream(&self, bytes: &[u8], n_symbols: usize) -> Result<Vec<u8>, PhyError> {
+        let ndbps = self.cfg.info_bits_per_symbol();
+        let capacity = n_symbols * ndbps - FLUSH_BITS;
+        let used = LENGTH_HEADER_BITS + 8 * bytes.len();
+        debug_assert!(used <= capacity, "symbol count under-provisioned");
+
+        let mut info = Vec::with_capacity(capacity);
+        let len = bytes.len() as u16;
+        for bit in 0..16 {
+            info.push(((len >> bit) & 1) as u8);
+        }
+        info.extend(bits::bytes_to_bits(bytes));
+        info.resize(capacity, 0); // zero pad to fill the burst
+
+        let scrambled = if self.cfg.scramble() {
+            Scrambler::new(SCRAMBLER_SEED).scramble(&info)
+        } else {
+            info
+        };
+
+        let mut encoder = ConvolutionalEncoder::new(CodeSpec::ieee80211a());
+        let mother = encoder.encode_terminated(&scrambled);
+        let coded = puncture(&mother, self.cfg.code_rate());
+        debug_assert_eq!(coded.len(), n_symbols * self.cfg.coded_bits_per_symbol());
+        Ok(coded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_structure_matches_fig2() {
+        let tx = MimoTransmitter::new(PhyConfig::paper_synthesis()).unwrap();
+        let burst = tx.transmit_burst(&[0xAB; 40]).unwrap();
+        assert_eq!(burst.streams.len(), 4);
+        // Preamble: 5 slots × 160 samples.
+        let pre = tx.preamble_schedule().data_offset();
+        assert_eq!(pre, 800);
+        // STS present only on stream 0.
+        assert!(burst.streams[0][..160].iter().any(|s| !s.is_zero()));
+        for tx_idx in 1..4 {
+            assert!(
+                burst.streams[tx_idx][..160].iter().all(|s| s.is_zero()),
+                "STS leaked onto stream {tx_idx}"
+            );
+        }
+        // LTS slot k active only on stream k.
+        for slot in 0..4 {
+            let range = 160 * (1 + slot)..160 * (2 + slot);
+            for stream in 0..4 {
+                let active = burst.streams[stream][range.clone()]
+                    .iter()
+                    .any(|s| !s.is_zero());
+                assert_eq!(active, stream == slot, "slot {slot} stream {stream}");
+            }
+        }
+        // All streams transmit data simultaneously.
+        for stream in &burst.streams {
+            assert!(stream[pre..].iter().any(|s| !s.is_zero()));
+            assert_eq!(stream.len(), pre + burst.n_symbols * 80);
+        }
+    }
+
+    #[test]
+    fn streams_have_equal_length_for_ragged_payloads() {
+        let tx = MimoTransmitter::new(PhyConfig::paper_synthesis()).unwrap();
+        for len in [1usize, 3, 17, 100, 257] {
+            let payload: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let burst = tx.transmit_burst(&payload).unwrap();
+            let lens: Vec<usize> = burst.streams.iter().map(Vec::len).collect();
+            assert!(lens.windows(2).all(|w| w[0] == w[1]), "payload {len}: {lens:?}");
+        }
+    }
+
+    #[test]
+    fn empty_payload_still_produces_a_burst() {
+        let tx = MimoTransmitter::new(PhyConfig::paper_synthesis()).unwrap();
+        let burst = tx.transmit_burst(&[]).unwrap();
+        assert_eq!(burst.payload_len, 0);
+        assert!(burst.n_symbols >= 1);
+    }
+
+    #[test]
+    fn oversized_payload_rejected() {
+        let tx = MimoTransmitter::new(PhyConfig::paper_synthesis()).unwrap();
+        let too_big = vec![0u8; tx.max_payload() + 1];
+        assert!(matches!(
+            tx.transmit_burst(&too_big),
+            Err(PhyError::PayloadTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn gigabit_config_uses_fewer_symbols_than_half_rate_qpsk() {
+        let fast = MimoTransmitter::new(PhyConfig::gigabit()).unwrap();
+        let slow = MimoTransmitter::new(
+            PhyConfig::paper_synthesis()
+                .with_modulation(mimo_modem::Modulation::Qpsk),
+        )
+        .unwrap();
+        let payload = vec![0x55u8; 400];
+        let nf = fast.transmit_burst(&payload).unwrap().n_symbols;
+        let ns = slow.transmit_burst(&payload).unwrap().n_symbols;
+        assert!(nf < ns, "64-QAM r=3/4 ({nf}) vs QPSK r=1/2 ({ns})");
+    }
+
+    #[test]
+    fn samples_stay_on_the_16_bit_bus() {
+        let tx = MimoTransmitter::new(PhyConfig::gigabit()).unwrap();
+        let payload: Vec<u8> = (0..200).map(|i| (i * 13) as u8).collect();
+        let burst = tx.transmit_burst(&payload).unwrap();
+        for stream in &burst.streams {
+            assert!(stream.iter().all(|s| s.fits_bits(16)));
+        }
+    }
+}

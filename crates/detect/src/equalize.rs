@@ -1,0 +1,289 @@
+//! Zero-forcing MIMO detection and the SISO per-carrier equalizer.
+
+use std::error::Error;
+use std::fmt;
+
+use mimo_chanest::FxMat4;
+use mimo_fixed::{CFx, CQ15, CQ16, SAMPLE_BITS};
+
+/// Errors from the detection stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectError {
+    /// RX stream count must equal the antenna count (4).
+    BadStreamCount(usize),
+    /// Carrier counts disagree between streams and the estimate.
+    CarrierMismatch {
+        /// Carriers in the channel estimate.
+        expected: usize,
+        /// Carriers supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for DetectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DetectError::BadStreamCount(n) => write!(f, "expected 4 receive streams, got {n}"),
+            DetectError::CarrierMismatch { expected, got } => {
+                write!(f, "carrier count {got} does not match estimate ({expected})")
+            }
+        }
+    }
+}
+
+impl Error for DetectError {}
+
+/// The zero-forcing MIMO decoder: per subcarrier, the received vector
+/// (one value per RX antenna) is multiplied by the pre-computed `H⁻¹`
+/// — "equalization is performed on a carrier-per-carrier basis".
+///
+/// # Examples
+///
+/// ```
+/// use mimo_chanest::FxMat4;
+/// use mimo_detect::ZfDetector;
+/// use mimo_fixed::CQ15;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Identity channel: detection passes values through.
+/// let h_inv = vec![FxMat4::identity(); 3];
+/// let rx = vec![vec![CQ15::from_f64(0.25, 0.0); 3]; 4];
+/// let streams = ZfDetector::new().detect(&h_inv, &rx)?;
+/// assert_eq!(streams.len(), 4);
+/// assert!((streams[0][0].re.to_f64() - 0.25).abs() < 1e-3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ZfDetector {
+    _private: (),
+}
+
+impl ZfDetector {
+    /// Creates the detector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Detects all four transmit streams from four receive streams.
+    ///
+    /// `h_inv[s]` is the inverted channel matrix of occupied carrier
+    /// `s`; `rx[antenna][s]` the received value on that carrier. The
+    /// result is indexed `[tx_stream][s]`, saturated to the 16-bit bus.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectError`] on shape mismatches.
+    pub fn detect(
+        &self,
+        h_inv: &[FxMat4],
+        rx: &[Vec<CQ15>],
+    ) -> Result<Vec<Vec<CQ15>>, DetectError> {
+        if rx.len() != 4 {
+            return Err(DetectError::BadStreamCount(rx.len()));
+        }
+        for stream in rx {
+            if stream.len() != h_inv.len() {
+                return Err(DetectError::CarrierMismatch {
+                    expected: h_inv.len(),
+                    got: stream.len(),
+                });
+            }
+        }
+        let mut out = vec![Vec::with_capacity(h_inv.len()); 4];
+        for (s, inv) in h_inv.iter().enumerate() {
+            let r: [CQ16; 4] = [
+                rx[0][s].convert(),
+                rx[1][s].convert(),
+                rx[2][s].convert(),
+                rx[3][s].convert(),
+            ];
+            let y = inv.mul_vec(&r);
+            for (k, stream) in out.iter_mut().enumerate() {
+                let narrow: CFx<15> = y[k].convert();
+                stream.push(narrow.saturate_bits(SAMPLE_BITS));
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// The SISO baseline equalizer: "the corresponding channel estimate is
+/// read from the channel estimation memory block and equalization is
+/// performed on a carrier-per-carrier basis via a single complex
+/// multiplication."
+///
+/// Construction pre-computes `1/h` per carrier so the run-time work is
+/// exactly one complex multiply, as in the hardware.
+#[derive(Debug, Clone)]
+pub struct SisoEqualizer {
+    inv_h: Vec<CQ16>,
+}
+
+impl SisoEqualizer {
+    /// Builds the equalizer from per-carrier channel estimates.
+    /// Carriers whose estimate is numerically zero get a zero
+    /// coefficient (data on them is erased rather than amplified).
+    pub fn new(h: &[CQ16]) -> Self {
+        let inv_h = h
+            .iter()
+            .map(|&v| {
+                let d = v.norm_sqr();
+                if d.raw() == 0 {
+                    CFx::ZERO
+                } else {
+                    let c = v.conj();
+                    CFx::new(c.re.div(d), c.im.div(d))
+                }
+            })
+            .collect();
+        Self { inv_h }
+    }
+
+    /// Number of carriers.
+    pub fn len(&self) -> usize {
+        self.inv_h.len()
+    }
+
+    /// `true` if built over zero carriers.
+    pub fn is_empty(&self) -> bool {
+        self.inv_h.is_empty()
+    }
+
+    /// Equalizes one symbol's occupied carriers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectError::CarrierMismatch`] on length mismatch.
+    pub fn equalize(&self, carriers: &[CQ15]) -> Result<Vec<CQ15>, DetectError> {
+        if carriers.len() != self.inv_h.len() {
+            return Err(DetectError::CarrierMismatch {
+                expected: self.inv_h.len(),
+                got: carriers.len(),
+            });
+        }
+        Ok(carriers
+            .iter()
+            .zip(&self.inv_h)
+            .map(|(&r, &coeff)| {
+                let wide: CQ16 = r.convert();
+                let eq = wide * coeff;
+                let narrow: CFx<15> = eq.convert();
+                narrow.saturate_bits(SAMPLE_BITS)
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimo_chanest::{CordicQrd, Mat4};
+    use mimo_fixed::Cf64;
+
+    #[test]
+    fn identity_channel_passthrough() {
+        let h_inv = vec![FxMat4::identity(); 5];
+        let rx: Vec<Vec<CQ15>> = (0..4)
+            .map(|a| (0..5).map(|s| CQ15::from_f64(0.1 * (a + s) as f64, -0.05)).collect())
+            .collect();
+        let streams = ZfDetector::new().detect(&h_inv, &rx).unwrap();
+        for (a, stream) in streams.iter().enumerate() {
+            for (s, got) in stream.iter().enumerate() {
+                let want = Cf64::from_fixed(rx[a][s]);
+                assert!((Cf64::from_fixed(*got) - want).norm() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn recovers_streams_through_mixing_channel() {
+        // x -> H x; detector applies H^-1 from the real QRD pipeline.
+        let h = Mat4::from_fn(|r, c| {
+            if r == c {
+                Cf64::new(0.8, -0.1)
+            } else {
+                Cf64::new(0.15 * (r as f64 - c as f64), 0.1)
+            }
+        });
+        let x: Vec<[Cf64; 4]> = (0..8)
+            .map(|s| {
+                [
+                    Cf64::new(0.2, 0.1 * s as f64 / 8.0),
+                    Cf64::new(-0.15, 0.2),
+                    Cf64::new(0.1, -0.1),
+                    Cf64::new(-0.05, -0.15),
+                ]
+            })
+            .collect();
+        // Received r = H x per carrier.
+        let rx: Vec<Vec<CQ15>> = (0..4)
+            .map(|i| {
+                x.iter()
+                    .map(|xv| {
+                        let r = h.mul_vec(xv)[i];
+                        r.to_fixed::<15>().saturate_bits(16)
+                    })
+                    .collect()
+            })
+            .collect();
+        // Invert via the fixed-point QRD pipeline.
+        let qrd = CordicQrd::new();
+        let decomp = qrd.decompose(&h.to_fixed());
+        let r_inv = mimo_chanest::invert_upper_triangular(&decomp.r).unwrap();
+        let h_inv = r_inv.mul_mat(&decomp.q_h);
+        let h_invs = vec![h_inv; 8];
+
+        let streams = ZfDetector::new().detect(&h_invs, &rx).unwrap();
+        for (k, stream) in streams.iter().enumerate() {
+            for (s, got) in stream.iter().enumerate() {
+                let err = (Cf64::from_fixed(*got) - x[s][k]).norm();
+                assert!(err < 0.02, "stream {k} carrier {s}: err {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn shape_errors() {
+        let det = ZfDetector::new();
+        let h_inv = vec![FxMat4::identity(); 2];
+        assert!(matches!(
+            det.detect(&h_inv, &vec![vec![CQ15::ZERO; 2]; 3]),
+            Err(DetectError::BadStreamCount(3))
+        ));
+        assert!(matches!(
+            det.detect(&h_inv, &vec![vec![CQ15::ZERO; 5]; 4]),
+            Err(DetectError::CarrierMismatch { expected: 2, got: 5 })
+        ));
+    }
+
+    #[test]
+    fn siso_equalizer_inverts_scalar_channel() {
+        let h: Vec<CQ16> = (0..6)
+            .map(|i| CFx::from_f64(0.5 + 0.05 * i as f64, -0.2))
+            .collect();
+        let eq = SisoEqualizer::new(&h);
+        let tx = CQ15::from_f64(0.25, -0.125);
+        let rx: Vec<CQ15> = h
+            .iter()
+            .map(|&hh| {
+                let wide: CQ16 = tx.convert();
+                let through = wide * hh;
+                let narrow: CFx<15> = through.convert();
+                narrow.saturate_bits(16)
+            })
+            .collect();
+        let out = eq.equalize(&rx).unwrap();
+        for got in out {
+            assert!((Cf64::from_fixed(got) - Cf64::from_fixed(tx)).norm() < 5e-3);
+        }
+    }
+
+    #[test]
+    fn siso_zero_carrier_erases_not_explodes() {
+        let eq = SisoEqualizer::new(&[CFx::ZERO, CFx::ONE]);
+        let out = eq.equalize(&[CQ15::from_f64(0.3, 0.3), CQ15::from_f64(0.3, 0.3)]).unwrap();
+        assert!(out[0].is_zero());
+        assert!(!out[1].is_zero());
+    }
+}

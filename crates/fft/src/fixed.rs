@@ -1,0 +1,343 @@
+//! Bit-accurate fixed-point radix-2 FFT/IFFT core.
+
+use std::error::Error;
+use std::fmt;
+
+use mimo_fixed::{CFx, CQ15, Cf64, SAMPLE_BITS};
+
+/// Errors produced by the fixed-point FFT core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FftError {
+    /// Requested transform size is unsupported.
+    UnsupportedSize(usize),
+    /// Input block length does not match the configured size.
+    LengthMismatch {
+        /// Configured transform size.
+        expected: usize,
+        /// Length actually supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for FftError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FftError::UnsupportedSize(n) => {
+                write!(f, "unsupported FFT size {n} (power of two in 8..=4096 required)")
+            }
+            FftError::LengthMismatch { expected, got } => {
+                write!(f, "input length {got} does not match FFT size {expected}")
+            }
+        }
+    }
+}
+
+impl Error for FftError {}
+
+/// Output scaling policy, modelling the right-shift normalization a
+/// hardware core applies to keep results on the 16-bit bus.
+///
+/// The defaults reflect where each transform sits in the paper's
+/// datapath: the transmit IFFT backs its output off so OFDM peaks
+/// (PAPR) rarely clip the DAC bus, while the receive FFT divides by
+/// `√N`-ish so a full-scale input neither clips nor starves precision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FftScaling {
+    /// Right-shift applied to forward-transform outputs.
+    pub forward_shift: u32,
+    /// Right-shift applied to inverse-transform outputs.
+    pub inverse_shift: u32,
+}
+
+impl FftScaling {
+    /// Default policy for a transform of size `n`:
+    /// forward shift `(log2 n + 2) / 2`, inverse shift `log2 n − 1`.
+    pub fn for_size(n: usize) -> Self {
+        let log2 = n.trailing_zeros();
+        Self {
+            forward_shift: (log2 + 2) / 2,
+            inverse_shift: log2.saturating_sub(1),
+        }
+    }
+
+    /// No scaling at all (wide outputs; only for analysis/tests).
+    pub fn none() -> Self {
+        Self {
+            forward_shift: 0,
+            inverse_shift: 0,
+        }
+    }
+}
+
+/// A fixed-point radix-2 decimation-in-time FFT/IFFT core.
+///
+/// Twiddle factors are quantized to Q1.15 exactly as a hardware twiddle
+/// ROM would store them; butterflies run on the wide `i64` backing
+/// (guard bits) and results are saturated onto the 16-bit bus at the
+/// output register, so the model clips exactly where hardware would.
+///
+/// # Examples
+///
+/// ```
+/// use mimo_fft::FixedFft;
+/// use mimo_fixed::CQ15;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let fft = FixedFft::new(64)?;
+/// let mut impulse = vec![CQ15::ZERO; 64];
+/// impulse[0] = CQ15::from_f64(0.5, 0.0);
+/// let spectrum = fft.fft(&impulse)?;
+/// // Flat spectrum at 0.5 >> forward_shift.
+/// let expected = 0.5 / (1 << fft.scaling().forward_shift) as f64;
+/// assert!((spectrum[7].re.to_f64() - expected).abs() < 1e-3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FixedFft {
+    size: usize,
+    scaling: FftScaling,
+    /// Twiddles e^{-j2πk/N} for k in 0..N/2, quantized to Q1.15.
+    twiddles: Vec<CQ15>,
+}
+
+impl FixedFft {
+    /// Creates a core of the given size with default scaling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::UnsupportedSize`] unless `n` is a power of
+    /// two in `8..=4096`.
+    pub fn new(n: usize) -> Result<Self, FftError> {
+        Self::with_scaling(n, FftScaling::for_size(n))
+    }
+
+    /// Creates a core with an explicit scaling policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::UnsupportedSize`] unless `n` is a power of
+    /// two in `8..=4096`.
+    pub fn with_scaling(n: usize, scaling: FftScaling) -> Result<Self, FftError> {
+        if !crate::is_supported_size(n) {
+            return Err(FftError::UnsupportedSize(n));
+        }
+        let twiddles = (0..n / 2)
+            .map(|k| {
+                let ang = -2.0 * std::f64::consts::PI * k as f64 / n as f64;
+                Cf64::from_polar(1.0, ang).to_fixed::<15>().saturate_bits(SAMPLE_BITS)
+            })
+            .collect();
+        Ok(Self { size: n, scaling, twiddles })
+    }
+
+    /// Transform size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The configured scaling policy.
+    pub fn scaling(&self) -> FftScaling {
+        self.scaling
+    }
+
+    /// Forward transform: `out[k] = (Σ x[n]·e^{-j2πkn/N}) >> forward_shift`,
+    /// saturated to the 16-bit bus.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] if `input.len() != size`.
+    pub fn fft(&self, input: &[CQ15]) -> Result<Vec<CQ15>, FftError> {
+        self.transform(input, false)
+    }
+
+    /// Inverse transform:
+    /// `out[n] = (Σ X[k]·e^{+j2πkn/N}) >> inverse_shift`, saturated to
+    /// the 16-bit bus. With the default `inverse_shift = log2 N − 1`
+    /// this is `2/N` times the unnormalized IDFT.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] if `input.len() != size`.
+    pub fn ifft(&self, input: &[CQ15]) -> Result<Vec<CQ15>, FftError> {
+        self.transform(input, true)
+    }
+
+    fn transform(&self, input: &[CQ15], inverse: bool) -> Result<Vec<CQ15>, FftError> {
+        if input.len() != self.size {
+            return Err(FftError::LengthMismatch {
+                expected: self.size,
+                got: input.len(),
+            });
+        }
+        let n = self.size;
+        // Work in the wide backing; saturate only at the output.
+        let mut data: Vec<CFx<15>> = input.to_vec();
+        // Bit-reversal permutation.
+        let mut j = 0usize;
+        for i in 0..n {
+            if i < j {
+                data.swap(i, j);
+            }
+            let mut m = n >> 1;
+            while m >= 1 && j & m != 0 {
+                j ^= m;
+                m >>= 1;
+            }
+            j |= m;
+        }
+        let mut len = 2;
+        while len <= n {
+            let step = n / len;
+            for chunk in data.chunks_mut(len) {
+                let half = len / 2;
+                for i in 0..half {
+                    let tw = self.twiddles[i * step];
+                    let tw = if inverse { tw.conj() } else { tw };
+                    let u = chunk[i];
+                    let v = chunk[i + half] * tw;
+                    chunk[i] = u + v;
+                    chunk[i + half] = u - v;
+                }
+            }
+            len <<= 1;
+        }
+        let shift = if inverse {
+            self.scaling.inverse_shift
+        } else {
+            self.scaling.forward_shift
+        };
+        Ok(data
+            .into_iter()
+            .map(|c| c.shr_round(shift).saturate_bits(SAMPLE_BITS))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::{fft_f64, ifft_f64};
+
+    fn to_f64(v: &[CQ15]) -> Vec<Cf64> {
+        v.iter().map(|&c| Cf64::from_fixed(c)).collect()
+    }
+
+    fn from_f64(v: &[Cf64]) -> Vec<CQ15> {
+        v.iter().map(|c| c.to_fixed::<15>()).collect()
+    }
+
+    /// Output SNR of the fixed-point core vs the f64 reference, in dB.
+    fn fixed_vs_float_snr_db(n: usize) -> f64 {
+        let fft = FixedFft::new(n).unwrap();
+        // Random-ish but deterministic multitone input at rms ~0.15.
+        let input: Vec<Cf64> = (0..n)
+            .map(|i| {
+                let t = i as f64;
+                Cf64::new(
+                    0.1 * (0.7 * t).sin() + 0.05 * (2.1 * t + 0.3).cos(),
+                    0.1 * (1.3 * t).cos() - 0.05 * (0.4 * t).sin(),
+                )
+            })
+            .collect();
+        let got = to_f64(&fft.fft(&from_f64(&input)).unwrap());
+        let mut reference = input;
+        fft_f64(&mut reference);
+        let scale = 1.0 / (1 << fft.scaling().forward_shift) as f64;
+        let mut sig = 0.0;
+        let mut err = 0.0;
+        for (g, r) in got.iter().zip(&reference) {
+            let want = r.scale(scale);
+            sig += want.norm_sqr();
+            err += (*g - want).norm_sqr();
+        }
+        10.0 * (sig / err).log10()
+    }
+
+    #[test]
+    fn impulse_gives_flat_spectrum() {
+        let fft = FixedFft::new(64).unwrap();
+        let mut x = vec![CQ15::ZERO; 64];
+        x[0] = CQ15::from_f64(0.5, 0.0);
+        let y = fft.fft(&x).unwrap();
+        let expected = 0.5 / (1 << fft.scaling().forward_shift) as f64;
+        for bin in &y {
+            assert!((bin.re.to_f64() - expected).abs() < 1e-3);
+            assert!(bin.im.to_f64().abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn fixed_matches_float_to_high_snr() {
+        for n in [64usize, 128, 256, 512] {
+            let snr = fixed_vs_float_snr_db(n);
+            assert!(snr > 55.0, "N={n}: fixed-point FFT SNR {snr:.1} dB too low");
+        }
+    }
+
+    #[test]
+    fn ifft_matches_float_reference() {
+        let n = 64;
+        let fft = FixedFft::new(n).unwrap();
+        let freq: Vec<Cf64> = (0..n)
+            .map(|k| Cf64::new(0.3 * ((k * 7) as f64).sin(), 0.3 * ((k * 3) as f64).cos()))
+            .collect();
+        let got = to_f64(&fft.ifft(&from_f64(&freq)).unwrap());
+        let mut reference = freq;
+        ifft_f64(&mut reference);
+        // Our ifft = (2/N)·unnormalized IDFT = 2·normalized IDFT... the
+        // reference applies 1/N, ours applies 2^-(log2N-1) = 2/N.
+        for (g, r) in got.iter().zip(&reference) {
+            let want = r.scale(2.0);
+            assert!((*g - want).norm() < 2e-3, "got {g}, want {want}");
+        }
+    }
+
+    #[test]
+    fn fft_of_ifft_recovers_input_shape() {
+        let n = 64;
+        let core = FixedFft::new(n).unwrap();
+        let freq: Vec<CQ15> = (0..n)
+            .map(|k| CQ15::from_f64(if k % 5 == 0 { 0.4 } else { -0.2 }, 0.1))
+            .collect();
+        let time = core.ifft(&freq).unwrap();
+        let back = core.fft(&time).unwrap();
+        // Net gain: ifft 2/N · fft N/2^fwd = 2/2^fwd = 2/16 = 1/8 for N=64.
+        let gain = 2.0 / (1 << core.scaling().forward_shift) as f64;
+        for (b, f) in back.iter().zip(&freq) {
+            let want = Cf64::from_fixed(*f).scale(gain);
+            assert!((Cf64::from_fixed(*b) - want).norm() < 3e-3);
+        }
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let fft = FixedFft::new(64).unwrap();
+        let err = fft.fft(&vec![CQ15::ZERO; 32]).unwrap_err();
+        assert_eq!(err, FftError::LengthMismatch { expected: 64, got: 32 });
+        assert!(err.to_string().contains("32"));
+    }
+
+    #[test]
+    fn unsupported_sizes_rejected() {
+        assert_eq!(FixedFft::new(48).unwrap_err(), FftError::UnsupportedSize(48));
+        assert_eq!(FixedFft::new(4).unwrap_err(), FftError::UnsupportedSize(4));
+    }
+
+    #[test]
+    fn full_scale_input_saturates_not_wraps() {
+        let fft = FixedFft::with_scaling(64, FftScaling::none()).unwrap();
+        let x = vec![CQ15::from_f64(0.999, 0.0); 64];
+        let y = fft.fft(&x).unwrap();
+        // Unscaled DC bin would be ~64; it must clamp to the bus max,
+        // not wrap negative.
+        assert!(y[0].re.to_f64() > 0.9);
+        assert_eq!(y[0].re.raw(), (1 << 15) - 1);
+    }
+
+    #[test]
+    fn default_scaling_values() {
+        assert_eq!(FftScaling::for_size(64), FftScaling { forward_shift: 4, inverse_shift: 5 });
+        assert_eq!(FftScaling::for_size(512), FftScaling { forward_shift: 5, inverse_shift: 8 });
+    }
+}

@@ -1,0 +1,46 @@
+//! Fixed-point FFT/IFFT cores and the double-precision reference
+//! transform.
+//!
+//! The transmitter converts modulated symbols to the time domain
+//! through one IFFT per antenna, and the receiver mirrors that with one
+//! FFT per antenna (Figs 1 and 5 of the paper). The paper's cores are
+//! 64-point (extensible to 512-point) streaming blocks with 16-bit
+//! I/Q datapaths and per-stage scaling.
+//!
+//! * [`fft_f64`] / [`ifft_f64`] — reference transforms used to validate
+//!   the fixed-point cores and to generate known-answer vectors.
+//! * [`FixedFft`] — bit-accurate radix-2 decimation-in-time core in
+//!   Q1.15 with a compensated per-stage right-shift (the block-scaling
+//!   scheme used by vendor FFT megacores to prevent overflow).
+//! * [`StreamingFft`] — wraps [`FixedFft`] with the handshake/latency
+//!   behaviour of the hardware core (`sop`/`eop`-style framing, one
+//!   sample per clock) for the cycle-accounting experiments.
+
+mod fixed;
+mod reference;
+mod streaming;
+
+pub use fixed::{FftError, FftScaling, FixedFft};
+pub use reference::{fft_f64, ifft_f64};
+pub use streaming::StreamingFft;
+
+/// Returns `true` if `n` is a supported transform size (power of two,
+/// at least 8, at most 4096).
+pub fn is_supported_size(n: usize) -> bool {
+    n.is_power_of_two() && (8..=4096).contains(&n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn supported_sizes() {
+        for n in [8usize, 64, 128, 256, 512, 1024, 4096] {
+            assert!(is_supported_size(n), "{n}");
+        }
+        for n in [0usize, 1, 2, 4, 63, 96, 8192] {
+            assert!(!is_supported_size(n), "{n}");
+        }
+    }
+}

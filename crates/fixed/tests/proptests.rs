@@ -1,0 +1,114 @@
+//! Property-based tests for the fixed-point substrate.
+
+use mimo_fixed::{CFx, Fx, Q15};
+use proptest::prelude::*;
+
+/// Raw values that fit comfortably inside a 16-bit bus.
+fn q15_raw() -> impl Strategy<Value = i64> {
+    -(1i64 << 15)..(1i64 << 15)
+}
+
+proptest! {
+    /// f64 -> Fx -> f64 roundtrip error is bounded by half an LSB.
+    #[test]
+    fn from_f64_roundtrip_error_bounded(x in -0.999f64..0.999) {
+        let v = Q15::from_f64(x);
+        let err = (v.to_f64() - x).abs();
+        prop_assert!(err <= 0.5 / (1u64 << 15) as f64 + 1e-12);
+    }
+
+    /// Addition agrees with f64 addition up to quantization.
+    #[test]
+    fn add_matches_float(a in q15_raw(), b in q15_raw()) {
+        let fa = Q15::from_raw(a);
+        let fb = Q15::from_raw(b);
+        let sum = fa + fb;
+        prop_assert_eq!(sum.raw(), a + b);
+    }
+
+    /// Multiplication error vs f64 is bounded by one LSB.
+    #[test]
+    fn mul_matches_float(a in q15_raw(), b in q15_raw()) {
+        let fa = Q15::from_raw(a);
+        let fb = Q15::from_raw(b);
+        let p = fa.mul(fb);
+        let expected = fa.to_f64() * fb.to_f64();
+        prop_assert!((p.to_f64() - expected).abs() <= 1.0 / (1u64 << 15) as f64);
+    }
+
+    /// Saturation always produces a value that fits the bus, and is a
+    /// no-op for values that already fit.
+    #[test]
+    fn saturate_is_idempotent_and_fits(raw in any::<i32>(), bits in 2u32..32) {
+        let v = Fx::<15>::from_raw(raw as i64);
+        let s = v.saturate_bits(bits);
+        prop_assert!(s.fits_bits(bits));
+        prop_assert_eq!(s.saturate_bits(bits), s);
+        if v.fits_bits(bits) {
+            prop_assert_eq!(s, v);
+        }
+    }
+
+    /// Saturation clamps monotonically: ordering is preserved.
+    #[test]
+    fn saturate_preserves_order(a in any::<i32>(), b in any::<i32>(), bits in 2u32..32) {
+        let fa = Fx::<15>::from_raw(a as i64);
+        let fb = Fx::<15>::from_raw(b as i64);
+        if fa <= fb {
+            prop_assert!(fa.saturate_bits(bits) <= fb.saturate_bits(bits));
+        }
+    }
+
+    /// Format conversion up then down is lossless.
+    #[test]
+    fn convert_up_down_lossless(raw in q15_raw()) {
+        let v = Q15::from_raw(raw);
+        let up: Fx<20> = v.convert();
+        let back: Q15 = up.convert();
+        prop_assert_eq!(back, v);
+    }
+
+    /// shr_round halving error vs exact real division is <= 0.5 LSB.
+    #[test]
+    fn shr_round_error_bounded(raw in q15_raw(), shift in 1u32..8) {
+        let v = Q15::from_raw(raw);
+        let exact = raw as f64 / (1u64 << shift) as f64;
+        prop_assert!((v.shr_round(shift).raw() as f64 - exact).abs() <= 0.5);
+    }
+
+    /// Complex multiply matches the float reference within 2 LSB.
+    #[test]
+    fn complex_mul_matches_float(
+        ar in q15_raw(), ai in q15_raw(), br in q15_raw(), bi in q15_raw()
+    ) {
+        let a = CFx::<15>::new(Fx::from_raw(ar), Fx::from_raw(ai));
+        let b = CFx::<15>::new(Fx::from_raw(br), Fx::from_raw(bi));
+        let p = a * b;
+        let (are, aim) = a.to_f64();
+        let (bre, bim) = b.to_f64();
+        let fre = are * bre - aim * bim;
+        let fim = are * bim + aim * bre;
+        let lsb = 1.0 / (1u64 << 15) as f64;
+        prop_assert!((p.re.to_f64() - fre).abs() <= 2.0 * lsb);
+        prop_assert!((p.im.to_f64() - fim).abs() <= 2.0 * lsb);
+    }
+
+    /// conj(conj(x)) == x and |conj(x)| == |x|.
+    #[test]
+    fn conj_involution(re in q15_raw(), im in q15_raw()) {
+        let x = CFx::<15>::new(Fx::from_raw(re), Fx::from_raw(im));
+        prop_assert_eq!(x.conj().conj(), x);
+        prop_assert_eq!(x.conj().norm_sqr(), x.norm_sqr());
+    }
+
+    /// Division is the inverse of multiplication (within rounding).
+    #[test]
+    fn div_inverts_mul(a in q15_raw(), b in 64i64..(1 << 15)) {
+        let fa = Fx::<16>::from_raw(a << 1);
+        let fb = Fx::<16>::from_raw(b << 1);
+        let q = fa.div(fb);
+        let back = q.mul(fb);
+        // Error grows with 1/b; bound loosely by a few LSB.
+        prop_assert!((back.to_f64() - fa.to_f64()).abs() <= 4.0 / (1u64 << 16) as f64);
+    }
+}

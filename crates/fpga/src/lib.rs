@@ -1,0 +1,31 @@
+//! FPGA synthesis-resource and timing model (§V of the paper).
+//!
+//! The paper's evaluation is a set of Quartus synthesis tables on a
+//! Stratix-IV-class device (424,960 ALUTs) plus an achieved 100 MHz
+//! clock. This crate is a *calibrated parametric model* of that
+//! synthesis: each entity's resource count is a function of the
+//! architecture parameters (channels, FFT size, modulation width),
+//! anchored so that the paper's configuration (4×4, 16-QAM, 64-point)
+//! reproduces Tables 1–4 exactly, and scaling follows the paper's own
+//! statements (512-point ⇒ 8× interleaver/IFFT logic and ~8× memory;
+//! channel-estimation logic constant versus FFT size).
+//!
+//! * [`ResourceUsage`] / [`Device`] — the accounting units and the
+//!   target device.
+//! * [`SynthConfig`] + [`TxEntity`] / [`RxEntity`] — per-entity
+//!   parametric resource formulas.
+//! * [`SynthesisReport`] — regenerates Table 1/2 (transmitter) and
+//!   Table 3/4 (receiver), including the derived §V claims.
+//! * [`timing`] — the 100 MHz clock model, the 440-cycle QRD latency,
+//!   channel-estimation latency and the 1 Gbps throughput arithmetic.
+
+mod device;
+mod entities;
+mod report;
+mod resources;
+pub mod timing;
+
+pub use device::Device;
+pub use entities::{RxEntity, SynthConfig, TxEntity};
+pub use report::{ScalingRow, SynthesisReport};
+pub use resources::ResourceUsage;

@@ -1,0 +1,167 @@
+//! The resource accounting unit.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+/// FPGA resources consumed by an entity, in the four categories the
+/// paper's tables report.
+///
+/// # Examples
+///
+/// ```
+/// use mimo_fpga::ResourceUsage;
+///
+/// let a = ResourceUsage::new(100, 200, 0, 4);
+/// let b = ResourceUsage::new(50, 50, 1024, 0);
+/// let total = a + b;
+/// assert_eq!(total.aluts, 150);
+/// assert_eq!(total.memory_bits, 1024);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct ResourceUsage {
+    /// Adaptive look-up tables.
+    pub aluts: u64,
+    /// Flip-flop registers.
+    pub registers: u64,
+    /// Embedded memory bits.
+    pub memory_bits: u64,
+    /// 18-bit embedded DSP multiplier blocks.
+    pub dsp18: u64,
+}
+
+impl ResourceUsage {
+    /// No resources.
+    pub const ZERO: Self = Self::new(0, 0, 0, 0);
+
+    /// Creates a usage record.
+    pub const fn new(aluts: u64, registers: u64, memory_bits: u64, dsp18: u64) -> Self {
+        Self {
+            aluts,
+            registers,
+            memory_bits,
+            dsp18,
+        }
+    }
+
+    /// Saturating subtraction per category (used for the synthesis
+    /// sharing credit, which can exceed an individual category).
+    pub fn saturating_sub(self, rhs: Self) -> Self {
+        Self::new(
+            self.aluts.saturating_sub(rhs.aluts),
+            self.registers.saturating_sub(rhs.registers),
+            self.memory_bits.saturating_sub(rhs.memory_bits),
+            self.dsp18.saturating_sub(rhs.dsp18),
+        )
+    }
+
+    /// Scales every category by the exact rational `num/den`, rounding
+    /// to nearest. This is how calibrated anchor values are projected
+    /// to other configurations.
+    pub fn scale_rational(self, num: u64, den: u64) -> Self {
+        assert!(den != 0, "zero denominator");
+        let scale = |v: u64| (v * num + den / 2) / den;
+        Self::new(
+            scale(self.aluts),
+            scale(self.registers),
+            scale(self.memory_bits),
+            scale(self.dsp18),
+        )
+    }
+
+    /// Scales only the memory-bits category (entities whose logic is
+    /// size-independent but whose buffering grows with the frame).
+    pub fn scale_memory_rational(self, num: u64, den: u64) -> Self {
+        assert!(den != 0, "zero denominator");
+        Self::new(
+            self.aluts,
+            self.registers,
+            (self.memory_bits * num + den / 2) / den,
+            self.dsp18,
+        )
+    }
+}
+
+impl Add for ResourceUsage {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self::new(
+            self.aluts + rhs.aluts,
+            self.registers + rhs.registers,
+            self.memory_bits + rhs.memory_bits,
+            self.dsp18 + rhs.dsp18,
+        )
+    }
+}
+
+impl AddAssign for ResourceUsage {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for ResourceUsage {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl Sum for ResourceUsage {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, |acc, x| acc + x)
+    }
+}
+
+impl fmt::Display for ResourceUsage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ALUTs, {} regs, {} mem bits, {} DSP",
+            self.aluts, self.registers, self.memory_bits, self.dsp18
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_sum() {
+        let parts = [
+            ResourceUsage::new(1, 2, 3, 4),
+            ResourceUsage::new(10, 20, 30, 40),
+        ];
+        let total: ResourceUsage = parts.iter().copied().sum();
+        assert_eq!(total, ResourceUsage::new(11, 22, 33, 44));
+    }
+
+    #[test]
+    fn rational_scaling_rounds_to_nearest() {
+        let r = ResourceUsage::new(100, 10, 7, 3);
+        let scaled = r.scale_rational(1, 3);
+        assert_eq!(scaled, ResourceUsage::new(33, 3, 2, 1));
+        // Identity scaling is exact.
+        assert_eq!(r.scale_rational(8, 8), r);
+    }
+
+    #[test]
+    fn memory_only_scaling() {
+        let r = ResourceUsage::new(100, 10, 64, 3);
+        let scaled = r.scale_memory_rational(8, 1);
+        assert_eq!(scaled, ResourceUsage::new(100, 10, 512, 3));
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        let a = ResourceUsage::new(5, 5, 5, 5);
+        let b = ResourceUsage::new(10, 1, 0, 5);
+        assert_eq!(a - b, ResourceUsage::new(0, 4, 5, 0));
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(ResourceUsage::ZERO.to_string().contains("ALUTs"));
+    }
+}

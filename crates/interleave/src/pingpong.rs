@@ -1,0 +1,213 @@
+//! The dual-memory ping-pong streaming model.
+//!
+//! "The dual memory system allows continual streaming of data. Only
+//! when an entire memory block is full can it be read out to the symbol
+//! mapper. As one memory is accepting data from the convolutional
+//! encoder, the other memory streams data out using the interleaving
+//! pattern... A local finite state machine (FSM) controls the data flow
+//! through the interleaver." (§IV.A)
+
+use crate::permutation::{BlockInterleaver, InterleaveError};
+
+/// Which of the two register memories is currently being written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Bank {
+    A,
+    B,
+}
+
+/// Streaming ping-pong interleaver: accepts one value per clock and,
+/// once a full block has been collected, streams the previous block out
+/// in interleaved order — exactly one value in and one value out per
+/// clock at steady state.
+///
+/// # Examples
+///
+/// ```
+/// use mimo_interleave::PingPongInterleaver;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut il = PingPongInterleaver::<u8>::new(48, 1)?;
+/// let mut out = Vec::new();
+/// for i in 0..96u8 {
+///     if let Some(v) = il.clock(Some(i % 2)) {
+///         out.push(v);
+///     }
+/// }
+/// // After two blocks pushed, the first block has streamed out.
+/// assert_eq!(out.len(), 48);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PingPongInterleaver<T> {
+    pattern: BlockInterleaver,
+    /// Read-address ROM: `read_rom[j]` = memory address holding the
+    /// value that must leave at output position `j`.
+    read_rom: Vec<usize>,
+    mem_a: Vec<T>,
+    mem_b: Vec<T>,
+    write_bank: Bank,
+    write_pos: usize,
+    /// Read progress through the non-write bank; `None` while the first
+    /// block is still filling.
+    read_pos: Option<usize>,
+    /// Total clock cycles elapsed (the FSM's cycle counter).
+    cycles: u64,
+}
+
+impl<T: Copy + Default> PingPongInterleaver<T> {
+    /// Creates the streaming interleaver for the given block geometry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`InterleaveError`] from the pattern construction.
+    pub fn new(n_cbps: usize, n_bpsc: usize) -> Result<Self, InterleaveError> {
+        let pattern = BlockInterleaver::new(n_cbps, n_bpsc)?;
+        let mut read_rom = vec![0usize; n_cbps];
+        for (k, &j) in pattern.pattern().iter().enumerate() {
+            read_rom[j] = k;
+        }
+        Ok(Self {
+            read_rom,
+            mem_a: vec![T::default(); n_cbps],
+            mem_b: vec![T::default(); n_cbps],
+            pattern,
+            write_bank: Bank::A,
+            write_pos: 0,
+            read_pos: None,
+            cycles: 0,
+        })
+    }
+
+    /// Block size in values.
+    pub fn block_size(&self) -> usize {
+        self.pattern.block_size()
+    }
+
+    /// Clock cycles elapsed since construction.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Streaming latency: a value written at clock `t` emerges at clock
+    /// `t + block_size` at steady state (one full block of skew).
+    pub fn latency_cycles(&self) -> u64 {
+        self.block_size() as u64
+    }
+
+    /// Advances one clock. Writes `input` (if any) into the filling
+    /// memory; reads one value from the full memory in interleaved
+    /// order (if one is draining).
+    pub fn clock(&mut self, input: Option<T>) -> Option<T> {
+        self.cycles += 1;
+        // Read port: one value per clock from the draining bank.
+        let output = self.read_pos.map(|pos| {
+            let bank = match self.write_bank {
+                Bank::A => &self.mem_b,
+                Bank::B => &self.mem_a,
+            };
+            bank[self.read_rom[pos]]
+        });
+        if let Some(pos) = self.read_pos.as_mut() {
+            *pos += 1;
+            if *pos == self.pattern.block_size() {
+                self.read_pos = None;
+            }
+        }
+
+        // Write port.
+        if let Some(value) = input {
+            let bank = match self.write_bank {
+                Bank::A => &mut self.mem_a,
+                Bank::B => &mut self.mem_b,
+            };
+            bank[self.write_pos] = value;
+            self.write_pos += 1;
+            if self.write_pos == self.pattern.block_size() {
+                // Swap banks; the just-filled bank starts draining next
+                // clock.
+                self.write_bank = match self.write_bank {
+                    Bank::A => Bank::B,
+                    Bank::B => Bank::A,
+                };
+                self.write_pos = 0;
+                debug_assert!(
+                    self.read_pos.is_none(),
+                    "previous block must finish draining before the next fills"
+                );
+                self.read_pos = Some(0);
+            }
+        }
+        output
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_continuously_without_stall() {
+        let n = 48;
+        let mut il = PingPongInterleaver::<u16>::new(n, 1).unwrap();
+        let reference = BlockInterleaver::new(n, 1).unwrap();
+
+        let blocks = 4usize;
+        let input: Vec<u16> = (0..(blocks * n) as u16).collect();
+        let mut output = Vec::new();
+        for cycle in 0..(blocks * n + n + 1) {
+            let sample = input.get(cycle).copied();
+            if let Some(v) = il.clock(sample) {
+                output.push(v);
+            }
+        }
+        // All but the last block must have drained.
+        assert_eq!(output.len(), blocks * n);
+        for b in 0..blocks {
+            let expect = reference.interleave(&input[b * n..(b + 1) * n]).unwrap();
+            assert_eq!(&output[b * n..(b + 1) * n], &expect[..], "block {b}");
+        }
+    }
+
+    #[test]
+    fn latency_is_one_block() {
+        let n = 48;
+        let mut il = PingPongInterleaver::<u8>::new(n, 1).unwrap();
+        let mut first_output_cycle = None;
+        for cycle in 0..(3 * n) {
+            let out = il.clock(Some(1));
+            if out.is_some() && first_output_cycle.is_none() {
+                first_output_cycle = Some(cycle);
+            }
+        }
+        // First block fills during cycles 0..n-1; first read next clock.
+        assert_eq!(first_output_cycle, Some(n));
+        assert_eq!(il.latency_cycles(), n as u64);
+    }
+
+    #[test]
+    fn idle_input_produces_gap_not_corruption() {
+        let n = 48;
+        let mut il = PingPongInterleaver::<u16>::new(n, 1).unwrap();
+        let reference = BlockInterleaver::new(n, 1).unwrap();
+        let block_a: Vec<u16> = (0..n as u16).collect();
+        let block_b: Vec<u16> = (100..100 + n as u16).collect();
+
+        let mut output = Vec::new();
+        // Feed block A, idle for 10 cycles mid-way through B, feed rest.
+        let mut feed: Vec<Option<u16>> = block_a.iter().copied().map(Some).collect();
+        feed.extend(block_b[..20].iter().copied().map(Some));
+        feed.extend(std::iter::repeat(None).take(10));
+        feed.extend(block_b[20..].iter().copied().map(Some));
+        feed.extend(std::iter::repeat(None).take(2 * n));
+        for sample in feed {
+            if let Some(v) = il.clock(sample) {
+                output.push(v);
+            }
+        }
+        assert_eq!(output.len(), 2 * n);
+        assert_eq!(&output[..n], &reference.interleave(&block_a).unwrap()[..]);
+        assert_eq!(&output[n..], &reference.interleave(&block_b).unwrap()[..]);
+    }
+}

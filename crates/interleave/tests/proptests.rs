@@ -1,0 +1,87 @@
+//! Property-based tests for the interleaver.
+
+use mimo_interleave::{BlockInterleaver, PingPongInterleaver};
+use proptest::prelude::*;
+
+fn geometries() -> impl Strategy<Value = (usize, usize)> {
+    prop_oneof![
+        Just((48usize, 1usize)),
+        Just((96, 2)),
+        Just((192, 4)),
+        Just((288, 6)),
+        Just((384, 2)),
+        Just((1536, 4)),
+    ]
+}
+
+proptest! {
+    /// interleave ∘ deinterleave = id for arbitrary content.
+    #[test]
+    fn roundtrip((ncbps, nbpsc) in geometries(), seed in any::<u64>()) {
+        let il = BlockInterleaver::new(ncbps, nbpsc).unwrap();
+        let mut state = seed | 1;
+        let block: Vec<u16> = (0..ncbps)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state & 0xFFFF) as u16
+            })
+            .collect();
+        let tx = il.interleave(&block).unwrap();
+        prop_assert_eq!(il.deinterleave(&tx).unwrap(), block);
+    }
+
+    /// The permutation is always a bijection.
+    #[test]
+    fn bijection((ncbps, nbpsc) in geometries()) {
+        let il = BlockInterleaver::new(ncbps, nbpsc).unwrap();
+        let mut seen = vec![false; ncbps];
+        for &j in il.pattern() {
+            prop_assert!(!seen[j]);
+            seen[j] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Adjacent coded bits never land on the same subcarrier — the
+    /// property that defeats burst errors.
+    #[test]
+    fn adjacent_bits_separate_subcarriers((ncbps, nbpsc) in geometries()) {
+        let il = BlockInterleaver::new(ncbps, nbpsc).unwrap();
+        for k in 0..(ncbps - 1) {
+            let a = il.pattern()[k] / nbpsc;
+            let b = il.pattern()[k + 1] / nbpsc;
+            prop_assert_ne!(a, b, "bits {} and {} share a subcarrier", k, k + 1);
+        }
+    }
+
+    /// The streaming ping-pong model agrees with the block model for
+    /// any number of back-to-back blocks.
+    #[test]
+    fn pingpong_matches_block_model(blocks in 1usize..6, seed in any::<u64>()) {
+        let n = 96;
+        let block_il = BlockInterleaver::new(n, 2).unwrap();
+        let mut pp = PingPongInterleaver::<u16>::new(n, 2).unwrap();
+        let mut state = seed | 1;
+        let input: Vec<u16> = (0..blocks * n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state & 0x3FF) as u16
+            })
+            .collect();
+        let mut out = Vec::new();
+        for cycle in 0..(blocks * n + n + 1) {
+            if let Some(v) = pp.clock(input.get(cycle).copied()) {
+                out.push(v);
+            }
+        }
+        prop_assert_eq!(out.len(), blocks * n);
+        for b in 0..blocks {
+            let expect = block_il.interleave(&input[b * n..(b + 1) * n]).unwrap();
+            prop_assert_eq!(&out[b * n..(b + 1) * n], &expect[..]);
+        }
+    }
+}

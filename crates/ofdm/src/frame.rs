@@ -1,0 +1,235 @@
+//! One antenna's OFDM symbol chain: map → IFFT → CP, and the inverse.
+
+use mimo_coding::pilot_polarity;
+use mimo_fft::FixedFft;
+use mimo_fixed::{CQ15, Q15};
+
+use crate::cp::{add_cyclic_prefix, strip_cyclic_prefix};
+use crate::subcarriers::{OfdmError, SubcarrierMap};
+
+/// Transmit-side OFDM symbol assembly for one antenna: places data and
+/// pilots on their carriers, transforms to the time domain and prepends
+/// the cyclic prefix.
+///
+/// # Examples
+///
+/// ```
+/// use mimo_fixed::CQ15;
+/// use mimo_ofdm::{OfdmDemodulator, OfdmModulator};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let tx = OfdmModulator::new(64)?;
+/// let rx = OfdmDemodulator::new(64)?;
+/// let data = vec![CQ15::from_f64(0.3, -0.3); 48];
+/// let on_air = tx.modulate_symbol(&data, 0)?;
+/// assert_eq!(on_air.len(), 80);
+/// let (recovered, _pilots) = rx.demodulate_symbol(&on_air)?;
+/// // Loopback recovers data up to the known chain gain.
+/// let gain = recovered[0].re.to_f64() / data[0].re.to_f64();
+/// assert!(gain > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct OfdmModulator {
+    fft: FixedFft,
+    map: SubcarrierMap,
+    pilot_amplitude: Q15,
+}
+
+impl OfdmModulator {
+    /// Creates a modulator for the given FFT size with the default
+    /// training/pilot amplitude.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OfdmError::UnsupportedFftSize`] for bad sizes.
+    pub fn new(fft_size: usize) -> Result<Self, OfdmError> {
+        let map = SubcarrierMap::new(fft_size)?;
+        let fft = FixedFft::new(fft_size).map_err(|_| OfdmError::UnsupportedFftSize(fft_size))?;
+        Ok(Self {
+            fft,
+            map,
+            pilot_amplitude: crate::preamble::default_amplitude(),
+        })
+    }
+
+    /// The subcarrier allocation in use.
+    pub fn map(&self) -> &SubcarrierMap {
+        &self.map
+    }
+
+    /// The IFFT core in use (shared scaling with the preamble path).
+    pub fn fft(&self) -> &FixedFft {
+        &self.fft
+    }
+
+    /// Modulates one OFDM symbol: `data` symbols (one per data carrier)
+    /// plus pilots with the polarity of `symbol_index`, returning
+    /// `N + N/4` on-air samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OfdmError::DataLengthMismatch`] if `data` does not
+    /// cover the data carriers exactly.
+    pub fn modulate_symbol(&self, data: &[CQ15], symbol_index: usize) -> Result<Vec<CQ15>, OfdmError> {
+        let polarity = pilot_polarity(symbol_index);
+        let frame = self.map.assemble(data, polarity, self.pilot_amplitude)?;
+        let time = self
+            .fft
+            .ifft(&frame)
+            .expect("frame length equals FFT size by construction");
+        Ok(add_cyclic_prefix(&time))
+    }
+}
+
+/// Receive-side OFDM symbol disassembly for one antenna: strips the
+/// cyclic prefix, transforms to the frequency domain and separates
+/// data from pilot carriers.
+#[derive(Debug, Clone)]
+pub struct OfdmDemodulator {
+    fft: FixedFft,
+    map: SubcarrierMap,
+}
+
+impl OfdmDemodulator {
+    /// Creates a demodulator for the given FFT size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OfdmError::UnsupportedFftSize`] for bad sizes.
+    pub fn new(fft_size: usize) -> Result<Self, OfdmError> {
+        let map = SubcarrierMap::new(fft_size)?;
+        let fft = FixedFft::new(fft_size).map_err(|_| OfdmError::UnsupportedFftSize(fft_size))?;
+        Ok(Self { fft, map })
+    }
+
+    /// The subcarrier allocation in use.
+    pub fn map(&self) -> &SubcarrierMap {
+        &self.map
+    }
+
+    /// The FFT core in use.
+    pub fn fft(&self) -> &FixedFft {
+        &self.fft
+    }
+
+    /// Demodulates one on-air symbol (`N + N/4` samples) into
+    /// `(data_carriers, pilot_carriers)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OfdmError::FrameLengthMismatch`] on bad input length.
+    pub fn demodulate_symbol(&self, on_air: &[CQ15]) -> Result<(Vec<CQ15>, Vec<CQ15>), OfdmError> {
+        let time = strip_cyclic_prefix(on_air, self.map.fft_size())?;
+        let freq = self
+            .fft
+            .fft(&time)
+            .expect("stripped frame length equals FFT size");
+        self.map.extract(&freq)
+    }
+
+    /// Transforms a raw `N`-sample block (no cyclic prefix — e.g. one
+    /// LTS repetition) into the full `N`-bin frequency frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OfdmError::FrameLengthMismatch`] on bad input length.
+    pub fn fft_block(&self, block: &[CQ15]) -> Result<Vec<CQ15>, OfdmError> {
+        self.fft.fft(block).map_err(|_| OfdmError::FrameLengthMismatch {
+            expected: self.map.fft_size(),
+            got: block.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimo_fixed::Cf64;
+
+    /// End-to-end known gain of the TX→RX symbol chain:
+    /// ifft (2/N) then fft (N >> forward_shift) = 2^(1-forward_shift).
+    fn chain_gain(fft: &FixedFft) -> f64 {
+        2.0 / (1u64 << fft.scaling().forward_shift) as f64
+    }
+
+    #[test]
+    fn loopback_recovers_constellation() {
+        let tx = OfdmModulator::new(64).unwrap();
+        let rx = OfdmDemodulator::new(64).unwrap();
+        let data: Vec<CQ15> = (0..48)
+            .map(|i| CQ15::from_f64(0.2 * ((i % 3) as f64 - 1.0), 0.2 * ((i % 5) as f64 - 2.0) / 2.0))
+            .collect();
+        let on_air = tx.modulate_symbol(&data, 3).unwrap();
+        let (recovered, _) = rx.demodulate_symbol(&on_air).unwrap();
+        let g = chain_gain(tx.fft());
+        for (r, d) in recovered.iter().zip(&data) {
+            let want = Cf64::from_fixed(*d).scale(g);
+            let got = Cf64::from_fixed(*r);
+            assert!((got - want).norm() < 5e-3, "got {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn pilots_carry_polarity() {
+        let tx = OfdmModulator::new(64).unwrap();
+        let rx = OfdmDemodulator::new(64).unwrap();
+        let data = vec![CQ15::ZERO; 48];
+        // Symbol 0 has polarity +1; symbol 4 has polarity −1 (p4 = -1).
+        let g = chain_gain(tx.fft());
+        let (_, p0) = rx
+            .demodulate_symbol(&tx.modulate_symbol(&data, 0).unwrap())
+            .unwrap();
+        let (_, p4) = rx
+            .demodulate_symbol(&tx.modulate_symbol(&data, 4).unwrap())
+            .unwrap();
+        let expect = 0.5 * g;
+        assert!((Cf64::from_fixed(p0[0]).re - expect).abs() < 3e-3);
+        assert!((Cf64::from_fixed(p4[0]).re + expect).abs() < 3e-3);
+    }
+
+    #[test]
+    fn works_at_all_supported_sizes() {
+        for n in crate::SUPPORTED_FFT_SIZES {
+            let tx = OfdmModulator::new(n).unwrap();
+            let rx = OfdmDemodulator::new(n).unwrap();
+            let count = tx.map().data_count();
+            let data = vec![CQ15::from_f64(0.25, -0.25); count];
+            let on_air = tx.modulate_symbol(&data, 1).unwrap();
+            assert_eq!(on_air.len(), crate::symbol_len(n));
+            let (rec, pilots) = rx.demodulate_symbol(&on_air).unwrap();
+            assert_eq!(rec.len(), count);
+            assert_eq!(pilots.len(), tx.map().pilot_count());
+        }
+    }
+
+    #[test]
+    fn cp_makes_symbol_robust_to_intra_guard_shift() {
+        // Sampling anywhere inside the guard must yield the same data
+        // up to a per-carrier phase ramp — the property channel
+        // equalization relies on. Check magnitudes survive a 3-sample
+        // early FFT window.
+        let tx = OfdmModulator::new(64).unwrap();
+        let rx = OfdmDemodulator::new(64).unwrap();
+        let data: Vec<CQ15> = (0..48).map(|_| CQ15::from_f64(0.3, 0.0)).collect();
+        let on_air = tx.modulate_symbol(&data, 0).unwrap();
+        // Shift the FFT window 3 samples into the guard.
+        let shifted: Vec<CQ15> = on_air[13..77].to_vec();
+        let freq = rx.fft_block(&shifted).unwrap();
+        let (rec, _) = rx.map().extract(&freq).unwrap();
+        let g = chain_gain(tx.fft());
+        for r in rec {
+            let mag = Cf64::from_fixed(r).norm();
+            assert!((mag - 0.3 * g).abs() < 8e-3, "magnitude {mag}");
+        }
+    }
+
+    #[test]
+    fn bad_lengths_rejected() {
+        let rx = OfdmDemodulator::new(64).unwrap();
+        assert!(rx.demodulate_symbol(&vec![CQ15::ZERO; 79]).is_err());
+        let tx = OfdmModulator::new(64).unwrap();
+        assert!(tx.modulate_symbol(&vec![CQ15::ZERO; 47], 0).is_err());
+    }
+}

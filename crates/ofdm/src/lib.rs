@@ -1,0 +1,43 @@
+//! OFDM framing: subcarrier allocation, cyclic prefix, training
+//! sequences and the MIMO preamble schedule.
+//!
+//! This crate implements the frame structure of the paper's §IV.A:
+//!
+//! * [`SubcarrierMap`] — data/pilot/guard allocation for 64-point OFDM
+//!   (48 data + 4 pilots, 802.11a layout) and its scaled variants up to
+//!   512-point (the paper's "for a 512-point OFDM system..." analysis).
+//! * [`add_cyclic_prefix`] / [`strip_cyclic_prefix`] and [`CpBuffer`] —
+//!   "the last 25% of the OFDM symbol is selected as the cyclic prefix
+//!   and must be transmitted first", buffered in a dual-port memory
+//!   twice the frame size (Fig 3).
+//! * [`preamble`] — STS/LTS generation ("the transmitter is preloaded
+//!   with the frequency domain values for the short and long training
+//!   sequences") and the staggered MIMO preamble pattern of Fig 2.
+//! * [`OfdmModulator`] / [`OfdmDemodulator`] — one antenna's
+//!   symbol-level modulation chain (map → IFFT → CP and its inverse).
+
+mod cp;
+mod frame;
+pub mod preamble;
+mod subcarriers;
+
+pub use cp::{add_cyclic_prefix, strip_cyclic_prefix, CpBuffer};
+pub use frame::{OfdmDemodulator, OfdmModulator};
+pub use subcarriers::{OfdmError, SubcarrierMap};
+
+/// Cyclic-prefix fraction of the FFT size (the paper fixes 25 %).
+pub const CP_FRACTION: usize = 4;
+
+/// Supported FFT sizes: the paper's 64-point baseline plus the scaled
+/// systems discussed in §V.
+pub const SUPPORTED_FFT_SIZES: [usize; 4] = [64, 128, 256, 512];
+
+/// Cyclic-prefix length for a given FFT size (N/4).
+pub fn cp_len(fft_size: usize) -> usize {
+    fft_size / CP_FRACTION
+}
+
+/// Samples per OFDM symbol on air (FFT size + cyclic prefix).
+pub fn symbol_len(fft_size: usize) -> usize {
+    fft_size + cp_len(fft_size)
+}

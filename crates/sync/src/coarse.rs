@@ -1,0 +1,219 @@
+//! Coarse STS detection by lag-16 autocorrelation.
+//!
+//! The fine cross-correlator of Fig 4 matches the received samples
+//! against stored preamble values, which makes its peak proportional
+//! to the (unknown) channel gain. A fading channel can therefore bury
+//! the true peak below correlations with payload data — particularly
+//! in MIMO, where four antennas transmit payload simultaneously but
+//! only TX 0 sends the STS.
+//!
+//! The classical remedy (Schmidl–Cox style, and what practical
+//! receivers put in front of a cross-correlator) exploits the STS's
+//! 16-sample periodicity with a *normalized* autocorrelation: the
+//! metric `|Σ r[n+k]·r*[n+k+16]| / Σ |r[n+k+16]|²` is ≈1 inside the
+//! STS regardless of channel gain, and small over data or noise. Its
+//! plateau ends where the STS ends — which is the LTS start the fine
+//! correlator then pins down exactly.
+
+use mimo_fixed::{CQ15, Cf64};
+
+/// Autocorrelation lag: the STS short-symbol period.
+const LAG: usize = 16;
+
+/// Correlation window length (two short symbols).
+const WINDOW: usize = 32;
+
+/// Minimum plateau run to accept (the STS supports ~112 positions).
+const MIN_RUN: usize = 64;
+
+/// Plateau threshold on the normalized metric.
+const THRESHOLD: f64 = 0.70;
+
+/// Minimum per-window energy (rejects the all-zero idle channel).
+const MIN_ENERGY: f64 = 1e-4;
+
+/// Result of coarse STS detection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoarseSts {
+    /// Estimated index of the first sample after the STS (≈ LTS
+    /// start), accurate to roughly ±one short symbol (the plateau
+    /// decays gradually as the window slides off the STS).
+    pub sts_end: usize,
+    /// Start of the detected plateau (≈ burst start).
+    pub plateau_start: usize,
+}
+
+/// Detects the STS across one or more receive antennas by its
+/// periodicity, combining all antennas for diversity (the metric sums
+/// every antenna's correlation and energy, so a single faded path
+/// cannot defeat it).
+///
+/// Returns `None` when no plateau of sufficient length exists.
+///
+/// # Examples
+///
+/// ```
+/// use mimo_fft::FixedFft;
+/// use mimo_ofdm::{preamble, SubcarrierMap};
+/// use mimo_sync::coarse_sts_end;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let fft = FixedFft::new(64)?;
+/// let map = SubcarrierMap::new(64)?;
+/// let mut burst = preamble::sts_time(&fft, &map, 0.5)?;
+/// burst.extend(preamble::lts_time(&fft, &map, 0.5)?);
+/// let coarse = coarse_sts_end(&[burst]).expect("STS present");
+/// assert!((coarse.sts_end as i64 - 160).unsigned_abs() <= 16);
+/// # Ok(())
+/// # }
+/// ```
+pub fn coarse_sts_end(streams: &[Vec<CQ15>]) -> Option<CoarseSts> {
+    let len = streams.iter().map(Vec::len).min()?;
+    if len < WINDOW + LAG {
+        return None;
+    }
+    let positions = len - WINDOW - LAG;
+
+    // Sliding sums per antenna, combined: O(n) per antenna.
+    let mut best: Option<CoarseSts> = None;
+    let mut run_start: Option<usize> = None;
+
+    // Precompute per-position lag products and energies incrementally.
+    let mut corr = Cf64::ZERO;
+    let mut energy = 0.0f64;
+    let term = |i: usize, n: usize, streams: &[Vec<CQ15>]| -> (Cf64, f64) {
+        let mut c = Cf64::ZERO;
+        let mut e = 0.0;
+        for s in streams {
+            let a = Cf64::from_fixed(s[n + i]);
+            let b = Cf64::from_fixed(s[n + i + LAG]);
+            c += a * b.conj();
+            e += b.norm_sqr();
+        }
+        (c, e)
+    };
+    // Initialize window at n = 0.
+    for i in 0..WINDOW {
+        let (c, e) = term(i, 0, streams);
+        corr += c;
+        energy += e;
+    }
+
+    for n in 0..positions {
+        let plateau = energy > MIN_ENERGY * WINDOW as f64
+            && corr.norm_sqr() >= (THRESHOLD * energy) * (THRESHOLD * energy);
+        match (plateau, run_start) {
+            (true, None) => run_start = Some(n),
+            (false, Some(start)) => {
+                if n - start >= MIN_RUN && best.is_none() {
+                    best = Some(CoarseSts {
+                        sts_end: n - 1 + WINDOW + LAG,
+                        plateau_start: start,
+                    });
+                }
+                run_start = None;
+            }
+            _ => {}
+        }
+        // Slide the window to n + 1.
+        let (c_old, e_old) = term(0, n, streams);
+        corr -= c_old;
+        energy -= e_old;
+        let (c_new, e_new) = term(WINDOW - 1, n + 1, streams);
+        corr += c_new;
+        energy += e_new;
+        if energy < 0.0 {
+            energy = 0.0;
+        }
+    }
+    // A plateau running to the end of the buffer.
+    if let (Some(start), None) = (run_start, best) {
+        if positions - start >= MIN_RUN {
+            best = Some(CoarseSts {
+                sts_end: positions - 1 + WINDOW + LAG,
+                plateau_start: start,
+            });
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimo_fft::FixedFft;
+    use mimo_ofdm::{preamble, SubcarrierMap};
+
+    fn preamble_burst() -> Vec<CQ15> {
+        let fft = FixedFft::new(64).unwrap();
+        let map = SubcarrierMap::new(64).unwrap();
+        let mut burst = preamble::sts_time(&fft, &map, 0.5).unwrap();
+        burst.extend(preamble::lts_time(&fft, &map, 0.5).unwrap());
+        burst
+    }
+
+    #[test]
+    fn finds_sts_end_on_clean_burst() {
+        let burst = preamble_burst();
+        let coarse = coarse_sts_end(&[burst]).expect("detect");
+        assert!(
+            (coarse.sts_end as i64 - 160).unsigned_abs() <= 16,
+            "sts_end {}",
+            coarse.sts_end
+        );
+        assert!(coarse.plateau_start <= 8);
+    }
+
+    #[test]
+    fn offset_shifts_estimate() {
+        let burst = preamble_burst();
+        for delay in [50usize, 333] {
+            let mut shifted = vec![CQ15::ZERO; delay];
+            shifted.extend_from_slice(&burst);
+            let coarse = coarse_sts_end(&[shifted]).expect("detect");
+            assert!(
+                (coarse.sts_end as i64 - (160 + delay) as i64).unsigned_abs() <= 16,
+                "delay {delay}: sts_end {}",
+                coarse.sts_end
+            );
+        }
+    }
+
+    #[test]
+    fn gain_invariant() {
+        let burst = preamble_burst();
+        // Scale down 8x: metric is normalized, detection must hold.
+        let faded: Vec<CQ15> = burst.iter().map(|s| s.shr_round(3)).collect();
+        let coarse = coarse_sts_end(&[faded]).expect("detect despite fade");
+        assert!((coarse.sts_end as i64 - 160).unsigned_abs() <= 16);
+    }
+
+    #[test]
+    fn rejects_noise_and_silence() {
+        use rand::Rng;
+        use rand_chacha::rand_core::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        let noise: Vec<CQ15> = (0..2000)
+            .map(|_| CQ15::from_f64(rng.gen_range(-0.2..0.2), rng.gen_range(-0.2..0.2)))
+            .collect();
+        assert!(coarse_sts_end(&[noise]).is_none(), "noise must not form a plateau");
+        let silence = vec![CQ15::ZERO; 2000];
+        assert!(coarse_sts_end(&[silence]).is_none(), "silence must not detect");
+    }
+
+    #[test]
+    fn multi_antenna_diversity() {
+        let burst = preamble_burst();
+        // Antenna 0 deeply faded, antenna 1 healthy: combined metric
+        // still detects.
+        let faded: Vec<CQ15> = burst.iter().map(|s| s.shr_round(6)).collect();
+        let coarse = coarse_sts_end(&[faded, burst]).expect("diversity detect");
+        assert!((coarse.sts_end as i64 - 160).unsigned_abs() <= 16);
+    }
+
+    #[test]
+    fn short_input_returns_none() {
+        assert!(coarse_sts_end(&[vec![CQ15::ZERO; 10]]).is_none());
+        assert!(coarse_sts_end(&[]).is_none());
+    }
+}

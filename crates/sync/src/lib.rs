@@ -1,0 +1,46 @@
+//! The time synchroniser (Fig 4 of the paper).
+//!
+//! "The time synchronizer must locate the end of the STS frame and the
+//! start of the LTS frame. The circuit is preloaded with the complex
+//! conjugate values of the last 16 STS symbols and the first 16 LTS
+//! symbols. ... Every clock cycle, a sliding window of 32 consecutive
+//! data samples are multiplied with the 32 pre-stored preamble values
+//! and summed. 32 parallel complex multipliers are required along with
+//! a pipelined adder structure. The magnitude of the resulting complex
+//! value is calculated \[by\] a CORDIC block ... The CORDIC output is
+//! compared with a stored threshold value. ... The time synchronizer is
+//! implemented on the FPGA using 128 18-bit multipliers." (§IV.B)
+//!
+//! [`TimeSynchronizer`] is the streaming model: push one sample per
+//! clock; a [`SyncEvent`] fires when the correlation magnitude crosses
+//! the threshold, carrying the located LTS start. [`CircularBuffer`]
+//! models the input buffer "large enough to handle time synchronizer
+//! latency".
+
+mod buffer;
+mod coarse;
+mod correlator;
+
+pub use buffer::CircularBuffer;
+pub use coarse::{coarse_sts_end, CoarseSts};
+pub use correlator::{SyncEvent, SyncError, TimeSynchronizer};
+
+/// Number of correlator taps (16 STS tail + 16 LTS head samples).
+pub const CORRELATOR_TAPS: usize = 32;
+
+/// Default detection threshold as a fraction of the ideal
+/// autocorrelation peak.
+///
+/// The STS is 16-periodic, so while the short training sequence is
+/// still in flight the first 16 taps of the correlator match on every
+/// period: those partial alignments measure 0.53 of the true peak.
+/// The "stored threshold value (representing the final STS to LTS
+/// transition peak)" must therefore sit above 0.53 with margin — 0.7
+/// rejects both the periodic partials and strong noise (measured max
+/// 0.57 of peak at 1.5x preamble amplitude).
+pub const DEFAULT_THRESHOLD_FACTOR: f64 = 0.7;
+
+/// Real 18-bit multipliers consumed by the correlator: 32 complex
+/// multipliers × 4 real multiplies each — the paper's "128 18-bit
+/// multipliers".
+pub const CORRELATOR_MULTIPLIERS: usize = 4 * CORRELATOR_TAPS;

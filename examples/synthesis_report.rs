@@ -1,0 +1,55 @@
+//! Prints the full synthesis-model reproduction of the paper's
+//! evaluation: Tables 1–4, the derived §V claims and the FFT-size
+//! scaling analysis.
+//!
+//! ```bash
+//! cargo run --release --example synthesis_report
+//! ```
+
+use mimo_baseband::fpga::{RxEntity, SynthConfig, SynthesisReport};
+
+fn main() {
+    let cfg = SynthConfig::paper();
+
+    println!("================ Transmitter (Tables 1 & 2) ================");
+    let tx = SynthesisReport::transmitter(cfg);
+    println!("{tx}");
+    println!("paper Table 1: 33,423 ALUTs / 12,320 regs / 265,408 mem bits / 32 DSP");
+
+    println!("\n================ Receiver (Tables 3 & 4) ===================");
+    let rx = SynthesisReport::receiver(cfg);
+    println!("{rx}");
+    println!("paper Table 3: 183,957 ALUTs / 173,335 regs / 367,060 mem bits / 896 DSP");
+
+    let (alut_share, dsp_share) = rx.channel_est_share().expect("receiver report");
+    println!(
+        "\nChannel estimation + equalization entities ({:?} rows):",
+        RxEntity::CHANNEL_EST_EQ.len()
+    );
+    println!(
+        "  {alut_share:.1}% of receiver ALUTs, {dsp_share:.1}% of DSP blocks \
+         (paper: \"86% of the ALUTS and 77% of the DSP multipliers\")"
+    );
+
+    println!("\n================ FFT-size scaling (§V) =====================");
+    println!(
+        "{:<8}{:>12}{:>14}{:>12}{:>14}{:>8}",
+        "N", "TX ALUTs", "TX mem bits", "RX ALUTs", "RX mem bits", "fits?"
+    );
+    for row in SynthesisReport::scaling_analysis(cfg) {
+        println!(
+            "{:<8}{:>12}{:>14}{:>12}{:>14}{:>8}",
+            row.fft_size,
+            row.tx_total.aluts,
+            row.tx_total.memory_bits,
+            row.rx_total.aluts,
+            row.rx_total.memory_bits,
+            if row.fits { "yes" } else { "NO" }
+        );
+    }
+    println!(
+        "\nPaper: \"for a 512-point OFDM system the IFFT and interleaver will \
+         require eight times as many resources\" and \"there are plenty of \
+         memory resources available ... to accommodate a 512-point OFDM system\"."
+    );
+}

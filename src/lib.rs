@@ -1,0 +1,69 @@
+//! # mimo-baseband
+//!
+//! A 1 Gbps 4×4 MIMO-OFDM wireless baseband transceiver in Rust — a
+//! functional and cycle-level reproduction of *"An FPGA 1Gbps Wireless
+//! Baseband MIMO Transceiver"* (Toal et al., SOCC 2012).
+//!
+//! This facade crate re-exports every subsystem crate in the workspace
+//! under one roof. See `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for the paper-versus-measured record.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mimo_baseband::phy::{PhyConfig, MimoTransmitter, MimoReceiver};
+//! use mimo_baseband::channel::{ChannelModel, IdealChannel};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cfg = PhyConfig::paper_synthesis(); // 4x4, 16-QAM, 64-pt, r=1/2
+//! let tx = MimoTransmitter::new(cfg.clone())?;
+//! let mut rx = MimoReceiver::new(cfg)?;
+//!
+//! let payload: Vec<u8> = (0..64).map(|i| i as u8).collect();
+//! let burst = tx.transmit_burst(&payload)?;
+//! let mut chan = IdealChannel::new(4);
+//! let received = chan.propagate(&burst.streams);
+//! let decoded = rx.receive_burst(&received)?;
+//! assert_eq!(decoded.payload, payload);
+//! # Ok(())
+//! # }
+//! ```
+
+/// Fixed-point arithmetic (Q1.15 samples, Q2.16 CORDIC words).
+pub use mimo_fixed as fixed;
+
+/// CORDIC rotation/vectoring engines with the paper's 20-cycle pipeline.
+pub use mimo_cordic as cordic;
+
+/// Fixed-point FFT/IFFT plus the float reference transform.
+pub use mimo_fft as fft;
+
+/// Convolutional encoder, puncturing, Viterbi decoder, scrambler.
+pub use mimo_coding as coding;
+
+/// 802.11a block interleaver / deinterleaver with ping-pong memories.
+pub use mimo_interleave as interleave;
+
+/// Symbol mapper / demapper (BPSK … 64-QAM, hard and soft).
+pub use mimo_modem as modem;
+
+/// OFDM framing: subcarrier maps, cyclic prefix, STS/LTS, preamble.
+pub use mimo_ofdm as ofdm;
+
+/// Time synchroniser (32-tap correlator + CORDIC magnitude).
+pub use mimo_sync as sync;
+
+/// Channel estimation: CORDIC systolic QRD, R-inverse, H⁻¹ pipeline.
+pub use mimo_chanest as chanest;
+
+/// MIMO zero-forcing detection, pilot phase and timing correction.
+pub use mimo_detect as detect;
+
+/// Channel simulator: AWGN, Rayleigh 4×4, CFO, timing offset, ADC.
+pub use mimo_channel as channel;
+
+/// FPGA synthesis-resource and timing model (Tables 1–4, 1 Gbps).
+pub use mimo_fpga as fpga;
+
+/// The transceiver itself: TX/RX chains, burst format, link harness.
+pub use mimo_core as phy;

@@ -1,0 +1,111 @@
+//! Coherence between the FPGA resource/timing model and the functional
+//! implementations — the model must describe the system we actually
+//! built (Experiments T1–T4, F1, F7, F8).
+
+use mimo_baseband::chanest::CordicQrd;
+use mimo_baseband::fpga::{timing, ResourceUsage, RxEntity, SynthConfig, SynthesisReport, TxEntity};
+use mimo_baseband::modem::{Modulation, SymbolMapper};
+use mimo_baseband::ofdm::CpBuffer;
+use mimo_baseband::phy::PhyConfig;
+use mimo_baseband::sync::CORRELATOR_MULTIPLIERS;
+
+#[test]
+fn table1_and_table3_totals_are_papers() {
+    let tx = SynthesisReport::transmitter(SynthConfig::paper());
+    assert_eq!(tx.total(), ResourceUsage::new(33_423, 12_320, 265_408, 32));
+    let rx = SynthesisReport::receiver(SynthConfig::paper());
+    assert_eq!(rx.total(), ResourceUsage::new(183_957, 173_335, 367_060, 896));
+}
+
+#[test]
+fn time_sync_dsp_count_matches_functional_model() {
+    // Paper + our correlator: 32 complex taps = 128 18-bit multipliers.
+    let entity = RxEntity::TimeSynchroniser.resources(SynthConfig::paper());
+    assert_eq!(entity.dsp18 as usize, CORRELATOR_MULTIPLIERS);
+}
+
+#[test]
+fn qrd_latency_model_matches_cycle_measurement() {
+    assert_eq!(
+        timing::qrd_latency_cycles(4),
+        CordicQrd::new().measured_latency_cycles()
+    );
+}
+
+#[test]
+fn cp_buffer_memory_matches_fig3_sizing() {
+    // Fig 3: dual-port memory twice the OFDM frame. The functional
+    // model's word count times 32 bits (16-bit I + 16-bit Q) per
+    // channel gives the CP buffering the infrastructure entity must
+    // cover.
+    for n in [64usize, 512] {
+        let buf = CpBuffer::new(n).unwrap();
+        assert_eq!(buf.memory_words(), 2 * n);
+        let bits_for_4_channels = 4 * buf.memory_words() * 32;
+        let infra = TxEntity::Infrastructure.resources(SynthConfig {
+            fft_size: n,
+            ..SynthConfig::paper()
+        });
+        assert!(
+            infra.memory_bits as usize >= bits_for_4_channels,
+            "N={n}: infrastructure memory {} cannot hold 4 CP buffers ({bits_for_4_channels})",
+            infra.memory_bits
+        );
+    }
+}
+
+#[test]
+fn mapper_rom_fits_infrastructure_memory() {
+    // The symbol-mapper LUT (duplicated once, per the paper) must fit
+    // in the transmitter's infrastructure memory budget.
+    let mapper = SymbolMapper::new(Modulation::Qam64).unwrap();
+    let rom_bits = mapper.lut().len() * 32; // I+Q @ 16 bits
+    let infra = TxEntity::Infrastructure.resources(SynthConfig::paper());
+    assert!(infra.memory_bits as usize > 2 * rom_bits);
+}
+
+#[test]
+fn throughput_model_matches_phy_config() {
+    // The fpga timing model and the PhyConfig arithmetic must agree.
+    let cfg = PhyConfig::gigabit();
+    let model = timing::data_rate_bps(4, 64, 6, 3, 4);
+    assert!((cfg.throughput_bps() - model).abs() < 1.0);
+    let cfg = PhyConfig::paper_synthesis();
+    let model = timing::data_rate_bps(4, 64, 4, 1, 2);
+    assert!((cfg.throughput_bps() - model).abs() < 1.0);
+}
+
+#[test]
+fn headline_claim_holds() {
+    // The reason the paper is called "1Gbps": 64-QAM r=3/4 on 4
+    // streams at the achieved 100 MHz clock.
+    assert!(PhyConfig::gigabit().throughput_bps() >= 1.0e9);
+}
+
+#[test]
+fn scaling_claims_hold_in_model() {
+    let rows = SynthesisReport::scaling_analysis(SynthConfig::paper());
+    let r64 = &rows[0];
+    let r512 = rows.last().unwrap();
+    // "eight times as many memory bits" (approximately).
+    let ratio = r512.rx_total.memory_bits as f64 / r64.rx_total.memory_bits as f64;
+    assert!((ratio - 8.0).abs() < 1.0, "memory ratio {ratio}");
+    // "plenty of memory resources available ... to accommodate a
+    // 512-point OFDM system".
+    assert!(r512.fits);
+    // Interleaver logic 8x (Table 2 scaling statement).
+    let il64 = TxEntity::BlockInterleaver.resources(SynthConfig::paper());
+    let il512 = TxEntity::BlockInterleaver.resources(SynthConfig {
+        fft_size: 512,
+        ..SynthConfig::paper()
+    });
+    assert_eq!(il512.aluts, 8 * il64.aluts);
+}
+
+#[test]
+fn channel_est_dominates_receiver() {
+    let rx = SynthesisReport::receiver(SynthConfig::paper());
+    let (aluts, dsps) = rx.channel_est_share().unwrap();
+    assert!(aluts > 80.0 && aluts < 90.0, "ALUT share {aluts}");
+    assert!(dsps > 70.0 && dsps < 82.0, "DSP share {dsps}");
+}

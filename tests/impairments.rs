@@ -1,0 +1,130 @@
+//! Receiver robustness against the impairments its blocks were built
+//! for: CFO (pilot phase correction), residual timing (tau
+//! correction), multipath within the cyclic prefix.
+
+use mimo_baseband::channel::{
+    AwgnChannel, CfoImpairment, ChannelChain, ChannelModel, IdealChannel, MultipathMimo,
+    PhaseNoise, TimingOffset,
+};
+use mimo_baseband::phy::{MimoReceiver, MimoTransmitter, PhyConfig};
+
+fn setup(payload_len: usize) -> (MimoTransmitter, MimoReceiver, Vec<u8>) {
+    let cfg = PhyConfig::paper_synthesis();
+    let tx = MimoTransmitter::new(cfg.clone()).unwrap();
+    let rx = MimoReceiver::new(cfg).unwrap();
+    let payload: Vec<u8> = (0..payload_len).map(|i| (i * 89 + 11) as u8).collect();
+    (tx, rx, payload)
+}
+
+#[test]
+fn small_cfo_is_corrected_by_pilot_phase() {
+    let (tx, mut rx, payload) = setup(100);
+    let burst = tx.transmit_burst(&payload).unwrap();
+    // Residual CFO after coarse correction: a few kHz at 100 MHz
+    // sample rate, i.e. epsilon ~ 1e-5..5e-5 cycles/sample.
+    for epsilon in [1.0e-5f64, 3.0e-5, -2.0e-5] {
+        let mut chan = CfoImpairment::new(4, epsilon);
+        let received = chan.propagate(&burst.streams);
+        let result = rx.receive_burst(&received).unwrap();
+        assert_eq!(result.payload, payload, "epsilon {epsilon}");
+        // The per-symbol common phase the corrector measured must
+        // reflect the drift direction.
+        if epsilon > 2.0e-5 {
+            assert!(
+                result.diagnostics.mean_phase_rad.abs() > 1e-3,
+                "CFO should show up in the pilot phase estimate"
+            );
+        }
+    }
+}
+
+#[test]
+fn multipath_within_cp_is_absorbed() {
+    let (tx, mut rx, payload) = setup(120);
+    let burst = tx.transmit_burst(&payload).unwrap();
+    let mut ok = 0;
+    let trials = 10;
+    for seed in 0..trials {
+        // 4 taps << 16-sample CP.
+        let mut chain = ChannelChain::new(vec![
+            Box::new(MultipathMimo::new(4, 4, 4, 7000 + seed)),
+            Box::new(AwgnChannel::new(4, 30.0, 8000 + seed)),
+        ]);
+        let received = chain.propagate(&burst.streams);
+        if let Ok(result) = rx.receive_burst(&received) {
+            if result.payload == payload {
+                ok += 1;
+            }
+        }
+    }
+    assert!(ok >= trials - 2, "multipath recovery {ok}/{trials}");
+}
+
+#[test]
+fn combined_impairment_stack() {
+    let (tx, mut rx, payload) = setup(80);
+    let burst = tx.transmit_burst(&payload).unwrap();
+    let mut chain = ChannelChain::new(vec![
+        Box::new(TimingOffset::new(4, 61)),
+        Box::new(MultipathMimo::new(4, 4, 3, 42)),
+        Box::new(CfoImpairment::new(4, 8.0e-6)),
+        Box::new(AwgnChannel::new(4, 28.0, 43)),
+    ]);
+    let received = chain.propagate(&burst.streams);
+    let result = rx.receive_burst(&received).unwrap();
+    assert_eq!(result.payload, payload);
+}
+
+#[test]
+fn slow_phase_noise_is_tracked_by_pilots() {
+    let (tx, mut rx, payload) = setup(100);
+    let burst = tx.transmit_burst(&payload).unwrap();
+    // Slow oscillator wander: ~0.02 rad drift per 80-sample symbol.
+    let mut ok = 0;
+    let trials = 8;
+    for seed in 0..trials {
+        let mut chan = PhaseNoise::new(4, 2.5e-4, 600 + seed);
+        let received = chan.propagate(&burst.streams);
+        if let Ok(result) = rx.receive_burst(&received) {
+            if result.payload == payload {
+                ok += 1;
+            }
+        }
+    }
+    assert!(ok >= trials - 1, "phase-noise recovery {ok}/{trials}");
+}
+
+#[test]
+fn evm_degrades_gracefully_with_snr() {
+    let (tx, mut rx, payload) = setup(100);
+    let burst = tx.transmit_burst(&payload).unwrap();
+    let mut evms = Vec::new();
+    for snr in [30.0f64, 20.0, 14.0] {
+        let mut chan = AwgnChannel::new(4, snr, 99);
+        let received = chan.propagate(&burst.streams);
+        let result = rx.receive_burst(&received).unwrap();
+        evms.push(result.diagnostics.evm_db);
+    }
+    // EVM (dB) should worsen (rise) as SNR falls.
+    assert!(
+        evms[0] < evms[1] && evms[1] < evms[2],
+        "EVM not monotone with SNR: {evms:?}"
+    );
+}
+
+#[test]
+fn burst_gap_then_second_burst() {
+    // Idle samples between bursts: receiver locks onto the first
+    // burst in the buffer; a fresh call locks the second.
+    let (tx, mut rx, payload) = setup(60);
+    let burst = tx.transmit_burst(&payload).unwrap();
+    let mut delayed = TimingOffset::new(4, 500);
+    let second = delayed.propagate(&burst.streams);
+    let result = rx.receive_burst(&second).unwrap();
+    assert_eq!(result.payload, payload);
+    assert_eq!(result.diagnostics.sync.lts_start, 660);
+    // And the receiver state is clean for another burst.
+    let received = IdealChannel::new(4).propagate(&burst.streams);
+    let again = rx.receive_burst(&received).unwrap();
+    assert_eq!(again.diagnostics.sync.lts_start, 160);
+}
