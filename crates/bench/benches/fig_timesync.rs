@@ -32,10 +32,10 @@ fn print_detection_stats() {
         for t in 0..trials {
             let delay = 11 + (t % 37) as usize;
             let mut chain = TimingOffset::new(1, delay);
-            let shifted = chain.propagate(&[burst.clone()]);
+            let shifted = chain.propagate(std::slice::from_ref(&burst));
             let mut noisy = AwgnChannel::new(1, snr, 1000 + t as u64);
             let rx = noisy.propagate(&shifted);
-            let mut sync = TimeSynchronizer::new(taps.clone(), DEFAULT_THRESHOLD_FACTOR)
+            let sync = TimeSynchronizer::new(taps.clone(), DEFAULT_THRESHOLD_FACTOR)
                 .expect("valid taps");
             if let Some(event) = sync.scan_peak(&rx[0]) {
                 detected += 1;

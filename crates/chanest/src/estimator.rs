@@ -161,6 +161,11 @@ impl ChannelEstimator {
     /// LTS repetitions (guard already stripped) received on antenna
     /// `rx` during TX antenna `tx_slot`'s preamble slot (Fig 2).
     ///
+    /// Generic over borrowed views: pass owned `Vec<Vec<Vec<CQ15>>>`
+    /// storage or zero-copy `[[&[CQ15]; 4]; 4]` slices into the raw
+    /// receive streams — the receiver hot path uses the latter so no
+    /// LTS samples are ever copied.
+    ///
     /// Per carrier: both repetitions are transformed, averaged with the
     /// adder + right-shift, and divided by the known ±1 training value
     /// (a sign flip and a constant multiply).
@@ -169,10 +174,11 @@ impl ChannelEstimator {
     ///
     /// Returns [`ChanestError::BadSlotShape`]/[`ChanestError::BadBlockLength`]
     /// on malformed input.
-    pub fn estimate(
-        &self,
-        lts_blocks: &[Vec<Vec<CQ15>>],
-    ) -> Result<ChannelEstimate, ChanestError> {
+    pub fn estimate<R, B>(&self, lts_blocks: &[R]) -> Result<ChannelEstimate, ChanestError>
+    where
+        R: AsRef<[B]>,
+        B: AsRef<[CQ15]>,
+    {
         let n = self.map.fft_size();
         if lts_blocks.len() != N_ANTENNAS {
             return Err(ChanestError::BadSlotShape {
@@ -181,6 +187,7 @@ impl ChannelEstimator {
             });
         }
         for per_rx in lts_blocks {
+            let per_rx = per_rx.as_ref();
             if per_rx.len() != N_ANTENNAS {
                 return Err(ChanestError::BadSlotShape {
                     expected: N_ANTENNAS,
@@ -188,44 +195,44 @@ impl ChannelEstimator {
                 });
             }
             for block in per_rx {
-                if block.len() != 2 * n {
+                if block.as_ref().len() != 2 * n {
                     return Err(ChanestError::BadBlockLength {
                         expected: 2 * n,
-                        got: block.len(),
+                        got: block.as_ref().len(),
                     });
                 }
             }
         }
 
         let occupied = self.map.occupied_indices();
-        // averaged[rx][slot][occupied_idx]
-        let mut averaged = vec![vec![Vec::new(); N_ANTENNAS]; N_ANTENNAS];
+        // averaged[(rx * 4 + slot) * n_occ + occupied_idx], flat.
+        let n_occ = occupied.len();
+        let mut averaged = vec![CQ15::ZERO; N_ANTENNAS * N_ANTENNAS * n_occ];
+        let mut first = vec![CQ15::ZERO; n];
+        let mut second = vec![CQ15::ZERO; n];
         for (rx, per_rx) in lts_blocks.iter().enumerate() {
-            for (slot, block) in per_rx.iter().enumerate() {
-                let first = self
-                    .fft
-                    .fft(&block[..n])
+            for (slot, block) in per_rx.as_ref().iter().enumerate() {
+                let block = block.as_ref();
+                self.fft
+                    .fft_into(&block[..n], &mut first)
                     .expect("length validated above");
-                let second = self
-                    .fft
-                    .fft(&block[n..])
+                self.fft
+                    .fft_into(&block[n..], &mut second)
                     .expect("length validated above");
-                averaged[rx][slot] = occupied
-                    .iter()
-                    .map(|&l| {
-                        let bin = self.map.bin(l);
-                        // "averaged using an adder followed by
-                        // right-shift logic"
-                        (first[bin] + second[bin]).shr_round(1)
-                    })
-                    .collect();
+                let base = (rx * N_ANTENNAS + slot) * n_occ;
+                for (s, &l) in occupied.iter().enumerate() {
+                    let bin = self.map.bin(l);
+                    // "averaged using an adder followed by right-shift
+                    // logic"
+                    averaged[base + s] = (first[bin] + second[bin]).shr_round(1);
+                }
             }
         }
 
-        let h = (0..occupied.len())
+        let h = (0..n_occ)
             .map(|s| {
                 FxMat4::from_fn(|rx, tx| {
-                    let y: CFx<16> = averaged[rx][tx][s].convert();
+                    let y: CFx<16> = averaged[(rx * N_ANTENNAS + tx) * n_occ + s].convert();
                     let sign = self.lts_ref[s];
                     let v = if sign >= 0 { y } else { -y };
                     v.scale(self.inv_amplitude)

@@ -69,8 +69,8 @@ fn phase_zero(a: &mut Mat4, u: &mut Mat4, row: usize, col: usize) {
     }
     let phase = Cf64::from_polar(1.0, -v.arg());
     for j in 0..4 {
-        a[(row, j)] = a[(row, j)] * phase;
-        u[(row, j)] = u[(row, j)] * phase;
+        a[(row, j)] *= phase;
+        u[(row, j)] *= phase;
     }
 }
 

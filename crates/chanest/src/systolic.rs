@@ -168,6 +168,7 @@ impl CordicQrd {
             // internal cells on columns k+1..w.
             let mut boundary_free = 0u32;
             let mut cell_free = vec![0u32; w];
+            #[allow(clippy::needless_range_loop)] // `i` walks rows of `arrive` while mutating later rows
             for i in 0..n {
                 let start_b = arrive[i][k].max(boundary_free);
                 let fin_b = start_b + boundary_latency;
@@ -377,6 +378,7 @@ mod tests {
         let col0 = sched.column_schedule(0);
         let col1 = sched.column_schedule(1);
         // First 20 reads: H00 addresses 0..19 into column 0.
+        #[allow(clippy::needless_range_loop)] // `a` is both index and expected address
         for a in 0..20 {
             assert_eq!(col0[a].memory, (0, 0));
             assert_eq!(col0[a].subcarrier, a);

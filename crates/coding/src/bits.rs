@@ -14,12 +14,20 @@
 /// ```
 pub fn bytes_to_bits(bytes: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(bytes.len() * 8);
+    bytes_to_bits_append(bytes, &mut out);
+    out
+}
+
+/// [`bytes_to_bits`] appending to a caller-owned buffer (no allocation
+/// once the buffer has grown) — the single owner of the LSB-first bit
+/// order.
+pub fn bytes_to_bits_append(bytes: &[u8], out: &mut Vec<u8>) {
+    out.reserve(bytes.len() * 8);
     for &byte in bytes {
         for bit in 0..8 {
             out.push((byte >> bit) & 1);
         }
     }
-    out
 }
 
 /// Packs bits (LSB-first per byte) into bytes. The final partial byte,
@@ -32,7 +40,16 @@ pub fn bytes_to_bits(bytes: &[u8]) -> Vec<u8> {
 /// assert_eq!(bits_to_bytes(&[1, 0, 1]), vec![0b0000_0101]);
 /// ```
 pub fn bits_to_bytes(bits: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(bits.len().div_ceil(8));
+    let mut out = Vec::new();
+    bits_to_bytes_into(bits, &mut out);
+    out
+}
+
+/// Allocation-free [`bits_to_bytes`] into a caller-owned buffer
+/// (cleared first).
+pub fn bits_to_bytes_into(bits: &[u8], out: &mut Vec<u8>) {
+    out.clear();
+    out.reserve(bits.len().div_ceil(8));
     for chunk in bits.chunks(8) {
         let mut byte = 0u8;
         for (i, &bit) in chunk.iter().enumerate() {
@@ -41,7 +58,6 @@ pub fn bits_to_bytes(bits: &[u8]) -> Vec<u8> {
         }
         out.push(byte);
     }
-    out
 }
 
 /// Counts positions where two bit slices differ (Hamming distance over

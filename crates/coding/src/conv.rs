@@ -201,8 +201,16 @@ impl ConvolutionalEncoder {
     /// Encodes a stream of bits, continuing from the current state.
     /// Output order: for each input bit, one bit per generator.
     pub fn encode(&mut self, input: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_append(input, &mut out);
+        out
+    }
+
+    /// [`ConvolutionalEncoder::encode`] appending to a caller-owned
+    /// buffer (no allocation once the buffer has grown).
+    pub fn encode_append(&mut self, input: &[u8], out: &mut Vec<u8>) {
         let n_out = self.spec.outputs_per_input();
-        let mut out = Vec::with_capacity(input.len() * n_out);
+        out.reserve(input.len() * n_out);
         for &bit in input {
             debug_assert!(bit <= 1, "bit values must be 0 or 1");
             let (coded, next) = self.spec.step(self.state, bit & 1);
@@ -211,18 +219,27 @@ impl ConvolutionalEncoder {
                 out.push(((coded >> i) & 1) as u8);
             }
         }
-        out
     }
 
     /// Encodes a block and appends `K-1` zero flush bits so the trellis
     /// terminates in state 0 (the framing used per OFDM burst).
     /// The encoder is reset afterwards.
     pub fn encode_terminated(&mut self, input: &[u8]) -> Vec<u8> {
-        let mut out = self.encode(input);
-        let flush = vec![0u8; self.spec.constraint_length() - 1];
-        out.extend(self.encode(&flush));
-        self.reset();
+        let mut out = Vec::new();
+        self.encode_terminated_into(input, &mut out);
         out
+    }
+
+    /// Allocation-free [`ConvolutionalEncoder::encode_terminated`] into
+    /// a caller-owned buffer (cleared first).
+    pub fn encode_terminated_into(&mut self, input: &[u8], out: &mut Vec<u8>) {
+        out.clear();
+        self.encode_append(input, out);
+        // Generators are u32 polynomials, so K − 1 < 32 always.
+        let flush = [0u8; 32];
+        let k = self.spec.constraint_length();
+        self.encode_append(&flush[..k - 1], out);
+        self.reset();
     }
 }
 

@@ -25,9 +25,9 @@ mod scrambler;
 mod viterbi;
 
 pub use conv::{CodeSpec, CodingError, ConvolutionalEncoder};
-pub use puncture::{depuncture, puncture, CodeRate};
+pub use puncture::{depuncture, depuncture_into, puncture, puncture_into, CodeRate};
 pub use scrambler::{pilot_polarity, Scrambler};
-pub use viterbi::ViterbiDecoder;
+pub use viterbi::{ViterbiDecoder, ViterbiWorkspace};
 
 /// A soft bit (log-likelihood ratio). Positive means "more likely 0",
 /// negative "more likely 1", zero is an erasure. Hard bits map to

@@ -77,12 +77,22 @@ impl std::fmt::Display for CodeRate {
 /// assert_eq!(kept, vec![1, 1, 0, 1, 0, 0]);
 /// ```
 pub fn puncture(mother: &[u8], rate: CodeRate) -> Vec<u8> {
+    let mut out = Vec::new();
+    puncture_into(mother, rate, &mut out);
+    out
+}
+
+/// Allocation-free [`puncture`] into a caller-owned buffer (cleared
+/// first).
+pub fn puncture_into(mother: &[u8], rate: CodeRate, out: &mut Vec<u8>) {
     let pattern = rate.keep_pattern();
-    mother
-        .iter()
-        .zip(pattern.iter().cycle())
-        .filter_map(|(&bit, &keep)| keep.then_some(bit))
-        .collect()
+    out.clear();
+    out.extend(
+        mother
+            .iter()
+            .zip(pattern.iter().cycle())
+            .filter_map(|(&bit, &keep)| keep.then_some(bit)),
+    );
 }
 
 /// Re-inserts zero-LLR erasures where bits were punctured, restoring
@@ -96,6 +106,24 @@ pub fn puncture(mother: &[u8], rate: CodeRate) -> Vec<u8> {
 /// Returns [`CodingError::BadBlockLength`] if `soft.len()` does not
 /// match the number of kept positions in `mother_len` mother bits.
 pub fn depuncture(soft: &[Llr], rate: CodeRate, mother_len: usize) -> Result<Vec<Llr>, CodingError> {
+    let mut out = Vec::new();
+    depuncture_into(soft, rate, mother_len, &mut out)?;
+    Ok(out)
+}
+
+/// Allocation-free [`depuncture`] into a caller-owned buffer (cleared
+/// first, then filled to `mother_len`). The steady-state hot path
+/// reuses one buffer per stream across bursts.
+///
+/// # Errors
+///
+/// Identical to [`depuncture`].
+pub fn depuncture_into(
+    soft: &[Llr],
+    rate: CodeRate,
+    mother_len: usize,
+    out: &mut Vec<Llr>,
+) -> Result<(), CodingError> {
     let pattern = rate.keep_pattern();
     let kept_count = (0..mother_len).filter(|i| pattern[i % pattern.len()]).count();
     if soft.len() != kept_count {
@@ -104,7 +132,8 @@ pub fn depuncture(soft: &[Llr], rate: CodeRate, mother_len: usize) -> Result<Vec
             multiple: kept_count,
         });
     }
-    let mut out = Vec::with_capacity(mother_len);
+    out.clear();
+    out.reserve(mother_len);
     let mut it = soft.iter();
     for i in 0..mother_len {
         if pattern[i % pattern.len()] {
@@ -113,7 +142,7 @@ pub fn depuncture(soft: &[Llr], rate: CodeRate, mother_len: usize) -> Result<Vec
             out.push(0); // erasure
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]

@@ -5,9 +5,57 @@
 //! demapping", so the decoder accepts LLRs; hard decisions are just
 //! ±[`HARD_LLR`](crate::HARD_LLR).
 
-use std::collections::VecDeque;
-
 use crate::{CodeSpec, CodingError, Llr};
+
+/// Preallocated working state for [`ViterbiDecoder`] — path metrics
+/// and a flat `branches × states` survivor matrix. One workspace per
+/// decoding thread lets the burst hot path decode with zero steady-state
+/// heap allocation: buffers grow to the largest block seen and are
+/// reused thereafter.
+#[derive(Debug, Clone, Default)]
+pub struct ViterbiWorkspace {
+    /// Path metrics for the current branch (one per state).
+    metrics: Vec<i64>,
+    /// Path metrics being built for the next branch.
+    next_metrics: Vec<i64>,
+    /// Flat survivor memory: `survivors[t * n_states + s]` packs the
+    /// predecessor state (upper bits) and the input bit (bit 0) of the
+    /// best path into state `s` at branch `t` — the software analogue
+    /// of the hardware survivor RAM.
+    survivors: Vec<u32>,
+}
+
+impl ViterbiWorkspace {
+    /// Creates an empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ensures capacity for `n_branches` branches of `n_states` states.
+    fn prepare(&mut self, n_branches: usize, n_states: usize) {
+        self.metrics.clear();
+        self.metrics.resize(n_states, NEG_INF);
+        self.next_metrics.clear();
+        self.next_metrics.resize(n_states, NEG_INF);
+        self.survivors.clear();
+        self.survivors.resize(n_branches * n_states, 0);
+    }
+}
+
+/// Sentinel for an unreachable trellis state.
+const NEG_INF: i64 = i64::MIN / 4;
+
+/// Packs a survivor entry: predecessor state and decided input bit.
+#[inline]
+fn pack_survivor(prev_state: usize, input: u8) -> u32 {
+    ((prev_state as u32) << 1) | u32::from(input)
+}
+
+/// Unpacks a survivor entry into `(prev_state, input)`.
+#[inline]
+fn unpack_survivor(packed: u32) -> (usize, u8) {
+    ((packed >> 1) as usize, (packed & 1) as u8)
+}
 
 /// A soft-decision Viterbi decoder over the trellis of a [`CodeSpec`].
 ///
@@ -66,16 +114,37 @@ impl ViterbiDecoder {
     /// Returns [`CodingError::BadBlockLength`] if the input is not a
     /// whole number of branches or is shorter than the flush tail.
     pub fn decode_terminated(&self, soft: &[Llr]) -> Result<Vec<u8>, CodingError> {
+        let mut ws = ViterbiWorkspace::new();
+        let mut out = Vec::new();
+        self.decode_terminated_into(soft, &mut ws, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free [`ViterbiDecoder::decode_terminated`]: decodes
+    /// into `out` (cleared first) using the caller's workspace. The
+    /// steady-state hot path allocates nothing once the workspace and
+    /// `out` have grown to the burst's block size.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`ViterbiDecoder::decode_terminated`].
+    pub fn decode_terminated_into(
+        &self,
+        soft: &[Llr],
+        ws: &mut ViterbiWorkspace,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodingError> {
         let flush = self.spec.constraint_length() - 1;
-        let decoded = self.decode_block(soft, true)?;
-        if decoded.len() < flush {
+        self.decode_block_into(soft, true, ws, out)?;
+        if out.len() < flush {
             return Err(CodingError::BadBlockLength {
                 got: soft.len(),
                 multiple: self.spec.outputs_per_input() * (flush + 1),
             });
         }
-        let info_len = decoded.len() - flush;
-        Ok(decoded[..info_len].to_vec())
+        let info_len = out.len() - flush;
+        out.truncate(info_len);
+        Ok(())
     }
 
     /// Decodes a block without termination assumptions (traceback
@@ -86,7 +155,10 @@ impl ViterbiDecoder {
     /// Returns [`CodingError::BadBlockLength`] if the input is not a
     /// whole number of branches.
     pub fn decode_stream(&self, soft: &[Llr]) -> Result<Vec<u8>, CodingError> {
-        self.decode_block(soft, false)
+        let mut ws = ViterbiWorkspace::new();
+        let mut out = Vec::new();
+        self.decode_block_into(soft, false, &mut ws, &mut out)?;
+        Ok(out)
     }
 
     /// Decodes with a sliding traceback window of `window` branches —
@@ -111,7 +183,7 @@ impl ViterbiDecoder {
             });
         }
         let n_out = self.spec.outputs_per_input();
-        if soft.len() % n_out != 0 {
+        if !soft.len().is_multiple_of(n_out) {
             return Err(CodingError::BadBlockLength {
                 got: soft.len(),
                 multiple: n_out,
@@ -119,39 +191,48 @@ impl ViterbiDecoder {
         }
         let n_branches = soft.len() / n_out;
         let n_states = self.spec.num_states();
-        const NEG_INF: i64 = i64::MIN / 4;
 
         let mut metrics = vec![NEG_INF; n_states];
         metrics[0] = 0;
         let mut next_metrics = vec![NEG_INF; n_states];
-        // Ring buffer of survivor decisions, `window` deep.
-        let mut survivors: VecDeque<Vec<(u32, u8)>> = VecDeque::with_capacity(window);
+        // Flat survivor ring, `window × states` entries — exactly the
+        // bounded survivor RAM of the hardware core (row `t % window`
+        // holds branch `t`'s decisions).
+        let mut ring = vec![0u32; window * n_states];
+        let mut filled = 0usize; // rows of the ring currently valid
         let mut decoded = Vec::with_capacity(n_branches);
 
-        let traceback_emit =
-            |survivors: &VecDeque<Vec<(u32, u8)>>, metrics: &[i64], emit: usize, out: &mut Vec<u8>| {
-                // Start from the best current state, walk back through
-                // the whole window, emit the oldest `emit` decisions.
-                let mut state = metrics
-                    .iter()
-                    .enumerate()
-                    .max_by_key(|(_, &m)| m)
-                    .map(|(s, _)| s)
-                    .unwrap_or(0);
-                let mut path = Vec::with_capacity(survivors.len());
-                for surv in survivors.iter().rev() {
-                    let (prev, input) = surv[state];
-                    path.push(input);
-                    state = prev as usize;
-                }
-                path.reverse();
-                out.extend(&path[..emit.min(path.len())]);
-            };
+        // Walks back through the `filled` newest rows (newest row index
+        // `newest`), emitting the oldest `emit` decisions.
+        let traceback_emit = |ring: &[u32],
+                              filled: usize,
+                              newest: usize,
+                              metrics: &[i64],
+                              emit: usize,
+                              out: &mut Vec<u8>| {
+            let mut state = metrics
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &m)| m)
+                .map(|(s, _)| s)
+                .unwrap_or(0);
+            let mut path = vec![0u8; filled];
+            for back in 0..filled {
+                let row = (newest + window - back) % window;
+                let (prev, input) = unpack_survivor(ring[row * n_states + state]);
+                path[filled - 1 - back] = input;
+                state = prev;
+            }
+            out.extend(&path[..emit.min(path.len())]);
+        };
 
         for t in 0..n_branches {
             let branch = &soft[t * n_out..(t + 1) * n_out];
             next_metrics.fill(NEG_INF);
-            let mut surv = vec![(0u32, 0u8); n_states];
+            let row = t % window;
+            let surv = &mut ring[row * n_states..(row + 1) * n_states];
+            surv.fill(0);
+            #[allow(clippy::needless_range_loop)] // `state` indexes two tables in lockstep
             for state in 0..n_states {
                 let pm = metrics[state];
                 if pm == NEG_INF {
@@ -168,29 +249,37 @@ impl ViterbiDecoder {
                     let next = next as usize;
                     if cand > next_metrics[next] {
                         next_metrics[next] = cand;
-                        surv[next] = (state as u32, input);
+                        surv[next] = pack_survivor(state, input);
                     }
                 }
             }
             std::mem::swap(&mut metrics, &mut next_metrics);
-            survivors.push_back(surv);
-            if survivors.len() == window {
-                // Commit the oldest decision.
-                traceback_emit(&survivors, &metrics, 1, &mut decoded);
-                survivors.pop_front();
+            filled += 1;
+            if filled == window {
+                // Commit the oldest decision and free its ring row.
+                traceback_emit(&ring, filled, row, &metrics, 1, &mut decoded);
+                filled -= 1;
             }
-            let _ = t;
         }
         // Flush: final traceback from the best end state.
-        if !survivors.is_empty() {
-            traceback_emit(&survivors, &metrics, survivors.len(), &mut decoded);
+        if filled > 0 {
+            let newest = (n_branches + window - 1) % window;
+            traceback_emit(&ring, filled, newest, &metrics, filled, &mut decoded);
         }
         Ok(decoded)
     }
 
-    fn decode_block(&self, soft: &[Llr], terminated: bool) -> Result<Vec<u8>, CodingError> {
+    /// Shared add-compare-select + traceback over the full block, into
+    /// caller-owned storage.
+    fn decode_block_into(
+        &self,
+        soft: &[Llr],
+        terminated: bool,
+        ws: &mut ViterbiWorkspace,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodingError> {
         let n_out = self.spec.outputs_per_input();
-        if soft.len() % n_out != 0 {
+        if !soft.len().is_multiple_of(n_out) {
             return Err(CodingError::BadBlockLength {
                 got: soft.len(),
                 multiple: n_out,
@@ -199,20 +288,16 @@ impl ViterbiDecoder {
         let n_branches = soft.len() / n_out;
         let n_states = self.spec.num_states();
 
-        const NEG_INF: i64 = i64::MIN / 4;
         // Path metrics: larger is better. Start locked to state 0.
-        let mut metrics = vec![NEG_INF; n_states];
-        metrics[0] = 0;
-        let mut next_metrics = vec![NEG_INF; n_states];
-        // survivors[t][next_state] = (prev_state, input_bit)
-        let mut survivors: Vec<Vec<(u32, u8)>> = Vec::with_capacity(n_branches);
+        ws.prepare(n_branches, n_states);
+        ws.metrics[0] = 0;
 
         for t in 0..n_branches {
             let branch = &soft[t * n_out..(t + 1) * n_out];
-            next_metrics.fill(NEG_INF);
-            let mut surv = vec![(0u32, 0u8); n_states];
+            ws.next_metrics.fill(NEG_INF);
+            let surv = &mut ws.survivors[t * n_states..(t + 1) * n_states];
             for state in 0..n_states {
-                let pm = metrics[state];
+                let pm = ws.metrics[state];
                 if pm == NEG_INF {
                     continue;
                 }
@@ -227,34 +312,34 @@ impl ViterbiDecoder {
                     }
                     let cand = pm + bm;
                     let next = next as usize;
-                    if cand > next_metrics[next] {
-                        next_metrics[next] = cand;
-                        surv[next] = (state as u32, input);
+                    if cand > ws.next_metrics[next] {
+                        ws.next_metrics[next] = cand;
+                        surv[next] = pack_survivor(state, input);
                     }
                 }
             }
-            std::mem::swap(&mut metrics, &mut next_metrics);
-            survivors.push(surv);
+            std::mem::swap(&mut ws.metrics, &mut ws.next_metrics);
         }
 
         // Traceback.
         let mut state = if terminated {
             0usize
         } else {
-            metrics
+            ws.metrics
                 .iter()
                 .enumerate()
                 .max_by_key(|(_, &m)| m)
                 .map(|(s, _)| s)
                 .unwrap_or(0)
         };
-        let mut decoded = vec![0u8; n_branches];
+        out.clear();
+        out.resize(n_branches, 0);
         for t in (0..n_branches).rev() {
-            let (prev, input) = survivors[t][state];
-            decoded[t] = input;
-            state = prev as usize;
+            let (prev, input) = unpack_survivor(ws.survivors[t * n_states + state]);
+            out[t] = input;
+            state = prev;
         }
-        Ok(decoded)
+        Ok(())
     }
 }
 

@@ -31,6 +31,7 @@ pub struct PhyConfig {
     code_rate: CodeRate,
     scramble: bool,
     soft_decoding: bool,
+    parallel: bool,
     clock_hz: f64,
 }
 
@@ -45,6 +46,7 @@ impl PhyConfig {
             code_rate: CodeRate::Half,
             scramble: true,
             soft_decoding: true,
+            parallel: true,
             clock_hz: 100.0e6,
         }
     }
@@ -104,6 +106,16 @@ impl PhyConfig {
         self
     }
 
+    /// Enables or disables the scoped-thread fan-out of the four
+    /// spatial channels in `transmit_burst` / `receive_burst` (on by
+    /// default). Only effective when the `parallel` crate feature is
+    /// compiled in; both modes produce bit-identical results, mirroring
+    /// the four independent hardware channel pipelines of the paper.
+    pub fn with_parallelism(mut self, on: bool) -> Self {
+        self.parallel = on;
+        self
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
@@ -157,6 +169,11 @@ impl PhyConfig {
     /// Whether soft demapping feeds the Viterbi decoder.
     pub fn soft_decoding(&self) -> bool {
         self.soft_decoding
+    }
+
+    /// Whether the per-stream hot paths run on scoped threads.
+    pub fn parallelism(&self) -> bool {
+        self.parallel
     }
 
     /// Baseband clock (= sample rate), Hz. The paper achieves 100 MHz.

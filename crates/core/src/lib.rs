@@ -14,6 +14,41 @@
 //!   the paper's resource comparisons reference.
 //! * [`LinkSimulation`] — end-to-end BER/PER measurement harness.
 //!
+//! # Workspace + parallelism architecture
+//!
+//! The paper's 1 Gbps headline comes from four baseband channels
+//! running in true hardware parallelism with fixed-size memories.
+//! This crate mirrors both properties in software:
+//!
+//! * **Zero-allocation hot paths.** Both chains own preallocated
+//!   scratch workspaces sized from [`PhyConfig`] (FFT frames, ping-pong
+//!   interleaver blocks, demapper LLR buffers, Viterbi survivor
+//!   memory). Every per-symbol stage calls the subsystem crates'
+//!   in-place `_into` APIs (`FixedFft::fft_into`,
+//!   `SymbolDemapper::soft_demap_into`,
+//!   `BlockInterleaver::deinterleave_into`,
+//!   `ViterbiDecoder::decode_terminated_into`, …), so the steady-state
+//!   payload loops of `transmit_burst`/`receive_burst` perform no heap
+//!   allocation; burst-length-dependent buffers grow once per burst
+//!   and keep their capacity. LTS training samples are consumed as
+//!   borrowed views straight from the receive streams — nothing is
+//!   copied.
+//! * **Per-channel fan-out.** With the `parallel` feature (default
+//!   on) and [`PhyConfig::with_parallelism`], the transmitter runs one
+//!   scoped thread per spatial channel, and the receiver runs two
+//!   parallel stages: per-antenna FFT + carrier gather, then
+//!   per-stream zero-forcing detection (row `k` of `H⁻¹·r`), pilot
+//!   corrections, demap, de-interleave and Viterbi. Each output cell
+//!   is computed by exactly one worker in a fixed order, so parallel
+//!   and serial schedules are **bit-identical** (asserted by the
+//!   `parallel_determinism` integration suite).
+//!
+//! Throughput of the software model is tracked by the
+//! `fig_sw_throughput` bench (`cargo bench -p mimo_bench --bench
+//! fig_sw_throughput`), which measures end-to-end bursts/sec in both
+//! schedules at both named operating points and snapshots the result
+//! to `BENCH_sw_throughput.json` at the repo root.
+//!
 //! # Examples
 //!
 //! ```
@@ -39,6 +74,7 @@ mod link;
 mod rx;
 mod siso;
 mod tx;
+mod workspace;
 
 pub use config::PhyConfig;
 pub use error::PhyError;

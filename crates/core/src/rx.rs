@@ -1,8 +1,24 @@
 //! The MIMO receiver (Fig 5).
+//!
+//! The payload hot path is organized in two parallel stages around the
+//! preallocated [`RxWorkspace`](crate::workspace::RxWorkspace):
+//!
+//! 1. **Per antenna** — FFT every payload symbol and gather the
+//!    occupied carriers into that antenna's flat frequency buffer.
+//! 2. **Per stream** — zero-forcing detection (row `k` of `H⁻¹·r` per
+//!    carrier), pilot phase/timing correction, demap, de-interleave,
+//!    depuncture and Viterbi decode, entirely inside stream `k`'s
+//!    workspace.
+//!
+//! Both stages are embarrassingly parallel across the four channels;
+//! with the `parallel` feature (and `PhyConfig::with_parallelism`) they
+//! fan out across scoped threads and produce bit-identical results to
+//! the serial schedule, because every output cell is computed by
+//! exactly one worker in a fixed order.
 
-use mimo_chanest::{ChannelEstimator, CordicQrd};
+use mimo_chanest::{ChannelEstimator, CordicQrd, FxMat4};
 use mimo_coding::{
-    bits, depuncture, hard_to_llr, CodeSpec, Llr, Scrambler, ViterbiDecoder,
+    bits, depuncture_into, hard_to_llr, CodeSpec, Scrambler, ViterbiDecoder,
 };
 use mimo_fixed::{CQ15, Cf64};
 use mimo_interleave::BlockInterleaver;
@@ -14,6 +30,7 @@ use mimo_sync::{SyncEvent, TimeSynchronizer, DEFAULT_THRESHOLD_FACTOR};
 use crate::config::PhyConfig;
 use crate::error::PhyError;
 use crate::tx::{LENGTH_HEADER_BITS, SCRAMBLER_SEED};
+use crate::workspace::{run_four, RxStreamWorkspace, RxWorkspace};
 use crate::DATA_PILOT_START;
 
 /// Samples the demodulation windows retreat into the cyclic
@@ -61,6 +78,9 @@ pub struct MimoReceiver {
     phase: mimo_detect::PilotPhaseCorrector,
     timing: mimo_detect::TimingCorrector,
     demapper: SymbolDemapper,
+    /// Matched mapper, used to re-map hard decisions for the EVM
+    /// measurement without rebuilding the LUT per symbol.
+    mapper: SymbolMapper,
     interleaver: BlockInterleaver,
     viterbi: ViterbiDecoder,
     /// Positions of data carriers within the occupied-carrier order.
@@ -69,6 +89,12 @@ pub struct MimoReceiver {
     pilot_pos: Vec<usize>,
     /// Logical indices of the occupied carriers.
     occupied: Vec<i32>,
+    /// FFT bin of each occupied carrier (the gather map).
+    occ_bins: Vec<usize>,
+    /// Logical subcarrier numbers of the pilots (for tau estimation).
+    pilot_indices: Vec<i32>,
+    /// Preallocated hot-path scratch.
+    workspace: RxWorkspace,
 }
 
 impl MimoReceiver {
@@ -98,6 +124,9 @@ impl MimoReceiver {
         )?;
         let viterbi = ViterbiDecoder::new(CodeSpec::ieee80211a());
         let (data_pos, pilot_pos, occupied) = carrier_positions(demodulator.map());
+        let occ_bins = occupied.iter().map(|&l| demodulator.map().bin(l)).collect();
+        let pilot_indices = pilot_pos.iter().map(|&p| occupied[p]).collect();
+        let workspace = RxWorkspace::new(&cfg, occupied.len(), pilot_pos.len());
         Ok(Self {
             cfg,
             sync,
@@ -108,11 +137,15 @@ impl MimoReceiver {
             phase: mimo_detect::PilotPhaseCorrector::new(),
             timing: mimo_detect::TimingCorrector::new(),
             demapper,
+            mapper,
             interleaver,
             viterbi,
             data_pos,
             pilot_pos,
             occupied,
+            occ_bins,
+            pilot_indices,
+            workspace,
         })
     }
 
@@ -163,7 +196,9 @@ impl MimoReceiver {
         .ok_or(PhyError::SyncNotFound)?;
         let lts0 = event.lts_start.saturating_sub(WINDOW_BACKOFF);
 
-        // --- Channel estimation from the four staggered LTS slots. ---
+        // --- Channel estimation from the four staggered LTS slots,
+        // viewed in place: `lts_views[rx][slot]` borrows straight out
+        // of the receive streams, no samples are copied. ---
         let needed = 4 * field;
         let shortest = streams.iter().map(Vec::len).min().unwrap_or(0);
         if lts0 + needed > shortest {
@@ -172,17 +207,13 @@ impl MimoReceiver {
                 available: shortest,
             });
         }
-        let mut lts_blocks: Vec<Vec<Vec<CQ15>>> = Vec::with_capacity(4);
-        for stream in streams {
-            let per_slot = (0..4)
-                .map(|slot| {
-                    let start = lts0 + slot * field + n / 2;
-                    stream[start..start + 2 * n].to_vec()
-                })
-                .collect();
-            lts_blocks.push(per_slot);
-        }
-        let estimate = self.estimator.estimate(&lts_blocks)?;
+        let lts_views: [[&[CQ15]; 4]; 4] = std::array::from_fn(|rx| {
+            std::array::from_fn(|slot| {
+                let start = lts0 + slot * field + n / 2;
+                &streams[rx][start..start + 2 * n]
+            })
+        });
+        let estimate = self.estimator.estimate(&lts_views)?;
         let h_inv = estimate.invert_all(&self.qrd)?;
 
         // --- Demodulate and detect payload symbols. ---
@@ -196,164 +227,270 @@ impl MimoReceiver {
             });
         }
 
+        // The workspace leaves `self` for the duration of the payload
+        // stages so the per-channel workers can borrow it mutably while
+        // sharing `&self` (trellis tables, carrier maps, correctors).
+        // A panic mid-stage leaves the empty Default behind; rebuild in
+        // that case rather than indexing into zero-length slots.
+        let mut workspace = std::mem::take(&mut self.workspace);
+        if workspace.antennas.len() != self.cfg.n_streams() {
+            workspace = RxWorkspace::new(&self.cfg, self.occupied.len(), self.pilot_pos.len());
+        }
+        let stages =
+            self.demodulate_payload(&mut workspace, streams, &h_inv, data_start, available);
+        let result = stages.and_then(|()| {
+            // --- Reassemble: round-robin byte interleave. ---
+            let per_stream_bytes: Vec<&[u8]> = workspace
+                .streams
+                .iter()
+                .map(|ws| ws.bytes.as_slice())
+                .collect();
+            let total: usize = per_stream_bytes.iter().map(|b| b.len()).sum();
+            let mut payload = Vec::with_capacity(total);
+            let mut cursors = [0usize; 4];
+            for i in 0..total {
+                let s = i % 4;
+                let Some(&b) = per_stream_bytes[s].get(cursors[s]) else {
+                    return Err(PhyError::Decode(
+                        "stream lengths inconsistent with round-robin split".into(),
+                    ));
+                };
+                payload.push(b);
+                cursors[s] += 1;
+            }
+
+            let ws0 = &workspace.streams[0];
+            let evm_db = if ws0.evm_den > 0.0 && ws0.evm_num > 0.0 {
+                10.0 * (ws0.evm_num / ws0.evm_den).log10()
+            } else {
+                f64::NEG_INFINITY
+            };
+            Ok(RxResult {
+                payload,
+                diagnostics: RxDiagnostics {
+                    sync: event,
+                    evm_db,
+                    mean_phase_rad: ws0.phase_acc / available.max(1) as f64,
+                    n_symbols: available,
+                },
+            })
+        });
+        self.workspace = workspace;
+        result
+    }
+
+    /// The two-stage payload hot path over a borrowed workspace.
+    fn demodulate_payload(
+        &self,
+        workspace: &mut RxWorkspace,
+        streams: &[Vec<CQ15>],
+        h_inv: &[FxMat4],
+        data_start: usize,
+        available: usize,
+    ) -> Result<(), PhyError> {
+        let n = self.cfg.fft_size();
+        let sym_len = self.cfg.symbol_samples();
+        let n_occ = self.occupied.len();
+        let parallel = self.parallel_enabled();
+
+        // Stage 1 — per antenna: FFT each payload symbol and gather
+        // the occupied carriers (one grow per burst, none per symbol).
+        let run_antenna = |a: usize,
+                           ws: &mut crate::workspace::RxAntennaWorkspace|
+         -> Result<(), PhyError> {
+            ws.freq_occ.resize(available * n_occ, CQ15::ZERO);
+            let stream = &streams[a];
+            let cp = sym_len - n;
+            for m in 0..available {
+                let start = data_start + m * sym_len;
+                let time = &stream[start + cp..start + sym_len];
+                self.demodulator
+                    .fft()
+                    .fft_into(time, &mut ws.fft)
+                    .map_err(|_| PhyError::BadConfig("FFT size mismatch".into()))?;
+                let dst = &mut ws.freq_occ[m * n_occ..(m + 1) * n_occ];
+                for (d, &bin) in dst.iter_mut().zip(&self.occ_bins) {
+                    *d = ws.fft[bin];
+                }
+            }
+            Ok(())
+        };
+        run_four(parallel, &mut workspace.antennas, run_antenna)?;
+
+        // Stage 2 — per stream: detect row k, pilot corrections,
+        // demap, de-interleave, depuncture, Viterbi, header parse.
+        let RxWorkspace {
+            antennas,
+            streams: stream_ws,
+        } = workspace;
+        let freq: [&[CQ15]; 4] = std::array::from_fn(|a| antennas[a].freq_occ.as_slice());
+        let run_stream = |k: usize, ws: &mut RxStreamWorkspace| -> Result<(), PhyError> {
+            self.run_stream_pipeline(k, ws, &freq, h_inv, available)
+        };
+        run_four(parallel, stream_ws, run_stream)
+    }
+
+    /// Whether this burst should fan out across scoped threads.
+    fn parallel_enabled(&self) -> bool {
+        cfg!(feature = "parallel") && self.cfg.parallelism()
+    }
+
+    /// Stream `k`'s complete payload pipeline over all `available`
+    /// symbols. Zero heap allocation at steady state: every buffer
+    /// lives in `ws` and is reused across symbols and bursts.
+    fn run_stream_pipeline(
+        &self,
+        k: usize,
+        ws: &mut RxStreamWorkspace,
+        freq: &[&[CQ15]; 4],
+        h_inv: &[FxMat4],
+        available: usize,
+    ) -> Result<(), PhyError> {
+        let n_occ = self.occupied.len();
         let ncbps = self.cfg.coded_bits_per_symbol();
-        let mut per_stream_llrs: Vec<Vec<Llr>> = vec![Vec::new(); 4];
-        let mut evm_num = 0.0f64;
-        let mut evm_den = 0.0f64;
-        let mut phase_acc = 0.0f64;
-        let mut n_decoded_symbols = 0usize;
+        ws.evm_num = 0.0;
+        ws.evm_den = 0.0;
+        ws.phase_acc = 0.0;
+        ws.stream_llrs.clear();
+        ws.stream_llrs.reserve(available * ncbps);
 
         for m in 0..available {
-            // Per-antenna occupied carriers for this symbol.
-            let mut rx_occ: Vec<Vec<CQ15>> = Vec::with_capacity(4);
-            for stream in streams {
-                let start = data_start + m * sym_len;
-                let on_air = &stream[start..start + sym_len];
-                let freq = self.fft_symbol(on_air)?;
-                rx_occ.push(freq);
+            // Row k of the zero-forcing detection for this symbol.
+            let rx_occ: [&[CQ15]; 4] =
+                std::array::from_fn(|a| &freq[a][m * n_occ..(m + 1) * n_occ]);
+            self.detector
+                .detect_stream_into(h_inv, &rx_occ, k, &mut ws.eq)?;
+
+            // Common phase from the de-scrambled pilot average.
+            let polarity = mimo_coding::pilot_polarity(DATA_PILOT_START + m);
+            let pattern = self.demodulator.map().pilot_pattern();
+            for (sign, &base) in ws.signs.iter_mut().zip(pattern) {
+                *sign = base * polarity;
             }
-            // Zero-forcing MIMO detection over all occupied carriers.
-            let equalized = self.detector.detect(&h_inv, &rx_occ)?;
-
-            // Per-stream pilot corrections and demapping.
-            for (stream_idx, occ) in equalized.iter().enumerate() {
-                let polarity = mimo_coding::pilot_polarity(DATA_PILOT_START + m);
-                let signs: Vec<i8> = self
-                    .demodulator
-                    .map()
-                    .pilot_pattern()
-                    .iter()
-                    .map(|&base| base * polarity)
-                    .collect();
-                let pilots: Vec<CQ15> =
-                    self.pilot_pos.iter().map(|&p| occ[p]).collect();
-
-                // Common phase from the de-scrambled pilot average.
-                let phi = self.phase.estimate_phase(&pilots, &signs);
-                let corrected = self.phase.correct(occ, phi);
-                if stream_idx == 0 {
-                    phase_acc += phi.to_f64();
-                }
-
-                // Feed-forward timing (tau) from the corrected pilots.
-                let pilots2: Vec<CQ15> =
-                    self.pilot_pos.iter().map(|&p| corrected[p]).collect();
-                let pilot_indices: Vec<i32> =
-                    self.pilot_pos.iter().map(|&p| self.occupied[p]).collect();
-                let tau = self.timing.estimate_tau(&pilots2, &signs, &pilot_indices);
-                let corrected = self.timing.correct(&corrected, &self.occupied, tau);
-
-                // Demap the data carriers.
-                let data: Vec<CQ15> = self.data_pos.iter().map(|&p| corrected[p]).collect();
-                if stream_idx == 0 {
-                    let (num, den) = evm_contribution(&data, &self.demapper);
-                    evm_num += num;
-                    evm_den += den;
-                }
-                let llrs: Vec<Llr> = if self.cfg.soft_decoding() {
-                    self.demapper.soft_demap(&data)
-                } else {
-                    self.demapper
-                        .hard_demap(&data)
-                        .into_iter()
-                        .map(hard_to_llr)
-                        .collect()
-                };
-                debug_assert_eq!(llrs.len(), ncbps);
-                // De-interleave (soft values).
-                let deinterleaved = self.interleaver.deinterleave(&llrs)?;
-                per_stream_llrs[stream_idx].extend(deinterleaved);
+            for (pilot, &p) in ws.pilots.iter_mut().zip(&self.pilot_pos) {
+                *pilot = ws.eq[p];
             }
-            n_decoded_symbols = m + 1;
+            let phi = self.phase.estimate_phase(&ws.pilots, &ws.signs);
+            self.phase.correct_in_place(&mut ws.eq, phi);
+            if k == 0 {
+                ws.phase_acc += phi.to_f64();
+            }
+
+            // Feed-forward timing (tau) from the corrected pilots.
+            for (pilot, &p) in ws.pilots.iter_mut().zip(&self.pilot_pos) {
+                *pilot = ws.eq[p];
+            }
+            let tau = self
+                .timing
+                .estimate_tau(&ws.pilots, &ws.signs, &self.pilot_indices);
+            self.timing
+                .correct_in_place(&mut ws.eq, &self.occupied, tau);
+
+            // Demap the data carriers.
+            for (d, &p) in ws.data.iter_mut().zip(&self.data_pos) {
+                *d = ws.eq[p];
+            }
+            if k == 0 {
+                let (num, den) = self.evm_contribution(ws);
+                ws.evm_num += num;
+                ws.evm_den += den;
+            }
+            if self.cfg.soft_decoding() {
+                self.demapper.soft_demap_into(&ws.data, &mut ws.llrs);
+            } else {
+                self.demapper.hard_demap_into(&ws.data, &mut ws.hard_bits);
+                for (llr, &bit) in ws.llrs.iter_mut().zip(&ws.hard_bits) {
+                    *llr = hard_to_llr(bit);
+                }
+            }
+            // De-interleave (soft values) and accumulate.
+            self.interleaver
+                .deinterleave_into(&ws.llrs, &mut ws.deinterleaved)?;
+            ws.stream_llrs.extend_from_slice(&ws.deinterleaved);
         }
 
-        // --- Per-stream decode: depuncture → Viterbi → descramble →
-        // length header → payload bits. ---
-        let mut per_stream_bytes: Vec<Vec<u8>> = Vec::with_capacity(4);
-        for llrs in &per_stream_llrs {
-            per_stream_bytes.push(self.decode_stream(llrs)?);
-        }
-
-        // Round-robin reassembly.
-        let total: usize = per_stream_bytes.iter().map(Vec::len).sum();
-        let mut payload = Vec::with_capacity(total);
-        let mut cursors = vec![0usize; 4];
-        for i in 0..total {
-            let s = i % 4;
-            let Some(&b) = per_stream_bytes[s].get(cursors[s]) else {
-                return Err(PhyError::Decode(
-                    "stream lengths inconsistent with round-robin split".into(),
-                ));
-            };
-            payload.push(b);
-            cursors[s] += 1;
-        }
-
-        let evm_db = if evm_den > 0.0 && evm_num > 0.0 {
-            10.0 * (evm_num / evm_den).log10()
-        } else {
-            f64::NEG_INFINITY
-        };
-        Ok(RxResult {
-            payload,
-            diagnostics: RxDiagnostics {
-                sync: event,
-                evm_db,
-                mean_phase_rad: phase_acc / n_decoded_symbols.max(1) as f64,
-                n_symbols: n_decoded_symbols,
-            },
-        })
+        self.decode_stream(ws)
     }
 
-    /// Strips the CP, transforms, and returns the occupied carriers in
-    /// ascending logical order.
-    fn fft_symbol(&self, on_air: &[CQ15]) -> Result<Vec<CQ15>, PhyError> {
-        let time = mimo_ofdm::strip_cyclic_prefix(on_air, self.cfg.fft_size())?;
-        let freq = self.demodulator.fft_block(&time)?;
-        let map = self.demodulator.map();
-        Ok(self
-            .occupied
-            .iter()
-            .map(|&l| freq[map.bin(l)])
-            .collect())
+    /// EVM contribution of the current data symbol in `ws.data`:
+    /// squared error vs the nearest constellation point over squared
+    /// reference power. Uses the workspace's hard-bit and re-map
+    /// scratch, so it allocates nothing.
+    fn evm_contribution(&self, ws: &mut RxStreamWorkspace) -> (f64, f64) {
+        self.demapper.hard_demap_into(&ws.data, &mut ws.hard_bits);
+        self.mapper
+            .map_bits_into(&ws.hard_bits, &mut ws.evm_points)
+            .expect("demap output is well-formed");
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (&got, &want) in ws.data.iter().zip(&ws.evm_points) {
+            num += (Cf64::from_fixed(got) - Cf64::from_fixed(want)).norm_sqr();
+            den += Cf64::from_fixed(want).norm_sqr();
+        }
+        (num, den)
     }
 
-    /// One stream's bit pipeline, inverse of the transmitter's.
-    fn decode_stream(&self, llrs: &[Llr]) -> Result<Vec<u8>, PhyError> {
-        let rate = self.cfg.code_rate();
-        let pattern = rate.keep_pattern();
-        let keeps: usize = pattern.iter().filter(|&&k| k).count();
-        // kept/period = keeps, so mother_len = llrs/keeps*period.
-        if llrs.len() % keeps != 0 {
-            return Err(PhyError::Decode(format!(
-                "coded length {} not a multiple of the puncture pattern",
-                llrs.len()
-            )));
-        }
-        let mother_len = llrs.len() / keeps * pattern.len();
-        let restored = depuncture(llrs, rate, mother_len)?;
-        let decoded = self.viterbi.decode_terminated(&restored)?;
-        let descrambled = if self.cfg.scramble() {
-            Scrambler::new(SCRAMBLER_SEED).scramble(&decoded)
-        } else {
-            decoded
-        };
-        if descrambled.len() < LENGTH_HEADER_BITS {
-            return Err(PhyError::Decode("stream shorter than length header".into()));
-        }
-        let mut len = 0usize;
-        for bit in 0..LENGTH_HEADER_BITS {
-            len |= (descrambled[bit] as usize) << bit;
-        }
-        let have = (descrambled.len() - LENGTH_HEADER_BITS) / 8;
-        if len > have {
-            return Err(PhyError::Decode(format!(
-                "length header {len} exceeds decoded capacity {have}"
-            )));
-        }
-        let body = &descrambled[LENGTH_HEADER_BITS..LENGTH_HEADER_BITS + 8 * len];
-        Ok(bits::bits_to_bytes(body))
+    /// One stream's bit pipeline, inverse of the transmitter's:
+    /// depuncture → Viterbi → descramble → length header → payload
+    /// bytes, all in workspace buffers.
+    fn decode_stream(&self, ws: &mut RxStreamWorkspace) -> Result<(), PhyError> {
+        decode_bit_pipeline(
+            &self.cfg,
+            &self.viterbi,
+            &ws.stream_llrs,
+            &mut ws.restored,
+            &mut ws.viterbi,
+            &mut ws.decoded,
+            &mut ws.bytes,
+        )
     }
+}
+
+/// The per-stream bit pipeline shared by the MIMO and SISO receivers:
+/// depuncture → Viterbi → descramble → length header → payload bytes,
+/// entirely in caller-owned buffers. One owner of the burst framing so
+/// the 1×1 baseline cannot drift from the 4×4 chain.
+pub(crate) fn decode_bit_pipeline(
+    cfg: &PhyConfig,
+    viterbi: &ViterbiDecoder,
+    llrs: &[mimo_coding::Llr],
+    restored: &mut Vec<mimo_coding::Llr>,
+    viterbi_ws: &mut mimo_coding::ViterbiWorkspace,
+    decoded: &mut Vec<u8>,
+    bytes: &mut Vec<u8>,
+) -> Result<(), PhyError> {
+    let rate = cfg.code_rate();
+    let pattern = rate.keep_pattern();
+    let keeps: usize = pattern.iter().filter(|&&k| k).count();
+    // kept/period = keeps, so mother_len = llrs/keeps*period.
+    if !llrs.len().is_multiple_of(keeps) {
+        return Err(PhyError::Decode(format!(
+            "coded length {} not a multiple of the puncture pattern",
+            llrs.len()
+        )));
+    }
+    let mother_len = llrs.len() / keeps * pattern.len();
+    depuncture_into(llrs, rate, mother_len, restored)?;
+    viterbi.decode_terminated_into(restored, viterbi_ws, decoded)?;
+    if cfg.scramble() {
+        Scrambler::new(SCRAMBLER_SEED).scramble_in_place(decoded);
+    }
+    if decoded.len() < LENGTH_HEADER_BITS {
+        return Err(PhyError::Decode("stream shorter than length header".into()));
+    }
+    let mut len = 0usize;
+    for (bit, &value) in decoded.iter().take(LENGTH_HEADER_BITS).enumerate() {
+        len |= (value as usize) << bit;
+    }
+    let have = (decoded.len() - LENGTH_HEADER_BITS) / 8;
+    if len > have {
+        return Err(PhyError::Decode(format!(
+            "length header {len} exceeds decoded capacity {have}"
+        )));
+    }
+    let body = &decoded[LENGTH_HEADER_BITS..LENGTH_HEADER_BITS + 8 * len];
+    bits::bits_to_bytes_into(body, bytes);
+    Ok(())
 }
 
 /// Splits the occupied-carrier order into data and pilot positions.
@@ -370,22 +507,6 @@ fn carrier_positions(map: &SubcarrierMap) -> (Vec<usize>, Vec<usize>, Vec<i32>) 
         }
     }
     (data_pos, pilot_pos, occupied)
-}
-
-/// EVM contribution of one symbol: squared error vs the nearest
-/// constellation point over squared reference power.
-fn evm_contribution(data: &[CQ15], demapper: &SymbolDemapper) -> (f64, f64) {
-    // Reconstruct the nearest point by demapping and re-mapping.
-    let mapper = SymbolMapper::new(demapper.modulation()).expect("valid modulation");
-    let hard = demapper.hard_demap(data);
-    let ideal = mapper.map_bits(&hard).expect("demap output is well-formed");
-    let mut num = 0.0;
-    let mut den = 0.0;
-    for (&got, &want) in data.iter().zip(&ideal) {
-        num += (Cf64::from_fixed(got) - Cf64::from_fixed(want)).norm_sqr();
-        den += Cf64::from_fixed(want).norm_sqr();
-    }
-    (num, den)
 }
 
 #[cfg(test)]
@@ -423,6 +544,17 @@ mod tests {
                 assert_eq!(result.payload, payload, "{m} {r}");
             }
         }
+    }
+
+    #[test]
+    fn serial_mode_loopback() {
+        let cfg = PhyConfig::paper_synthesis().with_parallelism(false);
+        let tx = MimoTransmitter::new(cfg.clone()).unwrap();
+        let mut rx = MimoReceiver::new(cfg).unwrap();
+        let payload: Vec<u8> = (0..96).map(|i| (i * 13 + 1) as u8).collect();
+        let burst = tx.transmit_burst(&payload).unwrap();
+        let result = rx.receive_burst(&burst.streams).unwrap();
+        assert_eq!(result.payload, payload);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! system": the same chain with one channel, no QRD (equalization is a
 //! single complex multiply per carrier) and a two-slot preamble.
 
-use mimo_coding::{bits, depuncture, hard_to_llr, CodeSpec, Llr, Scrambler, ViterbiDecoder};
+use mimo_coding::{hard_to_llr, CodeSpec, Llr, ViterbiDecoder};
 use mimo_fixed::{CQ15, CQ16, Q16};
 use mimo_interleave::BlockInterleaver;
 use mimo_modem::{SymbolDemapper, SymbolMapper};
@@ -15,7 +15,7 @@ use mimo_sync::{TimeSynchronizer, DEFAULT_THRESHOLD_FACTOR};
 use crate::config::PhyConfig;
 use crate::error::PhyError;
 use crate::rx::{RxDiagnostics, RxResult};
-use crate::tx::{MimoTransmitter, TxBurst, LENGTH_HEADER_BITS, SCRAMBLER_SEED};
+use crate::tx::{MimoTransmitter, TxBurst};
 use crate::DATA_PILOT_START;
 
 /// The SISO transmitter: one instance of the Fig 1 per-channel chain
@@ -136,9 +136,10 @@ impl SisoReceiver {
         let n = self.cfg.fft_size();
         let field = 5 * n / 2;
         self.sync.reset();
-        // Two-stage sync: coarse STS-periodicity detection, then the
-        // fine cross-correlator in a window (see MimoReceiver).
-        let event = match mimo_sync::coarse_sts_end(std::slice::from_ref(&stream.to_vec())) {
+        // Two-stage sync: coarse STS-periodicity detection (borrowing
+        // the stream in place, no copy), then the fine cross-correlator
+        // in a window (see MimoReceiver).
+        let event = match mimo_sync::coarse_sts_end(&[stream]) {
             Some(coarse) => self.sync.scan_peak_window(
                 stream,
                 coarse.sts_end.saturating_sub(48),
@@ -187,8 +188,8 @@ impl SisoReceiver {
         let mut phase_acc = 0.0;
         for m in 0..available {
             let start = data_start + m * sym_len;
-            let time = mimo_ofdm::strip_cyclic_prefix(&stream[start..start + sym_len], n)?;
-            let freq = self.demodulator.fft_block(&time)?;
+            let time = mimo_ofdm::strip_cyclic_prefix_ref(&stream[start..start + sym_len], n)?;
+            let freq = self.demodulator.fft_block(time)?;
             let occ: Vec<CQ15> = self
                 .occupied
                 .iter()
@@ -240,39 +241,23 @@ impl SisoReceiver {
     }
 
     fn decode_stream(&self, llrs: &[Llr]) -> Result<Vec<u8>, PhyError> {
-        let rate = self.cfg.code_rate();
-        let pattern = rate.keep_pattern();
-        let keeps: usize = pattern.iter().filter(|&&k| k).count();
-        if llrs.len() % keeps != 0 {
-            return Err(PhyError::Decode(format!(
-                "coded length {} not a multiple of the puncture pattern",
-                llrs.len()
-            )));
-        }
-        let mother_len = llrs.len() / keeps * pattern.len();
-        let restored = depuncture(llrs, rate, mother_len)?;
-        let decoded = self.viterbi.decode_terminated(&restored)?;
-        let descrambled = if self.cfg.scramble() {
-            Scrambler::new(SCRAMBLER_SEED).scramble(&decoded)
-        } else {
-            decoded
-        };
-        if descrambled.len() < LENGTH_HEADER_BITS {
-            return Err(PhyError::Decode("stream shorter than length header".into()));
-        }
-        let mut len = 0usize;
-        for bit in 0..LENGTH_HEADER_BITS {
-            len |= (descrambled[bit] as usize) << bit;
-        }
-        let have = (descrambled.len() - LENGTH_HEADER_BITS) / 8;
-        if len > have {
-            return Err(PhyError::Decode(format!(
-                "length header {len} exceeds decoded capacity {have}"
-            )));
-        }
-        Ok(bits::bits_to_bytes(
-            &descrambled[LENGTH_HEADER_BITS..LENGTH_HEADER_BITS + 8 * len],
-        ))
+        // The SISO baseline shares the MIMO chain's bit pipeline (one
+        // owner of the burst framing); it is not on the parallel hot
+        // path, so per-call scratch is fine.
+        let mut restored = Vec::new();
+        let mut viterbi_ws = mimo_coding::ViterbiWorkspace::new();
+        let mut decoded = Vec::new();
+        let mut bytes = Vec::new();
+        crate::rx::decode_bit_pipeline(
+            &self.cfg,
+            &self.viterbi,
+            llrs,
+            &mut restored,
+            &mut viterbi_ws,
+            &mut decoded,
+            &mut bytes,
+        )?;
+        Ok(bytes)
     }
 }
 

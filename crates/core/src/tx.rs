@@ -1,6 +1,8 @@
 //! The MIMO transmitter (Fig 1).
 
-use mimo_coding::{bits, puncture, CodeSpec, ConvolutionalEncoder, Scrambler};
+use std::sync::Mutex;
+
+use mimo_coding::{puncture_into, CodeSpec, ConvolutionalEncoder, Scrambler};
 use mimo_fixed::CQ15;
 use mimo_interleave::BlockInterleaver;
 use mimo_modem::SymbolMapper;
@@ -9,6 +11,7 @@ use mimo_ofdm::OfdmModulator;
 
 use crate::config::PhyConfig;
 use crate::error::PhyError;
+use crate::workspace::{run_four, TxStreamWorkspace, TxWorkspace};
 use crate::DATA_PILOT_START;
 
 /// Bits of the per-stream length header prepended to each stream's
@@ -53,7 +56,13 @@ impl TxBurst {
 /// The 4×4 MIMO transmitter: "the data is broken into four separate
 /// and independent channels that will each be encoded and modulated
 /// for transmission."
-#[derive(Debug, Clone)]
+///
+/// Owns a preallocated [`TxWorkspace`] (one scratch set per spatial
+/// channel) so the per-symbol interleave → map → IFFT → CP loop runs
+/// without heap allocation, and — with the `parallel` feature — fans
+/// the four channel pipelines out across scoped threads, mirroring the
+/// four parallel hardware chains of Fig 1.
+#[derive(Debug)]
 pub struct MimoTransmitter {
     cfg: PhyConfig,
     mapper: SymbolMapper,
@@ -62,6 +71,24 @@ pub struct MimoTransmitter {
     schedule: PreambleSchedule,
     sts: Vec<CQ15>,
     lts: Vec<CQ15>,
+    /// Scratch buffers, lockable so `transmit_burst` stays `&self`
+    /// (one burst holds the lock end to end).
+    workspace: Mutex<TxWorkspace>,
+}
+
+impl Clone for MimoTransmitter {
+    fn clone(&self) -> Self {
+        Self {
+            cfg: self.cfg.clone(),
+            mapper: self.mapper.clone(),
+            interleaver: self.interleaver.clone(),
+            modulator: self.modulator.clone(),
+            schedule: self.schedule.clone(),
+            sts: self.sts.clone(),
+            lts: self.lts.clone(),
+            workspace: Mutex::new(TxWorkspace::new(&self.cfg)),
+        }
+    }
 }
 
 impl MimoTransmitter {
@@ -93,6 +120,7 @@ impl MimoTransmitter {
         let schedule = PreambleSchedule::new(cfg.n_streams(), cfg.fft_size());
         let sts = sts_time(modulator.fft(), modulator.map(), DEFAULT_AMPLITUDE)?;
         let lts = lts_time(modulator.fft(), modulator.map(), DEFAULT_AMPLITUDE)?;
+        let workspace = Mutex::new(TxWorkspace::new(&cfg));
         Ok(Self {
             cfg,
             mapper,
@@ -101,6 +129,7 @@ impl MimoTransmitter {
             schedule,
             sts,
             lts,
+            workspace,
         })
     }
 
@@ -154,25 +183,10 @@ impl MimoTransmitter {
             .unwrap_or(1)
             .max(1);
 
-        // Per-stream bit pipeline.
-        let mut symbol_streams: Vec<Vec<CQ15>> = Vec::with_capacity(n_streams);
-        for bytes in &per_stream {
-            let coded = self.encode_stream(bytes, n_symbols)?;
-            let mut on_air = Vec::new();
-            for (sym_idx, block) in coded.chunks(self.cfg.coded_bits_per_symbol()).enumerate() {
-                let interleaved = self.interleaver.interleave(block)?;
-                let symbols = self.mapper.map_bits(&interleaved)?;
-                let time = self
-                    .modulator
-                    .modulate_symbol(&symbols, DATA_PILOT_START + sym_idx)?;
-                on_air.extend(time);
-            }
-            symbol_streams.push(on_air);
-        }
-
-        // Assemble: preamble (Fig 2) then simultaneous data.
+        // Assemble the output streams up front: preamble (Fig 2), then
+        // each channel's worker writes its data region in place.
         let pre_len = self.schedule.data_offset();
-        let data_len = symbol_streams[0].len();
+        let data_len = n_symbols * self.cfg.symbol_samples();
         let mut streams = vec![vec![CQ15::ZERO; pre_len + data_len]; n_streams];
         for slot in self.schedule.slots() {
             let field = match slot.kind {
@@ -181,9 +195,27 @@ impl MimoTransmitter {
             };
             streams[slot.tx][slot.offset..slot.offset + slot.len].copy_from_slice(field);
         }
-        for (stream, data) in streams.iter_mut().zip(&symbol_streams) {
-            stream[pre_len..].copy_from_slice(data);
-        }
+
+        // Per-stream bit pipeline — "four separate and independent
+        // channels", each on its own workspace (and, in parallel mode,
+        // its own thread). Every buffer is rewritten per burst, so a
+        // poisoned lock (a previous worker panic) is safe to clear.
+        let mut guard = self
+            .workspace
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let parallel = cfg!(feature = "parallel") && self.cfg.parallelism();
+        let mut work: Vec<(&mut [CQ15], &[u8], &mut TxStreamWorkspace)> = streams
+            .iter_mut()
+            .zip(&per_stream)
+            .zip(guard.streams.iter_mut())
+            .map(|((stream, bytes), ws)| (&mut stream[pre_len..], bytes.as_slice(), ws))
+            .collect();
+        run_four(parallel, &mut work, |_, (out, bytes, ws)| {
+            self.run_stream_pipeline(bytes, n_symbols, out, ws)
+        })?;
+        drop(work);
+        drop(guard);
 
         Ok(TxBurst {
             streams,
@@ -192,34 +224,75 @@ impl MimoTransmitter {
         })
     }
 
+    /// One channel's complete pipeline: bit chain, then per symbol
+    /// interleave → map → IFFT → CP written straight into the stream's
+    /// data region. Zero heap allocation at steady state.
+    fn run_stream_pipeline(
+        &self,
+        bytes: &[u8],
+        n_symbols: usize,
+        out: &mut [CQ15],
+        ws: &mut TxStreamWorkspace,
+    ) -> Result<(), PhyError> {
+        self.encode_stream(bytes, n_symbols, ws)?;
+        let TxStreamWorkspace {
+            coded,
+            interleaved,
+            symbols,
+            freq,
+            ..
+        } = ws;
+        let ncbps = self.cfg.coded_bits_per_symbol();
+        let sym_len = self.cfg.symbol_samples();
+        for (sym_idx, (block, on_air)) in coded
+            .chunks(ncbps)
+            .zip(out.chunks_mut(sym_len))
+            .enumerate()
+        {
+            self.interleaver.interleave_into(block, interleaved)?;
+            self.mapper.map_bits_into(interleaved, symbols)?;
+            self.modulator
+                .modulate_symbol_into(symbols, DATA_PILOT_START + sym_idx, on_air, freq)?;
+        }
+        Ok(())
+    }
+
     /// Runs one stream's bit pipeline: header + payload + pad →
-    /// scramble → encode (terminated) → puncture. The result is exactly
-    /// `n_symbols · N_CBPS` coded bits.
-    fn encode_stream(&self, bytes: &[u8], n_symbols: usize) -> Result<Vec<u8>, PhyError> {
+    /// scramble → encode (terminated) → puncture. `ws.coded` ends up
+    /// with exactly `n_symbols · N_CBPS` coded bits.
+    fn encode_stream(
+        &self,
+        bytes: &[u8],
+        n_symbols: usize,
+        ws: &mut TxStreamWorkspace,
+    ) -> Result<(), PhyError> {
         let ndbps = self.cfg.info_bits_per_symbol();
         let capacity = n_symbols * ndbps - FLUSH_BITS;
         let used = LENGTH_HEADER_BITS + 8 * bytes.len();
         debug_assert!(used <= capacity, "symbol count under-provisioned");
 
-        let mut info = Vec::with_capacity(capacity);
+        let info = &mut ws.info;
+        info.clear();
+        info.reserve(capacity);
         let len = bytes.len() as u16;
         for bit in 0..16 {
             info.push(((len >> bit) & 1) as u8);
         }
-        info.extend(bits::bytes_to_bits(bytes));
+        mimo_coding::bits::bytes_to_bits_append(bytes, info);
         info.resize(capacity, 0); // zero pad to fill the burst
 
-        let scrambled = if self.cfg.scramble() {
-            Scrambler::new(SCRAMBLER_SEED).scramble(&info)
-        } else {
-            info
-        };
+        if self.cfg.scramble() {
+            Scrambler::new(SCRAMBLER_SEED).scramble_in_place(info);
+        }
 
         let mut encoder = ConvolutionalEncoder::new(CodeSpec::ieee80211a());
-        let mother = encoder.encode_terminated(&scrambled);
-        let coded = puncture(&mother, self.cfg.code_rate());
-        debug_assert_eq!(coded.len(), n_symbols * self.cfg.coded_bits_per_symbol());
-        Ok(coded)
+        encoder.encode_terminated_into(info, &mut ws.mother);
+        puncture_into(&ws.mother, self.cfg.code_rate(), &mut ws.coded);
+        debug_assert_eq!(
+            ws.coded.len(),
+            n_symbols * self.cfg.coded_bits_per_symbol()
+        );
+        Ok(())
     }
 }
 

@@ -1,0 +1,190 @@
+//! Preallocated scratch workspaces for the TX/RX hot paths.
+//!
+//! The paper's 1 Gbps figure rests on four baseband channels running in
+//! true hardware parallelism with fixed, synthesis-time-sized memories.
+//! The software model mirrors that: every per-symbol buffer the chains
+//! touch lives in a workspace sized from [`PhyConfig`], so the
+//! steady-state payload loops of `transmit_burst` / `receive_burst`
+//! perform **zero heap allocation**, and each spatial channel owns a
+//! private stream workspace so the four channels can run on scoped
+//! threads with no shared mutable state.
+//!
+//! Buffers whose size depends on the burst length (accumulated LLRs,
+//! gathered frequency-domain carriers) grow once per burst via
+//! `resize`/`reserve` and keep their capacity across bursts.
+
+use mimo_coding::{Llr, ViterbiWorkspace};
+use mimo_fixed::CQ15;
+
+use crate::config::PhyConfig;
+
+/// Per-stream transmit scratch: one per spatial channel.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct TxStreamWorkspace {
+    /// Info bits: header + payload + pad (capacity grows per burst).
+    pub info: Vec<u8>,
+    /// Mother-coded bits before puncturing.
+    pub mother: Vec<u8>,
+    /// Punctured coded bits for the whole stream burst.
+    pub coded: Vec<u8>,
+    /// One symbol's interleaved coded bits (N_CBPS).
+    pub interleaved: Vec<u8>,
+    /// One symbol's mapped data carriers.
+    pub symbols: Vec<CQ15>,
+    /// Frequency-domain frame scratch for the IFFT (N bins).
+    pub freq: Vec<CQ15>,
+}
+
+/// Transmit workspace: one stream workspace per spatial channel.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct TxWorkspace {
+    pub streams: Vec<TxStreamWorkspace>,
+}
+
+impl TxWorkspace {
+    /// Builds a workspace with the per-symbol buffers sized from the
+    /// configuration.
+    pub fn new(cfg: &PhyConfig) -> Self {
+        let mut streams = Vec::with_capacity(cfg.n_streams());
+        for _ in 0..cfg.n_streams() {
+            streams.push(TxStreamWorkspace {
+                info: Vec::new(),
+                mother: Vec::new(),
+                coded: Vec::new(),
+                interleaved: vec![0; cfg.coded_bits_per_symbol()],
+                symbols: vec![CQ15::ZERO; cfg.data_carriers()],
+                freq: vec![CQ15::ZERO; cfg.fft_size()],
+            });
+        }
+        Self { streams }
+    }
+}
+
+/// Per-antenna receive scratch (stage 1: FFT + carrier gather).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RxAntennaWorkspace {
+    /// FFT output scratch (N bins).
+    pub fft: Vec<CQ15>,
+    /// Gathered occupied carriers for every payload symbol, flat
+    /// `symbol-major`: `freq_occ[m * n_occ + s]`. Grows once per burst.
+    pub freq_occ: Vec<CQ15>,
+}
+
+/// Per-stream receive scratch (stage 2: detect → corrections → demap →
+/// deinterleave → Viterbi).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RxStreamWorkspace {
+    /// One symbol's equalized occupied carriers.
+    pub eq: Vec<CQ15>,
+    /// Pilot values gathered from the equalized symbol.
+    pub pilots: Vec<CQ15>,
+    /// Expected pilot signs for the current symbol.
+    pub signs: Vec<i8>,
+    /// One symbol's data carriers.
+    pub data: Vec<CQ15>,
+    /// One symbol's demapped LLRs (N_CBPS).
+    pub llrs: Vec<Llr>,
+    /// One symbol's de-interleaved LLRs (N_CBPS).
+    pub deinterleaved: Vec<Llr>,
+    /// Hard-decision bit scratch (N_CBPS; hard-demap mode and EVM).
+    pub hard_bits: Vec<u8>,
+    /// Re-mapped nearest constellation points for the EVM measurement.
+    pub evm_points: Vec<CQ15>,
+    /// The whole burst's accumulated de-interleaved LLRs.
+    pub stream_llrs: Vec<Llr>,
+    /// Depunctured mother-code LLRs.
+    pub restored: Vec<Llr>,
+    /// Viterbi path metrics and survivor memory.
+    pub viterbi: ViterbiWorkspace,
+    /// Decoded (descrambled) info bits.
+    pub decoded: Vec<u8>,
+    /// Recovered payload bytes of this stream.
+    pub bytes: Vec<u8>,
+    /// Stream-0 diagnostics accumulators (EVM numerator/denominator
+    /// and common-phase sum), written by the owning worker only.
+    pub evm_num: f64,
+    /// See [`RxStreamWorkspace::evm_num`].
+    pub evm_den: f64,
+    /// See [`RxStreamWorkspace::evm_num`].
+    pub phase_acc: f64,
+}
+
+/// Receive workspace: antenna-side and stream-side scratch, split so
+/// the two parallel stages can borrow them independently.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RxWorkspace {
+    pub antennas: Vec<RxAntennaWorkspace>,
+    pub streams: Vec<RxStreamWorkspace>,
+}
+
+impl RxWorkspace {
+    /// Builds a workspace with the per-symbol buffers sized from the
+    /// configuration and carrier geometry.
+    pub fn new(cfg: &PhyConfig, n_occ: usize, n_pilots: usize) -> Self {
+        let n = cfg.n_streams();
+        let ncbps = cfg.coded_bits_per_symbol();
+        let mut antennas = Vec::with_capacity(n);
+        let mut streams = Vec::with_capacity(n);
+        for _ in 0..n {
+            antennas.push(RxAntennaWorkspace {
+                fft: vec![CQ15::ZERO; cfg.fft_size()],
+                freq_occ: Vec::new(),
+            });
+            streams.push(RxStreamWorkspace {
+                eq: vec![CQ15::ZERO; n_occ],
+                pilots: vec![CQ15::ZERO; n_pilots],
+                signs: vec![0; n_pilots],
+                data: vec![CQ15::ZERO; cfg.data_carriers()],
+                llrs: vec![0; ncbps],
+                deinterleaved: vec![0; ncbps],
+                hard_bits: vec![0; ncbps],
+                evm_points: vec![CQ15::ZERO; cfg.data_carriers()],
+                stream_llrs: Vec::new(),
+                restored: Vec::new(),
+                viterbi: ViterbiWorkspace::new(),
+                decoded: Vec::new(),
+                bytes: Vec::new(),
+                evm_num: 0.0,
+                evm_den: 0.0,
+                phase_acc: 0.0,
+            });
+        }
+        Self { antennas, streams }
+    }
+}
+
+/// Runs `f(index, &mut items[index])` for the four channel slots —
+/// across scoped threads when `parallel`, in index order otherwise.
+/// Both schedules write disjoint state in identical per-item order, so
+/// the results are bit-identical.
+pub(crate) fn run_four<T: Send, E: Send>(
+    parallel: bool,
+    items: &mut [T],
+    f: impl Fn(usize, &mut T) -> Result<(), E> + Sync,
+) -> Result<(), E> {
+    #[cfg(feature = "parallel")]
+    if parallel && items.len() > 1 {
+        let f = &f;
+        let results: Vec<Result<(), E>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = items
+                .iter_mut()
+                .enumerate()
+                .map(|(i, item)| scope.spawn(move || f(i, item)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("channel worker panicked"))
+                .collect()
+        });
+        for result in results {
+            result?;
+        }
+        return Ok(());
+    }
+    let _ = parallel;
+    for (i, item) in items.iter_mut().enumerate() {
+        f(i, item)?;
+    }
+    Ok(())
+}
+

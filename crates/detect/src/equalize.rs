@@ -11,6 +11,8 @@ use mimo_fixed::{CFx, CQ15, CQ16, SAMPLE_BITS};
 pub enum DetectError {
     /// RX stream count must equal the antenna count (4).
     BadStreamCount(usize),
+    /// Transmit-stream index out of range (must be 0..4).
+    BadStreamIndex(usize),
     /// Carrier counts disagree between streams and the estimate.
     CarrierMismatch {
         /// Carriers in the channel estimate.
@@ -24,6 +26,9 @@ impl fmt::Display for DetectError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DetectError::BadStreamCount(n) => write!(f, "expected 4 receive streams, got {n}"),
+            DetectError::BadStreamIndex(k) => {
+                write!(f, "transmit-stream index {k} out of range 0..4")
+            }
             DetectError::CarrierMismatch { expected, got } => {
                 write!(f, "carrier count {got} does not match estimate ({expected})")
             }
@@ -90,7 +95,8 @@ impl ZfDetector {
                 });
             }
         }
-        let mut out = vec![Vec::with_capacity(h_inv.len()); 4];
+        let mut out: Vec<Vec<CQ15>> =
+            (0..4).map(|_| Vec::with_capacity(h_inv.len())).collect();
         for (s, inv) in h_inv.iter().enumerate() {
             let r: [CQ16; 4] = [
                 rx[0][s].convert(),
@@ -105,6 +111,54 @@ impl ZfDetector {
             }
         }
         Ok(out)
+    }
+
+    /// Detects a single transmit stream — row `stream` of the
+    /// per-carrier `y = H⁻¹ · r` product — into a caller-provided
+    /// buffer: `out[s] = Σ_j H⁻¹[s](stream, j) · rx[j][s]`.
+    ///
+    /// The per-stream decomposition is what lets the receiver fan the
+    /// four spatial channels out across threads: each worker computes
+    /// exactly its own row, bit-identically to [`ZfDetector::detect`],
+    /// with no shared mutable state and no allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectError`] on shape mismatches.
+    pub fn detect_stream_into(
+        &self,
+        h_inv: &[FxMat4],
+        rx: &[&[CQ15]; 4],
+        stream: usize,
+        out: &mut [CQ15],
+    ) -> Result<(), DetectError> {
+        if stream >= 4 {
+            return Err(DetectError::BadStreamIndex(stream));
+        }
+        for antenna in rx {
+            if antenna.len() != h_inv.len() {
+                return Err(DetectError::CarrierMismatch {
+                    expected: h_inv.len(),
+                    got: antenna.len(),
+                });
+            }
+        }
+        if out.len() != h_inv.len() {
+            return Err(DetectError::CarrierMismatch {
+                expected: h_inv.len(),
+                got: out.len(),
+            });
+        }
+        for (s, inv) in h_inv.iter().enumerate() {
+            let mut acc: CQ16 = CFx::ZERO;
+            for (j, antenna) in rx.iter().enumerate() {
+                let r: CQ16 = antenna[s].convert();
+                acc += inv[(stream, j)] * r;
+            }
+            let narrow: CFx<15> = acc.convert();
+            out[s] = narrow.saturate_bits(SAMPLE_BITS);
+        }
+        Ok(())
     }
 }
 

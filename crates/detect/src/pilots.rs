@@ -55,15 +55,20 @@ impl PilotPhaseCorrector {
 
     /// Rotates every carrier of a symbol by `-phase` (the correction).
     pub fn correct(&self, carriers: &[CQ15], phase: Q16) -> Vec<CQ15> {
-        carriers
-            .iter()
-            .map(|&c| {
-                let wide: CFx<16> = c.convert();
-                let rotated = self.cordic.rotate(wide.re, wide.im, -phase);
-                let narrow: CFx<15> = CFx::new(rotated.x, rotated.y).convert();
-                narrow.saturate_bits(SAMPLE_BITS)
-            })
-            .collect()
+        let mut out = carriers.to_vec();
+        self.correct_in_place(&mut out, phase);
+        out
+    }
+
+    /// In-place [`PilotPhaseCorrector::correct`]: the hot path rotates
+    /// the equalized symbol buffer it already owns, allocating nothing.
+    pub fn correct_in_place(&self, carriers: &mut [CQ15], phase: Q16) {
+        for c in carriers.iter_mut() {
+            let wide: CFx<16> = c.convert();
+            let rotated = self.cordic.rotate(wide.re, wide.im, -phase);
+            let narrow: CFx<15> = CFx::new(rotated.x, rotated.y).convert();
+            *c = narrow.saturate_bits(SAMPLE_BITS);
+        }
     }
 }
 
@@ -140,30 +145,34 @@ impl TimingCorrector {
     /// index `l` is de-rotated by `l·tau`. The per-carrier angle is
     /// produced by a running adder exactly as in the hardware.
     pub fn correct(&self, carriers: &[CQ15], indices: &[i32], tau: f64) -> Vec<CQ15> {
+        let mut out = carriers.to_vec();
+        self.correct_in_place(&mut out, indices, tau);
+        out
+    }
+
+    /// In-place [`TimingCorrector::correct`] for the allocation-free
+    /// hot path.
+    pub fn correct_in_place(&self, carriers: &mut [CQ15], indices: &[i32], tau: f64) {
         debug_assert_eq!(carriers.len(), indices.len());
         let tau_q = Q16::from_f64(tau);
-        carriers
-            .iter()
-            .zip(indices)
-            .map(|(&c, &l)| {
-                // Running adder: angle = l · tau accumulated in Q2.16.
-                let angle = Q16::from_raw(tau_q.raw().saturating_mul(i64::from(l)));
-                let wide: CFx<16> = c.convert();
-                if self.small_angle {
-                    // Paper's approximation: re += angle·im-ish terms
-                    // reduce to adding tau_l to I and subtracting from
-                    // Q scaled by the component magnitudes.
-                    let re = wide.re + wide.im.mul(angle);
-                    let im = wide.im - wide.re.mul(angle);
-                    let narrow: CFx<15> = CFx::new(re, im).convert();
-                    narrow.saturate_bits(SAMPLE_BITS)
-                } else {
-                    let rotated = self.cordic.rotate(wide.re, wide.im, -angle);
-                    let narrow: CFx<15> = CFx::new(rotated.x, rotated.y).convert();
-                    narrow.saturate_bits(SAMPLE_BITS)
-                }
-            })
-            .collect()
+        for (c, &l) in carriers.iter_mut().zip(indices) {
+            // Running adder: angle = l · tau accumulated in Q2.16.
+            let angle = Q16::from_raw(tau_q.raw().saturating_mul(i64::from(l)));
+            let wide: CFx<16> = c.convert();
+            *c = if self.small_angle {
+                // Paper's approximation: re += angle·im-ish terms
+                // reduce to adding tau_l to I and subtracting from
+                // Q scaled by the component magnitudes.
+                let re = wide.re + wide.im.mul(angle);
+                let im = wide.im - wide.re.mul(angle);
+                let narrow: CFx<15> = CFx::new(re, im).convert();
+                narrow.saturate_bits(SAMPLE_BITS)
+            } else {
+                let rotated = self.cordic.rotate(wide.re, wide.im, -angle);
+                let narrow: CFx<15> = CFx::new(rotated.x, rotated.y).convert();
+                narrow.saturate_bits(SAMPLE_BITS)
+            };
+        }
     }
 }
 

@@ -3,7 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
-use mimo_fixed::{CFx, CQ15, Cf64, SAMPLE_BITS};
+use mimo_fixed::{CQ15, Cf64, SAMPLE_BITS};
 
 /// Errors produced by the fixed-point FFT core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -148,7 +148,9 @@ impl FixedFft {
     ///
     /// Returns [`FftError::LengthMismatch`] if `input.len() != size`.
     pub fn fft(&self, input: &[CQ15]) -> Result<Vec<CQ15>, FftError> {
-        self.transform(input, false)
+        let mut out = vec![CQ15::ZERO; self.size];
+        self.fft_into(input, &mut out)?;
+        Ok(out)
     }
 
     /// Inverse transform:
@@ -160,19 +162,55 @@ impl FixedFft {
     ///
     /// Returns [`FftError::LengthMismatch`] if `input.len() != size`.
     pub fn ifft(&self, input: &[CQ15]) -> Result<Vec<CQ15>, FftError> {
-        self.transform(input, true)
+        let mut out = vec![CQ15::ZERO; self.size];
+        self.ifft_into(input, &mut out)?;
+        Ok(out)
     }
 
-    fn transform(&self, input: &[CQ15], inverse: bool) -> Result<Vec<CQ15>, FftError> {
+    /// Allocation-free forward transform into a caller-provided buffer
+    /// (`input` and `out` must both be exactly `size` samples). Equal
+    /// to [`FixedFft::fft`] bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] on either length.
+    pub fn fft_into(&self, input: &[CQ15], out: &mut [CQ15]) -> Result<(), FftError> {
+        self.transform_into(input, out, false)
+    }
+
+    /// Allocation-free inverse transform into a caller-provided buffer.
+    /// Equal to [`FixedFft::ifft`] bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] on either length.
+    pub fn ifft_into(&self, input: &[CQ15], out: &mut [CQ15]) -> Result<(), FftError> {
+        self.transform_into(input, out, true)
+    }
+
+    fn transform_into(
+        &self,
+        input: &[CQ15],
+        out: &mut [CQ15],
+        inverse: bool,
+    ) -> Result<(), FftError> {
         if input.len() != self.size {
             return Err(FftError::LengthMismatch {
                 expected: self.size,
                 got: input.len(),
             });
         }
+        if out.len() != self.size {
+            return Err(FftError::LengthMismatch {
+                expected: self.size,
+                got: out.len(),
+            });
+        }
         let n = self.size;
-        // Work in the wide backing; saturate only at the output.
-        let mut data: Vec<CFx<15>> = input.to_vec();
+        // Work in the wide backing (CQ15 carries i64 raws); saturate
+        // only at the output register.
+        let data = out;
+        data.copy_from_slice(input);
         // Bit-reversal permutation.
         let mut j = 0usize;
         for i in 0..n {
@@ -207,10 +245,10 @@ impl FixedFft {
         } else {
             self.scaling.forward_shift
         };
-        Ok(data
-            .into_iter()
-            .map(|c| c.shr_round(shift).saturate_bits(SAMPLE_BITS))
-            .collect())
+        for c in data.iter_mut() {
+            *c = c.shr_round(shift).saturate_bits(SAMPLE_BITS);
+        }
+        Ok(())
     }
 }
 

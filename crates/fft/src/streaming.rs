@@ -64,6 +64,9 @@ pub struct StreamingFft {
     in_flight: VecDeque<(u64, Vec<CQ15>)>,
     /// Frame currently draining out, reversed so `pop` yields in order.
     draining: Vec<CQ15>,
+    /// Recycled frame buffers: drained frames return here so the
+    /// steady-state streaming loop allocates nothing per frame.
+    pool: Vec<Vec<CQ15>>,
     cycle: u64,
 }
 
@@ -87,12 +90,14 @@ impl StreamingFft {
     }
 
     fn with_core(core: FixedFft, direction: Direction) -> Self {
+        let n = core.size();
         Self {
             core,
             direction,
-            collecting: Vec::new(),
-            in_flight: VecDeque::new(),
-            draining: Vec::new(),
+            collecting: Vec::with_capacity(n),
+            in_flight: VecDeque::with_capacity(4),
+            draining: Vec::with_capacity(n),
+            pool: Vec::new(),
             cycle: 0,
         }
     }
@@ -121,12 +126,16 @@ impl StreamingFft {
             }
             self.collecting.push(sample);
             if self.collecting.len() == n {
-                let frame = std::mem::take(&mut self.collecting);
-                let transformed = match self.direction {
-                    Direction::Forward => self.core.fft(&frame),
-                    Direction::Inverse => self.core.ifft(&frame),
+                // Transform into a recycled buffer: at steady state no
+                // allocation happens per frame.
+                let mut transformed = self.pool.pop().unwrap_or_else(|| vec![CQ15::ZERO; n]);
+                transformed.resize(n, CQ15::ZERO);
+                match self.direction {
+                    Direction::Forward => self.core.fft_into(&self.collecting, &mut transformed),
+                    Direction::Inverse => self.core.ifft_into(&self.collecting, &mut transformed),
                 }
                 .expect("frame length enforced by collection");
+                self.collecting.clear();
                 // Attach result to the oldest un-filled in-flight slot.
                 let slot = self
                     .in_flight
@@ -145,7 +154,11 @@ impl StreamingFft {
                     let (_, mut data) = self.in_flight.pop_front().expect("front exists");
                     debug_assert_eq!(data.len(), n, "frame completed before latency elapsed");
                     data.reverse();
-                    self.draining = data;
+                    // Recycle the previous (now empty) draining buffer.
+                    let spent = std::mem::replace(&mut self.draining, data);
+                    if spent.capacity() > 0 && self.pool.len() < 4 {
+                        self.pool.push(spent);
+                    }
                 }
             }
         }

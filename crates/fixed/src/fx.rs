@@ -120,6 +120,7 @@ impl<const FRAC: u32> Fx<FRAC> {
     /// Returns [`FxError::NotANumber`] for NaN and
     /// [`FxError::Overflow`] when the scaled value exceeds the `i64`
     /// backing range.
+    #[inline]
     pub fn try_from_f64(value: f64) -> Result<Self, FxError> {
         if value.is_nan() {
             return Err(FxError::NotANumber);
@@ -153,7 +154,7 @@ impl<const FRAC: u32> Fx<FRAC> {
     /// ```
     #[inline]
     pub fn saturate_bits(self, bits: u32) -> Self {
-        assert!(bits >= 1 && bits <= 63, "bus width out of range: {bits}");
+        assert!((1..=63).contains(&bits), "bus width out of range: {bits}");
         let max = (1i64 << (bits - 1)) - 1;
         let min = -(1i64 << (bits - 1));
         Self::from_raw(self.raw.clamp(min, max))
@@ -166,7 +167,7 @@ impl<const FRAC: u32> Fx<FRAC> {
     /// Panics if `bits` is zero or greater than 63.
     #[inline]
     pub fn fits_bits(self, bits: u32) -> bool {
-        assert!(bits >= 1 && bits <= 63, "bus width out of range: {bits}");
+        assert!((1..=63).contains(&bits), "bus width out of range: {bits}");
         let max = (1i64 << (bits - 1)) - 1;
         let min = -(1i64 << (bits - 1));
         (min..=max).contains(&self.raw)
@@ -177,6 +178,7 @@ impl<const FRAC: u32> Fx<FRAC> {
     /// # Errors
     ///
     /// Returns [`FxError::Overflow`] when the value does not fit.
+    #[inline]
     pub fn try_fit_bits(self, bits: u32) -> Result<Self, FxError> {
         if self.fits_bits(bits) {
             Ok(self)
@@ -218,6 +220,7 @@ impl<const FRAC: u32> Fx<FRAC> {
     /// assert_eq!(a.mul(b).to_f64(), 0.25);
     /// ```
     #[inline]
+    #[allow(clippy::should_implement_trait)] // `Mul` is also implemented; the named form reads better in DSP chains
     pub fn mul(self, rhs: Self) -> Self {
         let wide = self.raw as i128 * rhs.raw as i128;
         Self::from_raw(round_shift_right_i128(wide, FRAC))
@@ -231,6 +234,7 @@ impl<const FRAC: u32> Fx<FRAC> {
     /// Panics if `rhs` is zero. The channel-estimation pipeline guards
     /// divisors (the R-matrix diagonal) before dividing.
     #[inline]
+    #[allow(clippy::should_implement_trait)] // deliberate: panics like a hardware divider, no `Div` impl exists
     pub fn div(self, rhs: Self) -> Self {
         assert!(rhs.raw != 0, "fixed-point division by zero");
         let num = (self.raw as i128) << (FRAC + 1);
@@ -453,10 +457,11 @@ mod tests {
 
     #[test]
     fn multiply_matches_float() {
-        let a = Q15::from_f64(0.7071);
+        let x = std::f64::consts::FRAC_1_SQRT_2;
+        let a = Q15::from_f64(x);
         let b = Q15::from_f64(-0.5);
         let p = a.mul(b);
-        assert!((p.to_f64() - (0.7071 * -0.5)).abs() < 1e-4);
+        assert!((p.to_f64() - (x * -0.5)).abs() < 1e-4);
     }
 
     #[test]

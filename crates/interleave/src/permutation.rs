@@ -88,18 +88,19 @@ impl BlockInterleaver {
     ///
     /// See [`InterleaveError`] variants for the validation rules.
     pub fn new(n_cbps: usize, n_bpsc: usize) -> Result<Self, InterleaveError> {
-        if n_cbps == 0 || n_cbps % 16 != 0 {
+        if n_cbps == 0 || !n_cbps.is_multiple_of(16) {
             return Err(InterleaveError::BadBlockSize(n_cbps));
         }
         if ![1, 2, 4, 6].contains(&n_bpsc) {
             return Err(InterleaveError::BadBitsPerSubcarrier(n_bpsc));
         }
-        if n_cbps % n_bpsc != 0 {
+        if !n_cbps.is_multiple_of(n_bpsc) {
             return Err(InterleaveError::Indivisible { n_cbps, n_bpsc });
         }
         let s = (n_bpsc / 2).max(1);
         let mut forward = vec![0usize; n_cbps];
         let mut inverse = vec![0usize; n_cbps];
+        #[allow(clippy::needless_range_loop)] // `k` is the permutation formula's variable
         for k in 0..n_cbps {
             // First permutation: adjacent coded bits onto non-adjacent
             // subcarriers.
@@ -142,7 +143,9 @@ impl BlockInterleaver {
     ///
     /// Returns [`InterleaveError::LengthMismatch`] on a wrong-size block.
     pub fn interleave<T: Copy + Default>(&self, block: &[T]) -> Result<Vec<T>, InterleaveError> {
-        self.permute(block, &self.forward)
+        let mut out = vec![T::default(); block.len()];
+        self.permute_into(block, &mut out, &self.forward)?;
+        Ok(out)
     }
 
     /// Applies the inverse permutation (receiver side). Works on hard
@@ -152,25 +155,63 @@ impl BlockInterleaver {
     ///
     /// Returns [`InterleaveError::LengthMismatch`] on a wrong-size block.
     pub fn deinterleave<T: Copy + Default>(&self, block: &[T]) -> Result<Vec<T>, InterleaveError> {
-        self.permute(block, &self.inverse)
+        let mut out = vec![T::default(); block.len()];
+        self.permute_into(block, &mut out, &self.inverse)?;
+        Ok(out)
     }
 
-    fn permute<T: Copy + Default>(
+    /// Allocation-free [`BlockInterleaver::interleave`] into a
+    /// caller-provided buffer of exactly the block size. Every output
+    /// position is written (the permutation is a bijection), so the
+    /// buffer needs no initialization contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterleaveError::LengthMismatch`] on either length.
+    pub fn interleave_into<T: Copy>(
         &self,
         block: &[T],
+        out: &mut [T],
+    ) -> Result<(), InterleaveError> {
+        self.permute_into(block, out, &self.forward)
+    }
+
+    /// Allocation-free [`BlockInterleaver::deinterleave`] into a
+    /// caller-provided buffer of exactly the block size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterleaveError::LengthMismatch`] on either length.
+    pub fn deinterleave_into<T: Copy>(
+        &self,
+        block: &[T],
+        out: &mut [T],
+    ) -> Result<(), InterleaveError> {
+        self.permute_into(block, out, &self.inverse)
+    }
+
+    fn permute_into<T: Copy>(
+        &self,
+        block: &[T],
+        out: &mut [T],
         table: &[usize],
-    ) -> Result<Vec<T>, InterleaveError> {
+    ) -> Result<(), InterleaveError> {
         if block.len() != self.n_cbps {
             return Err(InterleaveError::LengthMismatch {
                 expected: self.n_cbps,
                 got: block.len(),
             });
         }
-        let mut out = vec![T::default(); block.len()];
+        if out.len() != self.n_cbps {
+            return Err(InterleaveError::LengthMismatch {
+                expected: self.n_cbps,
+                got: out.len(),
+            });
+        }
         for (k, &item) in block.iter().enumerate() {
             out[table[k]] = item;
         }
-        Ok(out)
+        Ok(())
     }
 }
 
@@ -251,7 +292,7 @@ mod tests {
     #[test]
     fn soft_values_pass_through_deinterleaver() {
         let il = BlockInterleaver::new(96, 2).unwrap();
-        let llrs: Vec<i32> = (0..96).map(|i| i as i32 - 48).collect();
+        let llrs: Vec<i32> = (0..96).map(|i| i - 48).collect();
         let rx = il.interleave(&llrs).unwrap();
         assert_eq!(il.deinterleave(&rx).unwrap(), llrs);
     }
@@ -260,7 +301,7 @@ mod tests {
     fn wrong_length_rejected() {
         let il = BlockInterleaver::new(192, 4).unwrap();
         assert!(matches!(
-            il.interleave(&vec![0u8; 100]),
+            il.interleave(&[0u8; 100]),
             Err(InterleaveError::LengthMismatch { expected: 192, got: 100 })
         ));
     }

@@ -198,9 +198,9 @@ mod tests {
         // Feed block A, idle for 10 cycles mid-way through B, feed rest.
         let mut feed: Vec<Option<u16>> = block_a.iter().copied().map(Some).collect();
         feed.extend(block_b[..20].iter().copied().map(Some));
-        feed.extend(std::iter::repeat(None).take(10));
+        feed.extend(std::iter::repeat_n(None, 10));
         feed.extend(block_b[20..].iter().copied().map(Some));
-        feed.extend(std::iter::repeat(None).take(2 * n));
+        feed.extend(std::iter::repeat_n(None, 2 * n));
         for sample in feed {
             if let Some(v) = il.clock(sample) {
                 output.push(v);

@@ -71,19 +71,8 @@ impl SymbolDemapper {
     /// Output length is `symbols.len() * bits_per_symbol`.
     pub fn hard_demap(&self, symbols: &[CQ15]) -> Vec<u8> {
         let bps = self.modulation.bits_per_symbol();
-        let mut out = Vec::with_capacity(symbols.len() * bps);
-        for &sym in symbols {
-            let c = Cf64::from_fixed(sym);
-            match self.modulation {
-                Modulation::Bpsk => {
-                    out.extend(self.axis_hard_bits(c.re));
-                }
-                _ => {
-                    out.extend(self.axis_hard_bits(c.re));
-                    out.extend(self.axis_hard_bits(c.im));
-                }
-            }
-        }
+        let mut out = vec![0u8; symbols.len() * bps];
+        self.hard_demap_into(symbols, &mut out);
         out
     }
 
@@ -91,54 +80,93 @@ impl SymbolDemapper {
     /// Output length is `symbols.len() * bits_per_symbol`.
     pub fn soft_demap(&self, symbols: &[CQ15]) -> Vec<Llr> {
         let bps = self.modulation.bits_per_symbol();
-        let mut out = Vec::with_capacity(symbols.len() * bps);
-        for &sym in symbols {
-            let c = Cf64::from_fixed(sym);
-            match self.modulation {
-                Modulation::Bpsk => {
-                    out.extend(self.axis_soft_llrs(c.re));
-                }
-                _ => {
-                    out.extend(self.axis_soft_llrs(c.re));
-                    out.extend(self.axis_soft_llrs(c.im));
-                }
-            }
-        }
+        let mut out = vec![0 as Llr; symbols.len() * bps];
+        self.soft_demap_into(symbols, &mut out);
         out
     }
 
-    /// Slices one axis to the nearest odd level and returns Gray bits.
-    fn axis_hard_bits(&self, x: f64) -> Vec<u8> {
+    /// Allocation-free [`SymbolDemapper::hard_demap`] into a
+    /// caller-provided buffer of exactly
+    /// `symbols.len() * bits_per_symbol` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a wrong-size output buffer (this is an internal hot
+    /// path; the workspace sizes buffers from the configuration).
+    pub fn hard_demap_into(&self, symbols: &[CQ15], out: &mut [u8]) {
+        let bps = self.modulation.bits_per_symbol();
+        assert_eq!(out.len(), symbols.len() * bps, "demap buffer size");
+        let half = self.modulation.bits_per_axis();
+        for (&sym, bits) in symbols.iter().zip(out.chunks_exact_mut(bps)) {
+            let c = Cf64::from_fixed(sym);
+            match self.modulation {
+                Modulation::Bpsk => {
+                    self.axis_hard_bits_into(c.re, bits);
+                }
+                _ => {
+                    let (i_bits, q_bits) = bits.split_at_mut(half);
+                    self.axis_hard_bits_into(c.re, i_bits);
+                    self.axis_hard_bits_into(c.im, q_bits);
+                }
+            }
+        }
+    }
+
+    /// Allocation-free [`SymbolDemapper::soft_demap`] into a
+    /// caller-provided buffer of exactly
+    /// `symbols.len() * bits_per_symbol` LLRs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a wrong-size output buffer.
+    pub fn soft_demap_into(&self, symbols: &[CQ15], out: &mut [Llr]) {
+        let bps = self.modulation.bits_per_symbol();
+        assert_eq!(out.len(), symbols.len() * bps, "demap buffer size");
+        let half = self.modulation.bits_per_axis();
+        for (&sym, llrs) in symbols.iter().zip(out.chunks_exact_mut(bps)) {
+            let c = Cf64::from_fixed(sym);
+            match self.modulation {
+                Modulation::Bpsk => {
+                    self.axis_soft_llrs_into(c.re, llrs);
+                }
+                _ => {
+                    let (i_llrs, q_llrs) = llrs.split_at_mut(half);
+                    self.axis_soft_llrs_into(c.re, i_llrs);
+                    self.axis_soft_llrs_into(c.im, q_llrs);
+                }
+            }
+        }
+    }
+
+    /// Slices one axis to the nearest odd level and writes its Gray
+    /// bits (MSB first) into `bits`.
+    fn axis_hard_bits_into(&self, x: f64, bits: &mut [u8]) {
         let l = self.modulation.levels_per_axis() as i32;
         let normalized = x / self.unit;
         // Nearest odd level: round((v + L-1)/2) indexes 0..L-1.
         let idx = (((normalized + (l - 1) as f64) / 2.0).round() as i32).clamp(0, l - 1);
         let level = 2 * idx - (l - 1);
-        self.modulation.level_to_gray_bits(level)
+        self.modulation.level_to_gray_bits_into(level, bits);
     }
 
-    /// Max-log LLRs for one axis, MSB-first (transmission order).
+    /// Max-log LLRs for one axis, MSB-first (transmission order),
+    /// written into `llrs`.
     ///
     /// The recursion for Gray-mapped PAM with L = 2^n levels:
     /// `m_0 = −x/unit` (sign bit), then
     /// `m_k = |m_{k−1}| − L/2^k` for the interior bits.
-    fn axis_soft_llrs(&self, x: f64) -> Vec<Llr> {
+    fn axis_soft_llrs_into(&self, x: f64, llrs: &mut [Llr]) {
         let n = self.modulation.bits_per_axis();
+        debug_assert_eq!(llrs.len(), n);
         let l = self.modulation.levels_per_axis() as f64;
-        let mut metrics = Vec::with_capacity(n);
         let mut m = -x / self.unit;
-        metrics.push(m);
-        for k in 1..n {
-            m = m.abs() - l / (1 << k) as f64;
-            metrics.push(m);
+        for (k, out) in llrs.iter_mut().enumerate() {
+            if k > 0 {
+                m = m.abs() - l / (1 << k) as f64;
+            }
+            let scaled = (m * LLR_UNIT).round() as i64;
+            *out = scaled.clamp(-(LLR_CLAMP as i64), LLR_CLAMP as i64) as Llr;
         }
-        metrics
-            .into_iter()
-            .map(|v| {
-                let scaled = (v * LLR_UNIT).round() as i64;
-                scaled.clamp(-(LLR_CLAMP as i64), LLR_CLAMP as i64) as Llr
-            })
-            .collect()
     }
 }
 

@@ -145,22 +145,41 @@ impl SymbolMapper {
     /// multiple of [`Modulation::bits_per_symbol`].
     pub fn map_bits(&self, bits: &[u8]) -> Result<Vec<CQ15>, ModemError> {
         let bps = self.modulation.bits_per_symbol();
-        if bits.len() % bps != 0 {
+        if !bits.len().is_multiple_of(bps) {
             return Err(ModemError::RaggedBits {
                 got: bits.len(),
                 multiple: bps,
             });
         }
-        Ok(bits
-            .chunks(bps)
-            .map(|group| {
-                let mut addr = 0usize;
-                for &b in group {
-                    addr = (addr << 1) | usize::from(b & 1);
-                }
-                self.lut[addr]
-            })
-            .collect())
+        let mut out = vec![CQ15::ZERO; bits.len() / bps];
+        self.map_bits_into(bits, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free [`SymbolMapper::map_bits`] into a
+    /// caller-provided buffer of exactly
+    /// `bits.len() / bits_per_symbol` symbols.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModemError::RaggedBits`] on a ragged bit stream or a
+    /// mismatched output length.
+    pub fn map_bits_into(&self, bits: &[u8], out: &mut [CQ15]) -> Result<(), ModemError> {
+        let bps = self.modulation.bits_per_symbol();
+        if !bits.len().is_multiple_of(bps) || out.len() * bps != bits.len() {
+            return Err(ModemError::RaggedBits {
+                got: bits.len(),
+                multiple: bps,
+            });
+        }
+        for (group, sym) in bits.chunks_exact(bps).zip(out.iter_mut()) {
+            let mut addr = 0usize;
+            for &b in group {
+                addr = (addr << 1) | usize::from(b & 1);
+            }
+            *sym = self.lut[addr];
+        }
+        Ok(())
     }
 }
 

@@ -87,10 +87,21 @@ impl Modulation {
     /// Encodes a signed odd level back into Gray axis bits (MSB first):
     /// the inverse of [`Modulation::gray_bits_to_level`].
     pub fn level_to_gray_bits(self, level: i32) -> Vec<u8> {
+        let mut bits = vec![0u8; self.bits_per_axis()];
+        self.level_to_gray_bits_into(level, &mut bits);
+        bits
+    }
+
+    /// Allocation-free [`Modulation::level_to_gray_bits`] into a
+    /// caller-provided buffer of exactly `bits_per_axis` bits.
+    pub fn level_to_gray_bits_into(self, level: i32, bits: &mut [u8]) {
         let index = ((level + self.levels_per_axis() as i32 - 1) / 2) as u32;
         let gray = index ^ (index >> 1);
         let n = self.bits_per_axis();
-        (0..n).map(|i| ((gray >> (n - 1 - i)) & 1) as u8).collect()
+        debug_assert_eq!(bits.len(), n);
+        for (i, bit) in bits.iter_mut().enumerate() {
+            *bit = ((gray >> (n - 1 - i)) & 1) as u8;
+        }
     }
 }
 

@@ -24,10 +24,23 @@ use crate::{cp_len, symbol_len, OfdmError};
 pub fn add_cyclic_prefix(symbol: &[CQ15]) -> Vec<CQ15> {
     let n = symbol.len();
     let cp = n / crate::CP_FRACTION;
-    let mut out = Vec::with_capacity(n + cp);
-    out.extend_from_slice(&symbol[n - cp..]);
-    out.extend_from_slice(symbol);
+    let mut out = vec![CQ15::ZERO; n + cp];
+    add_cyclic_prefix_into(symbol, &mut out);
     out
+}
+
+/// Allocation-free [`add_cyclic_prefix`] into a caller-provided buffer
+/// of exactly `symbol.len() + symbol.len()/4` samples.
+///
+/// # Panics
+///
+/// Panics on a wrong-size output buffer.
+pub fn add_cyclic_prefix_into(symbol: &[CQ15], out: &mut [CQ15]) {
+    let n = symbol.len();
+    let cp = n / crate::CP_FRACTION;
+    assert_eq!(out.len(), n + cp, "cyclic-prefix buffer size");
+    out[..cp].copy_from_slice(&symbol[n - cp..]);
+    out[cp..].copy_from_slice(symbol);
 }
 
 /// Strips the cyclic prefix from an on-air frame of `fft_size + N/4`
@@ -37,6 +50,16 @@ pub fn add_cyclic_prefix(symbol: &[CQ15]) -> Vec<CQ15> {
 ///
 /// Returns [`OfdmError::FrameLengthMismatch`] on a wrong-size frame.
 pub fn strip_cyclic_prefix(frame: &[CQ15], fft_size: usize) -> Result<Vec<CQ15>, OfdmError> {
+    strip_cyclic_prefix_ref(frame, fft_size).map(<[CQ15]>::to_vec)
+}
+
+/// Borrowing [`strip_cyclic_prefix`]: the FFT-input samples are a
+/// subslice of the on-air frame, so stripping is free.
+///
+/// # Errors
+///
+/// Returns [`OfdmError::FrameLengthMismatch`] on a wrong-size frame.
+pub fn strip_cyclic_prefix_ref(frame: &[CQ15], fft_size: usize) -> Result<&[CQ15], OfdmError> {
     let expected = symbol_len(fft_size);
     if frame.len() != expected {
         return Err(OfdmError::FrameLengthMismatch {
@@ -44,7 +67,7 @@ pub fn strip_cyclic_prefix(frame: &[CQ15], fft_size: usize) -> Result<Vec<CQ15>,
             got: frame.len(),
         });
     }
-    Ok(frame[cp_len(fft_size)..].to_vec())
+    Ok(&frame[cp_len(fft_size)..])
 }
 
 /// Which half of the double-size memory holds a frame.

@@ -4,7 +4,7 @@ use mimo_coding::pilot_polarity;
 use mimo_fft::FixedFft;
 use mimo_fixed::{CQ15, Q15};
 
-use crate::cp::{add_cyclic_prefix, strip_cyclic_prefix};
+use crate::cp::strip_cyclic_prefix;
 use crate::subcarriers::{OfdmError, SubcarrierMap};
 
 /// Transmit-side OFDM symbol assembly for one antenna: places data and
@@ -73,13 +73,48 @@ impl OfdmModulator {
     /// Returns [`OfdmError::DataLengthMismatch`] if `data` does not
     /// cover the data carriers exactly.
     pub fn modulate_symbol(&self, data: &[CQ15], symbol_index: usize) -> Result<Vec<CQ15>, OfdmError> {
+        let n = self.map.fft_size();
+        let mut out = vec![CQ15::ZERO; crate::symbol_len(n)];
+        let mut scratch = vec![CQ15::ZERO; n];
+        self.modulate_symbol_into(data, symbol_index, &mut out, &mut scratch)?;
+        Ok(out)
+    }
+
+    /// Allocation-free [`OfdmModulator::modulate_symbol`]: writes the
+    /// `N + N/4` on-air samples into `out`, using `scratch` (`N` bins)
+    /// for the frequency-domain frame. Bit-identical to the allocating
+    /// variant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OfdmError::DataLengthMismatch`] /
+    /// [`OfdmError::FrameLengthMismatch`] on bad lengths.
+    pub fn modulate_symbol_into(
+        &self,
+        data: &[CQ15],
+        symbol_index: usize,
+        out: &mut [CQ15],
+        scratch: &mut [CQ15],
+    ) -> Result<(), OfdmError> {
+        let n = self.map.fft_size();
+        let cp = crate::cp_len(n);
+        if out.len() != crate::symbol_len(n) {
+            return Err(OfdmError::FrameLengthMismatch {
+                expected: crate::symbol_len(n),
+                got: out.len(),
+            });
+        }
         let polarity = pilot_polarity(symbol_index);
-        let frame = self.map.assemble(data, polarity, self.pilot_amplitude)?;
-        let time = self
-            .fft
-            .ifft(&frame)
+        self.map
+            .assemble_into(data, polarity, self.pilot_amplitude, scratch)?;
+        // IFFT straight into the post-prefix region, then copy the
+        // last quarter in front of it.
+        let (prefix, body) = out.split_at_mut(cp);
+        self.fft
+            .ifft_into(scratch, body)
             .expect("frame length equals FFT size by construction");
-        Ok(add_cyclic_prefix(&time))
+        prefix.copy_from_slice(&body[n - cp..]);
+        Ok(())
     }
 }
 

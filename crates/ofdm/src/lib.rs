@@ -21,7 +21,8 @@ mod frame;
 pub mod preamble;
 mod subcarriers;
 
-pub use cp::{add_cyclic_prefix, strip_cyclic_prefix, CpBuffer};
+pub use cp::{add_cyclic_prefix, add_cyclic_prefix_into, strip_cyclic_prefix,
+    strip_cyclic_prefix_ref, CpBuffer};
 pub use frame::{OfdmDemodulator, OfdmModulator};
 pub use subcarriers::{OfdmError, SubcarrierMap};
 

@@ -183,6 +183,38 @@ impl SubcarrierMap {
             });
         }
         let mut frame = vec![CQ15::ZERO; self.fft_size];
+        self.assemble_into(data, polarity, amplitude, &mut frame)?;
+        Ok(frame)
+    }
+
+    /// Allocation-free [`SubcarrierMap::assemble`] into a
+    /// caller-provided `fft_size`-bin frame buffer (DC and guard bins
+    /// are zeroed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OfdmError::DataLengthMismatch`] /
+    /// [`OfdmError::FrameLengthMismatch`] on bad lengths.
+    pub fn assemble_into(
+        &self,
+        data: &[CQ15],
+        polarity: i8,
+        amplitude: Fx<15>,
+        frame: &mut [CQ15],
+    ) -> Result<(), OfdmError> {
+        if data.len() != self.data.len() {
+            return Err(OfdmError::DataLengthMismatch {
+                expected: self.data.len(),
+                got: data.len(),
+            });
+        }
+        if frame.len() != self.fft_size {
+            return Err(OfdmError::FrameLengthMismatch {
+                expected: self.fft_size,
+                got: frame.len(),
+            });
+        }
+        frame.fill(CQ15::ZERO);
         for (&l, &sym) in self.data.iter().zip(data) {
             frame[self.bin(l)] = sym;
         }
@@ -191,7 +223,7 @@ impl SubcarrierMap {
             let value = if sign >= 0 { amplitude } else { -amplitude };
             frame[self.bin(l)] = CQ15::from_re(value);
         }
-        Ok(frame)
+        Ok(())
     }
 
     /// Extracts `(data, pilots)` from a frequency-domain frame, in the
@@ -303,10 +335,10 @@ mod tests {
         let map = SubcarrierMap::new(64).unwrap();
         let data = vec![CQ15::from_f64(0.3, 0.3); 48];
         let frame = map.assemble(&data, 1, Fx::from_f64(0.5)).unwrap();
-        for l in 27..=37 {
-            // bins 27..=37 are the guard band (logical ±27..=±31 plus
-            // the wrap); all unoccupied bins must be zero.
-            assert!(frame[l].is_zero(), "guard bin {l} not null");
+        // bins 27..=37 are the guard band (logical ±27..=±31 plus
+        // the wrap); all unoccupied bins must be zero.
+        for (l, bin) in frame.iter().enumerate().take(38).skip(27) {
+            assert!(bin.is_zero(), "guard bin {l} not null");
         }
     }
 
@@ -314,7 +346,7 @@ mod tests {
     fn wrong_sizes_rejected() {
         assert!(SubcarrierMap::new(96).is_err());
         let map = SubcarrierMap::new(64).unwrap();
-        assert!(map.assemble(&vec![CQ15::ZERO; 10], 1, Fx::ZERO).is_err());
+        assert!(map.assemble(&[CQ15::ZERO; 10], 1, Fx::ZERO).is_err());
         assert!(map.extract(&vec![CQ15::ZERO; 32]).is_err());
     }
 

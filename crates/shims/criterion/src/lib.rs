@@ -1,0 +1,296 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the subset of the criterion API this workspace's bench
+//! targets use — `Criterion`, `bench_function`, `benchmark_group` with
+//! `Throughput`, `Bencher::iter`, `black_box` and the
+//! `criterion_group!` / `criterion_main!` macros — on top of a simple
+//! wall-clock measurement loop: warm up briefly, then run batches until
+//! a time budget is spent and report the median per-iteration time.
+//!
+//! Reports go to stderr in a compact one-line-per-benchmark format:
+//!
+//! ```text
+//! bench fig1_throughput/qam16_r12 ... median 1.234 ms (842 iters), 162.1 Melem/s
+//! ```
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Measurement settings shared by a `Criterion` instance.
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Self {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1500),
+        }
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Shortens warm-up and measurement windows (smoke-test mode).
+    pub fn with_quick_mode(mut self) -> Self {
+        self.settings.warm_up = Duration::from_millis(50);
+        self.settings.measurement = Duration::from_millis(250);
+        self
+    }
+
+    /// Overrides the measurement window.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.settings.measurement = d;
+        self
+    }
+
+    /// Overrides the warm-up window.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.settings.warm_up = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, self.settings, None, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let settings = self.settings;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            settings,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput label.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the group's measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement = d;
+        self
+    }
+
+    /// Overrides the group's sample count (accepted for API
+    /// compatibility; the shim sizes batches by time, not count).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.settings, self.throughput, &mut f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Hands the measured closure to the benchmark body.
+pub struct Bencher {
+    /// Iterations the measured closure should run.
+    iters: u64,
+    /// Total time the measured closure spent.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measures `routine` over this sample's iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// One complete benchmark: warm-up, batch-size calibration, sampling,
+/// median report.
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: &str,
+    settings: Settings,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    // Warm-up and calibration: grow the batch until one batch takes
+    // ~1/50 of the measurement window.
+    let mut iters = 1u64;
+    let mut per_iter;
+    let warm_start = Instant::now();
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter = b.elapsed.checked_div(iters as u32).unwrap_or_default();
+        if warm_start.elapsed() >= settings.warm_up {
+            break;
+        }
+        let target = settings.measurement / 50;
+        if b.elapsed < target {
+            iters = iters.saturating_mul(2);
+        }
+    }
+    let target_batch = settings.measurement / 50;
+    if per_iter > Duration::ZERO {
+        let fit = target_batch.as_nanos() / per_iter.as_nanos().max(1);
+        iters = (fit as u64).clamp(1, u64::MAX);
+    }
+
+    // Sampling.
+    let mut samples: Vec<f64> = Vec::new();
+    let sample_start = Instant::now();
+    let mut total_iters = 0u64;
+    while sample_start.elapsed() < settings.measurement || samples.len() < 5 {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed.as_secs_f64() / iters as f64);
+        total_iters += iters;
+        if samples.len() >= 5000 {
+            break;
+        }
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = samples[samples.len() / 2];
+
+    let mut line = format!(
+        "bench {id} ... median {} ({total_iters} iters)",
+        format_time(median)
+    );
+    if let Some(t) = throughput {
+        let (count, unit) = match t {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        if median > 0.0 {
+            line.push_str(&format!(
+                ", {} {unit}/s",
+                format_rate(count as f64 / median)
+            ));
+        }
+    }
+    eprintln!("{line}");
+}
+
+/// `12.3 ns` / `4.56 µs` / `7.89 ms` / `1.23 s` formatting.
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.3} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+/// `123.4 k` / `56.78 M` / `9.01 G` rate formatting.
+fn format_rate(per_second: f64) -> String {
+    if per_second >= 1e9 {
+        format!("{:.2} G", per_second / 1e9)
+    } else if per_second >= 1e6 {
+        format!("{:.2} M", per_second / 1e6)
+    } else if per_second >= 1e3 {
+        format!("{:.2} k", per_second / 1e3)
+    } else {
+        format!("{per_second:.2} ")
+    }
+}
+
+/// Groups benchmark functions under one runner (criterion API).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = if ::std::env::var_os("QUICK_BENCH").is_some() {
+                $crate::Criterion::default().with_quick_mode()
+            } else {
+                $crate::Criterion::default()
+            };
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups (criterion API).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_cheap_closure() {
+        let settings = Settings {
+            warm_up: Duration::from_millis(5),
+            measurement: Duration::from_millis(20),
+        };
+        let mut calls = 0u64;
+        run_one("shim_smoke", settings, Some(Throughput::Elements(4)), &mut |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(format_time(2.5e-9), "2.500 ns");
+        assert_eq!(format_time(2.5e-6), "2.500 µs");
+        assert_eq!(format_time(2.5e-3), "2.500 ms");
+        assert_eq!(format_time(2.5), "2.500 s");
+    }
+}

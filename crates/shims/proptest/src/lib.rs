@@ -1,0 +1,531 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so this shim provides
+//! the slice of the proptest API the workspace's property tests use:
+//! [`Strategy`] with `prop_map`, range/tuple/`Just`/`any` strategies,
+//! [`collection::vec`], `prop_oneof!`, the `proptest!` test macro and
+//! the `prop_assert*` / `prop_assume!` assertion macros.
+//!
+//! Semantics: each test runs `cases` random cases (default 256) from a
+//! ChaCha8 stream seeded deterministically per test, so failures
+//! reproduce run-to-run. Unlike real proptest there is **no
+//! shrinking** — a failing case reports its values via the assertion
+//! message only.
+
+use std::fmt;
+use std::ops::Range;
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Why a single test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject(String),
+    /// A `prop_assert*!` failed; the test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejection with a message.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+            TestCaseError::Fail(m) => write!(f, "assertion failed: {m}"),
+        }
+    }
+}
+
+/// Result alias used by generated test bodies.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The type of value generated.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut ChaCha8Rng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn new_value(&self, rng: &mut ChaCha8Rng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut ChaCha8Rng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between same-typed strategies (`prop_oneof!`).
+pub struct OneOf<S> {
+    options: Vec<S>,
+}
+
+impl<S> OneOf<S> {
+    /// Builds the union; panics on an empty option list.
+    pub fn new(options: Vec<S>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Self { options }
+    }
+}
+
+impl<S: Strategy> Strategy for OneOf<S> {
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut ChaCha8Rng) -> S::Value {
+        let idx = rng.gen_range(0usize..self.options.len());
+        self.options[idx].new_value(rng)
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn new_value(&self, rng: &mut ChaCha8Rng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut ChaCha8Rng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn new_value(&self, rng: &mut ChaCha8Rng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_strategy_tuple!(A: 0);
+impl_strategy_tuple!(A: 0, B: 1);
+impl_strategy_tuple!(A: 0, B: 1, C: 2);
+impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+
+    /// The full-range strategy for this type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// A strategy drawing a type's full value range.
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T> Default for AnyStrategy<T> {
+    fn default() -> Self {
+        Self {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+macro_rules! impl_arbitrary_via_rng {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyStrategy<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut ChaCha8Rng) -> $t {
+                rng.gen()
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = AnyStrategy<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                AnyStrategy::default()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_via_rng!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+/// The full-range strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::*;
+
+    /// Sizes accepted by [`vec`]: a fixed length or a half-open range.
+    pub trait SizeRange {
+        /// Draws a concrete length.
+        fn pick(&self, rng: &mut ChaCha8Rng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut ChaCha8Rng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, rng: &mut ChaCha8Rng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// A strategy generating `Vec`s of values from an element strategy.
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut ChaCha8Rng) -> Vec<S::Value> {
+            let n = self.len.pick(rng);
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec`: vectors of `element` with length
+    /// drawn from `len` (a fixed `usize` or a `Range<usize>`).
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+}
+
+/// The `prop::` namespace as re-exported by the prelude.
+pub mod prop {
+    /// Sampling helpers.
+    pub mod sample {
+        use super::super::*;
+
+        /// An index into a collection whose length is only known at
+        /// use-time (`any::<prop::sample::Index>()`).
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        pub struct Index(u64);
+
+        impl Index {
+            /// Projects onto `0..len`. Panics if `len == 0`.
+            pub fn index(&self, len: usize) -> usize {
+                assert!(len > 0, "Index::index on empty collection");
+                (self.0 % len as u64) as usize
+            }
+        }
+
+        /// Strategy for [`Index`].
+        pub struct IndexStrategy;
+
+        impl Strategy for IndexStrategy {
+            type Value = Index;
+
+            fn new_value(&self, rng: &mut ChaCha8Rng) -> Index {
+                Index(rng.gen())
+            }
+        }
+
+        impl Arbitrary for Index {
+            type Strategy = IndexStrategy;
+
+            fn arbitrary() -> Self::Strategy {
+                IndexStrategy
+            }
+        }
+    }
+}
+
+/// Drives one generated test: `cases` iterations of sample-and-run.
+///
+/// Not part of the public proptest API; called by the `proptest!`
+/// expansion. Rejections (from `prop_assume!`) are retried and do not
+/// count toward the case budget, up to a global rejection cap.
+pub fn run_property_test<S, F>(name: &str, config: &ProptestConfig, strategy: S, test: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> TestCaseResult,
+    S::Value: fmt::Debug + Clone,
+{
+    // Deterministic per-test seed: FNV-1a over the test name.
+    let mut seed = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        seed ^= u64::from(b);
+        seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rejections = 0u32;
+    let max_rejections = config.cases.saturating_mul(16).max(1024);
+    let mut case = 0u32;
+    while case < config.cases {
+        let value = strategy.new_value(&mut rng);
+        match test(value.clone()) {
+            Ok(()) => case += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejections += 1;
+                if rejections > max_rejections {
+                    panic!(
+                        "{name}: too many prop_assume! rejections \
+                         ({rejections}) for {} cases",
+                        config.cases
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{name}: case {case} failed with input {value:?}: {msg}");
+            }
+        }
+    }
+}
+
+/// Everything a property test file imports.
+pub mod prelude {
+    pub use crate::{
+        any, collection, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume,
+        prop_oneof, proptest, Arbitrary, Just, ProptestConfig, Strategy, TestCaseError,
+        TestCaseResult,
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "{}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{} == {} ({:?} vs {:?})",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "{} != {} (both {:?})",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, $($fmt)*);
+    }};
+}
+
+/// Rejects the current inputs (the case is re-drawn, not failed).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Uniform choice among same-typed strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$($strategy),+])
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...)` block
+/// becomes a `#[test]` running many random cases.
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            #[allow(unused_parens)]
+            fn $name() {
+                let config = $config;
+                $crate::run_property_test(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    &config,
+                    ($($strategy,)+),
+                    |($($arg,)+)| -> $crate::TestCaseResult {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small() -> impl Strategy<Value = i64> {
+        -100i64..100
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in small(), y in 0.0f64..1.0) {
+            prop_assert!((-100..100).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_vecs(pairs in collection::vec((0u8..4, 0u8..4), 1..17)) {
+            prop_assert!(!pairs.is_empty() && pairs.len() < 17);
+            for (a, b) in pairs {
+                prop_assert!(a < 4 && b < 4);
+            }
+        }
+
+        #[test]
+        fn oneof_and_just((n, m) in prop_oneof![Just((1usize, 2usize)), Just((3, 4))]) {
+            prop_assert!(n == 1 && m == 2 || n == 3 && m == 4);
+        }
+
+        #[test]
+        fn assume_filters(x in -10i32..10) {
+            prop_assume!(x != 0);
+            prop_assert_ne!(x, 0);
+        }
+
+        #[test]
+        fn index_projects(idx in any::<prop::sample::Index>()) {
+            prop_assert!(idx.index(7) < 7);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn config_form_parses(x in 0u32..10) {
+            prop_assert!(x < 10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "case")]
+    fn failures_panic_with_input() {
+        crate::run_property_test(
+            "failures_panic_with_input",
+            &ProptestConfig::with_cases(16),
+            (0u8..2,),
+            |(_x,)| -> TestCaseResult { prop_assert!(false, "always fails"); Ok(()) },
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so this workspace ships
+//! the small subset of the `rand 0.8` API it actually uses as a local
+//! shim: the [`RngCore`] source-of-entropy trait and the [`Rng`]
+//! extension trait with `gen` / `gen_range` / `gen_bool`. Generators
+//! themselves live in the sibling `rand_chacha` shim.
+//!
+//! The shim is API-compatible for the call sites in this repository but
+//! makes no attempt to be value-compatible with upstream `rand`: seeds
+//! produce a deterministic stream, just not the same stream upstream
+//! would produce.
+
+use std::ops::Range;
+
+/// A source of random 32/64-bit words.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64 {
+        (u64::from(self.next_u32()) << 32) | u64::from(self.next_u32())
+    }
+}
+
+/// Types that can be drawn uniformly from an [`RngCore`] — the shim's
+/// equivalent of sampling `Standard`.
+pub trait Random: Sized {
+    /// Draws one uniformly distributed value.
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_random_int {
+    ($($t:ty),*) => {$(
+        impl Random for $t {
+            fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_random_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Random for bool {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Random for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for f32 {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The element type produced.
+    type Output;
+
+    /// Draws one value uniformly from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        let u = f64::random(rng);
+        let v = self.start + u * (self.end - self.start);
+        // Floating rounding can land exactly on `end`; fold it back.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (u128::from(rng.next_u64()) % span) as i128;
+                (self.start as i128 + v) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The user-facing extension trait: every [`RngCore`] is an [`Rng`].
+pub trait Rng: RngCore {
+    /// Draws a uniformly distributed value of an inferred type.
+    fn gen<T: Random>(&mut self) -> T {
+        T::random(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    fn gen_range<S: SampleRange>(&mut self, range: S) -> S::Output {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::random(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            // Weyl sequence through a finalizer: cheap but well mixed.
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn f64_range_stays_inside() {
+        let mut rng = Counter(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-0.25..0.75);
+            assert!((-0.25..0.75).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn int_range_stays_inside_and_covers() {
+        let mut rng = Counter(2);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            let v = rng.gen_range(10usize..15);
+            assert!((10..15).contains(&v));
+            seen[v - 10] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values reachable");
+    }
+
+    #[test]
+    fn gen_infers_common_types() {
+        let mut rng = Counter(3);
+        let _: u8 = rng.gen();
+        let _: u64 = rng.gen();
+        let f: f64 = rng.gen();
+        assert!((0.0..1.0).contains(&f));
+    }
+}

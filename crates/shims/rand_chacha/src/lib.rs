@@ -1,0 +1,194 @@
+//! Offline stand-in for the `rand_chacha` crate.
+//!
+//! Implements a genuine ChaCha8 keystream generator (D. J. Bernstein's
+//! ChaCha reduced to 8 rounds — the same core the real crate wraps)
+//! behind the two items this workspace imports: [`ChaCha8Rng`] and
+//! [`rand_core::SeedableRng`]. Like the `rand` shim it is
+//! API-compatible, not stream-compatible, with upstream.
+
+use rand::RngCore;
+
+/// The `rand_core` re-export surface the workspace uses.
+pub mod rand_core {
+    /// Seedable generators (shim: only `seed_from_u64` is provided).
+    pub trait SeedableRng: Sized {
+        /// Builds a generator from a 64-bit seed, expanding it with
+        /// SplitMix64 exactly as `rand_core` does.
+        fn seed_from_u64(seed: u64) -> Self;
+    }
+}
+
+/// One ChaCha quarter-round.
+#[inline]
+fn quarter(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// A ChaCha stream cipher core with 8 double-…(4 column + 4 diagonal)
+/// rounds, used as a deterministic PRNG.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Key (8 words), counter (2 words) and nonce (2 words).
+    key: [u32; 8],
+    counter: u64,
+    /// Current output block and the read cursor into it.
+    block: [u32; 16],
+    cursor: usize,
+}
+
+impl ChaCha8Rng {
+    const ROUNDS: usize = 8;
+    /// "expand 32-byte k" in little-endian words.
+    const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646E, 0x7962_2D32, 0x6B20_6574];
+
+    /// Builds a generator from a 32-byte key (the ChaCha key slot).
+    pub fn from_seed_bytes(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            key[i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        Self {
+            key,
+            counter: 0,
+            block: [0; 16],
+            cursor: 16, // force a refill on first use
+        }
+    }
+
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&Self::SIGMA);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        // Nonce words stay zero: one seed = one stream.
+        let input = state;
+        for _ in 0..Self::ROUNDS / 2 {
+            quarter(&mut state, 0, 4, 8, 12);
+            quarter(&mut state, 1, 5, 9, 13);
+            quarter(&mut state, 2, 6, 10, 14);
+            quarter(&mut state, 3, 7, 11, 15);
+            quarter(&mut state, 0, 5, 10, 15);
+            quarter(&mut state, 1, 6, 11, 12);
+            quarter(&mut state, 2, 7, 8, 13);
+            quarter(&mut state, 3, 4, 9, 14);
+        }
+        for (out, inp) in state.iter_mut().zip(&input) {
+            *out = out.wrapping_add(*inp);
+        }
+        self.block = state;
+        self.counter = self.counter.wrapping_add(1);
+        self.cursor = 0;
+    }
+}
+
+impl rand_core::SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion, as in upstream rand_core.
+        let mut state = seed;
+        let mut bytes = [0u8; 32];
+        for chunk in bytes.chunks_exact_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            chunk.copy_from_slice(&z.to_le_bytes());
+        }
+        Self::from_seed_bytes(bytes)
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let word = self.block[self.cursor];
+        self.cursor += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = u64::from(self.next_u32());
+        let hi = u64::from(self.next_u32());
+        (hi << 32) | lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rand_core::SeedableRng;
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn chacha20_reference_block() {
+        // RFC 7539 §2.3.2 test vector, adapted: run the permutation at
+        // 20 rounds over the RFC's key/counter/nonce and compare the
+        // first output words. We reuse the internals with ROUNDS
+        // generalized by hand here to guard the quarter-round wiring.
+        let mut state = [
+            0x6170_7865u32,
+            0x3320_646E,
+            0x7962_2D32,
+            0x6B20_6574,
+            0x0302_0100,
+            0x0706_0504,
+            0x0B0A_0908,
+            0x0F0E_0D0C,
+            0x1312_1110,
+            0x1716_1514,
+            0x1B1A_1918,
+            0x1F1E_1D1C,
+            0x0000_0001,
+            0x0900_0000,
+            0x4A00_0000,
+            0x0000_0000,
+        ];
+        let input = state;
+        for _ in 0..10 {
+            quarter(&mut state, 0, 4, 8, 12);
+            quarter(&mut state, 1, 5, 9, 13);
+            quarter(&mut state, 2, 6, 10, 14);
+            quarter(&mut state, 3, 7, 11, 15);
+            quarter(&mut state, 0, 5, 10, 15);
+            quarter(&mut state, 1, 6, 11, 12);
+            quarter(&mut state, 2, 7, 8, 13);
+            quarter(&mut state, 3, 4, 9, 14);
+        }
+        for (s, i) in state.iter_mut().zip(&input) {
+            *s = s.wrapping_add(*i);
+        }
+        assert_eq!(state[0], 0xE4E7_F110);
+        assert_eq!(state[1], 0x1559_3BD1);
+        assert_eq!(state[15], 0x4E3C_50A2);
+    }
+
+    #[test]
+    fn seeded_streams_are_deterministic_and_distinct() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn uniformity_smoke_test() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

@@ -67,8 +67,8 @@ pub struct CoarseSts {
 /// # Ok(())
 /// # }
 /// ```
-pub fn coarse_sts_end(streams: &[Vec<CQ15>]) -> Option<CoarseSts> {
-    let len = streams.iter().map(Vec::len).min()?;
+pub fn coarse_sts_end<S: AsRef<[CQ15]>>(streams: &[S]) -> Option<CoarseSts> {
+    let len = streams.iter().map(|s| s.as_ref().len()).min()?;
     if len < WINDOW + LAG {
         return None;
     }
@@ -81,10 +81,11 @@ pub fn coarse_sts_end(streams: &[Vec<CQ15>]) -> Option<CoarseSts> {
     // Precompute per-position lag products and energies incrementally.
     let mut corr = Cf64::ZERO;
     let mut energy = 0.0f64;
-    let term = |i: usize, n: usize, streams: &[Vec<CQ15>]| -> (Cf64, f64) {
+    let term = |i: usize, n: usize, streams: &[S]| -> (Cf64, f64) {
         let mut c = Cf64::ZERO;
         let mut e = 0.0;
         for s in streams {
+            let s = s.as_ref();
             let a = Cf64::from_fixed(s[n + i]);
             let b = Cf64::from_fixed(s[n + i + LAG]);
             c += a * b.conj();
@@ -214,6 +215,6 @@ mod tests {
     #[test]
     fn short_input_returns_none() {
         assert!(coarse_sts_end(&[vec![CQ15::ZERO; 10]]).is_none());
-        assert!(coarse_sts_end(&[]).is_none());
+        assert!(coarse_sts_end::<Vec<CQ15>>(&[]).is_none());
     }
 }

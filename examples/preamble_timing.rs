@@ -15,7 +15,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- The Fig 2 pattern. ---
     let sched = PreambleSchedule::new(4, cfg.fft_size());
     println!("== MIMO preamble pattern (Fig 2) ==");
-    println!("{:<6}{}", "", "time ->");
+    println!("{:<6}time ->", "");
     for tx in 0..4 {
         let mut lane = format!("TX {tx}  ");
         for slot in sched.slots() {
