@@ -2,8 +2,12 @@
 //!
 //! End-to-end `transmit_burst → IdealChannel → receive_burst` rate of
 //! the software model itself (bursts/sec and payload Mbit/s), at the
-//! paper's two named operating points, in both the serial and the
-//! parallel (4 scoped threads, one per spatial channel) schedules.
+//! paper's two named operating points, in three schedules: serial,
+//! parallel (4 scoped threads, one per spatial channel) and the
+//! batch-of-bursts `BurstPipeline` (persistent worker pool overlapping
+//! the antenna stage of burst *n+1* with the stream stage of burst
+//! *n*; on a 1-CPU host it degrades to the serial schedule, so its row
+//! then tracks the serial one).
 //!
 //! This is the trajectory metric for the ROADMAP's "as fast as the
 //! hardware allows" goal: the workspace + parallelism refactor is
@@ -19,7 +23,7 @@ use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use mimo_channel::{ChannelModel, IdealChannel};
-use mimo_core::{MimoReceiver, MimoTransmitter, PhyConfig};
+use mimo_core::{BurstPipeline, MimoReceiver, MimoTransmitter, PhyConfig};
 
 /// Payload for each burst: 2 KiB per stream keeps the Viterbi and FFT
 /// stages firmly in steady state.
@@ -50,6 +54,42 @@ fn measure_bursts_per_sec(cfg: &PhyConfig, budget: Duration) -> f64 {
         let decoded = rx.receive_burst(&received).expect("rx");
         criterion::black_box(decoded.payload.len());
         bursts += 1;
+    }
+    bursts as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Bursts per `process_batch` call in pipeline mode.
+const PIPELINE_BATCH: usize = 8;
+
+/// Batched pipeline measurement: bursts/sec including transmit and
+/// channel (like [`measure_bursts_per_sec`]), decoding through a
+/// [`BurstPipeline`] with the auto worker count.
+fn measure_pipeline_bursts_per_sec(cfg: &PhyConfig, budget: Duration) -> f64 {
+    let tx = MimoTransmitter::new(cfg.clone()).expect("config");
+    let mut pipe = BurstPipeline::new(cfg.clone()).expect("config");
+    let mut chan = IdealChannel::new(4);
+    let data = payload();
+    let make_batch = |chan: &mut IdealChannel| -> Vec<_> {
+        (0..PIPELINE_BATCH)
+            .map(|_| {
+                let burst = tx.transmit_burst(&data).expect("tx");
+                chan.propagate(&burst.streams)
+            })
+            .collect()
+    };
+    // Warm the workspace pool and pin correctness.
+    for result in pipe.process_batch(make_batch(&mut chan)) {
+        assert_eq!(result.expect("rx").payload, data, "loopback must be lossless");
+    }
+
+    let start = Instant::now();
+    let mut bursts = 0u64;
+    while start.elapsed() < budget || bursts < 3 {
+        let batch = make_batch(&mut chan);
+        for result in pipe.process_batch(batch) {
+            criterion::black_box(result.expect("rx").payload.len());
+        }
+        bursts += PIPELINE_BATCH as u64;
     }
     bursts as f64 / start.elapsed().as_secs_f64()
 }
@@ -113,13 +153,17 @@ fn bench(c: &mut Criterion) {
     for point in operating_points() {
         let serial = measure_bursts_per_sec(&point.cfg.clone().with_parallelism(false), budget);
         let parallel = measure_bursts_per_sec(&point.cfg.clone().with_parallelism(true), budget);
+        let pipeline = measure_pipeline_bursts_per_sec(&point.cfg, budget);
         eprintln!(
-            "{:<16} serial {serial:>8.2} bursts/s | parallel {parallel:>8.2} bursts/s | x{:.2}",
+            "{:<16} serial {serial:>8.2} bursts/s | parallel {parallel:>8.2} bursts/s (x{:.2}) | \
+             pipeline {pipeline:>8.2} bursts/s (x{:.2})",
             point.name,
-            parallel / serial
+            parallel / serial,
+            pipeline / serial
         );
         rows.push((point.name.to_string(), "serial".to_string(), serial));
         rows.push((point.name.to_string(), "parallel".to_string(), parallel));
+        rows.push((point.name.to_string(), "pipeline".to_string(), pipeline));
     }
     write_snapshot(&rows);
 

@@ -1,0 +1,160 @@
+//! **Experiment F10 — Viterbi ACS kernel throughput.**
+//!
+//! Decoded information bits per second of the two Viterbi backends —
+//! the reference scalar kernel and the radix-2 butterfly kernel (branch
+//! metric table + ping-pong `i32` rows + `u64` survivor bitmasks) — on
+//! terminated K=7 blocks at burst-representative sizes, with hard
+//! (±`HARD_LLR`) and noisy soft inputs.
+//!
+//! The ACS recursion is ~70 % of burst decode time in the software
+//! model, so this microbench isolates the kernel the `fig_sw_throughput`
+//! trajectory rides on. Alongside the criterion timings, the run writes
+//! a `BENCH_viterbi_acs.json` snapshot at the repo root so successive
+//! PRs can track the kernel in isolation.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mimo_coding::{
+    hard_to_llr, CodeSpec, ConvolutionalEncoder, Llr, ViterbiDecoder, ViterbiWorkspace,
+};
+use rand::Rng;
+use rand_chacha::{rand_core::SeedableRng, ChaCha8Rng};
+
+/// Info-block sizes: one OFDM-symbol-sized block and one full
+/// per-stream burst block (2 KiB payload per stream at the gigabit
+/// operating point).
+const BLOCK_BITS: [usize; 2] = [1152, 16384];
+
+/// Deterministic info bits.
+fn info_bits(n: usize) -> Vec<u8> {
+    (0..n).map(|i| ((i * 37 + 11) % 9 < 4) as u8).collect()
+}
+
+/// Encodes `info` and returns soft LLRs, optionally with seeded
+/// pseudo-noise so the trellis works for its living.
+fn coded_llrs(info: &[u8], noisy: bool) -> Vec<Llr> {
+    let mut enc = ConvolutionalEncoder::new(CodeSpec::ieee80211a());
+    let coded = enc.encode_terminated(info);
+    let mut soft: Vec<Llr> = coded.iter().map(|&b| hard_to_llr(b)).collect();
+    if noisy {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x9e3779b9);
+        for llr in soft.iter_mut() {
+            *llr += rng.gen_range(-50i32..51);
+        }
+    }
+    soft
+}
+
+/// Decoded info bits per second for one kernel over ~`budget` of wall
+/// time (at least 3 decodes).
+fn measure_bits_per_sec(
+    dec: &ViterbiDecoder,
+    soft: &[Llr],
+    info_len: usize,
+    scalar: bool,
+    budget: Duration,
+) -> f64 {
+    let mut ws = ViterbiWorkspace::new();
+    let mut out = Vec::new();
+    // Warm the workspace and pin correctness once per config.
+    run_kernel(dec, soft, scalar, &mut ws, &mut out);
+    assert_eq!(out.len(), info_len, "decode length mismatch");
+
+    let start = Instant::now();
+    let mut decodes = 0u64;
+    while start.elapsed() < budget || decodes < 3 {
+        run_kernel(dec, soft, scalar, &mut ws, &mut out);
+        criterion::black_box(out.len());
+        decodes += 1;
+    }
+    decodes as f64 * info_len as f64 / start.elapsed().as_secs_f64()
+}
+
+fn run_kernel(
+    dec: &ViterbiDecoder,
+    soft: &[Llr],
+    scalar: bool,
+    ws: &mut ViterbiWorkspace,
+    out: &mut Vec<u8>,
+) {
+    if scalar {
+        dec.decode_terminated_scalar_into(soft, ws, out).expect("decode");
+    } else {
+        dec.decode_terminated_into(soft, ws, out).expect("decode");
+    }
+}
+
+/// Writes the JSON snapshot consumed by future PRs' trajectory checks.
+fn write_snapshot(rows: &[(usize, &'static str, &'static str, f64)]) {
+    let mut entries = Vec::new();
+    for (block_bits, kernel, input, bps) in rows {
+        entries.push(format!(
+            "    {{\"block_bits\": {block_bits}, \"kernel\": \"{kernel}\", \
+             \"input\": \"{input}\", \"info_bits_per_sec\": {bps:.0}}}"
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"fig_viterbi_acs\",\n  \"code\": \"K=7 133/171 r=1/2\",\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_viterbi_acs.json");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        eprintln!("snapshot written to {path}");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let quick = std::env::var_os("QUICK_BENCH").is_some();
+    let budget = if quick {
+        Duration::from_millis(200)
+    } else {
+        Duration::from_secs(2)
+    };
+    let dec = ViterbiDecoder::new(CodeSpec::ieee80211a());
+
+    let mut rows = Vec::new();
+    eprintln!("\n=== F10: Viterbi ACS kernel throughput (decoded info bits/sec) ===");
+    for &bits in &BLOCK_BITS {
+        let info = info_bits(bits);
+        for (input, noisy) in [("hard", false), ("soft", true)] {
+            let soft = coded_llrs(&info, noisy);
+            let scalar = measure_bits_per_sec(&dec, &soft, bits, true, budget);
+            let bfly = measure_bits_per_sec(&dec, &soft, bits, false, budget);
+            eprintln!(
+                "{bits:>6}-bit block, {input}: scalar {:>7.2} Mbit/s | butterfly {:>7.2} Mbit/s | x{:.2}",
+                scalar / 1e6,
+                bfly / 1e6,
+                bfly / scalar
+            );
+            rows.push((bits, "scalar", input, scalar));
+            rows.push((bits, "butterfly", input, bfly));
+        }
+    }
+    write_snapshot(&rows);
+
+    // Criterion wrappers: per-block decode latency for both kernels.
+    let mut group = c.benchmark_group("fig10_viterbi_acs");
+    for &bits in &BLOCK_BITS {
+        let info = info_bits(bits);
+        let soft = coded_llrs(&info, true);
+        group.throughput(Throughput::Elements(bits as u64));
+        for (kernel, scalar) in [("scalar", true), ("butterfly", false)] {
+            let mut ws = ViterbiWorkspace::new();
+            let mut out = Vec::new();
+            group.bench_function(&format!("{bits}b/{kernel}"), |b| {
+                b.iter(|| {
+                    run_kernel(&dec, &soft, scalar, &mut ws, &mut out);
+                    out.len()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -17,8 +17,37 @@
 //! * [`Scrambler`] — the x⁷+x⁴+1 LFSR, plus
 //!   [`pilot_polarity`] for the pilot sequence.
 //! * [`bits`] — bit/byte packing helpers shared by the whole stack.
+//!
+//! # The butterfly ACS kernel
+//!
+//! The decode hot path is the Viterbi add-compare-select recursion —
+//! ~70 % of burst decode time in the software model, and the block the
+//! paper spends an entire pipelined ACS array on in hardware. The
+//! default backend (module `butterfly`, private) restructures the
+//! recursion the same way the silicon does:
+//!
+//! * one **branch-metric table** per trellis step (`2^n` correlations,
+//!   not `states × 2 × n`),
+//! * a **radix-2 butterfly** walk over state pairs `2j`/`2j+1` → `j`,
+//!   `j+S/2`, each butterfly sharing its two loaded path metrics
+//!   between both compare-selects — the software image of the paper's
+//!   ACS array,
+//! * **`i32` ping-pong metric rows** renormalized by a uniform shift
+//!   every 64 branches (the fixed-width rescale of a hardware ACS),
+//! * **one survivor bit per state per branch**, packed into `u64`
+//!   words (64-state K=7 ⇒ one word per branch — the survivor RAM), so
+//!   traceback is a shift-and-mask walk instead of a pointer chase.
+//!
+//! The scalar reference kernel is retained: the `decode_*_scalar*`
+//! methods always run it (differential testing), it serves as the
+//! automatic fallback for codes with more than 8 generators or LLRs
+//! beyond the `i32` exactness bound, and the `scalar-kernel` cargo
+//! feature forces it as the backend everywhere. Both kernels are
+//! bit-identical on every input the butterfly accepts — enforced by
+//! the property suite in `tests/proptests.rs`.
 
 pub mod bits;
+mod butterfly;
 mod conv;
 mod puncture;
 mod scrambler;

@@ -4,25 +4,55 @@
 //! The symbol demapper "can be set up to perform hard or soft symbol
 //! demapping", so the decoder accepts LLRs; hard decisions are just
 //! ±[`HARD_LLR`](crate::HARD_LLR).
+//!
+//! Two add-compare-select kernels back the public entry points:
+//!
+//! * The **butterfly kernel** ([`crate::butterfly`]) — the default: a
+//!   radix-2 ACS butterfly walk with a per-branch metric table, `i32`
+//!   ping-pong metric rows and one-bit-per-state survivor masks,
+//!   mirroring the paper's ACS array + survivor RAM. Roughly 4× the
+//!   decoded bits/sec of the scalar kernel (see the `fig_viterbi_acs`
+//!   bench).
+//! * The **scalar kernel** — the original per-state/per-input loop over
+//!   `i64` metrics, retained as the differential-testing reference
+//!   (`decode_*_scalar*` methods) and as the automatic fallback for
+//!   exotic codes (more than 8 generators) or absurd LLR magnitudes
+//!   (above `2^23 / n`, where `i32` path metrics could wrap). Building
+//!   with the `scalar-kernel` feature forces it everywhere.
+//!
+//! Both kernels make identical decisions (including tie-breaks), so
+//! their outputs are bit-identical — pinned by the crate's property
+//! suite.
 
+use crate::butterfly::{
+    best_state, fill_bm_table, normalize_row, ButterflyTrellis, NEG_INF_I32, NORM_INTERVAL,
+};
 use crate::{CodeSpec, CodingError, Llr};
 
-/// Preallocated working state for [`ViterbiDecoder`] — path metrics
-/// and a flat `branches × states` survivor matrix. One workspace per
-/// decoding thread lets the burst hot path decode with zero steady-state
-/// heap allocation: buffers grow to the largest block seen and are
-/// reused thereafter.
+/// Preallocated working state for [`ViterbiDecoder`] — metric rows and
+/// survivor memory for both kernels. One workspace per decoding thread
+/// lets the burst hot path decode with zero steady-state heap
+/// allocation: buffers grow to the largest block seen and are reused
+/// thereafter.
 #[derive(Debug, Clone, Default)]
 pub struct ViterbiWorkspace {
-    /// Path metrics for the current branch (one per state).
+    /// Scalar kernel: path metrics for the current branch.
     metrics: Vec<i64>,
-    /// Path metrics being built for the next branch.
+    /// Scalar kernel: path metrics being built for the next branch.
     next_metrics: Vec<i64>,
-    /// Flat survivor memory: `survivors[t * n_states + s]` packs the
-    /// predecessor state (upper bits) and the input bit (bit 0) of the
-    /// best path into state `s` at branch `t` — the software analogue
-    /// of the hardware survivor RAM.
+    /// Scalar kernel: flat survivor memory, `survivors[t * n_states +
+    /// s]` packing the predecessor state (upper bits) and input bit
+    /// (bit 0) of the best path into state `s` at branch `t`.
     survivors: Vec<u32>,
+    /// Butterfly kernel: current path-metric row (one `i32` per state).
+    row_cur: Vec<i32>,
+    /// Butterfly kernel: next path-metric row (ping-pong partner).
+    row_next: Vec<i32>,
+    /// Butterfly kernel: per-branch metric table (`2^n` entries).
+    bm: Vec<i32>,
+    /// Butterfly kernel: survivor bitmask words, `⌈states/64⌉` per
+    /// branch (one `u64` per branch for the 64-state K=7 code).
+    masks: Vec<u64>,
 }
 
 impl ViterbiWorkspace {
@@ -31,8 +61,8 @@ impl ViterbiWorkspace {
         Self::default()
     }
 
-    /// Ensures capacity for `n_branches` branches of `n_states` states.
-    fn prepare(&mut self, n_branches: usize, n_states: usize) {
+    /// Ensures scalar-kernel capacity for `n_branches × n_states`.
+    fn prepare_scalar(&mut self, n_branches: usize, n_states: usize) {
         self.metrics.clear();
         self.metrics.resize(n_states, NEG_INF);
         self.next_metrics.clear();
@@ -40,18 +70,31 @@ impl ViterbiWorkspace {
         self.survivors.clear();
         self.survivors.resize(n_branches * n_states, 0);
     }
+
+    /// Ensures butterfly-kernel capacity. Survivor words and the metric
+    /// table are fully overwritten by the recursion, so only the metric
+    /// rows are (re)initialized here.
+    fn prepare_butterfly(&mut self, n_branches: usize, bf: &ButterflyTrellis) {
+        let n_states = bf.n_states();
+        self.row_cur.clear();
+        self.row_cur.resize(n_states, NEG_INF_I32);
+        self.row_next.clear();
+        self.row_next.resize(n_states, NEG_INF_I32);
+        self.bm.resize(bf.table_len(), 0);
+        self.masks.resize(n_branches * bf.words_per_step(), 0);
+    }
 }
 
-/// Sentinel for an unreachable trellis state.
+/// Sentinel for an unreachable trellis state (scalar kernel).
 const NEG_INF: i64 = i64::MIN / 4;
 
-/// Packs a survivor entry: predecessor state and decided input bit.
+/// Packs a scalar-kernel survivor entry: predecessor state and input.
 #[inline]
 fn pack_survivor(prev_state: usize, input: u8) -> u32 {
     ((prev_state as u32) << 1) | u32::from(input)
 }
 
-/// Unpacks a survivor entry into `(prev_state, input)`.
+/// Unpacks a scalar-kernel survivor entry into `(prev_state, input)`.
 #[inline]
 fn unpack_survivor(packed: u32) -> (usize, u8) {
     ((packed >> 1) as usize, (packed & 1) as u8)
@@ -63,7 +106,8 @@ fn unpack_survivor(packed: u32) -> (usize, u8) {
 /// per branch and keeps the full survivor memory for an exact
 /// end-of-block traceback (the hardware equivalent uses a sliding
 /// traceback window; for the paper's burst sizes a full traceback is
-/// the exact limit of that architecture).
+/// the exact limit of that architecture). See the [module
+/// docs](self) for the two ACS kernels behind the public entry points.
 ///
 /// # Examples
 ///
@@ -88,6 +132,8 @@ pub struct ViterbiDecoder {
     spec: CodeSpec,
     /// For each state and input bit: (coded output, next state).
     transitions: Vec<[(u32, u32); 2]>,
+    /// Radix-2 butterfly tables (`None` for codes with > 8 outputs).
+    butterfly: Option<ButterflyTrellis>,
 }
 
 impl ViterbiDecoder {
@@ -97,12 +143,29 @@ impl ViterbiDecoder {
         let transitions = (0..n_states as u32)
             .map(|s| [spec.step(s, 0), spec.step(s, 1)])
             .collect();
-        Self { spec, transitions }
+        let butterfly = ButterflyTrellis::new(&spec);
+        Self {
+            spec,
+            transitions,
+            butterfly,
+        }
     }
 
     /// The code this decoder targets.
     pub fn spec(&self) -> &CodeSpec {
         &self.spec
+    }
+
+    /// The butterfly trellis to use for `soft`, or `None` when the
+    /// scalar fallback must run (forced by the `scalar-kernel` feature,
+    /// a code with too many generators, or LLR magnitudes beyond the
+    /// `i32` kernel's exactness bound).
+    #[inline]
+    fn butterfly_for(&self, soft: &[Llr]) -> Option<&ButterflyTrellis> {
+        if cfg!(feature = "scalar-kernel") {
+            return None;
+        }
+        self.butterfly.as_ref().filter(|bf| bf.safe_for(soft))
     }
 
     /// Decodes a zero-terminated block (encoded with
@@ -134,11 +197,33 @@ impl ViterbiDecoder {
         ws: &mut ViterbiWorkspace,
         out: &mut Vec<u8>,
     ) -> Result<(), CodingError> {
-        let flush = self.spec.constraint_length() - 1;
         self.decode_block_into(soft, true, ws, out)?;
+        self.strip_flush(soft.len(), out)
+    }
+
+    /// [`ViterbiDecoder::decode_terminated_into`] on the reference
+    /// scalar kernel, regardless of the default backend — the
+    /// differential-testing twin of the butterfly path.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`ViterbiDecoder::decode_terminated`].
+    pub fn decode_terminated_scalar_into(
+        &self,
+        soft: &[Llr],
+        ws: &mut ViterbiWorkspace,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodingError> {
+        self.decode_block_scalar_into(soft, true, ws, out)?;
+        self.strip_flush(soft.len(), out)
+    }
+
+    /// Removes the `K-1` trellis flush bits after a terminated decode.
+    fn strip_flush(&self, soft_len: usize, out: &mut Vec<u8>) -> Result<(), CodingError> {
+        let flush = self.spec.constraint_length() - 1;
         if out.len() < flush {
             return Err(CodingError::BadBlockLength {
-                got: soft.len(),
+                got: soft_len,
                 multiple: self.spec.outputs_per_input() * (flush + 1),
             });
         }
@@ -161,6 +246,19 @@ impl ViterbiDecoder {
         Ok(out)
     }
 
+    /// [`ViterbiDecoder::decode_stream`] on the reference scalar
+    /// kernel.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`ViterbiDecoder::decode_stream`].
+    pub fn decode_stream_scalar(&self, soft: &[Llr]) -> Result<Vec<u8>, CodingError> {
+        let mut ws = ViterbiWorkspace::new();
+        let mut out = Vec::new();
+        self.decode_block_scalar_into(soft, false, &mut ws, &mut out)?;
+        Ok(out)
+    }
+
     /// Decodes with a sliding traceback window of `window` branches —
     /// the architecture a hardware Viterbi core (the paper's "Viterbi
     /// decoder" entity with its 18,460 memory bits of survivor RAM)
@@ -176,6 +274,30 @@ impl ViterbiDecoder {
     /// Returns [`CodingError::BadBlockLength`] if the input is not a
     /// whole number of branches, or if `window` is zero.
     pub fn decode_windowed(&self, soft: &[Llr], window: usize) -> Result<Vec<u8>, CodingError> {
+        self.check_windowed(soft, window)?;
+        match self.butterfly_for(soft) {
+            Some(bf) => Ok(self.windowed_butterfly(bf, soft, window)),
+            None => Ok(self.windowed_scalar(soft, window)),
+        }
+    }
+
+    /// [`ViterbiDecoder::decode_windowed`] on the reference scalar
+    /// kernel.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`ViterbiDecoder::decode_windowed`].
+    pub fn decode_windowed_scalar(
+        &self,
+        soft: &[Llr],
+        window: usize,
+    ) -> Result<Vec<u8>, CodingError> {
+        self.check_windowed(soft, window)?;
+        Ok(self.windowed_scalar(soft, window))
+    }
+
+    /// Shared validation for the windowed entry points.
+    fn check_windowed(&self, soft: &[Llr], window: usize) -> Result<(), CodingError> {
         if window == 0 {
             return Err(CodingError::BadBlockLength {
                 got: 0,
@@ -189,21 +311,100 @@ impl ViterbiDecoder {
                 multiple: n_out,
             });
         }
+        Ok(())
+    }
+
+    /// Windowed decode on the butterfly kernel: the survivor ring holds
+    /// `window × ⌈states/64⌉` mask words — exactly the bounded survivor
+    /// RAM of the hardware core — and each commit walks it by
+    /// shift-and-mask.
+    fn windowed_butterfly(&self, bf: &ButterflyTrellis, soft: &[Llr], window: usize) -> Vec<u8> {
+        let n_out = self.spec.outputs_per_input();
+        let n_branches = soft.len() / n_out;
+        let n_states = bf.n_states();
+        let wps = bf.words_per_step();
+
+        let mut cur = vec![NEG_INF_I32; n_states];
+        cur[0] = 0;
+        let mut nxt = vec![NEG_INF_I32; n_states];
+        let mut bm = vec![0i32; bf.table_len()];
+        let mut ring = vec![0u64; window * wps];
+        let mut path = vec![0u8; window];
+        let mut filled = 0usize;
+        let mut decoded = Vec::with_capacity(n_branches);
+
+        // A borrowed view of the survivor ring for one traceback walk:
+        // back through the `filled` newest rows (newest row index
+        // `newest`), emitting the oldest `emit` decisions.
+        struct MaskRing<'a> {
+            bf: &'a ButterflyTrellis,
+            ring: &'a [u64],
+            wps: usize,
+            window: usize,
+        }
+        impl MaskRing<'_> {
+            fn emit(
+                &self,
+                filled: usize,
+                newest: usize,
+                metrics: &[i32],
+                emit: usize,
+                path: &mut [u8],
+                out: &mut Vec<u8>,
+            ) {
+                let mut state = best_state(metrics);
+                for back in 0..filled {
+                    let row = (newest + self.window - back) % self.window;
+                    let words = &self.ring[row * self.wps..(row + 1) * self.wps];
+                    let (bit, prev) = self.bf.traceback_state(state, words);
+                    path[filled - 1 - back] = bit;
+                    state = prev;
+                }
+                out.extend(&path[..emit.min(filled)]);
+            }
+        }
+
+        for t in 0..n_branches {
+            fill_bm_table(&soft[t * n_out..(t + 1) * n_out], &mut bm);
+            let row = t % window;
+            bf.acs_step(&bm, &cur, &mut nxt, &mut ring[row * wps..(row + 1) * wps]);
+            std::mem::swap(&mut cur, &mut nxt);
+            if (t + 1) % NORM_INTERVAL == 0 {
+                normalize_row(&mut cur);
+            }
+            filled += 1;
+            if filled == window {
+                // Commit the oldest decision and free its ring row.
+                let view = MaskRing { bf, ring: &ring, wps, window };
+                view.emit(filled, row, &cur, 1, &mut path, &mut decoded);
+                filled -= 1;
+            }
+        }
+        // Flush: final traceback from the best end state.
+        if filled > 0 {
+            let newest = (n_branches + window - 1) % window;
+            let view = MaskRing { bf, ring: &ring, wps, window };
+            view.emit(filled, newest, &cur, filled, &mut path, &mut decoded);
+        }
+        decoded
+    }
+
+    /// Windowed decode on the scalar kernel (the original
+    /// implementation, kept as the differential reference).
+    fn windowed_scalar(&self, soft: &[Llr], window: usize) -> Vec<u8> {
+        let n_out = self.spec.outputs_per_input();
         let n_branches = soft.len() / n_out;
         let n_states = self.spec.num_states();
 
         let mut metrics = vec![NEG_INF; n_states];
         metrics[0] = 0;
         let mut next_metrics = vec![NEG_INF; n_states];
-        // Flat survivor ring, `window × states` entries — exactly the
-        // bounded survivor RAM of the hardware core (row `t % window`
-        // holds branch `t`'s decisions).
+        // Flat survivor ring, `window × states` entries (row `t %
+        // window` holds branch `t`'s decisions).
         let mut ring = vec![0u32; window * n_states];
-        let mut filled = 0usize; // rows of the ring currently valid
+        let mut filled = 0usize;
         let mut decoded = Vec::with_capacity(n_branches);
 
-        // Walks back through the `filled` newest rows (newest row index
-        // `newest`), emitting the oldest `emit` decisions.
         let traceback_emit = |ring: &[u32],
                               filled: usize,
                               newest: usize,
@@ -256,22 +457,88 @@ impl ViterbiDecoder {
             std::mem::swap(&mut metrics, &mut next_metrics);
             filled += 1;
             if filled == window {
-                // Commit the oldest decision and free its ring row.
                 traceback_emit(&ring, filled, row, &metrics, 1, &mut decoded);
                 filled -= 1;
             }
         }
-        // Flush: final traceback from the best end state.
         if filled > 0 {
             let newest = (n_branches + window - 1) % window;
             traceback_emit(&ring, filled, newest, &metrics, filled, &mut decoded);
         }
-        Ok(decoded)
+        decoded
     }
 
-    /// Shared add-compare-select + traceback over the full block, into
-    /// caller-owned storage.
+    /// Full-block decode into caller-owned storage: validates, then
+    /// dispatches to the butterfly kernel (default) or the scalar
+    /// fallback.
     fn decode_block_into(
+        &self,
+        soft: &[Llr],
+        terminated: bool,
+        ws: &mut ViterbiWorkspace,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodingError> {
+        match self.butterfly_for(soft) {
+            Some(bf) => self.decode_block_butterfly_into(bf, soft, terminated, ws, out),
+            None => self.decode_block_scalar_into(soft, terminated, ws, out),
+        }
+    }
+
+    /// Butterfly-kernel add-compare-select + shift-and-mask traceback.
+    fn decode_block_butterfly_into(
+        &self,
+        bf: &ButterflyTrellis,
+        soft: &[Llr],
+        terminated: bool,
+        ws: &mut ViterbiWorkspace,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodingError> {
+        let n_out = self.spec.outputs_per_input();
+        if !soft.len().is_multiple_of(n_out) {
+            return Err(CodingError::BadBlockLength {
+                got: soft.len(),
+                multiple: n_out,
+            });
+        }
+        let n_branches = soft.len() / n_out;
+        let wps = bf.words_per_step();
+
+        ws.prepare_butterfly(n_branches, bf);
+        ws.row_cur[0] = 0;
+
+        for t in 0..n_branches {
+            fill_bm_table(&soft[t * n_out..(t + 1) * n_out], &mut ws.bm);
+            bf.acs_step(
+                &ws.bm,
+                &ws.row_cur,
+                &mut ws.row_next,
+                &mut ws.masks[t * wps..(t + 1) * wps],
+            );
+            std::mem::swap(&mut ws.row_cur, &mut ws.row_next);
+            if (t + 1) % NORM_INTERVAL == 0 {
+                normalize_row(&mut ws.row_cur);
+            }
+        }
+
+        // Traceback: one survivor bit per step selects the predecessor.
+        let mut state = if terminated {
+            0usize
+        } else {
+            best_state(&ws.row_cur)
+        };
+        out.clear();
+        out.resize(n_branches, 0);
+        for t in (0..n_branches).rev() {
+            let (bit, prev) = bf.traceback_state(state, &ws.masks[t * wps..(t + 1) * wps]);
+            out[t] = bit;
+            state = prev;
+        }
+        Ok(())
+    }
+
+    /// Scalar-kernel add-compare-select + traceback over the full
+    /// block, into caller-owned storage.
+    fn decode_block_scalar_into(
         &self,
         soft: &[Llr],
         terminated: bool,
@@ -289,7 +556,7 @@ impl ViterbiDecoder {
         let n_states = self.spec.num_states();
 
         // Path metrics: larger is better. Start locked to state 0.
-        ws.prepare(n_branches, n_states);
+        ws.prepare_scalar(n_branches, n_states);
         ws.metrics[0] = 0;
 
         for t in 0..n_branches {
@@ -512,6 +779,49 @@ mod tests {
         let info = vec![1, 1, 0, 1, 0, 0, 1, 0, 1, 1];
         let coded = enc.encode_terminated(&info);
         let soft: Vec<Llr> = coded.iter().map(|&b| hard_to_llr(b)).collect();
+        assert_eq!(dec.decode_terminated(&soft).unwrap(), info);
+    }
+
+    #[test]
+    fn butterfly_matches_scalar_on_noisy_block() {
+        // Direct differential check on one heavily corrupted block
+        // (the crate's property suite sweeps this much harder).
+        let spec = CodeSpec::ieee80211a();
+        let mut enc = ConvolutionalEncoder::new(spec.clone());
+        let dec = ViterbiDecoder::new(spec);
+        let info: Vec<u8> = (0..500).map(|i| ((i * 37 + 11) % 9 < 4) as u8).collect();
+        let coded = enc.encode_terminated(&info);
+        let mut soft: Vec<Llr> = coded.iter().map(|&b| hard_to_llr(b)).collect();
+        // Deterministic pseudo-noise, including sign flips and erasures.
+        let mut s = 0x9e3779b9u32;
+        for llr in soft.iter_mut() {
+            s ^= s << 13;
+            s ^= s >> 17;
+            s ^= s << 5;
+            *llr += (s % 101) as Llr - 50;
+        }
+        let mut ws = ViterbiWorkspace::new();
+        let mut fast = Vec::new();
+        let mut reference = Vec::new();
+        dec.decode_terminated_into(&soft, &mut ws, &mut fast).unwrap();
+        dec.decode_terminated_scalar_into(&soft, &mut ws, &mut reference)
+            .unwrap();
+        assert_eq!(fast, reference, "kernels disagree");
+    }
+
+    #[test]
+    fn extreme_llrs_fall_back_to_scalar_and_still_match() {
+        // Magnitudes beyond the i32 kernel's exactness bound must route
+        // to the scalar kernel transparently.
+        let spec = CodeSpec::ieee80211a();
+        let mut enc = ConvolutionalEncoder::new(spec.clone());
+        let dec = ViterbiDecoder::new(spec);
+        let info: Vec<u8> = (0..40).map(|i| (i % 5 == 2) as u8).collect();
+        let coded = enc.encode_terminated(&info);
+        let soft: Vec<Llr> = coded
+            .iter()
+            .map(|&b| if b == 0 { 1 << 28 } else { -(1 << 28) })
+            .collect();
         assert_eq!(dec.decode_terminated(&soft).unwrap(), info);
     }
 }

@@ -31,8 +31,24 @@ pub struct PhyConfig {
     code_rate: CodeRate,
     scramble: bool,
     soft_decoding: bool,
-    parallel: bool,
+    /// `None` = auto: parallel exactly when the host has more than one
+    /// CPU. `Some(x)` = explicit override from
+    /// [`PhyConfig::with_parallelism`].
+    parallel: Option<bool>,
     clock_hz: f64,
+}
+
+/// Cached `std::thread::available_parallelism()` (1 when unknown).
+/// Scoped-thread fan-out on a 1-CPU host is pure overhead — measurably
+/// *slower* than the serial schedule — so the auto mode consults this
+/// once per process.
+pub(crate) fn host_parallelism() -> usize {
+    static CACHED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CACHED.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
 }
 
 impl PhyConfig {
@@ -46,7 +62,7 @@ impl PhyConfig {
             code_rate: CodeRate::Half,
             scramble: true,
             soft_decoding: true,
-            parallel: true,
+            parallel: None,
             clock_hz: 100.0e6,
         }
     }
@@ -106,13 +122,23 @@ impl PhyConfig {
         self
     }
 
-    /// Enables or disables the scoped-thread fan-out of the four
-    /// spatial channels in `transmit_burst` / `receive_burst` (on by
-    /// default). Only effective when the `parallel` crate feature is
+    /// Explicitly enables or disables the scoped-thread fan-out of the
+    /// four spatial channels in `transmit_burst` / `receive_burst`,
+    /// overriding the default auto mode (parallel exactly when the
+    /// host has more than one CPU — fan-out on a 1-CPU host is pure
+    /// overhead). Only effective when the `parallel` crate feature is
     /// compiled in; both modes produce bit-identical results, mirroring
     /// the four independent hardware channel pipelines of the paper.
     pub fn with_parallelism(mut self, on: bool) -> Self {
-        self.parallel = on;
+        self.parallel = Some(on);
+        self
+    }
+
+    /// Restores the default auto parallelism mode: fan out exactly
+    /// when `std::thread::available_parallelism()` reports more than
+    /// one CPU.
+    pub fn with_auto_parallelism(mut self) -> Self {
+        self.parallel = None;
         self
     }
 
@@ -171,8 +197,15 @@ impl PhyConfig {
         self.soft_decoding
     }
 
-    /// Whether the per-stream hot paths run on scoped threads.
+    /// Whether the per-stream hot paths run on scoped threads: the
+    /// explicit [`PhyConfig::with_parallelism`] override when set,
+    /// otherwise auto (parallel exactly on multi-CPU hosts).
     pub fn parallelism(&self) -> bool {
+        self.parallel.unwrap_or_else(|| host_parallelism() > 1)
+    }
+
+    /// The explicit parallelism override, or `None` in auto mode.
+    pub fn parallelism_override(&self) -> Option<bool> {
         self.parallel
     }
 
@@ -271,6 +304,23 @@ mod tests {
         let a = PhyConfig::gigabit().with_fft_size(64).throughput_bps();
         let b = PhyConfig::gigabit().with_fft_size(512).throughput_bps();
         assert!((a - b).abs() < 1.0);
+    }
+
+    #[test]
+    fn auto_parallelism_tracks_host_cpus() {
+        let auto = PhyConfig::paper_synthesis();
+        assert_eq!(auto.parallelism_override(), None);
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        assert_eq!(auto.parallelism(), threads > 1);
+        // Explicit overrides win regardless of host shape.
+        assert!(PhyConfig::paper_synthesis().with_parallelism(true).parallelism());
+        assert!(!PhyConfig::paper_synthesis().with_parallelism(false).parallelism());
+        let restored = PhyConfig::paper_synthesis()
+            .with_parallelism(true)
+            .with_auto_parallelism();
+        assert_eq!(restored.parallelism_override(), None);
     }
 
     #[test]

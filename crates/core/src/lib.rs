@@ -12,6 +12,9 @@
 //!   → demap → deinterleave → Viterbi, ×4 channels.
 //! * [`SisoTransmitter`] / [`SisoReceiver`] — the 1×1 baseline system
 //!   the paper's resource comparisons reference.
+//! * [`BurstPipeline`] — persistent worker-pool batch receiver that
+//!   overlaps the antenna stage of burst *n+1* with the stream stage
+//!   of burst *n*, recycling workspaces through a pool.
 //! * [`LinkSimulation`] — end-to-end BER/PER measurement harness.
 //!
 //! # Workspace + parallelism architecture
@@ -41,7 +44,18 @@
 //!   corrections, demap, de-interleave and Viterbi. Each output cell
 //!   is computed by exactly one worker in a fixed order, so parallel
 //!   and serial schedules are **bit-identical** (asserted by the
-//!   `parallel_determinism` integration suite).
+//!   `parallel_determinism` integration suite). The default is *auto*:
+//!   fan-out engages only when `std::thread::available_parallelism()`
+//!   reports more than one CPU — on a 1-CPU host scoped threads are
+//!   pure overhead, so the serial schedule runs unless
+//!   `with_parallelism(true)` explicitly overrides.
+//! * **Batch-of-bursts pipelining.** [`BurstPipeline`] keeps a
+//!   persistent worker pool fed with whole-burst stages (the antenna
+//!   stage of burst *n+1* overlapping the stream stage of burst *n*),
+//!   recycles `RxWorkspace`s through a pool, scales past the four-way
+//!   per-burst fan-out on many-core hosts, and degrades to the serial
+//!   schedule on a single CPU — bit-identical to `receive_burst` in
+//!   every schedule (asserted by the `burst_pipeline` suite).
 //!
 //! Throughput of the software model is tracked by the
 //! `fig_sw_throughput` bench (`cargo bench -p mimo_bench --bench
@@ -71,6 +85,7 @@
 mod config;
 mod error;
 mod link;
+mod pipeline;
 mod rx;
 mod siso;
 mod tx;
@@ -79,6 +94,7 @@ mod workspace;
 pub use config::PhyConfig;
 pub use error::PhyError;
 pub use link::{BerPoint, LinkSimulation};
+pub use pipeline::{BurstPipeline, BurstStreams};
 pub use rx::{MimoReceiver, RxDiagnostics, RxResult};
 pub use siso::{SisoReceiver, SisoTransmitter};
 pub use tx::{MimoTransmitter, TxBurst};

@@ -15,6 +15,14 @@
 //! fan out across scoped threads and produce bit-identical results to
 //! the serial schedule, because every output cell is computed by
 //! exactly one worker in a fixed order.
+//!
+//! The two stages are also the receiver's pipeline seam: `front_stage`
+//! (sync + estimation + stage 1) and `back_stage` (stage 2 +
+//! reassembly) take the sync FSM and workspace as explicit arguments,
+//! so [`BurstPipeline`](crate::BurstPipeline) can overlap the front
+//! stage of burst *n+1* with the back stage of burst *n* across a
+//! persistent worker pool, running many bursts against one shared
+//! `&MimoReceiver`.
 
 use mimo_chanest::{ChannelEstimator, CordicQrd, FxMat4};
 use mimo_coding::{
@@ -64,6 +72,27 @@ pub struct RxResult {
     pub diagnostics: RxDiagnostics,
 }
 
+/// Mutable per-burst receiver state: the time-sync FSM and the scratch
+/// workspace. It lives apart from the receiver's immutable tables so
+/// the [`BurstPipeline`](crate::BurstPipeline) can run many states
+/// against one shared receiver across worker threads.
+#[derive(Debug, Clone)]
+pub(crate) struct RxState {
+    pub(crate) sync: TimeSynchronizer,
+    pub(crate) workspace: RxWorkspace,
+}
+
+/// Everything the front (antenna) stage hands the back (stream) stage:
+/// the sync detection, the inverted channel matrices and the payload
+/// symbol count. The gathered frequency-domain carriers travel in the
+/// workspace itself.
+#[derive(Debug, Clone)]
+pub(crate) struct FrontInfo {
+    pub(crate) event: SyncEvent,
+    pub(crate) h_inv: Vec<FxMat4>,
+    pub(crate) available: usize,
+}
+
 /// The 4×4 MIMO receiver: time sync → FFT ×4 → channel estimation
 /// (CORDIC QRD pipeline) → zero-forcing detection → pilot corrections
 /// → demap → deinterleave → Viterbi, per stream.
@@ -93,8 +122,9 @@ pub struct MimoReceiver {
     occ_bins: Vec<usize>,
     /// Logical subcarrier numbers of the pilots (for tau estimation).
     pilot_indices: Vec<i32>,
-    /// Preallocated hot-path scratch.
-    workspace: RxWorkspace,
+    /// Sync FSM + preallocated hot-path scratch. `Option` so a burst
+    /// can move it out while the stages borrow `&self`.
+    state: Option<RxState>,
 }
 
 impl MimoReceiver {
@@ -126,8 +156,7 @@ impl MimoReceiver {
         let (data_pos, pilot_pos, occupied) = carrier_positions(demodulator.map());
         let occ_bins = occupied.iter().map(|&l| demodulator.map().bin(l)).collect();
         let pilot_indices = pilot_pos.iter().map(|&p| occupied[p]).collect();
-        let workspace = RxWorkspace::new(&cfg, occupied.len(), pilot_pos.len());
-        Ok(Self {
+        let mut rx = Self {
             cfg,
             sync,
             demodulator,
@@ -145,8 +174,30 @@ impl MimoReceiver {
             occupied,
             occ_bins,
             pilot_indices,
-            workspace,
-        })
+            state: None,
+        };
+        rx.state = Some(rx.new_state());
+        Ok(rx)
+    }
+
+    /// Builds a fresh sync FSM + workspace pair for this receiver's
+    /// geometry (used at construction, after a mid-burst panic, and by
+    /// the [`BurstPipeline`](crate::BurstPipeline) workspace pool).
+    pub(crate) fn new_state(&self) -> RxState {
+        RxState {
+            sync: self.sync.clone(),
+            workspace: self.make_workspace(),
+        }
+    }
+
+    /// A workspace sized for this receiver's carrier geometry.
+    pub(crate) fn make_workspace(&self) -> RxWorkspace {
+        RxWorkspace::new(&self.cfg, self.occupied.len(), self.pilot_pos.len())
+    }
+
+    /// A fresh clone of the (never-mutated) sync-FSM prototype.
+    pub(crate) fn sync_prototype(&self) -> TimeSynchronizer {
+        self.sync.clone()
     }
 
     /// The configuration in use.
@@ -162,6 +213,35 @@ impl MimoReceiver {
     /// [`PhyError::TruncatedBurst`] when samples run out, and
     /// estimation/decoding errors otherwise.
     pub fn receive_burst(&mut self, streams: &[Vec<CQ15>]) -> Result<RxResult, PhyError> {
+        // The state leaves `self` for the duration of the burst so the
+        // per-channel workers can borrow it mutably while sharing
+        // `&self` (trellis tables, carrier maps, correctors). A panic
+        // mid-stage leaves `None` behind; rebuild in that case rather
+        // than indexing into zero-length slots.
+        let mut state = match self.state.take() {
+            Some(s) if s.workspace.antennas.len() == self.cfg.n_streams() => s,
+            _ => self.new_state(),
+        };
+        let parallel = self.parallel_enabled();
+        let result = self
+            .front_stage(&mut state.sync, &mut state.workspace, streams, parallel)
+            .and_then(|front| self.back_stage(&mut state.workspace, &front, parallel));
+        self.state = Some(state);
+        result
+    }
+
+    /// The front (antenna) stage of one burst: time sync, channel
+    /// estimation/inversion, then per-antenna FFT + carrier gather into
+    /// the workspace. `parallel` fans the antenna loop out across
+    /// scoped threads; the [`BurstPipeline`](crate::BurstPipeline)
+    /// passes `false` and overlaps whole stages across bursts instead.
+    pub(crate) fn front_stage(
+        &self,
+        sync: &mut TimeSynchronizer,
+        workspace: &mut RxWorkspace,
+        streams: &[Vec<CQ15>],
+        parallel: bool,
+    ) -> Result<FrontInfo, PhyError> {
         if streams.len() != 4 {
             return Err(PhyError::BadStreamCount {
                 expected: 4,
@@ -178,19 +258,19 @@ impl MimoReceiver {
         // can out-correlate a faded preamble). Fine: the paper's
         // 32-tap cross-correlator, scanned in a ±48-sample window
         // around the coarse estimate, best antenna wins. ---
-        self.sync.reset();
+        sync.reset();
         let event = match mimo_sync::coarse_sts_end(streams) {
             Some(coarse) => {
                 let lo = coarse.sts_end.saturating_sub(48);
                 let hi = coarse.sts_end + 48;
                 streams
                     .iter()
-                    .filter_map(|s| self.sync.scan_peak_window(s, lo, hi))
+                    .filter_map(|s| sync.scan_peak_window(s, lo, hi))
                     .max_by_key(|e| e.magnitude)
             }
             None => streams
                 .iter()
-                .filter_map(|s| self.sync.scan_peak(s))
+                .filter_map(|s| sync.scan_peak(s))
                 .max_by_key(|e| e.magnitude),
         }
         .ok_or(PhyError::SyncNotFound)?;
@@ -216,7 +296,7 @@ impl MimoReceiver {
         let estimate = self.estimator.estimate(&lts_views)?;
         let h_inv = estimate.invert_all(&self.qrd)?;
 
-        // --- Demodulate and detect payload symbols. ---
+        // --- Demodulate payload symbols. ---
         let data_start = lts0 + 4 * field;
         let sym_len = self.cfg.symbol_samples();
         let available = (shortest - data_start) / sym_len;
@@ -226,75 +306,10 @@ impl MimoReceiver {
                 available: shortest,
             });
         }
-
-        // The workspace leaves `self` for the duration of the payload
-        // stages so the per-channel workers can borrow it mutably while
-        // sharing `&self` (trellis tables, carrier maps, correctors).
-        // A panic mid-stage leaves the empty Default behind; rebuild in
-        // that case rather than indexing into zero-length slots.
-        let mut workspace = std::mem::take(&mut self.workspace);
-        if workspace.antennas.len() != self.cfg.n_streams() {
-            workspace = RxWorkspace::new(&self.cfg, self.occupied.len(), self.pilot_pos.len());
-        }
-        let stages =
-            self.demodulate_payload(&mut workspace, streams, &h_inv, data_start, available);
-        let result = stages.and_then(|()| {
-            // --- Reassemble: round-robin byte interleave. ---
-            let per_stream_bytes: Vec<&[u8]> = workspace
-                .streams
-                .iter()
-                .map(|ws| ws.bytes.as_slice())
-                .collect();
-            let total: usize = per_stream_bytes.iter().map(|b| b.len()).sum();
-            let mut payload = Vec::with_capacity(total);
-            let mut cursors = [0usize; 4];
-            for i in 0..total {
-                let s = i % 4;
-                let Some(&b) = per_stream_bytes[s].get(cursors[s]) else {
-                    return Err(PhyError::Decode(
-                        "stream lengths inconsistent with round-robin split".into(),
-                    ));
-                };
-                payload.push(b);
-                cursors[s] += 1;
-            }
-
-            let ws0 = &workspace.streams[0];
-            let evm_db = if ws0.evm_den > 0.0 && ws0.evm_num > 0.0 {
-                10.0 * (ws0.evm_num / ws0.evm_den).log10()
-            } else {
-                f64::NEG_INFINITY
-            };
-            Ok(RxResult {
-                payload,
-                diagnostics: RxDiagnostics {
-                    sync: event,
-                    evm_db,
-                    mean_phase_rad: ws0.phase_acc / available.max(1) as f64,
-                    n_symbols: available,
-                },
-            })
-        });
-        self.workspace = workspace;
-        result
-    }
-
-    /// The two-stage payload hot path over a borrowed workspace.
-    fn demodulate_payload(
-        &self,
-        workspace: &mut RxWorkspace,
-        streams: &[Vec<CQ15>],
-        h_inv: &[FxMat4],
-        data_start: usize,
-        available: usize,
-    ) -> Result<(), PhyError> {
-        let n = self.cfg.fft_size();
-        let sym_len = self.cfg.symbol_samples();
         let n_occ = self.occupied.len();
-        let parallel = self.parallel_enabled();
 
-        // Stage 1 — per antenna: FFT each payload symbol and gather
-        // the occupied carriers (one grow per burst, none per symbol).
+        // Per antenna: FFT each payload symbol and gather the occupied
+        // carriers (one grow per burst, none per symbol).
         let run_antenna = |a: usize,
                            ws: &mut crate::workspace::RxAntennaWorkspace|
          -> Result<(), PhyError> {
@@ -317,17 +332,66 @@ impl MimoReceiver {
         };
         run_four(parallel, &mut workspace.antennas, run_antenna)?;
 
-        // Stage 2 — per stream: detect row k, pilot corrections,
-        // demap, de-interleave, depuncture, Viterbi, header parse.
+        Ok(FrontInfo {
+            event,
+            h_inv,
+            available,
+        })
+    }
+
+    /// The back (stream) stage of one burst: per-stream zero-forcing
+    /// detection, pilot corrections, demap, de-interleave, depuncture,
+    /// Viterbi and header parse over the carriers the front stage
+    /// gathered, then the round-robin payload reassembly.
+    pub(crate) fn back_stage(
+        &self,
+        workspace: &mut RxWorkspace,
+        front: &FrontInfo,
+        parallel: bool,
+    ) -> Result<RxResult, PhyError> {
+        let available = front.available;
         let RxWorkspace {
             antennas,
             streams: stream_ws,
         } = workspace;
         let freq: [&[CQ15]; 4] = std::array::from_fn(|a| antennas[a].freq_occ.as_slice());
         let run_stream = |k: usize, ws: &mut RxStreamWorkspace| -> Result<(), PhyError> {
-            self.run_stream_pipeline(k, ws, &freq, h_inv, available)
+            self.run_stream_pipeline(k, ws, &freq, &front.h_inv, available)
         };
-        run_four(parallel, stream_ws, run_stream)
+        run_four(parallel, stream_ws, run_stream)?;
+
+        // --- Reassemble: round-robin byte interleave. ---
+        let per_stream_bytes: Vec<&[u8]> =
+            stream_ws.iter().map(|ws| ws.bytes.as_slice()).collect();
+        let total: usize = per_stream_bytes.iter().map(|b| b.len()).sum();
+        let mut payload = Vec::with_capacity(total);
+        let mut cursors = [0usize; 4];
+        for i in 0..total {
+            let s = i % 4;
+            let Some(&b) = per_stream_bytes[s].get(cursors[s]) else {
+                return Err(PhyError::Decode(
+                    "stream lengths inconsistent with round-robin split".into(),
+                ));
+            };
+            payload.push(b);
+            cursors[s] += 1;
+        }
+
+        let ws0 = &stream_ws[0];
+        let evm_db = if ws0.evm_den > 0.0 && ws0.evm_num > 0.0 {
+            10.0 * (ws0.evm_num / ws0.evm_den).log10()
+        } else {
+            f64::NEG_INFINITY
+        };
+        Ok(RxResult {
+            payload,
+            diagnostics: RxDiagnostics {
+                sync: front.event,
+                evm_db,
+                mean_phase_rad: ws0.phase_acc / available.max(1) as f64,
+                n_symbols: available,
+            },
+        })
     }
 
     /// Whether this burst should fan out across scoped threads.
