@@ -15,6 +15,12 @@
 //! writes a `BENCH_sw_throughput.json` snapshot at the repo root so
 //! successive PRs can track it.
 //!
+//! With the rate-agile API the snapshot also carries the rate-grid
+//! extremes (`mcs_bpsk_r12`, `mcs_qam64_r34`): bursts transmitted via
+//! `transmit_burst_with` and decoded through the SIGNAL-field
+//! auto-rate path, so header parse + per-burst datapath selection are
+//! inside the measured loop.
+//!
 //! Note: the parallel-over-serial ratio is only meaningful on a
 //! multi-core host (the snapshot records `host_threads`); on a 1-CPU
 //! container both modes measure the same work.
@@ -23,7 +29,7 @@ use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use mimo_channel::{ChannelModel, IdealChannel};
-use mimo_core::{BurstPipeline, MimoReceiver, MimoTransmitter, PhyConfig};
+use mimo_core::{BurstPipeline, Mcs, MimoReceiver, MimoTransmitter, PhyConfig};
 
 /// Payload for each burst: 2 KiB per stream keeps the Viterbi and FFT
 /// stages firmly in steady state.
@@ -34,14 +40,20 @@ fn payload() -> Vec<u8> {
 }
 
 /// One timed measurement: bursts/sec over roughly `budget` of wall
-/// time (at least 3 bursts).
-fn measure_bursts_per_sec(cfg: &PhyConfig, budget: Duration) -> f64 {
+/// time (at least 3 bursts). With `mcs`, bursts go through the
+/// rate-agile path (`transmit_burst_with` + SIGNAL auto-rate decode);
+/// without, through the default-rate wrappers.
+fn measure_bursts_per_sec(cfg: &PhyConfig, mcs: Option<Mcs>, budget: Duration) -> f64 {
     let tx = MimoTransmitter::new(cfg.clone()).expect("config");
     let mut rx = MimoReceiver::new(cfg.clone()).expect("config");
     let mut chan = IdealChannel::new(4);
     let data = payload();
+    let send = |tx: &MimoTransmitter| match mcs {
+        Some(mcs) => tx.transmit_burst_with(mcs, &data).expect("tx"),
+        None => tx.transmit_burst(&data).expect("tx"),
+    };
     // Warm the workspaces (first burst grows every buffer).
-    let burst = tx.transmit_burst(&data).expect("tx");
+    let burst = send(&tx);
     let received = chan.propagate(&burst.streams);
     let decoded = rx.receive_burst(&received).expect("rx");
     assert_eq!(decoded.payload, data, "loopback must be lossless");
@@ -49,7 +61,7 @@ fn measure_bursts_per_sec(cfg: &PhyConfig, budget: Duration) -> f64 {
     let start = Instant::now();
     let mut bursts = 0u64;
     while start.elapsed() < budget || bursts < 3 {
-        let burst = tx.transmit_burst(&data).expect("tx");
+        let burst = send(&tx);
         let received = chan.propagate(&burst.streams);
         let decoded = rx.receive_burst(&received).expect("rx");
         criterion::black_box(decoded.payload.len());
@@ -151,8 +163,10 @@ fn bench(c: &mut Criterion) {
     let mut rows = Vec::new();
     eprintln!("\n=== F9: software burst throughput ({PAYLOAD_BYTES}-byte payloads) ===");
     for point in operating_points() {
-        let serial = measure_bursts_per_sec(&point.cfg.clone().with_parallelism(false), budget);
-        let parallel = measure_bursts_per_sec(&point.cfg.clone().with_parallelism(true), budget);
+        let serial =
+            measure_bursts_per_sec(&point.cfg.clone().with_parallelism(false), None, budget);
+        let parallel =
+            measure_bursts_per_sec(&point.cfg.clone().with_parallelism(true), None, budget);
         let pipeline = measure_pipeline_bursts_per_sec(&point.cfg, budget);
         eprintln!(
             "{:<16} serial {serial:>8.2} bursts/s | parallel {parallel:>8.2} bursts/s (x{:.2}) | \
@@ -164,6 +178,26 @@ fn bench(c: &mut Criterion) {
         rows.push((point.name.to_string(), "serial".to_string(), serial));
         rows.push((point.name.to_string(), "parallel".to_string(), parallel));
         rows.push((point.name.to_string(), "pipeline".to_string(), pipeline));
+    }
+
+    // Rate-grid extremes through the auto-rate hot path: the slowest
+    // (most symbols) and fastest (fewest symbols) rows the SIGNAL
+    // field can select.
+    let base = PhyConfig::paper_synthesis();
+    for (name, mcs) in [
+        ("mcs_bpsk_r12", Mcs::Bpsk12),
+        ("mcs_qam64_r34", Mcs::Qam64R34),
+    ] {
+        let serial =
+            measure_bursts_per_sec(&base.clone().with_parallelism(false), Some(mcs), budget);
+        let parallel =
+            measure_bursts_per_sec(&base.clone().with_parallelism(true), Some(mcs), budget);
+        eprintln!(
+            "{name:<16} serial {serial:>8.2} bursts/s | parallel {parallel:>8.2} bursts/s (x{:.2})",
+            parallel / serial
+        );
+        rows.push((name.to_string(), "serial".to_string(), serial));
+        rows.push((name.to_string(), "parallel".to_string(), parallel));
     }
     write_snapshot(&rows);
 

@@ -66,6 +66,30 @@ pub fn hamming_distance(a: &[u8], b: &[u8]) -> usize {
     a.iter().zip(b).filter(|(x, y)| x != y).count()
 }
 
+/// CRC-8 (polynomial x⁸+x²+x+1 = 0x07, initial value 0xFF) over a bit
+/// stream in transmission order — the frame-header check of the
+/// SIGNAL field. The nonzero initial value guarantees an all-zero
+/// header (e.g. a silent antenna decoded as zeros) fails the check.
+///
+/// # Examples
+///
+/// ```
+/// use mimo_coding::bits::crc8_bits;
+/// // All-zero input must not produce an all-zero CRC.
+/// assert_ne!(crc8_bits(&[0; 20]), 0);
+/// ```
+pub fn crc8_bits(bits: &[u8]) -> u8 {
+    let mut crc: u8 = 0xFF;
+    for &bit in bits {
+        let fed = (crc >> 7) ^ (bit & 1);
+        crc <<= 1;
+        if fed != 0 {
+            crc ^= 0x07;
+        }
+    }
+    crc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,5 +116,24 @@ mod tests {
     fn hamming() {
         assert_eq!(hamming_distance(&[0, 1, 1], &[0, 1, 1]), 0);
         assert_eq!(hamming_distance(&[0, 1, 1], &[1, 1, 0]), 2);
+    }
+
+    #[test]
+    fn crc8_detects_single_bit_flips() {
+        let msg: Vec<u8> = (0..20).map(|i| ((i * 7) % 3 == 0) as u8).collect();
+        let good = crc8_bits(&msg);
+        for flip in 0..msg.len() {
+            let mut bad = msg.clone();
+            bad[flip] ^= 1;
+            assert_ne!(crc8_bits(&bad), good, "flip at {flip} undetected");
+        }
+    }
+
+    #[test]
+    fn crc8_known_answer_is_stable() {
+        // Pinned so the SIGNAL-field golden vector cannot drift.
+        assert_eq!(crc8_bits(&[]), 0xFF);
+        assert_eq!(crc8_bits(&[1]), 0xFE);
+        assert_eq!(crc8_bits(&[0]), 0xFE ^ 0x07);
     }
 }

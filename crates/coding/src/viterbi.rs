@@ -106,8 +106,8 @@ fn unpack_survivor(packed: u32) -> (usize, u8) {
 /// per branch and keeps the full survivor memory for an exact
 /// end-of-block traceback (the hardware equivalent uses a sliding
 /// traceback window; for the paper's burst sizes a full traceback is
-/// the exact limit of that architecture). See the [module
-/// docs](self) for the two ACS kernels behind the public entry points.
+/// the exact limit of that architecture). See the `viterbi` module
+/// source docs for the two ACS kernels behind the public entry points.
 ///
 /// # Examples
 ///

@@ -1,42 +1,20 @@
-//! Transceiver configuration: the synthesis-time generics of the
-//! paper's design.
+//! Transceiver configuration, split along the rate-agile seam:
+//!
+//! * [`LinkGeometry`] — the **static** parameter set fixed at
+//!   synthesis/link-bringup time (streams, FFT size, clock, processing
+//!   options). Transmitters and receivers are built from this alone.
+//! * [`crate::BurstParams`] — the **per-burst** parameter set (MCS +
+//!   payload length), carried over the air in the SIGNAL-field header.
+//! * [`PhyConfig`] — the original monolithic view (geometry + a
+//!   default rate), kept as a thin wrapper so single-rate callers and
+//!   the paper's named operating points keep working unchanged.
 
 use mimo_coding::CodeRate;
 use mimo_modem::Modulation;
 
 use crate::error::PhyError;
-
-/// Configuration of the baseband transceiver.
-///
-/// The paper's entities are parameterized "prior to logic synthesis":
-/// data-path width, code rate, puncture pattern, modulation (mapper LUT
-/// width), FFT size and the number of antennas. This struct is that
-/// parameter set.
-///
-/// # Examples
-///
-/// ```
-/// use mimo_core::PhyConfig;
-///
-/// let cfg = PhyConfig::gigabit();
-/// // 4 streams × 48 carriers × 6 bits × 3/4 over an 80-sample symbol
-/// // at 100 MHz = 1.08 Gbps: the paper's headline.
-/// assert!(cfg.throughput_bps() > 1.0e9);
-/// ```
-#[derive(Debug, Clone, PartialEq)]
-pub struct PhyConfig {
-    n_streams: usize,
-    fft_size: usize,
-    modulation: Modulation,
-    code_rate: CodeRate,
-    scramble: bool,
-    soft_decoding: bool,
-    /// `None` = auto: parallel exactly when the host has more than one
-    /// CPU. `Some(x)` = explicit override from
-    /// [`PhyConfig::with_parallelism`].
-    parallel: Option<bool>,
-    clock_hz: f64,
-}
+use crate::mcs::Mcs;
+use crate::signal::{FLUSH_BITS, SIGNAL_BITS};
 
 /// Cached `std::thread::available_parallelism()` (1 when unknown).
 /// Scoped-thread fan-out on a 1-CPU host is pure overhead — measurably
@@ -51,37 +29,59 @@ pub(crate) fn host_parallelism() -> usize {
     })
 }
 
-impl PhyConfig {
-    /// The configuration of the paper's synthesis tables (Tables 1–4):
-    /// 4×4 MIMO, 16-QAM, rate 1/2, 64-point OFDM.
-    pub fn paper_synthesis() -> Self {
+/// The static link geometry: everything the paper's entities fix
+/// "prior to logic synthesis" that does **not** change per burst —
+/// spatial streams, FFT size, baseband clock, and the link-level
+/// processing options (scrambling, soft decoding, parallelism).
+///
+/// A receiver built from a `LinkGeometry` alone decodes bursts at
+/// every [`Mcs`] in the table, learning each burst's rate from its
+/// SIGNAL-field header.
+///
+/// # Examples
+///
+/// ```
+/// use mimo_core::{LinkGeometry, Mcs, MimoReceiver};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let geom = LinkGeometry::mimo();
+/// // No modulation, no code rate: the receiver is rate-agnostic.
+/// let rx = MimoReceiver::from_geometry(geom)?;
+/// assert_eq!(rx.geometry().n_streams(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkGeometry {
+    n_streams: usize,
+    fft_size: usize,
+    clock_hz: f64,
+    scramble: bool,
+    soft_decoding: bool,
+    /// `None` = auto: parallel exactly when the host has more than one
+    /// CPU. `Some(x)` = explicit override.
+    parallel: Option<bool>,
+}
+
+impl LinkGeometry {
+    /// The paper's 4×4 MIMO geometry: 64-point OFDM at the 100 MHz
+    /// achieved clock.
+    pub fn mimo() -> Self {
         Self {
             n_streams: 4,
             fft_size: 64,
-            modulation: Modulation::Qam16,
-            code_rate: CodeRate::Half,
+            clock_hz: 100.0e6,
             scramble: true,
             soft_decoding: true,
             parallel: None,
-            clock_hz: 100.0e6,
         }
     }
 
-    /// The 1 Gbps headline operating point: 4×4 MIMO, 64-QAM, rate 3/4,
-    /// 64-point OFDM at the 100 MHz achieved clock.
-    pub fn gigabit() -> Self {
-        Self {
-            modulation: Modulation::Qam64,
-            code_rate: CodeRate::ThreeQuarters,
-            ..Self::paper_synthesis()
-        }
-    }
-
-    /// The SISO baseline system (1×1) at the paper's synthesis point.
+    /// The 1×1 SISO baseline geometry.
     pub fn siso() -> Self {
         Self {
             n_streams: 1,
-            ..Self::paper_synthesis()
+            ..Self::mimo()
         }
     }
 
@@ -97,19 +97,14 @@ impl PhyConfig {
         self
     }
 
-    /// Sets the modulation scheme.
-    pub fn with_modulation(mut self, m: Modulation) -> Self {
-        self.modulation = m;
+    /// Sets the baseband clock in Hz.
+    pub fn with_clock_hz(mut self, hz: f64) -> Self {
+        self.clock_hz = hz;
         self
     }
 
-    /// Sets the code rate.
-    pub fn with_code_rate(mut self, r: CodeRate) -> Self {
-        self.code_rate = r;
-        self
-    }
-
-    /// Enables or disables the data scrambler.
+    /// Enables or disables the data scrambler (the SIGNAL field is
+    /// never scrambled regardless).
     pub fn with_scrambling(mut self, on: bool) -> Self {
         self.scramble = on;
         self
@@ -123,26 +118,20 @@ impl PhyConfig {
     }
 
     /// Explicitly enables or disables the scoped-thread fan-out of the
-    /// four spatial channels in `transmit_burst` / `receive_burst`,
-    /// overriding the default auto mode (parallel exactly when the
-    /// host has more than one CPU — fan-out on a 1-CPU host is pure
-    /// overhead). Only effective when the `parallel` crate feature is
-    /// compiled in; both modes produce bit-identical results, mirroring
-    /// the four independent hardware channel pipelines of the paper.
+    /// spatial channels, overriding the default auto mode (parallel
+    /// exactly when the host has more than one CPU).
     pub fn with_parallelism(mut self, on: bool) -> Self {
         self.parallel = Some(on);
         self
     }
 
-    /// Restores the default auto parallelism mode: fan out exactly
-    /// when `std::thread::available_parallelism()` reports more than
-    /// one CPU.
+    /// Restores the default auto parallelism mode.
     pub fn with_auto_parallelism(mut self) -> Self {
         self.parallel = None;
         self
     }
 
-    /// Validates the configuration.
+    /// Validates the geometry.
     ///
     /// # Errors
     ///
@@ -177,14 +166,9 @@ impl PhyConfig {
         self.fft_size
     }
 
-    /// Modulation scheme.
-    pub fn modulation(&self) -> Modulation {
-        self.modulation
-    }
-
-    /// Channel code rate.
-    pub fn code_rate(&self) -> CodeRate {
-        self.code_rate
+    /// Baseband clock (= sample rate), Hz. The paper achieves 100 MHz.
+    pub fn clock_hz(&self) -> f64 {
+        self.clock_hz
     }
 
     /// Whether the data scrambler is enabled.
@@ -198,7 +182,7 @@ impl PhyConfig {
     }
 
     /// Whether the per-stream hot paths run on scoped threads: the
-    /// explicit [`PhyConfig::with_parallelism`] override when set,
+    /// explicit [`LinkGeometry::with_parallelism`] override when set,
     /// otherwise auto (parallel exactly on multi-CPU hosts).
     pub fn parallelism(&self) -> bool {
         self.parallel.unwrap_or_else(|| host_parallelism() > 1)
@@ -209,24 +193,9 @@ impl PhyConfig {
         self.parallel
     }
 
-    /// Baseband clock (= sample rate), Hz. The paper achieves 100 MHz.
-    pub fn clock_hz(&self) -> f64 {
-        self.clock_hz
-    }
-
     /// Data carriers per OFDM symbol (48 per 64-point unit).
     pub fn data_carriers(&self) -> usize {
         48 * self.fft_size / 64
-    }
-
-    /// Coded bits per OFDM symbol per stream (N_CBPS).
-    pub fn coded_bits_per_symbol(&self) -> usize {
-        self.data_carriers() * self.modulation.bits_per_symbol()
-    }
-
-    /// Information bits per OFDM symbol per stream (N_DBPS).
-    pub fn info_bits_per_symbol(&self) -> usize {
-        self.coded_bits_per_symbol() * self.code_rate.numerator() / self.code_rate.denominator()
     }
 
     /// Samples per OFDM symbol on air (N + N/4).
@@ -240,17 +209,270 @@ impl PhyConfig {
         self.symbol_samples() as f64 / self.clock_hz
     }
 
-    /// Aggregate information throughput in bits per second:
-    /// streams × N_DBPS / symbol duration. This is the arithmetic
-    /// behind the paper's 1 Gbps claim.
-    pub fn throughput_bps(&self) -> f64 {
-        (self.n_streams * self.info_bits_per_symbol()) as f64 / self.symbol_duration_s()
+    /// Information bits per SIGNAL-field symbol: the header is always
+    /// BPSK r=1/2, so N_DBPS is half the data-carrier count.
+    pub(crate) fn header_info_bits_per_symbol(&self) -> usize {
+        Mcs::most_robust().info_bits_per_symbol(self)
+    }
+
+    /// OFDM symbols the SIGNAL-field header occupies on stream 0 (2 at
+    /// the paper's 64-point geometry, 1 from 128 points up). Every
+    /// burst starts with exactly this many header symbols.
+    pub fn header_symbols(&self) -> usize {
+        (SIGNAL_BITS + FLUSH_BITS).div_ceil(self.header_info_bits_per_symbol())
     }
 }
 
-impl Default for PhyConfig {
+impl Default for LinkGeometry {
     fn default() -> Self {
-        Self::paper_synthesis()
+        Self::mimo()
+    }
+}
+
+/// Configuration of the baseband transceiver: a [`LinkGeometry`] plus
+/// a *default* modulation and code rate.
+///
+/// The paper's entities are parameterized "prior to logic synthesis";
+/// this struct is that parameter set, kept API-compatible from before
+/// the rate-agile split. The modulation/code-rate pair only selects
+/// the **default** [`Mcs`] that [`crate::MimoTransmitter::transmit_burst`]
+/// uses — receivers ignore it entirely and learn each burst's rate
+/// from the SIGNAL-field header.
+///
+/// # Examples
+///
+/// ```
+/// use mimo_core::PhyConfig;
+///
+/// let cfg = PhyConfig::gigabit();
+/// // 4 streams × 48 carriers × 6 bits × 3/4 over an 80-sample symbol
+/// // at 100 MHz = 1.08 Gbps: the paper's headline.
+/// assert!(cfg.throughput_bps() > 1.0e9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PhyConfig {
+    geometry: LinkGeometry,
+    modulation: Modulation,
+    code_rate: CodeRate,
+}
+
+impl PhyConfig {
+    /// The configuration of the paper's synthesis tables (Tables 1–4):
+    /// 4×4 MIMO, 16-QAM, rate 1/2, 64-point OFDM.
+    pub fn paper_synthesis() -> Self {
+        Self {
+            geometry: LinkGeometry::mimo(),
+            modulation: Modulation::Qam16,
+            code_rate: CodeRate::Half,
+        }
+    }
+
+    /// The 1 Gbps headline operating point: 4×4 MIMO, 64-QAM, rate 3/4,
+    /// 64-point OFDM at the 100 MHz achieved clock.
+    pub fn gigabit() -> Self {
+        Self {
+            modulation: Modulation::Qam64,
+            code_rate: CodeRate::ThreeQuarters,
+            ..Self::paper_synthesis()
+        }
+    }
+
+    /// The SISO baseline system (1×1) at the paper's synthesis point.
+    pub fn siso() -> Self {
+        Self {
+            geometry: LinkGeometry::siso(),
+            ..Self::paper_synthesis()
+        }
+    }
+
+    /// Builds a configuration from a geometry; the default modulation
+    /// and code rate are the paper's synthesis point (16-QAM r=1/2).
+    /// Use [`PhyConfig::with_mcs`] to pick a different default.
+    pub fn from_geometry(geometry: LinkGeometry) -> Self {
+        Self {
+            geometry,
+            ..Self::paper_synthesis()
+        }
+    }
+
+    /// The static link geometry.
+    pub fn geometry(&self) -> &LinkGeometry {
+        &self.geometry
+    }
+
+    /// Sets the number of spatial streams (1 or 4).
+    pub fn with_streams(mut self, n: usize) -> Self {
+        self.geometry = self.geometry.with_streams(n);
+        self
+    }
+
+    /// Sets the FFT size (64, 128, 256 or 512).
+    pub fn with_fft_size(mut self, n: usize) -> Self {
+        self.geometry = self.geometry.with_fft_size(n);
+        self
+    }
+
+    /// Sets the default modulation scheme.
+    pub fn with_modulation(mut self, m: Modulation) -> Self {
+        self.modulation = m;
+        self
+    }
+
+    /// Sets the default code rate.
+    pub fn with_code_rate(mut self, r: CodeRate) -> Self {
+        self.code_rate = r;
+        self
+    }
+
+    /// Sets both the default modulation and code rate from a table
+    /// entry.
+    pub fn with_mcs(mut self, mcs: Mcs) -> Self {
+        self.modulation = mcs.modulation();
+        self.code_rate = mcs.code_rate();
+        self
+    }
+
+    /// Enables or disables the data scrambler.
+    pub fn with_scrambling(mut self, on: bool) -> Self {
+        self.geometry = self.geometry.with_scrambling(on);
+        self
+    }
+
+    /// Selects soft (true) or hard (false) demapping into the Viterbi
+    /// decoder.
+    pub fn with_soft_decoding(mut self, on: bool) -> Self {
+        self.geometry = self.geometry.with_soft_decoding(on);
+        self
+    }
+
+    /// Explicitly enables or disables the scoped-thread fan-out of the
+    /// four spatial channels in `transmit_burst` / `receive_burst`,
+    /// overriding the default auto mode (parallel exactly when the
+    /// host has more than one CPU — fan-out on a 1-CPU host is pure
+    /// overhead). Only effective when the `parallel` crate feature is
+    /// compiled in; both modes produce bit-identical results, mirroring
+    /// the four independent hardware channel pipelines of the paper.
+    pub fn with_parallelism(mut self, on: bool) -> Self {
+        self.geometry = self.geometry.with_parallelism(on);
+        self
+    }
+
+    /// Restores the default auto parallelism mode: fan out exactly
+    /// when `std::thread::available_parallelism()` reports more than
+    /// one CPU.
+    pub fn with_auto_parallelism(mut self) -> Self {
+        self.geometry = self.geometry.with_auto_parallelism();
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhyError::BadConfig`] describing the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), PhyError> {
+        self.geometry.validate()
+    }
+
+    /// The [`Mcs`] table entry matching this configuration's default
+    /// modulation × code rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhyError::BadConfig`] when the pair is not a table
+    /// row (e.g. 64-QAM r=1/2): such points can still be *analyzed*
+    /// ([`PhyConfig::throughput_bps`]) but not transmitted, because
+    /// the SIGNAL field cannot signal them.
+    pub fn mcs(&self) -> Result<Mcs, PhyError> {
+        Mcs::from_parts(self.modulation, self.code_rate).ok_or_else(|| {
+            PhyError::BadConfig(format!(
+                "{} at rate {} is not an MCS table entry; see Mcs::ALL",
+                self.modulation, self.code_rate
+            ))
+        })
+    }
+
+    /// Number of spatial streams.
+    pub fn n_streams(&self) -> usize {
+        self.geometry.n_streams()
+    }
+
+    /// FFT size.
+    pub fn fft_size(&self) -> usize {
+        self.geometry.fft_size()
+    }
+
+    /// Default modulation scheme.
+    pub fn modulation(&self) -> Modulation {
+        self.modulation
+    }
+
+    /// Default channel code rate.
+    pub fn code_rate(&self) -> CodeRate {
+        self.code_rate
+    }
+
+    /// Whether the data scrambler is enabled.
+    pub fn scramble(&self) -> bool {
+        self.geometry.scramble()
+    }
+
+    /// Whether soft demapping feeds the Viterbi decoder.
+    pub fn soft_decoding(&self) -> bool {
+        self.geometry.soft_decoding()
+    }
+
+    /// Whether the per-stream hot paths run on scoped threads: the
+    /// explicit [`PhyConfig::with_parallelism`] override when set,
+    /// otherwise auto (parallel exactly on multi-CPU hosts).
+    pub fn parallelism(&self) -> bool {
+        self.geometry.parallelism()
+    }
+
+    /// The explicit parallelism override, or `None` in auto mode.
+    pub fn parallelism_override(&self) -> Option<bool> {
+        self.geometry.parallelism_override()
+    }
+
+    /// Baseband clock (= sample rate), Hz. The paper achieves 100 MHz.
+    pub fn clock_hz(&self) -> f64 {
+        self.geometry.clock_hz()
+    }
+
+    /// Data carriers per OFDM symbol (48 per 64-point unit).
+    pub fn data_carriers(&self) -> usize {
+        self.geometry.data_carriers()
+    }
+
+    /// Coded bits per OFDM symbol per stream (N_CBPS) at the default
+    /// rate.
+    pub fn coded_bits_per_symbol(&self) -> usize {
+        self.data_carriers() * self.modulation.bits_per_symbol()
+    }
+
+    /// Information bits per OFDM symbol per stream (N_DBPS) at the
+    /// default rate.
+    pub fn info_bits_per_symbol(&self) -> usize {
+        self.coded_bits_per_symbol() * self.code_rate.numerator() / self.code_rate.denominator()
+    }
+
+    /// Samples per OFDM symbol on air (N + N/4).
+    pub fn symbol_samples(&self) -> usize {
+        self.geometry.symbol_samples()
+    }
+
+    /// OFDM symbol duration in seconds at the configured clock
+    /// (one sample per cycle).
+    pub fn symbol_duration_s(&self) -> f64 {
+        self.geometry.symbol_duration_s()
+    }
+
+    /// Aggregate information throughput in bits per second at the
+    /// default rate: streams × N_DBPS / symbol duration. This is the
+    /// arithmetic behind the paper's 1 Gbps claim.
+    pub fn throughput_bps(&self) -> f64 {
+        (self.n_streams() * self.info_bits_per_symbol()) as f64 / self.symbol_duration_s()
     }
 }
 
@@ -268,6 +490,9 @@ mod tests {
         assert_eq!(cfg.info_bits_per_symbol(), 96);
         // 4 × 96 bits / 800 ns = 480 Mbps.
         assert!((cfg.throughput_bps() - 480.0e6).abs() < 1.0);
+        // And the default rates are table members.
+        assert_eq!(cfg.mcs().unwrap(), Mcs::Qam16R12);
+        assert_eq!(PhyConfig::gigabit().mcs().unwrap(), Mcs::Qam64R34);
     }
 
     #[test]
@@ -299,11 +524,28 @@ mod tests {
     }
 
     #[test]
+    fn off_table_pairs_are_analyzable_but_not_signalable() {
+        let cfg = PhyConfig::paper_synthesis()
+            .with_modulation(Modulation::Qam64)
+            .with_code_rate(CodeRate::Half);
+        assert!(cfg.throughput_bps() > 0.0);
+        assert!(matches!(cfg.mcs(), Err(PhyError::BadConfig(_))));
+    }
+
+    #[test]
     fn throughput_independent_of_fft_size() {
         // Carriers and symbol duration scale together.
         let a = PhyConfig::gigabit().with_fft_size(64).throughput_bps();
         let b = PhyConfig::gigabit().with_fft_size(512).throughput_bps();
         assert!((a - b).abs() < 1.0);
+    }
+
+    #[test]
+    fn header_occupies_two_symbols_at_64_points_one_beyond() {
+        assert_eq!(LinkGeometry::mimo().header_symbols(), 2);
+        assert_eq!(LinkGeometry::mimo().with_fft_size(128).header_symbols(), 1);
+        assert_eq!(LinkGeometry::mimo().with_fft_size(512).header_symbols(), 1);
+        assert_eq!(LinkGeometry::siso().header_symbols(), 2);
     }
 
     #[test]
@@ -327,5 +569,6 @@ mod tests {
     fn validation_rejects_bad_configs() {
         assert!(PhyConfig::paper_synthesis().with_streams(2).validate().is_err());
         assert!(PhyConfig::paper_synthesis().with_fft_size(96).validate().is_err());
+        assert!(LinkGeometry::mimo().with_clock_hz(0.0).validate().is_err());
     }
 }

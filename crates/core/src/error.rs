@@ -4,7 +4,12 @@ use std::error::Error;
 use std::fmt;
 
 /// Errors produced by the transceiver.
+///
+/// Marked `#[non_exhaustive]`: downstream matches must carry a
+/// wildcard arm, so future burst-format errors (new SIGNAL fields,
+/// new impairment rejections) are not breaking changes.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum PhyError {
     /// Invalid configuration (message describes the constraint).
     BadConfig(String),
@@ -31,9 +36,28 @@ pub enum PhyError {
         /// Samples available.
         available: usize,
     },
+    /// The SIGNAL-field frame header failed its CRC-8 check: the
+    /// header was corrupted in flight, so neither the burst's rate nor
+    /// its length can be trusted and no payload is decoded.
+    HeaderCrc {
+        /// CRC recomputed over the received rate/length fields.
+        expected: u8,
+        /// CRC carried in the received header.
+        got: u8,
+    },
+    /// The SIGNAL-field rate index passed its CRC but is not a row of
+    /// the MCS table (a reserved index, or a peer speaking a newer
+    /// table revision).
+    UnsupportedMcs {
+        /// The rate index received over the air.
+        index: u8,
+        /// Entries in this receiver's table (valid indices are
+        /// `0..table_len`).
+        table_len: u8,
+    },
     /// Channel estimation / inversion failed.
     Estimation(String),
-    /// Decoding failed (length header implausible or coding error).
+    /// Decoding failed (frame fields implausible or coding error).
     Decode(String),
 }
 
@@ -51,6 +75,14 @@ impl fmt::Display for PhyError {
             PhyError::TruncatedBurst { needed, available } => {
                 write!(f, "burst truncated: need {needed} samples, have {available}")
             }
+            PhyError::HeaderCrc { expected, got } => write!(
+                f,
+                "SIGNAL header CRC mismatch: computed {expected:#04x}, received {got:#04x}"
+            ),
+            PhyError::UnsupportedMcs { index, table_len } => write!(
+                f,
+                "SIGNAL rate index {index} is outside the MCS table (valid: 0..{table_len})"
+            ),
             PhyError::Estimation(msg) => write!(f, "channel estimation failed: {msg}"),
             PhyError::Decode(msg) => write!(f, "decode failed: {msg}"),
         }
@@ -104,6 +136,12 @@ mod tests {
         let err = PhyError::PayloadTooLarge { got: 9000, max: 4096 };
         assert!(err.to_string().contains("9000"));
         assert!(PhyError::SyncNotFound.to_string().contains("preamble"));
+        let crc = PhyError::HeaderCrc { expected: 0xAB, got: 0x12 };
+        assert!(crc.to_string().contains("0xab"), "{crc}");
+        assert!(crc.to_string().contains("0x12"), "{crc}");
+        let mcs = PhyError::UnsupportedMcs { index: 12, table_len: 8 };
+        assert!(mcs.to_string().contains("12"), "{mcs}");
+        assert!(mcs.to_string().contains("0..8"), "{mcs}");
     }
 
     #[test]

@@ -1,21 +1,55 @@
 //! The 4×4 MIMO-OFDM baseband transceiver — the paper's primary
-//! contribution, assembled from the subsystem crates.
+//! contribution, assembled from the subsystem crates and redesigned
+//! around a **rate-agile control plane**: the rate is a property of
+//! each burst, not of the transceiver.
 //!
-//! * [`PhyConfig`] — the synthesis-time parameter set (streams, FFT
-//!   size, modulation, code rate) with the paper's named operating
-//!   points ([`PhyConfig::paper_synthesis`], [`PhyConfig::gigabit`]).
+//! # The rate-agile API
+//!
+//! * [`LinkGeometry`] — the **static** link parameters (streams, FFT
+//!   size, clock, processing options). Transmitters, receivers and
+//!   pipelines are built from this alone.
+//! * [`Mcs`] — the typed modulation-and-coding table (BPSK r=1/2
+//!   through 64-QAM r=3/4) the SIGNAL-field rate index selects, with
+//!   [`Mcs::data_rate_bps`]/[`Mcs::bits_per_symbol`] derived methods.
+//! * [`BurstParams`] — the **per-burst** parameters (MCS + payload
+//!   length), carried over the air in the SIGNAL-field frame header
+//!   (see [`signal`]): stream 0's first data symbol(s), always at the
+//!   most robust MCS, holding the rate index, payload length and a
+//!   CRC-8.
+//! * [`PhyConfig`] — the original monolithic view (geometry + default
+//!   rate), kept as a thin wrapper so single-rate callers and the
+//!   paper's named operating points
+//!   ([`PhyConfig::paper_synthesis`], [`PhyConfig::gigabit`]) keep
+//!   working unchanged.
+//!
+//! Transmission picks a rate per burst
+//! ([`MimoTransmitter::transmit_burst_with`]); reception needs no rate
+//! at all — [`MimoReceiver::receive_burst`] parses the SIGNAL field
+//! before payload decode, so a receiver built from [`LinkGeometry`]
+//! recovers bursts **with no prior knowledge of the TX rate**, and a
+//! corrupted header surfaces as a typed [`PhyError::HeaderCrc`] /
+//! [`PhyError::UnsupportedMcs`] instead of garbage payload.
+//!
+//! # The chains
+//!
 //! * [`MimoTransmitter`] — Fig 1: scramble → convolutional encode →
 //!   puncture → interleave → map → IFFT → cyclic prefix, ×4 channels,
-//!   plus the Fig 2 staggered preamble.
+//!   plus the Fig 2 staggered preamble and the SIGNAL header.
 //! * [`MimoReceiver`] — Fig 5: time sync → FFT ×4 → channel estimate
-//!   (QRD pipeline) → zero-forcing detect → pilot phase/timing correct
-//!   → demap → deinterleave → Viterbi, ×4 channels.
+//!   (QRD pipeline) → SIGNAL parse → zero-forcing detect → pilot
+//!   phase/timing correct → demap → deinterleave → Viterbi, ×4
+//!   channels at the announced rate.
 //! * [`SisoTransmitter`] / [`SisoReceiver`] — the 1×1 baseline system
-//!   the paper's resource comparisons reference.
+//!   the paper's resource comparisons reference, sharing the same
+//!   burst framing.
 //! * [`BurstPipeline`] — persistent worker-pool batch receiver that
 //!   overlaps the antenna stage of burst *n+1* with the stream stage
-//!   of burst *n*, recycling workspaces through a pool.
-//! * [`LinkSimulation`] — end-to-end BER/PER measurement harness.
+//!   of burst *n*, recycling workspaces through a pool; batches may
+//!   freely mix rates, and [`BurstPipeline::process_batch_ref`]
+//!   decodes borrowed stream views without copying.
+//! * [`LinkSimulation`] — end-to-end BER/PER measurement harness, with
+//!   [`LinkSimulation::sweep_mcs`] covering the whole rate grid
+//!   through one transceiver pair.
 //!
 //! # Workspace + parallelism architecture
 //!
@@ -23,61 +57,66 @@
 //! running in true hardware parallelism with fixed-size memories.
 //! This crate mirrors both properties in software:
 //!
-//! * **Zero-allocation hot paths.** Both chains own preallocated
-//!   scratch workspaces sized from [`PhyConfig`] (FFT frames, ping-pong
-//!   interleaver blocks, demapper LLR buffers, Viterbi survivor
-//!   memory). Every per-symbol stage calls the subsystem crates'
-//!   in-place `_into` APIs (`FixedFft::fft_into`,
-//!   `SymbolDemapper::soft_demap_into`,
-//!   `BlockInterleaver::deinterleave_into`,
-//!   `ViterbiDecoder::decode_terminated_into`, …), so the steady-state
-//!   payload loops of `transmit_burst`/`receive_burst` perform no heap
-//!   allocation; burst-length-dependent buffers grow once per burst
-//!   and keep their capacity. LTS training samples are consumed as
-//!   borrowed views straight from the receive streams — nothing is
-//!   copied.
+//! * **Zero-allocation hot paths at every rate.** Both chains own
+//!   preallocated scratch workspaces sized from [`LinkGeometry`] at
+//!   the **max-MCS envelope** (64-QAM's N_CBPS), and per-burst rate
+//!   reconfiguration is an index into a prebuilt bank of datapath kits
+//!   (mapper LUT, demapper thresholds, interleaver permutation — one
+//!   per [`Mcs`] row, the software analogue of the hardware holding
+//!   every LUT and multiplexing on the rate field). Every per-symbol
+//!   stage calls the subsystem crates' in-place `_into` APIs, so the
+//!   steady-state payload loops of `transmit_burst_with` /
+//!   `receive_burst` perform no heap allocation at any MCS;
+//!   burst-length-dependent buffers grow once per burst and keep
+//!   their capacity. (For single-kit embeddings the subsystem crates
+//!   also support in-place re-init: `SymbolMapper::reconfigure`,
+//!   `BlockInterleaver::reconfigure`.)
 //! * **Per-channel fan-out.** With the `parallel` feature (default
 //!   on) and [`PhyConfig::with_parallelism`], the transmitter runs one
 //!   scoped thread per spatial channel, and the receiver runs two
 //!   parallel stages: per-antenna FFT + carrier gather, then
 //!   per-stream zero-forcing detection (row `k` of `H⁻¹·r`), pilot
-//!   corrections, demap, de-interleave and Viterbi. Each output cell
-//!   is computed by exactly one worker in a fixed order, so parallel
-//!   and serial schedules are **bit-identical** (asserted by the
-//!   `parallel_determinism` integration suite). The default is *auto*:
-//!   fan-out engages only when `std::thread::available_parallelism()`
-//!   reports more than one CPU — on a 1-CPU host scoped threads are
-//!   pure overhead, so the serial schedule runs unless
-//!   `with_parallelism(true)` explicitly overrides.
+//!   corrections, demap, de-interleave and Viterbi. The SIGNAL parse
+//!   runs between the stages on the already-gathered carriers. Each
+//!   output cell is computed by exactly one worker in a fixed order,
+//!   so parallel and serial schedules are **bit-identical** (asserted
+//!   by the `parallel_determinism` integration suite). The default is
+//!   *auto*: fan-out engages only when
+//!   `std::thread::available_parallelism()` reports more than one CPU.
 //! * **Batch-of-bursts pipelining.** [`BurstPipeline`] keeps a
-//!   persistent worker pool fed with whole-burst stages (the antenna
-//!   stage of burst *n+1* overlapping the stream stage of burst *n*),
-//!   recycles `RxWorkspace`s through a pool, scales past the four-way
-//!   per-burst fan-out on many-core hosts, and degrades to the serial
-//!   schedule on a single CPU — bit-identical to `receive_burst` in
-//!   every schedule (asserted by the `burst_pipeline` suite).
+//!   persistent worker pool fed with whole-burst stages, recycles
+//!   `RxWorkspace`s through a pool, decodes mixed-rate batches on one
+//!   pool, and degrades to the serial schedule on a single CPU —
+//!   bit-identical to `receive_burst` in every schedule (asserted by
+//!   the `burst_pipeline` and `signal_field` suites).
 //!
 //! Throughput of the software model is tracked by the
 //! `fig_sw_throughput` bench (`cargo bench -p mimo_bench --bench
-//! fig_sw_throughput`), which measures end-to-end bursts/sec in both
-//! schedules at both named operating points and snapshots the result
-//! to `BENCH_sw_throughput.json` at the repo root.
+//! fig_sw_throughput`), which measures end-to-end bursts/sec at the
+//! paper's named operating points **and at the rate-grid extremes**
+//! (BPSK r=1/2, 64-QAM r=3/4 via the auto-rate path), snapshotting to
+//! `BENCH_sw_throughput.json` at the repo root.
 //!
 //! # Examples
 //!
+//! Two bursts at different rates through one rate-agnostic receiver:
+//!
 //! ```
-//! use mimo_core::{MimoReceiver, MimoTransmitter, PhyConfig};
+//! use mimo_core::{LinkGeometry, Mcs, MimoReceiver, MimoTransmitter, PhyConfig};
 //! use mimo_channel::{ChannelModel, IdealChannel};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let cfg = PhyConfig::paper_synthesis();
-//! let tx = MimoTransmitter::new(cfg.clone())?;
-//! let mut rx = MimoReceiver::new(cfg)?;
+//! let tx = MimoTransmitter::new(PhyConfig::paper_synthesis())?;
+//! let mut rx = MimoReceiver::from_geometry(LinkGeometry::mimo())?;
 //! let payload: Vec<u8> = (0..100).map(|i| (i * 7) as u8).collect();
-//! let burst = tx.transmit_burst(&payload)?;
-//! let received = IdealChannel::new(4).propagate(&burst.streams);
-//! let decoded = rx.receive_burst(&received)?;
-//! assert_eq!(decoded.payload, payload);
+//!
+//! for mcs in [Mcs::Qpsk12, Mcs::Qam64R34] {
+//!     let burst = tx.transmit_burst_with(mcs, &payload)?;
+//!     let received = IdealChannel::new(4).propagate(&burst.streams);
+//!     let decoded = rx.receive_burst(&received)?;
+//!     assert_eq!(decoded.payload, payload);
+//!     assert_eq!(decoded.diagnostics.mcs, mcs);
+//! }
 //! # Ok(())
 //! # }
 //! ```
@@ -85,20 +124,20 @@
 mod config;
 mod error;
 mod link;
+mod mcs;
 mod pipeline;
+mod rates;
 mod rx;
+pub mod signal;
 mod siso;
 mod tx;
 mod workspace;
 
-pub use config::PhyConfig;
+pub use config::{LinkGeometry, PhyConfig};
 pub use error::PhyError;
 pub use link::{BerPoint, LinkSimulation};
+pub use mcs::{BurstParams, Mcs};
 pub use pipeline::{BurstPipeline, BurstStreams};
 pub use rx::{MimoReceiver, RxDiagnostics, RxResult};
 pub use siso::{SisoReceiver, SisoTransmitter};
 pub use tx::{MimoTransmitter, TxBurst};
-
-/// Pilot-polarity sequence index of the first data symbol (index 0 is
-/// the SIGNAL-field position in the 802.11a numbering).
-pub(crate) const DATA_PILOT_START: usize = 1;

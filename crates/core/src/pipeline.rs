@@ -30,6 +30,15 @@
 //! **bit-identical** to `receive_burst` for any batch size and any
 //! worker count; `tests/burst_pipeline.rs` pins this.
 //!
+//! The pipeline is **rate-agile**: every burst announces its own MCS
+//! in its SIGNAL-field header, so a single pool decodes mixed-rate
+//! batches — the back stage of each burst selects its datapath kit
+//! from the shared receiver's rate table, and the recycled workspaces
+//! are sized for the max-MCS envelope. Callers holding borrowed
+//! stream views (e.g. slices into a ring buffer) can use
+//! [`BurstPipeline::process_batch_ref`], which decodes without
+//! copying on a per-batch scoped crew instead of the persistent pool.
+//!
 //! # Examples
 //!
 //! ```
@@ -131,8 +140,10 @@ impl Shared {
     }
 }
 
-/// The persistent worker-pool burst pipeline (see the [module
-/// docs](self)).
+/// The persistent worker-pool burst pipeline: batch-of-bursts
+/// reception with front/back stage overlap, workspace recycling,
+/// mixed-rate batches and a serial fallback (see the `pipeline`
+/// module source docs for the full scheduling discipline).
 pub struct BurstPipeline {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
@@ -164,6 +175,18 @@ impl BurstPipeline {
             1
         };
         Self::with_workers(cfg, auto)
+    }
+
+    /// Builds a pipeline from the static link geometry alone — like
+    /// [`MimoReceiver::from_geometry`], nothing rate-dependent is
+    /// needed up front; every burst in every batch announces its own
+    /// rate.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`BurstPipeline::new`].
+    pub fn from_geometry(geometry: crate::LinkGeometry) -> Result<Self, PhyError> {
+        Self::new(PhyConfig::from_geometry(geometry))
     }
 
     /// Builds a pipeline with an explicit worker count. `workers <= 1`
@@ -228,7 +251,7 @@ impl BurstPipeline {
         if self.workers.is_empty() {
             return bursts
                 .into_iter()
-                .map(|b| self.process_serial(&b))
+                .map(|b| self.process_serial(b.as_slice()))
                 .collect();
         }
         let n = bursts.len();
@@ -264,11 +287,83 @@ impl BurstPipeline {
             .collect()
     }
 
+    /// Decodes a batch of **borrowed** bursts — any per-stream sample
+    /// container, e.g. `&[&[CQ15]]` views into a capture buffer —
+    /// without copying a sample. The persistent pool cannot hold
+    /// non-`'static` borrows, so this path runs a scoped worker crew
+    /// (one whole burst per worker, work-stealing by index) sharing
+    /// the pool's receiver and workspace pool; with no workers it runs
+    /// serially in the caller. Results are bit-identical to
+    /// [`BurstPipeline::process_batch`] and to `receive_burst`, burst
+    /// for burst.
+    pub fn process_batch_ref<B, S>(&mut self, bursts: &[B]) -> Vec<Result<RxResult, PhyError>>
+    where
+        B: AsRef<[S]> + Sync,
+        S: AsRef<[CQ15]> + Sync,
+    {
+        if self.workers.is_empty() || bursts.len() <= 1 {
+            return bursts
+                .iter()
+                .map(|b| self.process_serial(b.as_ref()))
+                .collect();
+        }
+        let n_workers = self.workers.len().min(bursts.len());
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let results: Vec<Mutex<Option<Result<RxResult, PhyError>>>> =
+            (0..bursts.len()).map(|_| Mutex::new(None)).collect();
+        let shared = &self.shared;
+        std::thread::scope(|scope| {
+            for _ in 0..n_workers {
+                scope.spawn(|| {
+                    let mut sync = shared.rx.sync_prototype();
+                    let mut ws = shared.take_ws();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(burst) = bursts.get(i) else { break };
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            shared
+                                .rx
+                                .front_stage(&mut sync, &mut ws, burst.as_ref(), false)
+                                .and_then(|front| shared.rx.back_stage(&mut ws, &front, false))
+                        }));
+                        let result = outcome.unwrap_or_else(|_| {
+                            // The workspace may be mid-mutation;
+                            // replace it, mirroring the pool's
+                            // drop-on-panic rule.
+                            ws = shared.rx.make_workspace();
+                            Err(PhyError::Decode("receiver stage panicked".into()))
+                        });
+                        *results[i]
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(result);
+                    }
+                    shared
+                        .ws_pool
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .push(ws);
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .expect("every burst index was claimed by a worker")
+            })
+            .collect()
+    }
+
     /// Decodes one burst on the calling thread (the 1-CPU schedule):
     /// front then back, same code — and the same per-burst panic
     /// isolation — as the pool path, reusing the pipeline's serial
-    /// state.
-    fn process_serial(&mut self, burst: &BurstStreams) -> Result<RxResult, PhyError> {
+    /// state. Generic over the stream container so borrowed views
+    /// decode without copying.
+    fn process_serial<S>(&mut self, burst: &[S]) -> Result<RxResult, PhyError>
+    where
+        S: AsRef<[CQ15]> + Sync,
+    {
         let outcome = {
             let rx = &self.shared.rx;
             let st = &mut self.serial_state;
@@ -312,7 +407,7 @@ fn worker_loop(shared: &Shared) {
     loop {
         enum Job {
             Front(usize, Arc<BurstStreams>),
-            Back(BackJob),
+            Back(Box<BackJob>),
         }
         let job = {
             let mut q = shared
@@ -324,7 +419,7 @@ fn worker_loop(shared: &Shared) {
                     return;
                 }
                 if let Some(b) = q.back.pop_front() {
-                    break Job::Back(b);
+                    break Job::Back(Box::new(b));
                 }
                 if let Some((idx, burst)) = q.front.pop_front() {
                     break Job::Front(idx, burst);
@@ -361,7 +456,8 @@ fn worker_loop(shared: &Shared) {
                     ),
                 }
             }
-            Job::Back(BackJob { idx, front, mut ws }) => {
+            Job::Back(job) => {
+                let BackJob { idx, front, mut ws } = *job;
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
                     shared.rx.back_stage(&mut ws, &front, false)
                 }));

@@ -1,0 +1,117 @@
+//! The per-MCS datapath kit bank.
+//!
+//! The paper's hardware holds the mapper ROM contents for *every*
+//! address width and multiplexes among them with the rate field; the
+//! software model mirrors that with a [`RateTable`]: one prebuilt
+//! [`RateKit`] (mapper LUT, demapper thresholds, interleaver
+//! permutation) per [`Mcs`] row, built once from the link geometry.
+//! Per-burst rate changes are then a table index — no allocation, no
+//! LUT rebuild — which is what keeps the steady-state payload loops
+//! zero-allocation even across mixed-rate batches.
+//!
+//! (The subsystem crates also support in-place re-init —
+//! `SymbolMapper::reconfigure`, `BlockInterleaver::reconfigure` — for
+//! embeddings that would rather hold one kit and rewrite it per burst;
+//! the table trades a few KiB of memory for never paying that rebuild
+//! on the hot path.)
+
+use mimo_interleave::BlockInterleaver;
+use mimo_modem::{SymbolDemapper, SymbolMapper};
+
+use crate::config::LinkGeometry;
+use crate::error::PhyError;
+use crate::mcs::Mcs;
+
+/// The rate-dependent datapath pieces for one MCS table row.
+#[derive(Debug, Clone)]
+pub(crate) struct RateKit {
+    pub(crate) mcs: Mcs,
+    pub(crate) mapper: SymbolMapper,
+    pub(crate) demapper: SymbolDemapper,
+    pub(crate) interleaver: BlockInterleaver,
+}
+
+impl RateKit {
+    fn new(mcs: Mcs, geometry: &LinkGeometry) -> Result<Self, PhyError> {
+        let mapper = SymbolMapper::new(mcs.modulation())?;
+        let demapper = SymbolDemapper::matched_to(&mapper);
+        let interleaver = BlockInterleaver::new(
+            mcs.coded_bits_per_symbol(geometry),
+            mcs.bits_per_symbol(),
+        )?;
+        Ok(Self {
+            mcs,
+            mapper,
+            demapper,
+            interleaver,
+        })
+    }
+
+    /// Coded bits per OFDM symbol at this kit's rate (the interleaver
+    /// block size).
+    pub(crate) fn coded_bits_per_symbol(&self) -> usize {
+        self.interleaver.block_size()
+    }
+}
+
+/// One [`RateKit`] per [`Mcs`] row, indexed by the SIGNAL-field rate
+/// index.
+#[derive(Debug, Clone)]
+pub(crate) struct RateTable {
+    kits: Vec<RateKit>,
+}
+
+impl RateTable {
+    pub(crate) fn new(geometry: &LinkGeometry) -> Result<Self, PhyError> {
+        let kits = Mcs::ALL
+            .iter()
+            .map(|&mcs| RateKit::new(mcs, geometry))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { kits })
+    }
+
+    /// The kit for a table row.
+    pub(crate) fn kit(&self, mcs: Mcs) -> &RateKit {
+        &self.kits[usize::from(mcs.index())]
+    }
+
+    /// The kit the SIGNAL-field header is always encoded with
+    /// (BPSK r=1/2).
+    pub(crate) fn header_kit(&self) -> &RateKit {
+        self.kit(Mcs::most_robust())
+    }
+
+    /// The largest N_CBPS over the table: the workspace envelope every
+    /// per-symbol bit buffer is sized for.
+    pub(crate) fn max_coded_bits_per_symbol(&self) -> usize {
+        self.kits
+            .iter()
+            .map(RateKit::coded_bits_per_symbol)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rows_match_their_mcs() {
+        let table = RateTable::new(&LinkGeometry::mimo()).unwrap();
+        for mcs in Mcs::ALL {
+            let kit = table.kit(mcs);
+            assert_eq!(kit.mcs, mcs);
+            assert_eq!(kit.mapper.modulation(), mcs.modulation());
+            assert_eq!(kit.demapper.modulation(), mcs.modulation());
+            assert_eq!(
+                kit.interleaver.block_size(),
+                48 * mcs.bits_per_symbol(),
+                "{mcs}"
+            );
+        }
+        // Envelope: 64-QAM at 48 carriers.
+        assert_eq!(table.max_coded_bits_per_symbol(), 288);
+        assert_eq!(table.header_kit().mcs, Mcs::Bpsk12);
+    }
+}

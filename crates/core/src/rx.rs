@@ -1,4 +1,13 @@
-//! The MIMO receiver (Fig 5).
+//! The MIMO receiver (Fig 5), auto-rate per burst.
+//!
+//! The receiver is built from the static [`LinkGeometry`] alone — it
+//! has **no prior knowledge of any burst's rate**. Each burst's MCS
+//! and payload length are recovered from the SIGNAL-field header
+//! (stream 0's first symbols, always BPSK r=1/2; see
+//! [`crate::signal`]) before the payload is decoded, with the
+//! rate-dependent datapath (demapper thresholds, interleaver
+//! permutation, puncture pattern) selected per burst from a prebuilt
+//! [`RateTable`](crate::rates::RateTable).
 //!
 //! The payload hot path is organized in two parallel stages around the
 //! preallocated [`RxWorkspace`](crate::workspace::RxWorkspace):
@@ -8,38 +17,39 @@
 //! 2. **Per stream** — zero-forcing detection (row `k` of `H⁻¹·r` per
 //!    carrier), pilot phase/timing correction, demap, de-interleave,
 //!    depuncture and Viterbi decode, entirely inside stream `k`'s
-//!    workspace.
+//!    workspace at the burst's MCS.
 //!
 //! Both stages are embarrassingly parallel across the four channels;
-//! with the `parallel` feature (and `PhyConfig::with_parallelism`) they
-//! fan out across scoped threads and produce bit-identical results to
-//! the serial schedule, because every output cell is computed by
-//! exactly one worker in a fixed order.
+//! with the `parallel` feature they fan out across scoped threads and
+//! produce bit-identical results to the serial schedule, because every
+//! output cell is computed by exactly one worker in a fixed order.
+//! The SIGNAL-field decode runs between the stages, on the already
+//! gathered carriers, before the per-stream fan-out.
 //!
 //! The two stages are also the receiver's pipeline seam: `front_stage`
-//! (sync + estimation + stage 1) and `back_stage` (stage 2 +
-//! reassembly) take the sync FSM and workspace as explicit arguments,
-//! so [`BurstPipeline`](crate::BurstPipeline) can overlap the front
-//! stage of burst *n+1* with the back stage of burst *n* across a
-//! persistent worker pool, running many bursts against one shared
-//! `&MimoReceiver`.
+//! (sync + estimation + stage 1) and `back_stage` (header parse +
+//! stage 2 + reassembly) take the sync FSM and workspace as explicit
+//! arguments, so [`BurstPipeline`](crate::BurstPipeline) can overlap
+//! the front stage of burst *n+1* with the back stage of burst *n*
+//! across a persistent worker pool — including **mixed-rate batches**,
+//! since every burst announces its own rate.
 
 use mimo_chanest::{ChannelEstimator, CordicQrd, FxMat4};
 use mimo_coding::{
     bits, depuncture_into, hard_to_llr, CodeSpec, Scrambler, ViterbiDecoder,
 };
 use mimo_fixed::{CQ15, Cf64};
-use mimo_interleave::BlockInterleaver;
-use mimo_modem::{SymbolDemapper, SymbolMapper};
 use mimo_ofdm::preamble::{sync_reference, DEFAULT_AMPLITUDE};
 use mimo_ofdm::{OfdmDemodulator, SubcarrierMap};
 use mimo_sync::{SyncEvent, TimeSynchronizer, DEFAULT_THRESHOLD_FACTOR};
 
-use crate::config::PhyConfig;
+use crate::config::{LinkGeometry, PhyConfig};
 use crate::error::PhyError;
-use crate::tx::{LENGTH_HEADER_BITS, SCRAMBLER_SEED};
+use crate::mcs::{BurstParams, Mcs};
+use crate::rates::{RateKit, RateTable};
+use crate::signal::{parse_signal_field, SIGNAL_BITS};
+use crate::tx::SCRAMBLER_SEED;
 use crate::workspace::{run_four, RxStreamWorkspace, RxWorkspace};
-use crate::DATA_PILOT_START;
 
 /// Samples the demodulation windows retreat into the cyclic
 /// prefix/guard. Multipath makes the correlator lock on the strongest
@@ -54,12 +64,15 @@ pub(crate) const WINDOW_BACKOFF: usize = 6;
 pub struct RxDiagnostics {
     /// The time-synchroniser detection.
     pub sync: SyncEvent,
+    /// The MCS announced by the burst's SIGNAL-field header.
+    pub mcs: Mcs,
     /// Error-vector magnitude of the equalized data constellation,
     /// in dB (lower is better).
     pub evm_db: f64,
-    /// Mean pilot common-phase estimate over the burst, radians.
+    /// Mean pilot common-phase estimate over the payload symbols,
+    /// radians.
     pub mean_phase_rad: f64,
-    /// Payload OFDM symbols decoded.
+    /// Payload OFDM symbols decoded (header symbols excluded).
     pub n_symbols: usize,
 }
 
@@ -83,7 +96,7 @@ pub(crate) struct RxState {
 }
 
 /// Everything the front (antenna) stage hands the back (stream) stage:
-/// the sync detection, the inverted channel matrices and the payload
+/// the sync detection, the inverted channel matrices and the demodulated
 /// symbol count. The gathered frequency-domain carriers travel in the
 /// workspace itself.
 #[derive(Debug, Clone)]
@@ -91,14 +104,38 @@ pub(crate) struct FrontInfo {
     pub(crate) event: SyncEvent,
     pub(crate) h_inv: Vec<FxMat4>,
     pub(crate) available: usize,
+    /// Absolute sample index where the demodulated symbols begin, so
+    /// the back stage can report truncation in the same absolute
+    /// units the front stage uses.
+    pub(crate) data_start: usize,
+    /// Length of the shortest receive stream, samples.
+    pub(crate) shortest: usize,
+}
+
+/// Parameters of one stream-pipeline pass: which symbols to process
+/// and at which rate.
+struct StreamJob<'a> {
+    kit: &'a RateKit,
+    /// First symbol (absolute index after the LTS = pilot polarity
+    /// index).
+    first_sym: usize,
+    /// Symbols to process.
+    n_syms: usize,
+    /// Whether to accumulate stream-0 EVM/phase diagnostics.
+    collect_diag: bool,
 }
 
 /// The 4×4 MIMO receiver: time sync → FFT ×4 → channel estimation
-/// (CORDIC QRD pipeline) → zero-forcing detection → pilot corrections
-/// → demap → deinterleave → Viterbi, per stream.
+/// (CORDIC QRD pipeline) → SIGNAL-field header parse → zero-forcing
+/// detection → pilot corrections → demap → deinterleave → Viterbi,
+/// per stream, at the rate each burst announces.
 #[derive(Debug, Clone)]
 pub struct MimoReceiver {
     cfg: PhyConfig,
+    /// SIGNAL-field symbols at the front of every burst.
+    header_symbols: usize,
+    /// One datapath kit per MCS table row.
+    rates: RateTable,
     sync: TimeSynchronizer,
     demodulator: OfdmDemodulator,
     estimator: ChannelEstimator,
@@ -106,11 +143,6 @@ pub struct MimoReceiver {
     detector: mimo_detect::ZfDetector,
     phase: mimo_detect::PilotPhaseCorrector,
     timing: mimo_detect::TimingCorrector,
-    demapper: SymbolDemapper,
-    /// Matched mapper, used to re-map hard decisions for the EVM
-    /// measurement without rebuilding the LUT per symbol.
-    mapper: SymbolMapper,
-    interleaver: BlockInterleaver,
     viterbi: ViterbiDecoder,
     /// Positions of data carriers within the occupied-carrier order.
     data_pos: Vec<usize>,
@@ -128,7 +160,9 @@ pub struct MimoReceiver {
 }
 
 impl MimoReceiver {
-    /// Builds the receiver.
+    /// Builds the receiver from a configuration. Only the geometry
+    /// half is used — the modulation/code-rate fields are ignored,
+    /// because every burst announces its own rate.
     ///
     /// # Errors
     ///
@@ -141,23 +175,21 @@ impl MimoReceiver {
                 cfg.n_streams()
             )));
         }
-        let demodulator = OfdmDemodulator::new(cfg.fft_size())?;
+        let geometry = cfg.geometry();
+        let demodulator = OfdmDemodulator::new(geometry.fft_size())?;
         let taps = sync_reference(demodulator.fft(), demodulator.map(), DEFAULT_AMPLITUDE)?;
         let sync = TimeSynchronizer::new(taps, DEFAULT_THRESHOLD_FACTOR)
             .map_err(|e| PhyError::BadConfig(e.to_string()))?;
-        let estimator = ChannelEstimator::new(cfg.fft_size())?;
-        let mapper = SymbolMapper::new(cfg.modulation())?;
-        let demapper = SymbolDemapper::matched_to(&mapper);
-        let interleaver = BlockInterleaver::new(
-            cfg.coded_bits_per_symbol(),
-            cfg.modulation().bits_per_symbol(),
-        )?;
+        let estimator = ChannelEstimator::new(geometry.fft_size())?;
+        let rates = RateTable::new(geometry)?;
         let viterbi = ViterbiDecoder::new(CodeSpec::ieee80211a());
         let (data_pos, pilot_pos, occupied) = carrier_positions(demodulator.map());
         let occ_bins = occupied.iter().map(|&l| demodulator.map().bin(l)).collect();
         let pilot_indices = pilot_pos.iter().map(|&p| occupied[p]).collect();
         let mut rx = Self {
+            header_symbols: geometry.header_symbols(),
             cfg,
+            rates,
             sync,
             demodulator,
             estimator,
@@ -165,9 +197,6 @@ impl MimoReceiver {
             detector: mimo_detect::ZfDetector::new(),
             phase: mimo_detect::PilotPhaseCorrector::new(),
             timing: mimo_detect::TimingCorrector::new(),
-            demapper,
-            mapper,
-            interleaver,
             viterbi,
             data_pos,
             pilot_pos,
@@ -180,6 +209,18 @@ impl MimoReceiver {
         Ok(rx)
     }
 
+    /// Builds the receiver from the static link geometry alone — the
+    /// natural constructor for auto-rate reception, since nothing
+    /// rate-dependent is needed until a burst's header has been
+    /// parsed.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`MimoReceiver::new`].
+    pub fn from_geometry(geometry: LinkGeometry) -> Result<Self, PhyError> {
+        Self::new(PhyConfig::from_geometry(geometry))
+    }
+
     /// Builds a fresh sync FSM + workspace pair for this receiver's
     /// geometry (used at construction, after a mid-burst panic, and by
     /// the [`BurstPipeline`](crate::BurstPipeline) workspace pool).
@@ -190,9 +231,15 @@ impl MimoReceiver {
         }
     }
 
-    /// A workspace sized for this receiver's carrier geometry.
+    /// A workspace sized for this receiver's carrier geometry at the
+    /// max-MCS envelope.
     pub(crate) fn make_workspace(&self) -> RxWorkspace {
-        RxWorkspace::new(&self.cfg, self.occupied.len(), self.pilot_pos.len())
+        RxWorkspace::new(
+            self.cfg.geometry(),
+            self.rates.max_coded_bits_per_symbol(),
+            self.occupied.len(),
+            self.pilot_pos.len(),
+        )
     }
 
     /// A fresh clone of the (never-mutated) sync-FSM prototype.
@@ -205,14 +252,28 @@ impl MimoReceiver {
         &self.cfg
     }
 
-    /// Receives one burst from the four antenna streams.
+    /// The static link geometry this receiver was built from.
+    pub fn geometry(&self) -> &LinkGeometry {
+        self.cfg.geometry()
+    }
+
+    /// Receives one burst from the four antenna streams, learning its
+    /// rate and length from the SIGNAL-field header — no prior
+    /// knowledge of the transmit MCS is used. Accepts any per-stream
+    /// sample container (`Vec<CQ15>`, `&[CQ15]`, boxed slices, …), so
+    /// borrowed stream views decode without copying.
     ///
     /// # Errors
     ///
     /// Returns [`PhyError::SyncNotFound`] when no preamble is detected,
-    /// [`PhyError::TruncatedBurst`] when samples run out, and
-    /// estimation/decoding errors otherwise.
-    pub fn receive_burst(&mut self, streams: &[Vec<CQ15>]) -> Result<RxResult, PhyError> {
+    /// [`PhyError::TruncatedBurst`] when samples run out,
+    /// [`PhyError::HeaderCrc`] / [`PhyError::UnsupportedMcs`] for
+    /// corrupted or unknown SIGNAL fields, and estimation/decoding
+    /// errors otherwise.
+    pub fn receive_burst<S>(&mut self, streams: &[S]) -> Result<RxResult, PhyError>
+    where
+        S: AsRef<[CQ15]> + Sync,
+    {
         // The state leaves `self` for the duration of the burst so the
         // per-channel workers can borrow it mutably while sharing
         // `&self` (trellis tables, carrier maps, correctors). A panic
@@ -232,16 +293,20 @@ impl MimoReceiver {
 
     /// The front (antenna) stage of one burst: time sync, channel
     /// estimation/inversion, then per-antenna FFT + carrier gather into
-    /// the workspace. `parallel` fans the antenna loop out across
-    /// scoped threads; the [`BurstPipeline`](crate::BurstPipeline)
+    /// the workspace. Entirely rate-independent — it runs before the
+    /// SIGNAL field is parsed. `parallel` fans the antenna loop out
+    /// across scoped threads; the [`BurstPipeline`](crate::BurstPipeline)
     /// passes `false` and overlaps whole stages across bursts instead.
-    pub(crate) fn front_stage(
+    pub(crate) fn front_stage<S>(
         &self,
         sync: &mut TimeSynchronizer,
         workspace: &mut RxWorkspace,
-        streams: &[Vec<CQ15>],
+        streams: &[S],
         parallel: bool,
-    ) -> Result<FrontInfo, PhyError> {
+    ) -> Result<FrontInfo, PhyError>
+    where
+        S: AsRef<[CQ15]> + Sync,
+    {
         if streams.len() != 4 {
             return Err(PhyError::BadStreamCount {
                 expected: 4,
@@ -265,12 +330,12 @@ impl MimoReceiver {
                 let hi = coarse.sts_end + 48;
                 streams
                     .iter()
-                    .filter_map(|s| sync.scan_peak_window(s, lo, hi))
+                    .filter_map(|s| sync.scan_peak_window(s.as_ref(), lo, hi))
                     .max_by_key(|e| e.magnitude)
             }
             None => streams
                 .iter()
-                .filter_map(|s| sync.scan_peak(s))
+                .filter_map(|s| sync.scan_peak(s.as_ref()))
                 .max_by_key(|e| e.magnitude),
         }
         .ok_or(PhyError::SyncNotFound)?;
@@ -280,7 +345,7 @@ impl MimoReceiver {
         // viewed in place: `lts_views[rx][slot]` borrows straight out
         // of the receive streams, no samples are copied. ---
         let needed = 4 * field;
-        let shortest = streams.iter().map(Vec::len).min().unwrap_or(0);
+        let shortest = streams.iter().map(|s| s.as_ref().len()).min().unwrap_or(0);
         if lts0 + needed > shortest {
             return Err(PhyError::TruncatedBurst {
                 needed: lts0 + needed,
@@ -290,13 +355,16 @@ impl MimoReceiver {
         let lts_views: [[&[CQ15]; 4]; 4] = std::array::from_fn(|rx| {
             std::array::from_fn(|slot| {
                 let start = lts0 + slot * field + n / 2;
-                &streams[rx][start..start + 2 * n]
+                &streams[rx].as_ref()[start..start + 2 * n]
             })
         });
         let estimate = self.estimator.estimate(&lts_views)?;
         let h_inv = estimate.invert_all(&self.qrd)?;
 
-        // --- Demodulate payload symbols. ---
+        // --- Demodulate every whole symbol after the preamble (the
+        // SIGNAL header and payload both come from this gather; how
+        // many symbols are *meaningful* is only known once the header
+        // is parsed in the back stage). ---
         let data_start = lts0 + 4 * field;
         let sym_len = self.cfg.symbol_samples();
         let available = (shortest - data_start) / sym_len;
@@ -308,13 +376,13 @@ impl MimoReceiver {
         }
         let n_occ = self.occupied.len();
 
-        // Per antenna: FFT each payload symbol and gather the occupied
+        // Per antenna: FFT each symbol and gather the occupied
         // carriers (one grow per burst, none per symbol).
         let run_antenna = |a: usize,
                            ws: &mut crate::workspace::RxAntennaWorkspace|
          -> Result<(), PhyError> {
             ws.freq_occ.resize(available * n_occ, CQ15::ZERO);
-            let stream = &streams[a];
+            let stream = streams[a].as_ref();
             let cp = sym_len - n;
             for m in 0..available {
                 let start = data_start + m * sym_len;
@@ -336,27 +404,78 @@ impl MimoReceiver {
             event,
             h_inv,
             available,
+            data_start,
+            shortest,
         })
     }
 
-    /// The back (stream) stage of one burst: per-stream zero-forcing
-    /// detection, pilot corrections, demap, de-interleave, depuncture,
-    /// Viterbi and header parse over the carriers the front stage
-    /// gathered, then the round-robin payload reassembly.
+    /// The back (stream) stage of one burst: SIGNAL-field header
+    /// decode (stream 0, most robust MCS), then per-stream
+    /// zero-forcing detection, pilot corrections, demap,
+    /// de-interleave, depuncture and Viterbi at the announced rate
+    /// over the carriers the front stage gathered, then the
+    /// round-robin payload reassembly.
     pub(crate) fn back_stage(
         &self,
         workspace: &mut RxWorkspace,
         front: &FrontInfo,
         parallel: bool,
     ) -> Result<RxResult, PhyError> {
-        let available = front.available;
+        let geometry = self.cfg.geometry();
+        let sym_len = geometry.symbol_samples();
+        let h = self.header_symbols;
+        if front.available <= h {
+            return Err(PhyError::TruncatedBurst {
+                needed: front.data_start + (h + 1) * sym_len,
+                available: front.shortest,
+            });
+        }
         let RxWorkspace {
             antennas,
             streams: stream_ws,
+            header,
         } = workspace;
         let freq: [&[CQ15]; 4] = std::array::from_fn(|a| antennas[a].freq_occ.as_slice());
+
+        // --- SIGNAL field: stream 0, symbols 0..h, BPSK r=1/2. ---
+        self.run_stream_symbols(
+            0,
+            header,
+            &freq,
+            &front.h_inv,
+            StreamJob {
+                kit: self.rates.header_kit(),
+                first_sym: 0,
+                n_syms: h,
+                collect_diag: false,
+            },
+        )?;
+        let params = self.parse_header(header)?;
+        let n_symbols = params.payload_symbols(geometry);
+        if front.available < h + n_symbols {
+            return Err(PhyError::TruncatedBurst {
+                needed: front.data_start + (h + n_symbols) * sym_len,
+                available: front.shortest,
+            });
+        }
+
+        // --- Payload: all streams, symbols h..h+n, announced MCS. ---
+        let kit = self.rates.kit(params.mcs);
+        let n_streams = geometry.n_streams();
         let run_stream = |k: usize, ws: &mut RxStreamWorkspace| -> Result<(), PhyError> {
-            self.run_stream_pipeline(k, ws, &freq, &front.h_inv, available)
+            self.run_stream_symbols(
+                k,
+                ws,
+                &freq,
+                &front.h_inv,
+                StreamJob {
+                    kit,
+                    first_sym: h,
+                    n_syms: n_symbols,
+                    collect_diag: true,
+                },
+            )?;
+            self.decode_stream(kit, params.stream_bytes(k, n_streams), ws)
         };
         run_four(parallel, stream_ws, run_stream)?;
 
@@ -364,10 +483,11 @@ impl MimoReceiver {
         let per_stream_bytes: Vec<&[u8]> =
             stream_ws.iter().map(|ws| ws.bytes.as_slice()).collect();
         let total: usize = per_stream_bytes.iter().map(|b| b.len()).sum();
+        debug_assert_eq!(total, params.length);
         let mut payload = Vec::with_capacity(total);
         let mut cursors = [0usize; 4];
         for i in 0..total {
-            let s = i % 4;
+            let s = i % n_streams;
             let Some(&b) = per_stream_bytes[s].get(cursors[s]) else {
                 return Err(PhyError::Decode(
                     "stream lengths inconsistent with round-robin split".into(),
@@ -387,9 +507,10 @@ impl MimoReceiver {
             payload,
             diagnostics: RxDiagnostics {
                 sync: front.event,
+                mcs: params.mcs,
                 evm_db,
-                mean_phase_rad: ws0.phase_acc / available.max(1) as f64,
-                n_symbols: available,
+                mean_phase_rad: ws0.phase_acc / n_symbols.max(1) as f64,
+                n_symbols,
             },
         })
     }
@@ -399,34 +520,41 @@ impl MimoReceiver {
         cfg!(feature = "parallel") && self.cfg.parallelism()
     }
 
-    /// Stream `k`'s complete payload pipeline over all `available`
-    /// symbols. Zero heap allocation at steady state: every buffer
-    /// lives in `ws` and is reused across symbols and bursts.
-    fn run_stream_pipeline(
+    /// Stream `k`'s symbol pipeline over `job.n_syms` symbols at
+    /// `job.kit`'s rate: detection, pilot corrections, demap and
+    /// de-interleave, accumulating LLRs into `ws.stream_llrs`. Zero
+    /// heap allocation at steady state: every buffer lives in `ws`
+    /// (sized for the max-MCS envelope, sliced to this burst's
+    /// N_CBPS) and is reused across symbols and bursts.
+    fn run_stream_symbols(
         &self,
         k: usize,
         ws: &mut RxStreamWorkspace,
         freq: &[&[CQ15]; 4],
         h_inv: &[FxMat4],
-        available: usize,
+        job: StreamJob<'_>,
     ) -> Result<(), PhyError> {
         let n_occ = self.occupied.len();
-        let ncbps = self.cfg.coded_bits_per_symbol();
+        let ncbps = job.kit.coded_bits_per_symbol();
         ws.evm_num = 0.0;
         ws.evm_den = 0.0;
         ws.phase_acc = 0.0;
         ws.stream_llrs.clear();
-        ws.stream_llrs.reserve(available * ncbps);
+        ws.stream_llrs.reserve(job.n_syms * ncbps);
 
-        for m in 0..available {
+        for m in 0..job.n_syms {
+            // Absolute symbol index after the LTS — also the pilot
+            // polarity index (the SIGNAL field occupies the first
+            // header_symbols positions of the 802.11a numbering).
+            let sym = job.first_sym + m;
             // Row k of the zero-forcing detection for this symbol.
             let rx_occ: [&[CQ15]; 4] =
-                std::array::from_fn(|a| &freq[a][m * n_occ..(m + 1) * n_occ]);
+                std::array::from_fn(|a| &freq[a][sym * n_occ..(sym + 1) * n_occ]);
             self.detector
                 .detect_stream_into(h_inv, &rx_occ, k, &mut ws.eq)?;
 
             // Common phase from the de-scrambled pilot average.
-            let polarity = mimo_coding::pilot_polarity(DATA_PILOT_START + m);
+            let polarity = mimo_coding::pilot_polarity(sym);
             let pattern = self.demodulator.map().pilot_pattern();
             for (sign, &base) in ws.signs.iter_mut().zip(pattern) {
                 *sign = base * polarity;
@@ -436,7 +564,7 @@ impl MimoReceiver {
             }
             let phi = self.phase.estimate_phase(&ws.pilots, &ws.signs);
             self.phase.correct_in_place(&mut ws.eq, phi);
-            if k == 0 {
+            if job.collect_diag && k == 0 {
                 ws.phase_acc += phi.to_f64();
             }
 
@@ -450,56 +578,75 @@ impl MimoReceiver {
             self.timing
                 .correct_in_place(&mut ws.eq, &self.occupied, tau);
 
-            // Demap the data carriers.
+            // Demap the data carriers at this burst's rate.
             for (d, &p) in ws.data.iter_mut().zip(&self.data_pos) {
                 *d = ws.eq[p];
             }
-            if k == 0 {
-                let (num, den) = self.evm_contribution(ws);
+            if job.collect_diag && k == 0 {
+                let (num, den) = evm_contribution(job.kit, ws);
                 ws.evm_num += num;
                 ws.evm_den += den;
             }
+            let llrs = &mut ws.llrs[..ncbps];
             if self.cfg.soft_decoding() {
-                self.demapper.soft_demap_into(&ws.data, &mut ws.llrs);
+                job.kit.demapper.soft_demap_into(&ws.data, llrs);
             } else {
-                self.demapper.hard_demap_into(&ws.data, &mut ws.hard_bits);
-                for (llr, &bit) in ws.llrs.iter_mut().zip(&ws.hard_bits) {
+                let hard = &mut ws.hard_bits[..ncbps];
+                job.kit.demapper.hard_demap_into(&ws.data, hard);
+                for (llr, &bit) in llrs.iter_mut().zip(hard.iter()) {
                     *llr = hard_to_llr(bit);
                 }
             }
             // De-interleave (soft values) and accumulate.
-            self.interleaver
-                .deinterleave_into(&ws.llrs, &mut ws.deinterleaved)?;
-            ws.stream_llrs.extend_from_slice(&ws.deinterleaved);
+            job.kit
+                .interleaver
+                .deinterleave_into(llrs, &mut ws.deinterleaved[..ncbps])?;
+            ws.stream_llrs.extend_from_slice(&ws.deinterleaved[..ncbps]);
         }
-
-        self.decode_stream(ws)
+        Ok(())
     }
 
-    /// EVM contribution of the current data symbol in `ws.data`:
-    /// squared error vs the nearest constellation point over squared
-    /// reference power. Uses the workspace's hard-bit and re-map
-    /// scratch, so it allocates nothing.
-    fn evm_contribution(&self, ws: &mut RxStreamWorkspace) -> (f64, f64) {
-        self.demapper.hard_demap_into(&ws.data, &mut ws.hard_bits);
-        self.mapper
-            .map_bits_into(&ws.hard_bits, &mut ws.evm_points)
-            .expect("demap output is well-formed");
-        let mut num = 0.0;
-        let mut den = 0.0;
-        for (&got, &want) in ws.data.iter().zip(&ws.evm_points) {
-            num += (Cf64::from_fixed(got) - Cf64::from_fixed(want)).norm_sqr();
-            den += Cf64::from_fixed(want).norm_sqr();
+    /// Decodes the accumulated SIGNAL-field LLRs in `ws` and parses
+    /// the burst parameters (rate index, length, CRC).
+    fn parse_header(&self, ws: &mut RxStreamWorkspace) -> Result<BurstParams, PhyError> {
+        decode_llrs(
+            mimo_coding::CodeRate::Half,
+            &self.viterbi,
+            &ws.stream_llrs,
+            &mut ws.restored,
+            &mut ws.viterbi,
+            &mut ws.decoded,
+        )?;
+        // The SIGNAL field is never scrambled: parse the bits as-is.
+        if ws.decoded.len() < SIGNAL_BITS {
+            return Err(PhyError::Decode(
+                "header shorter than the SIGNAL field".into(),
+            ));
         }
-        (num, den)
+        let params = parse_signal_field(&ws.decoded)?;
+        let max = self.cfg.n_streams() * crate::tx::MAX_STREAM_BYTES;
+        if params.length > max {
+            return Err(PhyError::Decode(format!(
+                "SIGNAL length {} exceeds the {max}-byte burst maximum",
+                params.length
+            )));
+        }
+        Ok(params)
     }
 
     /// One stream's bit pipeline, inverse of the transmitter's:
-    /// depuncture → Viterbi → descramble → length header → payload
-    /// bytes, all in workspace buffers.
-    fn decode_stream(&self, ws: &mut RxStreamWorkspace) -> Result<(), PhyError> {
+    /// depuncture → Viterbi → descramble → exactly the byte count the
+    /// SIGNAL field announced, all in workspace buffers.
+    fn decode_stream(
+        &self,
+        kit: &RateKit,
+        expect_bytes: usize,
+        ws: &mut RxStreamWorkspace,
+    ) -> Result<(), PhyError> {
         decode_bit_pipeline(
-            &self.cfg,
+            kit.mcs.code_rate(),
+            self.cfg.scramble(),
+            expect_bytes,
             &self.viterbi,
             &ws.stream_llrs,
             &mut ws.restored,
@@ -510,20 +657,37 @@ impl MimoReceiver {
     }
 }
 
-/// The per-stream bit pipeline shared by the MIMO and SISO receivers:
-/// depuncture → Viterbi → descramble → length header → payload bytes,
-/// entirely in caller-owned buffers. One owner of the burst framing so
-/// the 1×1 baseline cannot drift from the 4×4 chain.
-pub(crate) fn decode_bit_pipeline(
-    cfg: &PhyConfig,
+/// EVM contribution of the current data symbol in `ws.data`: squared
+/// error vs the nearest constellation point over squared reference
+/// power. Uses the workspace's hard-bit and re-map scratch, so it
+/// allocates nothing.
+fn evm_contribution(kit: &RateKit, ws: &mut RxStreamWorkspace) -> (f64, f64) {
+    let nbits = kit.coded_bits_per_symbol();
+    let hard = &mut ws.hard_bits[..nbits];
+    kit.demapper.hard_demap_into(&ws.data, hard);
+    kit.mapper
+        .map_bits_into(hard, &mut ws.evm_points)
+        .expect("demap output is well-formed");
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (&got, &want) in ws.data.iter().zip(&ws.evm_points) {
+        num += (Cf64::from_fixed(got) - Cf64::from_fixed(want)).norm_sqr();
+        den += Cf64::from_fixed(want).norm_sqr();
+    }
+    (num, den)
+}
+
+/// Depuncture + Viterbi over a stream's accumulated LLRs into
+/// `decoded` info bits — the rate-dependent half of the bit pipeline,
+/// shared by the SIGNAL-field parse and the payload decode.
+pub(crate) fn decode_llrs(
+    rate: mimo_coding::CodeRate,
     viterbi: &ViterbiDecoder,
     llrs: &[mimo_coding::Llr],
     restored: &mut Vec<mimo_coding::Llr>,
     viterbi_ws: &mut mimo_coding::ViterbiWorkspace,
     decoded: &mut Vec<u8>,
-    bytes: &mut Vec<u8>,
 ) -> Result<(), PhyError> {
-    let rate = cfg.code_rate();
     let pattern = rate.keep_pattern();
     let keeps: usize = pattern.iter().filter(|&&k| k).count();
     // kept/period = keeps, so mother_len = llrs/keeps*period.
@@ -536,24 +700,38 @@ pub(crate) fn decode_bit_pipeline(
     let mother_len = llrs.len() / keeps * pattern.len();
     depuncture_into(llrs, rate, mother_len, restored)?;
     viterbi.decode_terminated_into(restored, viterbi_ws, decoded)?;
-    if cfg.scramble() {
+    Ok(())
+}
+
+/// The per-stream payload bit pipeline shared by the MIMO and SISO
+/// receivers: depuncture → Viterbi → descramble → exactly the bytes
+/// the SIGNAL field announced for this stream, entirely in
+/// caller-owned buffers. One owner of the burst framing so the 1×1
+/// baseline cannot drift from the 4×4 chain.
+#[allow(clippy::too_many_arguments)] // the workspace split is the point
+pub(crate) fn decode_bit_pipeline(
+    rate: mimo_coding::CodeRate,
+    scramble: bool,
+    expect_bytes: usize,
+    viterbi: &ViterbiDecoder,
+    llrs: &[mimo_coding::Llr],
+    restored: &mut Vec<mimo_coding::Llr>,
+    viterbi_ws: &mut mimo_coding::ViterbiWorkspace,
+    decoded: &mut Vec<u8>,
+    bytes: &mut Vec<u8>,
+) -> Result<(), PhyError> {
+    decode_llrs(rate, viterbi, llrs, restored, viterbi_ws, decoded)?;
+    if scramble {
         Scrambler::new(SCRAMBLER_SEED).scramble_in_place(decoded);
     }
-    if decoded.len() < LENGTH_HEADER_BITS {
-        return Err(PhyError::Decode("stream shorter than length header".into()));
-    }
-    let mut len = 0usize;
-    for (bit, &value) in decoded.iter().take(LENGTH_HEADER_BITS).enumerate() {
-        len |= (value as usize) << bit;
-    }
-    let have = (decoded.len() - LENGTH_HEADER_BITS) / 8;
-    if len > have {
+    if decoded.len() < 8 * expect_bytes {
         return Err(PhyError::Decode(format!(
-            "length header {len} exceeds decoded capacity {have}"
+            "stream decoded {} bits, SIGNAL field announced {} bytes",
+            decoded.len(),
+            expect_bytes
         )));
     }
-    let body = &decoded[LENGTH_HEADER_BITS..LENGTH_HEADER_BITS + 8 * len];
-    bits::bits_to_bytes_into(body, bytes);
+    bits::bits_to_bytes_into(&decoded[..8 * expect_bytes], bytes);
     Ok(())
 }
 
@@ -587,27 +765,36 @@ mod tests {
         let burst = tx.transmit_burst(&payload).unwrap();
         let result = rx.receive_burst(&burst.streams).unwrap();
         assert_eq!(result.payload, payload);
+        assert_eq!(result.diagnostics.mcs, Mcs::Qam16R12);
         // Ideal channel: EVM well below -20 dB.
         assert!(result.diagnostics.evm_db < -20.0, "EVM {}", result.diagnostics.evm_db);
     }
 
     #[test]
-    fn loopback_all_modulations_and_rates() {
-        use mimo_coding::CodeRate;
-        use mimo_modem::Modulation;
-        for m in Modulation::ALL {
-            for r in CodeRate::ALL {
-                let cfg = PhyConfig::paper_synthesis()
-                    .with_modulation(m)
-                    .with_code_rate(r);
-                let tx = MimoTransmitter::new(cfg.clone()).unwrap();
-                let mut rx = MimoReceiver::new(cfg).unwrap();
-                let payload: Vec<u8> = (0..64).map(|i| (i * 17) as u8).collect();
-                let burst = tx.transmit_burst(&payload).unwrap();
-                let result = rx.receive_burst(&burst.streams).unwrap();
-                assert_eq!(result.payload, payload, "{m} {r}");
-            }
+    fn auto_rate_loopback_every_mcs() {
+        // One geometry-only receiver decodes every table rate with no
+        // reconfiguration between bursts.
+        let tx = MimoTransmitter::new(PhyConfig::paper_synthesis()).unwrap();
+        let mut rx = MimoReceiver::from_geometry(LinkGeometry::mimo()).unwrap();
+        for mcs in Mcs::ALL {
+            let payload: Vec<u8> = (0..64).map(|i| (i * 17) as u8).collect();
+            let burst = tx.transmit_burst_with(mcs, &payload).unwrap();
+            let result = rx.receive_burst(&burst.streams).unwrap();
+            assert_eq!(result.payload, payload, "{mcs}");
+            assert_eq!(result.diagnostics.mcs, mcs);
         }
+    }
+
+    #[test]
+    fn borrowed_stream_views_decode_without_copying() {
+        let cfg = PhyConfig::paper_synthesis();
+        let tx = MimoTransmitter::new(cfg.clone()).unwrap();
+        let mut rx = MimoReceiver::new(cfg).unwrap();
+        let payload: Vec<u8> = (0..50).map(|i| (i * 3) as u8).collect();
+        let burst = tx.transmit_burst(&payload).unwrap();
+        let views: Vec<&[CQ15]> = burst.streams.iter().map(Vec::as_slice).collect();
+        let result = rx.receive_burst(&views).unwrap();
+        assert_eq!(result.payload, payload);
     }
 
     #[test]
@@ -627,6 +814,29 @@ mod tests {
         assert!(matches!(
             rx.receive_burst(&vec![vec![CQ15::ZERO; 100]; 3]),
             Err(PhyError::BadStreamCount { got: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn corrupted_header_is_a_typed_error_not_garbage() {
+        let cfg = PhyConfig::paper_synthesis();
+        let tx = MimoTransmitter::new(cfg.clone()).unwrap();
+        let mut rx = MimoReceiver::new(cfg).unwrap();
+        let payload: Vec<u8> = (0..80).map(|i| i as u8).collect();
+        let mut burst = tx.transmit_burst(&payload).unwrap();
+        // Silence stream 0's SIGNAL region (a dropped header): the
+        // decoder sees zero-energy symbols, and the CRC's 0xFF init
+        // guarantees the all-zero decode fails the check. (Naive
+        // sign-flipping would be *corrected away* by the pilot
+        // common-phase corrector — the pilots flip too.)
+        let pre = tx.preamble_schedule().data_offset();
+        let header_len = burst.header_symbols * 80;
+        for s in &mut burst.streams[0][pre..pre + header_len] {
+            *s = CQ15::ZERO;
+        }
+        assert!(matches!(
+            rx.receive_burst(&burst.streams),
+            Err(PhyError::HeaderCrc { .. })
         ));
     }
 

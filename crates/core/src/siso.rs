@@ -2,24 +2,27 @@
 //!
 //! §V of the paper compares every MIMO entity against "the SISO
 //! system": the same chain with one channel, no QRD (equalization is a
-//! single complex multiply per carrier) and a two-slot preamble.
+//! single complex multiply per carrier) and a two-slot preamble. The
+//! burst format is the same rate-agile one as the 4×4 chain: SIGNAL
+//! header first (BPSK r=1/2), payload at the announced [`Mcs`].
 
 use mimo_coding::{hard_to_llr, CodeSpec, Llr, ViterbiDecoder};
 use mimo_fixed::{CQ15, CQ16, Q16};
-use mimo_interleave::BlockInterleaver;
-use mimo_modem::{SymbolDemapper, SymbolMapper};
 use mimo_ofdm::preamble::{lts_reference, sync_reference, DEFAULT_AMPLITUDE};
 use mimo_ofdm::{OfdmDemodulator, SubcarrierMap};
 use mimo_sync::{TimeSynchronizer, DEFAULT_THRESHOLD_FACTOR};
 
-use crate::config::PhyConfig;
+use crate::config::{LinkGeometry, PhyConfig};
 use crate::error::PhyError;
+use crate::mcs::{BurstParams, Mcs};
+use crate::rates::{RateKit, RateTable};
 use crate::rx::{RxDiagnostics, RxResult};
+use crate::signal::{parse_signal_field, SIGNAL_BITS};
 use crate::tx::{MimoTransmitter, TxBurst};
-use crate::DATA_PILOT_START;
 
 /// The SISO transmitter: one instance of the Fig 1 per-channel chain
-/// with an STS + single-LTS preamble.
+/// with an STS + single-LTS preamble and the same SIGNAL-field burst
+/// framing as the MIMO chain.
 #[derive(Debug, Clone)]
 pub struct SisoTransmitter {
     inner: MimoTransmitter,
@@ -44,12 +47,21 @@ impl SisoTransmitter {
         })
     }
 
+    /// Builds a transmitter from the static link geometry alone.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`SisoTransmitter::new`].
+    pub fn from_geometry(geometry: LinkGeometry) -> Result<Self, PhyError> {
+        Self::new(PhyConfig::from_geometry(geometry))
+    }
+
     /// The configuration in use.
     pub fn config(&self) -> &PhyConfig {
         self.inner.config()
     }
 
-    /// Transmits one burst on the single antenna.
+    /// Transmits one burst on the single antenna at the default MCS.
     ///
     /// # Errors
     ///
@@ -57,21 +69,32 @@ impl SisoTransmitter {
     pub fn transmit_burst(&self, payload: &[u8]) -> Result<TxBurst, PhyError> {
         self.inner.transmit_burst(payload)
     }
+
+    /// Transmits one burst at an explicit per-burst MCS.
+    ///
+    /// # Errors
+    ///
+    /// See [`MimoTransmitter::transmit_burst_with`].
+    pub fn transmit_burst_with(&self, mcs: Mcs, payload: &[u8]) -> Result<TxBurst, PhyError> {
+        self.inner.transmit_burst_with(mcs, payload)
+    }
 }
 
-/// The SISO receiver: scalar channel estimation from one LTS and
-/// single-multiply equalization per carrier.
+/// The SISO receiver: scalar channel estimation from one LTS,
+/// single-multiply equalization per carrier, and the same auto-rate
+/// SIGNAL-field reception as the MIMO chain — it is built from link
+/// geometry alone and learns each burst's rate from the air.
 #[derive(Debug, Clone)]
 pub struct SisoReceiver {
     cfg: PhyConfig,
+    header_symbols: usize,
+    rates: RateTable,
     sync: TimeSynchronizer,
     demodulator: OfdmDemodulator,
     lts_ref: Vec<i8>,
     inv_amplitude: Q16,
     phase: mimo_detect::PilotPhaseCorrector,
     timing: mimo_detect::TimingCorrector,
-    demapper: SymbolDemapper,
-    interleaver: BlockInterleaver,
     viterbi: ViterbiDecoder,
     data_pos: Vec<usize>,
     pilot_pos: Vec<usize>,
@@ -79,7 +102,9 @@ pub struct SisoReceiver {
 }
 
 impl SisoReceiver {
-    /// Builds the receiver (requires `n_streams == 1`).
+    /// Builds the receiver (requires `n_streams == 1`). The
+    /// configuration's modulation/code-rate fields are ignored —
+    /// every burst announces its own rate.
     ///
     /// # Errors
     ///
@@ -92,29 +117,25 @@ impl SisoReceiver {
                 cfg.n_streams()
             )));
         }
-        let demodulator = OfdmDemodulator::new(cfg.fft_size())?;
+        let geometry = cfg.geometry();
+        let demodulator = OfdmDemodulator::new(geometry.fft_size())?;
         let taps = sync_reference(demodulator.fft(), demodulator.map(), DEFAULT_AMPLITUDE)?;
         let sync = TimeSynchronizer::new(taps, DEFAULT_THRESHOLD_FACTOR)
             .map_err(|e| PhyError::BadConfig(e.to_string()))?;
-        let mapper = SymbolMapper::new(cfg.modulation())?;
-        let demapper = SymbolDemapper::matched_to(&mapper);
-        let interleaver = BlockInterleaver::new(
-            cfg.coded_bits_per_symbol(),
-            cfg.modulation().bits_per_symbol(),
-        )?;
+        let rates = RateTable::new(geometry)?;
         let viterbi = ViterbiDecoder::new(CodeSpec::ieee80211a());
         let lts_ref = lts_reference(demodulator.map());
         let (data_pos, pilot_pos, occupied) = positions(demodulator.map());
         Ok(Self {
+            header_symbols: geometry.header_symbols(),
             cfg,
+            rates,
             sync,
             demodulator,
             lts_ref,
             inv_amplitude: Q16::from_f64(1.0 / DEFAULT_AMPLITUDE),
             phase: mimo_detect::PilotPhaseCorrector::new(),
             timing: mimo_detect::TimingCorrector::new(),
-            demapper,
-            interleaver,
             viterbi,
             data_pos,
             pilot_pos,
@@ -122,12 +143,22 @@ impl SisoReceiver {
         })
     }
 
+    /// Builds the receiver from the static link geometry alone.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`SisoReceiver::new`].
+    pub fn from_geometry(geometry: LinkGeometry) -> Result<Self, PhyError> {
+        Self::new(PhyConfig::from_geometry(geometry))
+    }
+
     /// The configuration in use.
     pub fn config(&self) -> &PhyConfig {
         &self.cfg
     }
 
-    /// Receives one burst from the single antenna stream.
+    /// Receives one burst from the single antenna stream, learning its
+    /// rate from the SIGNAL-field header.
     ///
     /// # Errors
     ///
@@ -174,19 +205,79 @@ impl SisoReceiver {
             .collect();
         let equalizer = mimo_detect::SisoEqualizer::new(&h);
 
-        // Payload symbols.
         let data_start = lts0 + field;
         let sym_len = self.cfg.symbol_samples();
         let available = (stream.len() - data_start) / sym_len;
-        if available == 0 {
+        let h_syms = self.header_symbols;
+        if available <= h_syms {
             return Err(PhyError::TruncatedBurst {
-                needed: data_start + sym_len,
+                needed: data_start + (h_syms + 1) * sym_len,
                 available: stream.len(),
             });
         }
-        let mut llrs_all: Vec<Llr> = Vec::new();
+
+        // --- SIGNAL field: symbols 0..h at BPSK r=1/2. ---
+        let header_llrs = self.demap_symbols(
+            stream,
+            data_start,
+            &equalizer,
+            self.rates.header_kit(),
+            0,
+            h_syms,
+            None,
+        )?;
+        let params = self.parse_header(&header_llrs)?;
+        let n_symbols = params.payload_symbols(self.cfg.geometry());
+        if available < h_syms + n_symbols {
+            return Err(PhyError::TruncatedBurst {
+                needed: data_start + (h_syms + n_symbols) * sym_len,
+                available: stream.len(),
+            });
+        }
+
+        // --- Payload at the announced rate. ---
+        let kit = self.rates.kit(params.mcs);
         let mut phase_acc = 0.0;
-        for m in 0..available {
+        let payload_llrs = self.demap_symbols(
+            stream,
+            data_start,
+            &equalizer,
+            kit,
+            h_syms,
+            n_symbols,
+            Some(&mut phase_acc),
+        )?;
+        let payload = self.decode_stream(kit, params.length, &payload_llrs)?;
+        Ok(RxResult {
+            diagnostics: RxDiagnostics {
+                sync: event,
+                mcs: params.mcs,
+                evm_db: f64::NAN,
+                mean_phase_rad: phase_acc / n_symbols as f64,
+                n_symbols,
+            },
+            payload,
+        })
+    }
+
+    /// Equalizes, corrects and demaps symbols `first..first + count`
+    /// (absolute indices after the LTS, which are also the pilot
+    /// polarity indices), returning the de-interleaved LLR stream.
+    #[allow(clippy::too_many_arguments)] // the baseline is not on the hot path
+    fn demap_symbols(
+        &self,
+        stream: &[CQ15],
+        data_start: usize,
+        equalizer: &mimo_detect::SisoEqualizer,
+        kit: &RateKit,
+        first: usize,
+        count: usize,
+        mut phase_acc: Option<&mut f64>,
+    ) -> Result<Vec<Llr>, PhyError> {
+        let n = self.cfg.fft_size();
+        let sym_len = self.cfg.symbol_samples();
+        let mut llrs_all: Vec<Llr> = Vec::with_capacity(count * kit.coded_bits_per_symbol());
+        for m in first..first + count {
             let start = data_start + m * sym_len;
             let time = mimo_ofdm::strip_cyclic_prefix_ref(&stream[start..start + sym_len], n)?;
             let freq = self.demodulator.fft_block(time)?;
@@ -197,7 +288,7 @@ impl SisoReceiver {
                 .collect();
             let equalized = equalizer.equalize(&occ)?;
 
-            let polarity = mimo_coding::pilot_polarity(DATA_PILOT_START + m);
+            let polarity = mimo_coding::pilot_polarity(m);
             let signs: Vec<i8> = self
                 .demodulator
                 .map()
@@ -207,7 +298,9 @@ impl SisoReceiver {
                 .collect();
             let pilots: Vec<CQ15> = self.pilot_pos.iter().map(|&p| equalized[p]).collect();
             let phi = self.phase.estimate_phase(&pilots, &signs);
-            phase_acc += phi.to_f64();
+            if let Some(acc) = phase_acc.as_deref_mut() {
+                *acc += phi.to_f64();
+            }
             let corrected = self.phase.correct(&equalized, phi);
             let pilots2: Vec<CQ15> = self.pilot_pos.iter().map(|&p| corrected[p]).collect();
             let pilot_indices: Vec<i32> =
@@ -217,30 +310,54 @@ impl SisoReceiver {
 
             let data: Vec<CQ15> = self.data_pos.iter().map(|&p| corrected[p]).collect();
             let llrs: Vec<Llr> = if self.cfg.soft_decoding() {
-                self.demapper.soft_demap(&data)
+                kit.demapper.soft_demap(&data)
             } else {
-                self.demapper
+                kit.demapper
                     .hard_demap(&data)
                     .into_iter()
                     .map(hard_to_llr)
                     .collect()
             };
-            llrs_all.extend(self.interleaver.deinterleave(&llrs)?);
+            llrs_all.extend(kit.interleaver.deinterleave(&llrs)?);
         }
-
-        let payload = self.decode_stream(&llrs_all)?;
-        Ok(RxResult {
-            diagnostics: RxDiagnostics {
-                sync: event,
-                evm_db: f64::NAN,
-                mean_phase_rad: phase_acc / available as f64,
-                n_symbols: available,
-            },
-            payload,
-        })
+        Ok(llrs_all)
     }
 
-    fn decode_stream(&self, llrs: &[Llr]) -> Result<Vec<u8>, PhyError> {
+    /// Decodes the SIGNAL-field LLRs and parses the burst parameters.
+    fn parse_header(&self, llrs: &[Llr]) -> Result<BurstParams, PhyError> {
+        let mut restored = Vec::new();
+        let mut viterbi_ws = mimo_coding::ViterbiWorkspace::new();
+        let mut decoded = Vec::new();
+        crate::rx::decode_llrs(
+            mimo_coding::CodeRate::Half,
+            &self.viterbi,
+            llrs,
+            &mut restored,
+            &mut viterbi_ws,
+            &mut decoded,
+        )?;
+        if decoded.len() < SIGNAL_BITS {
+            return Err(PhyError::Decode(
+                "header shorter than the SIGNAL field".into(),
+            ));
+        }
+        let params = parse_signal_field(&decoded)?;
+        let max = crate::tx::MAX_STREAM_BYTES;
+        if params.length > max {
+            return Err(PhyError::Decode(format!(
+                "SIGNAL length {} exceeds the {max}-byte SISO burst maximum",
+                params.length
+            )));
+        }
+        Ok(params)
+    }
+
+    fn decode_stream(
+        &self,
+        kit: &RateKit,
+        expect_bytes: usize,
+        llrs: &[Llr],
+    ) -> Result<Vec<u8>, PhyError> {
         // The SISO baseline shares the MIMO chain's bit pipeline (one
         // owner of the burst framing); it is not on the parallel hot
         // path, so per-call scratch is fine.
@@ -249,7 +366,9 @@ impl SisoReceiver {
         let mut decoded = Vec::new();
         let mut bytes = Vec::new();
         crate::rx::decode_bit_pipeline(
-            &self.cfg,
+            kit.mcs.code_rate(),
+            self.cfg.scramble(),
+            expect_bytes,
             &self.viterbi,
             llrs,
             &mut restored,
@@ -306,16 +425,16 @@ mod tests {
     }
 
     #[test]
-    fn siso_all_modulations() {
-        use mimo_modem::Modulation;
-        for m in Modulation::ALL {
-            let cfg = PhyConfig::siso().with_modulation(m);
-            let tx = SisoTransmitter::new(cfg.clone()).unwrap();
-            let mut rx = SisoReceiver::new(cfg).unwrap();
+    fn siso_auto_rate_all_mcs() {
+        // A geometry-only receiver decodes every table rate.
+        let tx = SisoTransmitter::from_geometry(LinkGeometry::siso()).unwrap();
+        let mut rx = SisoReceiver::from_geometry(LinkGeometry::siso()).unwrap();
+        for mcs in Mcs::ALL {
             let payload: Vec<u8> = (0..32).map(|i| (i * 11) as u8).collect();
-            let burst = tx.transmit_burst(&payload).unwrap();
+            let burst = tx.transmit_burst_with(mcs, &payload).unwrap();
             let result = rx.receive_burst(&burst.streams[0]).unwrap();
-            assert_eq!(result.payload, payload, "{m}");
+            assert_eq!(result.payload, payload, "{mcs}");
+            assert_eq!(result.diagnostics.mcs, mcs);
         }
     }
 }

@@ -1,42 +1,48 @@
-//! The MIMO transmitter (Fig 1).
+//! The MIMO transmitter (Fig 1), rate-agile per burst.
+//!
+//! Every burst is framed for auto-rate reception: after the Fig 2
+//! staggered preamble, stream 0 carries the SIGNAL-field header
+//! (always BPSK r=1/2 — see [`crate::signal`]) announcing the burst's
+//! [`Mcs`] and payload length, then all streams carry the payload
+//! symbols at that MCS. [`MimoTransmitter::transmit_burst_with`]
+//! selects the rate per burst; [`MimoTransmitter::transmit_burst`] is
+//! the single-rate wrapper using the configuration's default MCS.
 
 use std::sync::Mutex;
 
-use mimo_coding::{puncture_into, CodeSpec, ConvolutionalEncoder, Scrambler};
+use mimo_coding::{puncture_into, CodeRate, CodeSpec, ConvolutionalEncoder, Scrambler};
 use mimo_fixed::CQ15;
-use mimo_interleave::BlockInterleaver;
-use mimo_modem::SymbolMapper;
 use mimo_ofdm::preamble::{lts_time, sts_time, PreambleSchedule, DEFAULT_AMPLITUDE};
 use mimo_ofdm::OfdmModulator;
 
 use crate::config::PhyConfig;
 use crate::error::PhyError;
+use crate::mcs::{BurstParams, Mcs};
+use crate::rates::{RateKit, RateTable};
+use crate::signal::{encode_signal_field, FLUSH_BITS};
 use crate::workspace::{run_four, TxStreamWorkspace, TxWorkspace};
-use crate::DATA_PILOT_START;
-
-/// Bits of the per-stream length header prepended to each stream's
-/// information bits (the SIGNAL-field equivalent: the receiver learns
-/// the payload length from the air, not out of band).
-pub(crate) const LENGTH_HEADER_BITS: usize = 16;
 
 /// Scrambler seed shared by transmitter and receiver.
 pub(crate) const SCRAMBLER_SEED: u8 = 0x5D;
 
-/// Trellis flush bits appended by the terminated encoder (K − 1).
-const FLUSH_BITS: usize = 6;
-
-/// Maximum per-stream payload bytes a burst can carry (bounded by the
-/// 16-bit length header).
-const MAX_STREAM_BYTES: usize = 8190;
+/// Maximum per-stream payload bytes a burst can carry. Shared with
+/// the receivers' SIGNAL-length plausibility check so the TX bound
+/// and RX rejection threshold cannot drift apart.
+pub(crate) const MAX_STREAM_BYTES: usize = 8190;
 
 /// One transmitted burst: the per-antenna sample streams of Fig 2
-/// (preamble) followed by the payload OFDM symbols.
+/// (preamble), the SIGNAL-field header symbols on stream 0, then the
+/// payload OFDM symbols.
 #[derive(Debug, Clone)]
 pub struct TxBurst {
     /// One Q1.15 sample stream per transmit antenna.
     pub streams: Vec<Vec<CQ15>>,
-    /// Payload OFDM symbols per stream.
+    /// Payload OFDM symbols per stream (excluding the header).
     pub n_symbols: usize,
+    /// SIGNAL-field header symbols preceding the payload.
+    pub header_symbols: usize,
+    /// The MCS the payload symbols are encoded at.
+    pub mcs: Mcs,
     /// Payload bytes carried.
     pub payload_len: usize,
 }
@@ -51,22 +57,31 @@ impl TxBurst {
     pub fn duration_s(&self, clock_hz: f64) -> f64 {
         self.len_samples() as f64 / clock_hz
     }
+
+    /// The per-burst parameters the SIGNAL field carries.
+    pub fn params(&self) -> BurstParams {
+        BurstParams {
+            mcs: self.mcs,
+            length: self.payload_len,
+        }
+    }
 }
 
 /// The 4×4 MIMO transmitter: "the data is broken into four separate
 /// and independent channels that will each be encoded and modulated
 /// for transmission."
 ///
-/// Owns a preallocated [`TxWorkspace`] (one scratch set per spatial
-/// channel) so the per-symbol interleave → map → IFFT → CP loop runs
-/// without heap allocation, and — with the `parallel` feature — fans
-/// the four channel pipelines out across scoped threads, mirroring the
-/// four parallel hardware chains of Fig 1.
+/// Owns a preallocated `TxWorkspace` (one scratch set per spatial
+/// channel, sized for the max-MCS envelope) so the per-symbol
+/// interleave → map → IFFT → CP loop runs without heap allocation at
+/// **any** MCS, and — with the `parallel` feature — fans the four
+/// channel pipelines out across scoped threads, mirroring the four
+/// parallel hardware chains of Fig 1.
 #[derive(Debug)]
 pub struct MimoTransmitter {
     cfg: PhyConfig,
-    mapper: SymbolMapper,
-    interleaver: BlockInterleaver,
+    default_mcs: Mcs,
+    rates: RateTable,
     modulator: OfdmModulator,
     schedule: PreambleSchedule,
     sts: Vec<CQ15>,
@@ -80,25 +95,30 @@ impl Clone for MimoTransmitter {
     fn clone(&self) -> Self {
         Self {
             cfg: self.cfg.clone(),
-            mapper: self.mapper.clone(),
-            interleaver: self.interleaver.clone(),
+            default_mcs: self.default_mcs,
+            rates: self.rates.clone(),
             modulator: self.modulator.clone(),
             schedule: self.schedule.clone(),
             sts: self.sts.clone(),
             lts: self.lts.clone(),
-            workspace: Mutex::new(TxWorkspace::new(&self.cfg)),
+            workspace: Mutex::new(self.make_workspace()),
         }
     }
 }
 
 impl MimoTransmitter {
-    /// Builds the transmitter for a 4-stream configuration.
+    /// Builds the transmitter for a 4-stream configuration. The
+    /// configuration's modulation × code rate selects the **default**
+    /// MCS for [`MimoTransmitter::transmit_burst`] and must be a table
+    /// row; [`MimoTransmitter::transmit_burst_with`] overrides it per
+    /// burst.
     ///
     /// # Errors
     ///
     /// Returns [`PhyError::BadConfig`] for invalid configurations
     /// (including `n_streams != 4`; use [`crate::SisoTransmitter`] for
-    /// the baseline).
+    /// the baseline) and for modulation × rate pairs outside the MCS
+    /// table.
     pub fn new(cfg: PhyConfig) -> Result<Self, PhyError> {
         cfg.validate()?;
         if cfg.n_streams() != 4 {
@@ -110,21 +130,33 @@ impl MimoTransmitter {
         Self::build(cfg)
     }
 
+    /// Builds a transmitter from the static link geometry alone; the
+    /// default MCS is the paper's synthesis point (16-QAM r=1/2), and
+    /// every burst may pick its own rate via
+    /// [`MimoTransmitter::transmit_burst_with`].
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`MimoTransmitter::new`].
+    pub fn from_geometry(geometry: crate::LinkGeometry) -> Result<Self, PhyError> {
+        Self::new(PhyConfig::from_geometry(geometry))
+    }
+
     pub(crate) fn build(cfg: PhyConfig) -> Result<Self, PhyError> {
-        let mapper = SymbolMapper::new(cfg.modulation())?;
-        let interleaver = BlockInterleaver::new(
-            cfg.coded_bits_per_symbol(),
-            cfg.modulation().bits_per_symbol(),
-        )?;
+        let default_mcs = cfg.mcs()?;
+        let rates = RateTable::new(cfg.geometry())?;
         let modulator = OfdmModulator::new(cfg.fft_size())?;
         let schedule = PreambleSchedule::new(cfg.n_streams(), cfg.fft_size());
         let sts = sts_time(modulator.fft(), modulator.map(), DEFAULT_AMPLITUDE)?;
         let lts = lts_time(modulator.fft(), modulator.map(), DEFAULT_AMPLITUDE)?;
-        let workspace = Mutex::new(TxWorkspace::new(&cfg));
+        let workspace = Mutex::new(TxWorkspace::new(
+            cfg.geometry(),
+            rates.max_coded_bits_per_symbol(),
+        ));
         Ok(Self {
             cfg,
-            mapper,
-            interleaver,
+            default_mcs,
+            rates,
             modulator,
             schedule,
             sts,
@@ -133,9 +165,21 @@ impl MimoTransmitter {
         })
     }
 
+    fn make_workspace(&self) -> TxWorkspace {
+        TxWorkspace::new(
+            self.cfg.geometry(),
+            self.rates.max_coded_bits_per_symbol(),
+        )
+    }
+
     /// The configuration in use.
     pub fn config(&self) -> &PhyConfig {
         &self.cfg
+    }
+
+    /// The MCS used by [`MimoTransmitter::transmit_burst`].
+    pub fn default_mcs(&self) -> Mcs {
+        self.default_mcs
     }
 
     /// The preamble schedule (Fig 2).
@@ -143,51 +187,63 @@ impl MimoTransmitter {
         &self.schedule
     }
 
-    /// Maximum payload bytes per burst.
+    /// Maximum payload bytes per burst (bounded by the SIGNAL field's
+    /// 16-bit length).
     pub fn max_payload(&self) -> usize {
-        MAX_STREAM_BYTES * self.cfg.n_streams()
+        (MAX_STREAM_BYTES * self.cfg.n_streams()).min(u16::MAX as usize)
     }
 
-    /// Transmits one burst: splits `payload` across the four streams
-    /// (round-robin by byte), runs each through the Fig 1 chain, and
-    /// prepends the Fig 2 staggered preamble.
+    /// Transmits one burst at the configuration's default MCS: a thin
+    /// wrapper over [`MimoTransmitter::transmit_burst_with`].
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`MimoTransmitter::transmit_burst_with`].
+    pub fn transmit_burst(&self, payload: &[u8]) -> Result<TxBurst, PhyError> {
+        self.transmit_burst_with(self.default_mcs, payload)
+    }
+
+    /// Transmits one burst at an explicit per-burst MCS: splits
+    /// `payload` across the four streams (round-robin by byte),
+    /// prepends the Fig 2 staggered preamble, emits the SIGNAL-field
+    /// header (rate index + length + CRC-8, BPSK r=1/2 on stream 0),
+    /// then runs each stream through the Fig 1 chain at `mcs`.
     ///
     /// # Errors
     ///
     /// Returns [`PhyError::PayloadTooLarge`] beyond
     /// [`MimoTransmitter::max_payload`].
-    pub fn transmit_burst(&self, payload: &[u8]) -> Result<TxBurst, PhyError> {
-        let n_streams = self.cfg.n_streams();
+    pub fn transmit_burst_with(&self, mcs: Mcs, payload: &[u8]) -> Result<TxBurst, PhyError> {
+        let geometry = self.cfg.geometry();
+        let n_streams = geometry.n_streams();
         if payload.len() > self.max_payload() {
             return Err(PhyError::PayloadTooLarge {
                 got: payload.len(),
                 max: self.max_payload(),
             });
         }
+        let params = BurstParams {
+            mcs,
+            length: payload.len(),
+        };
         // Round-robin byte split.
         let mut per_stream: Vec<Vec<u8>> = vec![Vec::new(); n_streams];
         for (i, &b) in payload.iter().enumerate() {
             per_stream[i % n_streams].push(b);
         }
+        let n_symbols = params.payload_symbols(geometry);
+        let header_symbols = geometry.header_symbols();
 
-        // Common symbol count: every stream must fill the same number
-        // of OFDM symbols.
-        let ndbps = self.cfg.info_bits_per_symbol();
-        let n_symbols = per_stream
-            .iter()
-            .map(|bytes| {
-                let info_bits = LENGTH_HEADER_BITS + 8 * bytes.len() + FLUSH_BITS;
-                info_bits.div_ceil(ndbps)
-            })
-            .max()
-            .unwrap_or(1)
-            .max(1);
-
-        // Assemble the output streams up front: preamble (Fig 2), then
-        // each channel's worker writes its data region in place.
+        // Assemble the output streams up front: preamble (Fig 2), the
+        // SIGNAL header region (stream 0 only; other streams stay
+        // silent), then each channel's worker writes its payload
+        // region in place.
         let pre_len = self.schedule.data_offset();
-        let data_len = n_symbols * self.cfg.symbol_samples();
-        let mut streams = vec![vec![CQ15::ZERO; pre_len + data_len]; n_streams];
+        let sym_len = geometry.symbol_samples();
+        let header_len = header_symbols * sym_len;
+        let data_len = n_symbols * sym_len;
+        let mut streams =
+            vec![vec![CQ15::ZERO; pre_len + header_len + data_len]; n_streams];
         for slot in self.schedule.slots() {
             let field = match slot.kind {
                 mimo_ofdm::preamble::FieldKind::Sts => &self.sts,
@@ -196,23 +252,41 @@ impl MimoTransmitter {
             streams[slot.tx][slot.offset..slot.offset + slot.len].copy_from_slice(field);
         }
 
-        // Per-stream bit pipeline — "four separate and independent
-        // channels", each on its own workspace (and, in parallel mode,
-        // its own thread). Every buffer is rewritten per burst, so a
-        // poisoned lock (a previous worker panic) is safe to clear.
+        // Every buffer is rewritten per burst, so a poisoned lock (a
+        // previous worker panic) is safe to clear.
         let mut guard = self
             .workspace
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let TxWorkspace {
+            streams: stream_ws,
+            header: header_ws,
+        } = &mut *guard;
+
+        // SIGNAL-field header: stream 0's first symbols, most robust
+        // MCS, pilot polarity indices 0..header_symbols.
+        self.encode_header(
+            &params,
+            header_symbols,
+            &mut streams[0][pre_len..pre_len + header_len],
+            header_ws,
+        )?;
+
+        // Per-stream payload pipeline — "four separate and independent
+        // channels", each on its own workspace (and, in parallel mode,
+        // its own thread).
+        let kit = self.rates.kit(mcs);
         let parallel = cfg!(feature = "parallel") && self.cfg.parallelism();
         let mut work: Vec<(&mut [CQ15], &[u8], &mut TxStreamWorkspace)> = streams
             .iter_mut()
             .zip(&per_stream)
-            .zip(guard.streams.iter_mut())
-            .map(|((stream, bytes), ws)| (&mut stream[pre_len..], bytes.as_slice(), ws))
+            .zip(stream_ws.iter_mut())
+            .map(|((stream, bytes), ws)| {
+                (&mut stream[pre_len + header_len..], bytes.as_slice(), ws)
+            })
             .collect();
         run_four(parallel, &mut work, |_, (out, bytes, ws)| {
-            self.run_stream_pipeline(bytes, n_symbols, out, ws)
+            self.run_stream_pipeline(kit, bytes, n_symbols, header_symbols, out, ws)
         })?;
         drop(work);
         drop(guard);
@@ -220,64 +294,107 @@ impl MimoTransmitter {
         Ok(TxBurst {
             streams,
             n_symbols,
+            header_symbols,
+            mcs,
             payload_len: payload.len(),
         })
     }
 
-    /// One channel's complete pipeline: bit chain, then per symbol
-    /// interleave → map → IFFT → CP written straight into the stream's
-    /// data region. Zero heap allocation at steady state.
-    fn run_stream_pipeline(
+    /// Encodes the SIGNAL field onto stream 0's header symbols: 28
+    /// header bits (never scrambled, never punctured) → terminated
+    /// rate-1/2 encode → BPSK interleave/map → IFFT + CP, at pilot
+    /// polarity indices `0..header_symbols`.
+    fn encode_header(
         &self,
-        bytes: &[u8],
-        n_symbols: usize,
+        params: &BurstParams,
+        header_symbols: usize,
         out: &mut [CQ15],
         ws: &mut TxStreamWorkspace,
     ) -> Result<(), PhyError> {
-        self.encode_stream(bytes, n_symbols, ws)?;
-        let TxStreamWorkspace {
-            coded,
-            interleaved,
-            symbols,
-            freq,
-            ..
-        } = ws;
-        let ncbps = self.cfg.coded_bits_per_symbol();
+        let kit = self.rates.header_kit();
+        let ndbps = self.cfg.geometry().header_info_bits_per_symbol();
+        let capacity = header_symbols * ndbps - FLUSH_BITS;
+        ws.info.clear();
+        encode_signal_field(params, &mut ws.info)?;
+        debug_assert!(ws.info.len() <= capacity, "header under-provisioned");
+        ws.info.resize(capacity, 0);
+        let mut encoder = ConvolutionalEncoder::new(CodeSpec::ieee80211a());
+        encoder.encode_terminated_into(&ws.info, &mut ws.mother);
+        puncture_into(&ws.mother, CodeRate::Half, &mut ws.coded);
+        let coded = std::mem::take(&mut ws.coded);
+        let result = self.modulate_symbols(kit, &coded, 0, out, ws);
+        ws.coded = coded;
+        result
+    }
+
+    /// One channel's complete payload pipeline: bit chain at the
+    /// burst's MCS, then per symbol interleave → map → IFFT → CP
+    /// written straight into the stream's data region. Zero heap
+    /// allocation at steady state, at any MCS.
+    fn run_stream_pipeline(
+        &self,
+        kit: &RateKit,
+        bytes: &[u8],
+        n_symbols: usize,
+        pilot_offset: usize,
+        out: &mut [CQ15],
+        ws: &mut TxStreamWorkspace,
+    ) -> Result<(), PhyError> {
+        self.encode_stream(kit, bytes, n_symbols, ws)?;
+        let coded = std::mem::take(&mut ws.coded);
+        let result = self.modulate_symbols(kit, &coded, pilot_offset, out, ws);
+        ws.coded = coded;
+        result
+    }
+
+    /// Maps a coded bit stream onto consecutive OFDM symbols starting
+    /// at pilot polarity index `pilot_offset`.
+    fn modulate_symbols(
+        &self,
+        kit: &RateKit,
+        coded: &[u8],
+        pilot_offset: usize,
+        out: &mut [CQ15],
+        ws: &mut TxStreamWorkspace,
+    ) -> Result<(), PhyError> {
+        let ncbps = kit.coded_bits_per_symbol();
         let sym_len = self.cfg.symbol_samples();
+        let interleaved = &mut ws.interleaved[..ncbps];
         for (sym_idx, (block, on_air)) in coded
             .chunks(ncbps)
             .zip(out.chunks_mut(sym_len))
             .enumerate()
         {
-            self.interleaver.interleave_into(block, interleaved)?;
-            self.mapper.map_bits_into(interleaved, symbols)?;
-            self.modulator
-                .modulate_symbol_into(symbols, DATA_PILOT_START + sym_idx, on_air, freq)?;
+            kit.interleaver.interleave_into(block, interleaved)?;
+            kit.mapper.map_bits_into(interleaved, &mut ws.symbols)?;
+            self.modulator.modulate_symbol_into(
+                &ws.symbols,
+                pilot_offset + sym_idx,
+                on_air,
+                &mut ws.freq,
+            )?;
         }
         Ok(())
     }
 
-    /// Runs one stream's bit pipeline: header + payload + pad →
-    /// scramble → encode (terminated) → puncture. `ws.coded` ends up
-    /// with exactly `n_symbols · N_CBPS` coded bits.
+    /// Runs one stream's bit pipeline: payload + pad → scramble →
+    /// encode (terminated) → puncture. `ws.coded` ends up with exactly
+    /// `n_symbols · N_CBPS(mcs)` coded bits.
     fn encode_stream(
         &self,
+        kit: &RateKit,
         bytes: &[u8],
         n_symbols: usize,
         ws: &mut TxStreamWorkspace,
     ) -> Result<(), PhyError> {
-        let ndbps = self.cfg.info_bits_per_symbol();
+        let geometry = self.cfg.geometry();
+        let ndbps = kit.mcs.info_bits_per_symbol(geometry);
         let capacity = n_symbols * ndbps - FLUSH_BITS;
-        let used = LENGTH_HEADER_BITS + 8 * bytes.len();
-        debug_assert!(used <= capacity, "symbol count under-provisioned");
+        debug_assert!(8 * bytes.len() <= capacity, "symbol count under-provisioned");
 
         let info = &mut ws.info;
         info.clear();
         info.reserve(capacity);
-        let len = bytes.len() as u16;
-        for bit in 0..16 {
-            info.push(((len >> bit) & 1) as u8);
-        }
         mimo_coding::bits::bytes_to_bits_append(bytes, info);
         info.resize(capacity, 0); // zero pad to fill the burst
 
@@ -287,11 +404,8 @@ impl MimoTransmitter {
 
         let mut encoder = ConvolutionalEncoder::new(CodeSpec::ieee80211a());
         encoder.encode_terminated_into(info, &mut ws.mother);
-        puncture_into(&ws.mother, self.cfg.code_rate(), &mut ws.coded);
-        debug_assert_eq!(
-            ws.coded.len(),
-            n_symbols * self.cfg.coded_bits_per_symbol()
-        );
+        puncture_into(&ws.mother, kit.mcs.code_rate(), &mut ws.coded);
+        debug_assert_eq!(ws.coded.len(), n_symbols * kit.coded_bits_per_symbol());
         Ok(())
     }
 }
@@ -301,7 +415,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn burst_structure_matches_fig2() {
+    fn burst_structure_matches_fig2_plus_signal_field() {
         let tx = MimoTransmitter::new(PhyConfig::paper_synthesis()).unwrap();
         let burst = tx.transmit_burst(&[0xAB; 40]).unwrap();
         assert_eq!(burst.streams.len(), 4);
@@ -326,10 +440,22 @@ mod tests {
                 assert_eq!(active, stream == slot, "slot {slot} stream {stream}");
             }
         }
-        // All streams transmit data simultaneously.
+        // SIGNAL header: stream 0 only, then all streams carry data.
+        assert_eq!(burst.header_symbols, 2);
+        let header = pre..pre + burst.header_symbols * 80;
+        assert!(burst.streams[0][header.clone()].iter().any(|s| !s.is_zero()));
+        for stream in 1..4 {
+            assert!(
+                burst.streams[stream][header.clone()].iter().all(|s| s.is_zero()),
+                "SIGNAL field leaked onto stream {stream}"
+            );
+        }
         for stream in &burst.streams {
-            assert!(stream[pre..].iter().any(|s| !s.is_zero()));
-            assert_eq!(stream.len(), pre + burst.n_symbols * 80);
+            assert!(stream[header.end..].iter().any(|s| !s.is_zero()));
+            assert_eq!(
+                stream.len(),
+                pre + (burst.header_symbols + burst.n_symbols) * 80
+            );
         }
     }
 
@@ -363,26 +489,42 @@ mod tests {
     }
 
     #[test]
-    fn gigabit_config_uses_fewer_symbols_than_half_rate_qpsk() {
-        let fast = MimoTransmitter::new(PhyConfig::gigabit()).unwrap();
-        let slow = MimoTransmitter::new(
-            PhyConfig::paper_synthesis()
-                .with_modulation(mimo_modem::Modulation::Qpsk),
-        )
-        .unwrap();
-        let payload = vec![0x55u8; 400];
-        let nf = fast.transmit_burst(&payload).unwrap().n_symbols;
-        let ns = slow.transmit_burst(&payload).unwrap().n_symbols;
-        assert!(nf < ns, "64-QAM r=3/4 ({nf}) vs QPSK r=1/2 ({ns})");
+    fn off_table_default_rate_rejected_at_construction() {
+        let cfg = PhyConfig::paper_synthesis()
+            .with_modulation(mimo_modem::Modulation::Qam64)
+            .with_code_rate(mimo_coding::CodeRate::Half);
+        assert!(matches!(
+            MimoTransmitter::new(cfg),
+            Err(PhyError::BadConfig(_))
+        ));
     }
 
     #[test]
-    fn samples_stay_on_the_16_bit_bus() {
+    fn per_burst_mcs_overrides_the_default() {
+        let tx = MimoTransmitter::new(PhyConfig::paper_synthesis()).unwrap();
+        let payload = vec![0x55u8; 400];
+        let fast = tx.transmit_burst_with(Mcs::Qam64R34, &payload).unwrap();
+        let slow = tx.transmit_burst_with(Mcs::Bpsk12, &payload).unwrap();
+        assert_eq!(fast.mcs, Mcs::Qam64R34);
+        assert!(
+            fast.n_symbols < slow.n_symbols,
+            "64-QAM r=3/4 ({}) vs BPSK r=1/2 ({})",
+            fast.n_symbols,
+            slow.n_symbols
+        );
+        // Default is the config's rate.
+        assert_eq!(tx.transmit_burst(&payload).unwrap().mcs, Mcs::Qam16R12);
+    }
+
+    #[test]
+    fn samples_stay_on_the_16_bit_bus_at_every_mcs() {
         let tx = MimoTransmitter::new(PhyConfig::gigabit()).unwrap();
         let payload: Vec<u8> = (0..200).map(|i| (i * 13) as u8).collect();
-        let burst = tx.transmit_burst(&payload).unwrap();
-        for stream in &burst.streams {
-            assert!(stream.iter().all(|s| s.fits_bits(16)));
+        for mcs in Mcs::ALL {
+            let burst = tx.transmit_burst_with(mcs, &payload).unwrap();
+            for stream in &burst.streams {
+                assert!(stream.iter().all(|s| s.fits_bits(16)), "{mcs}");
+            }
         }
     }
 }

@@ -3,31 +3,37 @@
 //! The paper's 1 Gbps figure rests on four baseband channels running in
 //! true hardware parallelism with fixed, synthesis-time-sized memories.
 //! The software model mirrors that: every per-symbol buffer the chains
-//! touch lives in a workspace sized from [`PhyConfig`], so the
+//! touch lives in a workspace sized from [`LinkGeometry`], so the
 //! steady-state payload loops of `transmit_burst` / `receive_burst`
 //! perform **zero heap allocation**, and each spatial channel owns a
 //! private stream workspace so the four channels can run on scoped
 //! threads with no shared mutable state.
 //!
-//! Buffers whose size depends on the burst length (accumulated LLRs,
-//! gathered frequency-domain carriers) grow once per burst via
-//! `resize`/`reserve` and keep their capacity across bursts.
+//! Rate agility does not change this: the per-symbol bit buffers are
+//! sized for the **max-MCS envelope** (64-QAM's N_CBPS, the widest the
+//! SIGNAL field can select), and each burst's pipeline slices them to
+//! its own rate — reconfiguring the datapath per burst without ever
+//! growing a buffer. Buffers whose size depends on the burst length
+//! (accumulated LLRs, gathered frequency-domain carriers) grow once
+//! per burst via `resize`/`reserve` and keep their capacity across
+//! bursts.
 
 use mimo_coding::{Llr, ViterbiWorkspace};
 use mimo_fixed::CQ15;
 
-use crate::config::PhyConfig;
+use crate::config::LinkGeometry;
 
 /// Per-stream transmit scratch: one per spatial channel.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct TxStreamWorkspace {
-    /// Info bits: header + payload + pad (capacity grows per burst).
+    /// Info bits: payload + pad (capacity grows per burst).
     pub info: Vec<u8>,
     /// Mother-coded bits before puncturing.
     pub mother: Vec<u8>,
     /// Punctured coded bits for the whole stream burst.
     pub coded: Vec<u8>,
-    /// One symbol's interleaved coded bits (N_CBPS).
+    /// One symbol's interleaved coded bits, sized for the max-MCS
+    /// envelope; each burst uses the prefix `[..N_CBPS(mcs)]`.
     pub interleaved: Vec<u8>,
     /// One symbol's mapped data carriers.
     pub symbols: Vec<CQ15>,
@@ -35,28 +41,31 @@ pub(crate) struct TxStreamWorkspace {
     pub freq: Vec<CQ15>,
 }
 
-/// Transmit workspace: one stream workspace per spatial channel.
+/// Transmit workspace: one stream workspace per spatial channel, plus
+/// a dedicated scratch for the SIGNAL-field header symbols (stream 0
+/// only, always BPSK r=1/2).
 #[derive(Debug, Clone, Default)]
 pub(crate) struct TxWorkspace {
     pub streams: Vec<TxStreamWorkspace>,
+    pub header: TxStreamWorkspace,
 }
 
 impl TxWorkspace {
     /// Builds a workspace with the per-symbol buffers sized from the
-    /// configuration.
-    pub fn new(cfg: &PhyConfig) -> Self {
-        let mut streams = Vec::with_capacity(cfg.n_streams());
-        for _ in 0..cfg.n_streams() {
-            streams.push(TxStreamWorkspace {
-                info: Vec::new(),
-                mother: Vec::new(),
-                coded: Vec::new(),
-                interleaved: vec![0; cfg.coded_bits_per_symbol()],
-                symbols: vec![CQ15::ZERO; cfg.data_carriers()],
-                freq: vec![CQ15::ZERO; cfg.fft_size()],
-            });
+    /// link geometry at the max-MCS envelope.
+    pub fn new(geometry: &LinkGeometry, max_ncbps: usize) -> Self {
+        let make = || TxStreamWorkspace {
+            info: Vec::new(),
+            mother: Vec::new(),
+            coded: Vec::new(),
+            interleaved: vec![0; max_ncbps],
+            symbols: vec![CQ15::ZERO; geometry.data_carriers()],
+            freq: vec![CQ15::ZERO; geometry.fft_size()],
+        };
+        Self {
+            streams: (0..geometry.n_streams()).map(|_| make()).collect(),
+            header: make(),
         }
-        Self { streams }
     }
 }
 
@@ -82,11 +91,12 @@ pub(crate) struct RxStreamWorkspace {
     pub signs: Vec<i8>,
     /// One symbol's data carriers.
     pub data: Vec<CQ15>,
-    /// One symbol's demapped LLRs (N_CBPS).
+    /// One symbol's demapped LLRs, max-MCS envelope; each burst uses
+    /// the prefix `[..N_CBPS(mcs)]`.
     pub llrs: Vec<Llr>,
-    /// One symbol's de-interleaved LLRs (N_CBPS).
+    /// One symbol's de-interleaved LLRs (same envelope).
     pub deinterleaved: Vec<Llr>,
-    /// Hard-decision bit scratch (N_CBPS; hard-demap mode and EVM).
+    /// Hard-decision bit scratch (envelope; hard-demap mode and EVM).
     pub hard_bits: Vec<u8>,
     /// Re-mapped nearest constellation points for the EVM measurement.
     pub evm_points: Vec<CQ15>,
@@ -110,46 +120,54 @@ pub(crate) struct RxStreamWorkspace {
 }
 
 /// Receive workspace: antenna-side and stream-side scratch, split so
-/// the two parallel stages can borrow them independently.
+/// the two parallel stages can borrow them independently, plus a
+/// dedicated stream-shaped scratch for decoding the SIGNAL-field
+/// header (stream 0, before the payload fan-out).
 #[derive(Debug, Clone, Default)]
 pub(crate) struct RxWorkspace {
     pub antennas: Vec<RxAntennaWorkspace>,
     pub streams: Vec<RxStreamWorkspace>,
+    pub header: RxStreamWorkspace,
 }
 
 impl RxWorkspace {
     /// Builds a workspace with the per-symbol buffers sized from the
-    /// configuration and carrier geometry.
-    pub fn new(cfg: &PhyConfig, n_occ: usize, n_pilots: usize) -> Self {
-        let n = cfg.n_streams();
-        let ncbps = cfg.coded_bits_per_symbol();
-        let mut antennas = Vec::with_capacity(n);
-        let mut streams = Vec::with_capacity(n);
-        for _ in 0..n {
-            antennas.push(RxAntennaWorkspace {
-                fft: vec![CQ15::ZERO; cfg.fft_size()],
-                freq_occ: Vec::new(),
-            });
-            streams.push(RxStreamWorkspace {
-                eq: vec![CQ15::ZERO; n_occ],
-                pilots: vec![CQ15::ZERO; n_pilots],
-                signs: vec![0; n_pilots],
-                data: vec![CQ15::ZERO; cfg.data_carriers()],
-                llrs: vec![0; ncbps],
-                deinterleaved: vec![0; ncbps],
-                hard_bits: vec![0; ncbps],
-                evm_points: vec![CQ15::ZERO; cfg.data_carriers()],
-                stream_llrs: Vec::new(),
-                restored: Vec::new(),
-                viterbi: ViterbiWorkspace::new(),
-                decoded: Vec::new(),
-                bytes: Vec::new(),
-                evm_num: 0.0,
-                evm_den: 0.0,
-                phase_acc: 0.0,
-            });
+    /// link geometry, carrier geometry and max-MCS envelope.
+    pub fn new(
+        geometry: &LinkGeometry,
+        max_ncbps: usize,
+        n_occ: usize,
+        n_pilots: usize,
+    ) -> Self {
+        let n = geometry.n_streams();
+        let make_stream = || RxStreamWorkspace {
+            eq: vec![CQ15::ZERO; n_occ],
+            pilots: vec![CQ15::ZERO; n_pilots],
+            signs: vec![0; n_pilots],
+            data: vec![CQ15::ZERO; geometry.data_carriers()],
+            llrs: vec![0; max_ncbps],
+            deinterleaved: vec![0; max_ncbps],
+            hard_bits: vec![0; max_ncbps],
+            evm_points: vec![CQ15::ZERO; geometry.data_carriers()],
+            stream_llrs: Vec::new(),
+            restored: Vec::new(),
+            viterbi: ViterbiWorkspace::new(),
+            decoded: Vec::new(),
+            bytes: Vec::new(),
+            evm_num: 0.0,
+            evm_den: 0.0,
+            phase_acc: 0.0,
+        };
+        Self {
+            antennas: (0..n)
+                .map(|_| RxAntennaWorkspace {
+                    fft: vec![CQ15::ZERO; geometry.fft_size()],
+                    freq_occ: Vec::new(),
+                })
+                .collect(),
+            streams: (0..n).map(|_| make_stream()).collect(),
+            header: make_stream(),
         }
-        Self { antennas, streams }
     }
 }
 
@@ -187,4 +205,3 @@ pub(crate) fn run_four<T: Send, E: Send>(
     }
     Ok(())
 }
-

@@ -67,6 +67,13 @@ impl SymbolDemapper {
         self.modulation
     }
 
+    /// Re-points this demapper at a different mapper's constellation
+    /// in place (no allocation): the per-burst rate reconfiguration
+    /// counterpart of [`SymbolMapper::reconfigure`].
+    pub fn reconfigure_matched_to(&mut self, mapper: &SymbolMapper) {
+        *self = Self::matched_to(mapper);
+    }
+
     /// Hard decision: nearest constellation point, Gray bits out.
     /// Output length is `symbols.len() * bits_per_symbol`.
     pub fn hard_demap(&self, symbols: &[CQ15]) -> Vec<u8> {

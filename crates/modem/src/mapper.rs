@@ -88,20 +88,41 @@ impl SymbolMapper {
         if !(scale > 0.0 && scale <= 0.9) {
             return Err(ModemError::BadScale(scale));
         }
-        let bps = modulation.bits_per_symbol();
-        let lut = (0..1usize << bps)
-            .map(|addr| {
-                let bits: Vec<u8> = (0..bps)
-                    .map(|i| ((addr >> (bps - 1 - i)) & 1) as u8)
-                    .collect();
-                Self::map_one(modulation, scale, &bits)
-            })
-            .collect();
-        Ok(Self {
+        // Capacity for the widest LUT (64-QAM) up front, so later
+        // in-place reconfiguration never reallocates.
+        let mut mapper = Self {
             modulation,
             scale,
-            lut,
-        })
+            lut: Vec::with_capacity(1 << Modulation::Qam64.bits_per_symbol()),
+        };
+        mapper.fill_lut();
+        Ok(mapper)
+    }
+
+    /// Rewrites this mapper's ROM in place for a different modulation,
+    /// keeping the configured scale. The LUT buffer was reserved for
+    /// the widest constellation at construction, so per-burst rate
+    /// changes allocate nothing — the software analogue of re-pointing
+    /// the hardware LUT address width.
+    pub fn reconfigure(&mut self, modulation: Modulation) {
+        if modulation == self.modulation {
+            return;
+        }
+        self.modulation = modulation;
+        self.fill_lut();
+    }
+
+    fn fill_lut(&mut self) {
+        let bps = self.modulation.bits_per_symbol();
+        self.lut.clear();
+        let mut bits = [0u8; 8];
+        for addr in 0..1usize << bps {
+            for (i, bit) in bits[..bps].iter_mut().enumerate() {
+                *bit = ((addr >> (bps - 1 - i)) & 1) as u8;
+            }
+            self.lut
+                .push(Self::map_one(self.modulation, self.scale, &bits[..bps]));
+        }
     }
 
     fn map_one(modulation: Modulation, scale: f64, bits: &[u8]) -> CQ15 {
@@ -255,6 +276,19 @@ mod tests {
             mapper.map_bits(&[1, 0, 1]),
             Err(ModemError::RaggedBits { got: 3, multiple: 4 })
         ));
+    }
+
+    #[test]
+    fn reconfigure_matches_fresh_build() {
+        let mut mapper = SymbolMapper::new(Modulation::Qam64).unwrap();
+        let cap = mapper.lut.capacity();
+        for m in Modulation::ALL {
+            mapper.reconfigure(m);
+            let fresh = SymbolMapper::new(m).unwrap();
+            assert_eq!(mapper.lut(), fresh.lut(), "{m}");
+            assert_eq!(mapper.modulation(), m);
+            assert_eq!(mapper.lut.capacity(), cap, "{m}: LUT reallocated");
+        }
     }
 
     #[test]

@@ -231,7 +231,7 @@ pub fn any<T: Arbitrary>() -> T::Strategy {
 pub mod collection {
     use super::*;
 
-    /// Sizes accepted by [`vec`]: a fixed length or a half-open range.
+    /// Sizes accepted by [`vec()`]: a fixed length or a half-open range.
     pub trait SizeRange {
         /// Draws a concrete length.
         fn pick(&self, rng: &mut ChaCha8Rng) -> usize;

@@ -1,50 +1,76 @@
-//! Quickstart: move bytes through the full 4×4 MIMO baseband.
+//! Quickstart: move bytes through the full 4×4 MIMO baseband, at a
+//! different rate per burst.
+//!
+//! The receiver is built from the static link geometry alone — it has
+//! no idea what rate the transmitter will pick. Each burst announces
+//! its MCS and length in the SIGNAL-field header (BPSK r=1/2 on
+//! stream 0's first symbols), and the receiver reconfigures its
+//! datapath per burst from that.
 //!
 //! ```bash
 //! cargo run --release --example quickstart
 //! ```
 
 use mimo_baseband::channel::{AwgnChannel, ChannelModel, IdealChannel};
-use mimo_baseband::phy::{MimoReceiver, MimoTransmitter, PhyConfig};
+use mimo_baseband::phy::{LinkGeometry, Mcs, MimoReceiver, MimoTransmitter};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // The paper's synthesis configuration: 4x4 MIMO, 16-QAM, rate 1/2,
-    // 64-point OFDM, 100 MHz baseband clock.
-    let cfg = PhyConfig::paper_synthesis();
-    println!("configuration: 4x4 MIMO, {} @ rate {}, {}-pt OFDM",
-        cfg.modulation(), cfg.code_rate(), cfg.fft_size());
-    println!("modelled line rate: {:.0} Mbps", cfg.throughput_bps() / 1e6);
-
-    let tx = MimoTransmitter::new(cfg.clone())?;
-    let mut rx = MimoReceiver::new(cfg.clone())?;
+    // Static link geometry: 4x4 MIMO, 64-point OFDM, 100 MHz clock.
+    // No modulation, no code rate — those are per-burst now.
+    let geom = LinkGeometry::mimo();
+    let tx = MimoTransmitter::from_geometry(geom.clone())?;
+    let mut rx = MimoReceiver::from_geometry(geom.clone())?;
+    println!(
+        "link geometry: {}x{} MIMO, {}-pt OFDM, {:.0} MHz clock",
+        geom.n_streams(),
+        geom.n_streams(),
+        geom.fft_size(),
+        geom.clock_hz() / 1e6
+    );
+    println!("rate table:");
+    for mcs in Mcs::ALL {
+        println!(
+            "  [{}] {:<14} {:>7.0} Mbps",
+            mcs.index(),
+            mcs.to_string(),
+            mcs.data_rate_bps(&geom) / 1e6
+        );
+    }
 
     let payload = b"The quick brown fox jumps over the lazy dog. 4x4 MIMO-OFDM at baseband!".to_vec();
-    let burst = tx.transmit_burst(&payload)?;
-    println!(
-        "burst: {} samples/antenna ({} preamble + {} data symbols), {:.1} us on air",
-        burst.len_samples(),
-        tx.preamble_schedule().data_offset(),
-        burst.n_symbols,
-        burst.duration_s(cfg.clock_hz()) * 1e6
-    );
 
-    // Perfect wiring first.
-    let received = IdealChannel::new(4).propagate(&burst.streams);
-    let decoded = rx.receive_burst(&received)?;
-    assert_eq!(decoded.payload, payload);
-    println!(
-        "ideal channel: payload recovered, EVM {:.1} dB, sync at sample {}",
-        decoded.diagnostics.evm_db, decoded.diagnostics.sync.lts_start
-    );
+    // Two bursts at very different operating points, one receiver,
+    // zero reconfiguration between them.
+    for mcs in [Mcs::Qpsk12, Mcs::Qam64R34] {
+        let burst = tx.transmit_burst_with(mcs, &payload)?;
+        println!(
+            "\nburst @ {mcs}: {} samples/antenna ({} header + {} data symbols), {:.1} us on air",
+            burst.len_samples(),
+            burst.header_symbols,
+            burst.n_symbols,
+            burst.duration_s(geom.clock_hz()) * 1e6
+        );
 
-    // Now with receiver noise.
-    let received = AwgnChannel::new(4, 25.0, 42).propagate(&burst.streams);
-    let decoded = rx.receive_burst(&received)?;
-    assert_eq!(decoded.payload, payload);
-    println!(
-        "AWGN 25 dB:   payload recovered, EVM {:.1} dB",
-        decoded.diagnostics.evm_db
-    );
-    println!("decoded text: {}", String::from_utf8_lossy(&decoded.payload));
+        // Perfect wiring first.
+        let received = IdealChannel::new(4).propagate(&burst.streams);
+        let decoded = rx.receive_burst(&received)?;
+        assert_eq!(decoded.payload, payload);
+        assert_eq!(decoded.diagnostics.mcs, mcs);
+        println!(
+            "  ideal channel: payload recovered, SIGNAL announced {}, EVM {:.1} dB",
+            decoded.diagnostics.mcs, decoded.diagnostics.evm_db
+        );
+
+        // Now with receiver noise.
+        let received = AwgnChannel::new(4, 25.0, 42).propagate(&burst.streams);
+        let decoded = rx.receive_burst(&received)?;
+        assert_eq!(decoded.payload, payload);
+        println!(
+            "  AWGN 25 dB:    payload recovered, EVM {:.1} dB",
+            decoded.diagnostics.evm_db
+        );
+    }
+
+    println!("\ndecoded text: {}", String::from_utf8_lossy(&payload));
     Ok(())
 }

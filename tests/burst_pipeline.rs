@@ -137,6 +137,25 @@ fn pipeline_isolates_per_burst_failures() {
 }
 
 #[test]
+fn borrowed_views_match_owned_batches() {
+    // `process_batch_ref` decodes slices borrowed from the owned
+    // bursts (no samples copied) and must be bit-identical to both
+    // `process_batch` and the serial reference, in every schedule.
+    let cfg = PhyConfig::paper_synthesis();
+    let (_, bursts) = make_batch(&cfg, 4);
+    let want = serial_reference(&cfg, &bursts);
+    for workers in [0usize, 1, 3] {
+        let mut pipe = BurstPipeline::with_workers(cfg.clone(), workers).unwrap();
+        let views: Vec<Vec<&[CQ15]>> = bursts
+            .iter()
+            .map(|b| b.iter().map(Vec::as_slice).collect())
+            .collect();
+        let got = pipe.process_batch_ref(&views);
+        assert_results_identical(&got, &want);
+    }
+}
+
+#[test]
 fn auto_worker_count_degrades_on_single_cpu() {
     let pipe = BurstPipeline::new(PhyConfig::paper_synthesis()).unwrap();
     let threads = std::thread::available_parallelism()

@@ -2,9 +2,7 @@
 //! configuration space (Experiment E1).
 
 use mimo_baseband::channel::{AwgnChannel, ChannelModel, IdealChannel};
-use mimo_baseband::coding::CodeRate;
-use mimo_baseband::modem::Modulation;
-use mimo_baseband::phy::{LinkSimulation, MimoReceiver, MimoTransmitter, PhyConfig};
+use mimo_baseband::phy::{LinkSimulation, Mcs, MimoReceiver, MimoTransmitter, PhyConfig};
 
 fn payload(n: usize) -> Vec<u8> {
     (0..n).map(|i| (i.wrapping_mul(197) ^ (i >> 3)) as u8).collect()
@@ -12,19 +10,18 @@ fn payload(n: usize) -> Vec<u8> {
 
 #[test]
 fn loopback_configuration_matrix() {
-    for m in Modulation::ALL {
-        for r in CodeRate::ALL {
-            let cfg = PhyConfig::paper_synthesis()
-                .with_modulation(m)
-                .with_code_rate(r);
-            let tx = MimoTransmitter::new(cfg.clone()).unwrap();
-            let mut rx = MimoReceiver::new(cfg).unwrap();
-            let data = payload(97);
-            let burst = tx.transmit_burst(&data).unwrap();
-            let received = IdealChannel::new(4).propagate(&burst.streams);
-            let result = rx.receive_burst(&received).unwrap();
-            assert_eq!(result.payload, data, "{m} {r}");
-        }
+    // The whole MCS grid through ONE transmitter and ONE receiver:
+    // per-burst rate selection on the TX side, SIGNAL-field auto-rate
+    // on the RX side.
+    let tx = MimoTransmitter::new(PhyConfig::paper_synthesis()).unwrap();
+    let mut rx = MimoReceiver::new(PhyConfig::paper_synthesis()).unwrap();
+    for mcs in Mcs::ALL {
+        let data = payload(97);
+        let burst = tx.transmit_burst_with(mcs, &data).unwrap();
+        let received = IdealChannel::new(4).propagate(&burst.streams);
+        let result = rx.receive_burst(&received).unwrap();
+        assert_eq!(result.payload, data, "{mcs}");
+        assert_eq!(result.diagnostics.mcs, mcs, "{mcs}");
     }
 }
 

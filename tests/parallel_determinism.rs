@@ -9,9 +9,7 @@
 //! match exactly between `with_parallelism(true)` and `(false)`.
 
 use mimo_baseband::channel::{AwgnChannel, ChannelModel, IdealChannel};
-use mimo_baseband::coding::CodeRate;
-use mimo_baseband::modem::Modulation;
-use mimo_baseband::phy::{MimoReceiver, MimoTransmitter, PhyConfig};
+use mimo_baseband::phy::{Mcs, MimoReceiver, MimoTransmitter, PhyConfig};
 
 fn payload(seed: u64, len: usize) -> Vec<u8> {
     // Small deterministic xorshift so the sweep is reproducible.
@@ -78,15 +76,11 @@ fn seeded_burst_sweep_ideal_channel() {
 }
 
 #[test]
-fn sweep_across_modulations_and_rates() {
-    for m in Modulation::ALL {
-        for r in CodeRate::ALL {
-            let cfg = PhyConfig::paper_synthesis()
-                .with_modulation(m)
-                .with_code_rate(r);
-            let data = payload(77, 160);
-            assert_bit_identical(&cfg, &data, None);
-        }
+fn sweep_across_the_mcs_table() {
+    for mcs in Mcs::ALL {
+        let cfg = PhyConfig::paper_synthesis().with_mcs(mcs);
+        let data = payload(77, 160);
+        assert_bit_identical(&cfg, &data, None);
     }
 }
 
