@@ -21,6 +21,12 @@
 //! auto-rate path, so header parse + per-burst datapath selection are
 //! inside the measured loop.
 //!
+//! The `streaming` rows decode through
+//! `StreamingReceiver::push_samples` in 4096-sample chunks — tracking
+//! the overhead of chunked ingest (history buffering, online sync
+//! tracking, per-symbol scheduling) over the whole-capture batch path,
+//! which shares the same per-symbol core.
+//!
 //! Note: the parallel-over-serial ratio is only meaningful on a
 //! multi-core host (the snapshot records `host_threads`); on a 1-CPU
 //! container both modes measure the same work.
@@ -29,7 +35,9 @@ use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use mimo_channel::{ChannelModel, IdealChannel};
-use mimo_core::{BurstPipeline, Mcs, MimoReceiver, MimoTransmitter, PhyConfig};
+use mimo_core::{
+    BurstPipeline, Mcs, MimoReceiver, MimoTransmitter, PhyConfig, StreamingReceiver,
+};
 
 /// Payload for each burst: 2 KiB per stream keeps the Viterbi and FFT
 /// stages firmly in steady state.
@@ -106,6 +114,45 @@ fn measure_pipeline_bursts_per_sec(cfg: &PhyConfig, budget: Duration) -> f64 {
     bursts as f64 / start.elapsed().as_secs_f64()
 }
 
+/// Chunk size for the streaming-ingest row: a DMA-page-ish 4096
+/// samples per antenna per push.
+const STREAM_CHUNK: usize = 4096;
+
+/// Streaming-ingest measurement: the same tx + channel loop, decoding
+/// through `StreamingReceiver::push_samples` in `STREAM_CHUNK`-sample
+/// chunks — the streaming-vs-batch overhead tracker.
+fn measure_streaming_bursts_per_sec(cfg: &PhyConfig, budget: Duration) -> f64 {
+    let tx = MimoTransmitter::new(cfg.clone()).expect("config");
+    let mut rx = StreamingReceiver::from_geometry(cfg.geometry().clone()).expect("config");
+    let mut chan = IdealChannel::new(4);
+    let data = payload();
+    let decode = |rx: &mut StreamingReceiver, chan: &mut IdealChannel| -> usize {
+        let burst = tx.transmit_burst(&data).expect("tx");
+        let received = chan.propagate(&burst.streams);
+        let len = received[0].len();
+        let mut at = 0;
+        let mut out = None;
+        while at < len {
+            let end = (at + STREAM_CHUNK).min(len);
+            let views: Vec<&[_]> = received.iter().map(|s| &s[at..end]).collect();
+            if let Some(b) = rx.push_samples(&views).expect("rx") {
+                out = Some(b);
+            }
+            at = end;
+        }
+        out.expect("burst completes within its capture").result.payload.len()
+    };
+    // Warm the workspaces and pin correctness.
+    assert_eq!(decode(&mut rx, &mut chan), data.len(), "loopback must be lossless");
+    let start = Instant::now();
+    let mut bursts = 0u64;
+    while start.elapsed() < budget || bursts < 3 {
+        criterion::black_box(decode(&mut rx, &mut chan));
+        bursts += 1;
+    }
+    bursts as f64 / start.elapsed().as_secs_f64()
+}
+
 struct Point {
     name: &'static str,
     cfg: PhyConfig,
@@ -168,16 +215,19 @@ fn bench(c: &mut Criterion) {
         let parallel =
             measure_bursts_per_sec(&point.cfg.clone().with_parallelism(true), None, budget);
         let pipeline = measure_pipeline_bursts_per_sec(&point.cfg, budget);
+        let streaming = measure_streaming_bursts_per_sec(&point.cfg, budget);
         eprintln!(
             "{:<16} serial {serial:>8.2} bursts/s | parallel {parallel:>8.2} bursts/s (x{:.2}) | \
-             pipeline {pipeline:>8.2} bursts/s (x{:.2})",
+             pipeline {pipeline:>8.2} bursts/s (x{:.2}) | streaming {streaming:>8.2} bursts/s (x{:.2})",
             point.name,
             parallel / serial,
-            pipeline / serial
+            pipeline / serial,
+            streaming / serial
         );
         rows.push((point.name.to_string(), "serial".to_string(), serial));
         rows.push((point.name.to_string(), "parallel".to_string(), parallel));
         rows.push((point.name.to_string(), "pipeline".to_string(), pipeline));
+        rows.push((point.name.to_string(), "streaming".to_string(), streaming));
     }
 
     // Rate-grid extremes through the auto-rate hot path: the slowest

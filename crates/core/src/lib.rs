@@ -41,7 +41,11 @@
 //!   channels at the announced rate.
 //! * [`SisoTransmitter`] / [`SisoReceiver`] — the 1×1 baseline system
 //!   the paper's resource comparisons reference, sharing the same
-//!   burst framing.
+//!   burst framing *and the same per-symbol receive core*.
+//! * [`StreamingReceiver`] — the chunk-driven receiver core:
+//!   [`StreamingReceiver::push_samples`] consumes arbitrary-size
+//!   sample chunks and emits [`ReceivedBurst`]s as they complete,
+//!   carrying sync/estimate/per-symbol state across chunk boundaries.
 //! * [`BurstPipeline`] — persistent worker-pool batch receiver that
 //!   overlaps the antenna stage of burst *n+1* with the stream stage
 //!   of burst *n*, recycling workspaces through a pool; batches may
@@ -50,6 +54,35 @@
 //! * [`LinkSimulation`] — end-to-end BER/PER measurement harness, with
 //!   [`LinkSimulation::sweep_mcs`] covering the whole rate grid
 //!   through one transceiver pair.
+//!
+//! # One streaming datapath; batch is a schedule over it
+//!
+//! The paper's receiver is a streaming pipeline — samples flow through
+//! sync, FFT, detection and decoding continuously; whole-burst buffers
+//! are a software artifact. The crate is organized accordingly: the
+//! **per-symbol core is the primitive** and every receive mode is a
+//! schedule over it.
+//!
+//! * Burst acquisition is the chunk-driven
+//!   [`SyncTracker`](mimo_sync::SyncTracker) (online coarse STS
+//!   plateau → fine 32-tap correlator window); the whole-capture
+//!   entry point [`coarse_sts_end`](mimo_sync::coarse_sts_end) is a
+//!   wrapper over the same tracker.
+//! * Per-symbol ingest is [`SymbolIngest`](mimo_ofdm::SymbolIngest)
+//!   (CP strip + FFT), one per antenna inside the `RxWorkspace`.
+//! * Detection → pilot corrections → demap → de-interleave is one
+//!   `process_symbol` path; header parse, per-stream Viterbi and
+//!   round-robin reassembly close a burst.
+//!
+//! [`MimoReceiver::receive_burst`] runs that core over a stored
+//! capture in two parallel stages; [`BurstPipeline`] overlaps those
+//! stages across bursts; [`StreamingReceiver`] advances a per-symbol
+//! state machine (`Searching → Estimating → HeaderDecode →
+//! Payload{symbol_idx}`) as chunks arrive. Because there is only one
+//! implementation of each stage, the three modes are **bit-identical
+//! by construction** — enforced for every MCS row and chunk sizes
+//! {1, prime, symbol, whole-burst} (including preambles straddling
+//! chunk boundaries and back-to-back bursts) by `tests/streaming_rx.rs`.
 //!
 //! # Workspace + parallelism architecture
 //!
@@ -120,6 +153,32 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! The same burst recovered from a live sample stream, one ragged
+//! chunk at a time — no capture buffer, bit-identical result:
+//!
+//! ```
+//! use mimo_core::{LinkGeometry, MimoTransmitter, PhyConfig, StreamingReceiver};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let tx = MimoTransmitter::new(PhyConfig::paper_synthesis())?;
+//! let mut rx = StreamingReceiver::from_geometry(LinkGeometry::mimo())?;
+//! let payload: Vec<u8> = (0..64).map(|i| i as u8).collect();
+//! let burst = tx.transmit_burst(&payload)?;
+//!
+//! let (len, mut at, mut found) = (burst.streams[0].len(), 0, None);
+//! while at < len {
+//!     let end = (at + 160).min(len); // e.g. a 160-sample DMA drain
+//!     let chunks: Vec<&[_]> = burst.streams.iter().map(|s| &s[at..end]).collect();
+//!     if let Some(b) = rx.push_samples(&chunks)? {
+//!         found = Some(b);
+//!     }
+//!     at = end;
+//! }
+//! assert_eq!(found.unwrap().result.payload, payload);
+//! # Ok(())
+//! # }
+//! ```
 
 mod config;
 mod error;
@@ -130,6 +189,7 @@ mod rates;
 mod rx;
 pub mod signal;
 mod siso;
+mod stream;
 mod tx;
 mod workspace;
 
@@ -140,4 +200,5 @@ pub use mcs::{BurstParams, Mcs};
 pub use pipeline::{BurstPipeline, BurstStreams};
 pub use rx::{MimoReceiver, RxDiagnostics, RxResult};
 pub use siso::{SisoReceiver, SisoTransmitter};
+pub use stream::{ReceivedBurst, StreamingReceiver};
 pub use tx::{MimoTransmitter, TxBurst};

@@ -28,7 +28,10 @@
 //! runs (with the within-burst four-way fan-out disabled — parallelism
 //! comes from burst overlap instead), so pipeline output is
 //! **bit-identical** to `receive_burst` for any batch size and any
-//! worker count; `tests/burst_pipeline.rs` pins this.
+//! worker count; `tests/burst_pipeline.rs` pins this. Both stages are
+//! schedules over the same per-symbol core the chunk-driven
+//! [`StreamingReceiver`](crate::StreamingReceiver) drives, so all
+//! three receive modes decode every burst identically.
 //!
 //! The pipeline is **rate-agile**: every burst announces its own MCS
 //! in its SIGNAL-field header, so a single pool decodes mixed-rate

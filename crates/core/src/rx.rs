@@ -9,15 +9,41 @@
 //! permutation, puncture pattern) selected per burst from a prebuilt
 //! [`RateTable`](crate::rates::RateTable).
 //!
-//! The payload hot path is organized in two parallel stages around the
-//! preallocated [`RxWorkspace`](crate::workspace::RxWorkspace):
+//! # One per-symbol core, three drivers
 //!
-//! 1. **Per antenna** — FFT every payload symbol and gather the
+//! Since the streaming refactor the per-symbol datapath exists exactly
+//! once, shared by every receive mode:
+//!
+//! * [`SymbolIngest`](mimo_ofdm::SymbolIngest) (one per antenna, in
+//!   the workspace) strips the CP and FFTs one on-air symbol period;
+//!   [`MimoReceiver::gather_occ`] pulls the occupied carriers out of
+//!   the frame.
+//! * [`MimoReceiver::process_symbol`] runs one stream × one symbol:
+//!   zero-forcing detection (row `k` of `H⁻¹·r`), then the shared
+//!   [`SymbolPost`] stage — pilot common-phase and timing correction,
+//!   demap, de-interleave — accumulating LLRs in the stream workspace.
+//! * The burst-end bit pipeline ([`decode_bit_pipeline`]), SIGNAL
+//!   parse ([`parse_header_ws`]) and round-robin reassembly
+//!   ([`assemble_payload`]) close a burst.
+//!
+//! [`MimoReceiver::receive_burst`] (whole capture, two parallel
+//! stages), [`BurstPipeline`](crate::BurstPipeline) (batched stage
+//! overlap) and [`StreamingReceiver`](crate::StreamingReceiver)
+//! (chunked ingest, per-symbol state machine) are all thin drivers of
+//! these pieces, so their outputs are bit-identical by construction —
+//! enforced by `tests/streaming_rx.rs`, `tests/burst_pipeline.rs` and
+//! `tests/parallel_determinism.rs`.
+//!
+//! # The batch schedule
+//!
+//! The whole-capture hot path is organized in two parallel stages
+//! around the preallocated [`RxWorkspace`](crate::workspace::RxWorkspace):
+//!
+//! 1. **Per antenna** — ingest every payload symbol and gather the
 //!    occupied carriers into that antenna's flat frequency buffer.
-//! 2. **Per stream** — zero-forcing detection (row `k` of `H⁻¹·r` per
-//!    carrier), pilot phase/timing correction, demap, de-interleave,
-//!    depuncture and Viterbi decode, entirely inside stream `k`'s
-//!    workspace at the burst's MCS.
+//! 2. **Per stream** — the per-symbol core over all of the burst's
+//!    symbols, entirely inside stream `k`'s workspace at the burst's
+//!    MCS.
 //!
 //! Both stages are embarrassingly parallel across the four channels;
 //! with the `parallel` feature they fan out across scoped threads and
@@ -112,17 +138,120 @@ pub(crate) struct FrontInfo {
     pub(crate) shortest: usize,
 }
 
-/// Parameters of one stream-pipeline pass: which symbols to process
-/// and at which rate.
-struct StreamJob<'a> {
-    kit: &'a RateKit,
-    /// First symbol (absolute index after the LTS = pilot polarity
-    /// index).
-    first_sym: usize,
-    /// Symbols to process.
-    n_syms: usize,
-    /// Whether to accumulate stream-0 EVM/phase diagnostics.
-    collect_diag: bool,
+/// The post-equalization half of the per-symbol receive datapath:
+/// pilot common-phase estimation/correction, feed-forward timing
+/// correction, demap and de-interleave, with optional stream-0
+/// EVM/phase diagnostics. It operates on the equalized occupied
+/// carriers already sitting in `ws.eq`, so the 4×4 chain (after
+/// zero-forcing detection), the 1×1 baseline (after its scalar
+/// equalizer) and the streaming receiver all run **this one
+/// implementation** — symbol for symbol, bit for bit.
+#[derive(Debug, Clone)]
+pub(crate) struct SymbolPost {
+    phase: mimo_detect::PilotPhaseCorrector,
+    timing: mimo_detect::TimingCorrector,
+    /// Base pilot signs of the subcarrier map.
+    pattern: Vec<i8>,
+    /// Positions of data carriers within the occupied-carrier order.
+    data_pos: Vec<usize>,
+    /// Positions of pilot carriers within the occupied-carrier order.
+    pilot_pos: Vec<usize>,
+    /// Logical subcarrier numbers of the pilots (for tau estimation).
+    pilot_indices: Vec<i32>,
+    /// Logical indices of the occupied carriers.
+    occupied: Vec<i32>,
+    /// Soft (LLR) or hard demapping into the Viterbi decoder.
+    soft: bool,
+}
+
+impl SymbolPost {
+    pub(crate) fn new(map: &SubcarrierMap, soft: bool) -> Self {
+        let (data_pos, pilot_pos, occupied) = carrier_positions(map);
+        let pilot_indices = pilot_pos.iter().map(|&p| occupied[p]).collect();
+        Self {
+            phase: mimo_detect::PilotPhaseCorrector::new(),
+            timing: mimo_detect::TimingCorrector::new(),
+            pattern: map.pilot_pattern().to_vec(),
+            data_pos,
+            pilot_pos,
+            pilot_indices,
+            occupied,
+            soft,
+        }
+    }
+
+    /// Occupied carriers per symbol.
+    pub(crate) fn n_occupied(&self) -> usize {
+        self.occupied.len()
+    }
+
+    /// Pilot carriers per symbol.
+    pub(crate) fn n_pilots(&self) -> usize {
+        self.pilot_pos.len()
+    }
+
+    /// Runs the stage over `ws.eq` for absolute symbol index `sym`
+    /// (the pilot polarity index), appending the de-interleaved LLRs
+    /// to `ws.stream_llrs`. Zero heap allocation: every buffer lives
+    /// in `ws` (sized for the max-MCS envelope, sliced to this burst's
+    /// N_CBPS) and is reused across symbols and bursts.
+    pub(crate) fn run(
+        &self,
+        kit: &RateKit,
+        sym: usize,
+        collect_diag: bool,
+        ws: &mut RxStreamWorkspace,
+    ) -> Result<(), PhyError> {
+        let ncbps = kit.coded_bits_per_symbol();
+
+        // Common phase from the de-scrambled pilot average.
+        let polarity = mimo_coding::pilot_polarity(sym);
+        for (sign, &base) in ws.signs.iter_mut().zip(&self.pattern) {
+            *sign = base * polarity;
+        }
+        for (pilot, &p) in ws.pilots.iter_mut().zip(&self.pilot_pos) {
+            *pilot = ws.eq[p];
+        }
+        let phi = self.phase.estimate_phase(&ws.pilots, &ws.signs);
+        self.phase.correct_in_place(&mut ws.eq, phi);
+        if collect_diag {
+            ws.phase_acc += phi.to_f64();
+        }
+
+        // Feed-forward timing (tau) from the corrected pilots.
+        for (pilot, &p) in ws.pilots.iter_mut().zip(&self.pilot_pos) {
+            *pilot = ws.eq[p];
+        }
+        let tau = self
+            .timing
+            .estimate_tau(&ws.pilots, &ws.signs, &self.pilot_indices);
+        self.timing.correct_in_place(&mut ws.eq, &self.occupied, tau);
+
+        // Demap the data carriers at this burst's rate.
+        for (d, &p) in ws.data.iter_mut().zip(&self.data_pos) {
+            *d = ws.eq[p];
+        }
+        if collect_diag {
+            let (num, den) = evm_contribution(kit, ws);
+            ws.evm_num += num;
+            ws.evm_den += den;
+        }
+        let llrs = &mut ws.llrs[..ncbps];
+        if self.soft {
+            kit.demapper.soft_demap_into(&ws.data, llrs);
+        } else {
+            let hard = &mut ws.hard_bits[..ncbps];
+            kit.demapper.hard_demap_into(&ws.data, hard);
+            for (llr, &bit) in llrs.iter_mut().zip(hard.iter()) {
+                *llr = hard_to_llr(bit);
+            }
+        }
+        // De-interleave (soft values) and accumulate.
+        kit.interleaver
+            .deinterleave_into(llrs, &mut ws.deinterleaved[..ncbps])?;
+        ws.stream_llrs.extend_from_slice(&ws.deinterleaved[..ncbps]);
+        Ok(())
+    }
 }
 
 /// The 4×4 MIMO receiver: time sync → FFT ×4 → channel estimation
@@ -133,27 +262,18 @@ struct StreamJob<'a> {
 pub struct MimoReceiver {
     cfg: PhyConfig,
     /// SIGNAL-field symbols at the front of every burst.
-    header_symbols: usize,
+    pub(crate) header_symbols: usize,
     /// One datapath kit per MCS table row.
-    rates: RateTable,
+    pub(crate) rates: RateTable,
     sync: TimeSynchronizer,
-    demodulator: OfdmDemodulator,
     estimator: ChannelEstimator,
     qrd: CordicQrd,
     detector: mimo_detect::ZfDetector,
-    phase: mimo_detect::PilotPhaseCorrector,
-    timing: mimo_detect::TimingCorrector,
-    viterbi: ViterbiDecoder,
-    /// Positions of data carriers within the occupied-carrier order.
-    data_pos: Vec<usize>,
-    /// Positions of pilot carriers within the occupied-carrier order.
-    pilot_pos: Vec<usize>,
-    /// Logical indices of the occupied carriers.
-    occupied: Vec<i32>,
+    pub(crate) viterbi: ViterbiDecoder,
+    /// The shared post-equalization per-symbol stage.
+    pub(crate) post: SymbolPost,
     /// FFT bin of each occupied carrier (the gather map).
     occ_bins: Vec<usize>,
-    /// Logical subcarrier numbers of the pilots (for tau estimation).
-    pilot_indices: Vec<i32>,
     /// Sync FSM + preallocated hot-path scratch. `Option` so a burst
     /// can move it out while the stages borrow `&self`.
     state: Option<RxState>,
@@ -183,26 +303,23 @@ impl MimoReceiver {
         let estimator = ChannelEstimator::new(geometry.fft_size())?;
         let rates = RateTable::new(geometry)?;
         let viterbi = ViterbiDecoder::new(CodeSpec::ieee80211a());
-        let (data_pos, pilot_pos, occupied) = carrier_positions(demodulator.map());
-        let occ_bins = occupied.iter().map(|&l| demodulator.map().bin(l)).collect();
-        let pilot_indices = pilot_pos.iter().map(|&p| occupied[p]).collect();
+        let post = SymbolPost::new(demodulator.map(), geometry.soft_decoding());
+        let occ_bins = post
+            .occupied
+            .iter()
+            .map(|&l| demodulator.map().bin(l))
+            .collect();
         let mut rx = Self {
             header_symbols: geometry.header_symbols(),
             cfg,
             rates,
             sync,
-            demodulator,
             estimator,
             qrd: CordicQrd::new(),
             detector: mimo_detect::ZfDetector::new(),
-            phase: mimo_detect::PilotPhaseCorrector::new(),
-            timing: mimo_detect::TimingCorrector::new(),
             viterbi,
-            data_pos,
-            pilot_pos,
-            occupied,
+            post,
             occ_bins,
-            pilot_indices,
             state: None,
         };
         rx.state = Some(rx.new_state());
@@ -237,8 +354,8 @@ impl MimoReceiver {
         RxWorkspace::new(
             self.cfg.geometry(),
             self.rates.max_coded_bits_per_symbol(),
-            self.occupied.len(),
-            self.pilot_pos.len(),
+            self.post.n_occupied(),
+            self.post.n_pilots(),
         )
     }
 
@@ -257,11 +374,71 @@ impl MimoReceiver {
         self.cfg.geometry()
     }
 
+    /// Occupied carriers per OFDM symbol.
+    pub(crate) fn n_occupied(&self) -> usize {
+        self.post.n_occupied()
+    }
+
+    /// Gathers the occupied carriers out of one FFT frame, in the
+    /// canonical occupied order — the single gather map every receive
+    /// mode uses.
+    pub(crate) fn gather_occ(&self, frame: &[CQ15], dst: &mut [CQ15]) {
+        for (d, &bin) in dst.iter_mut().zip(&self.occ_bins) {
+            *d = frame[bin];
+        }
+    }
+
+    /// Estimates and inverts the 4×4 channel from the staggered LTS
+    /// views (`lts_views[rx][slot]`, each `2·N` samples).
+    pub(crate) fn estimate_channel(
+        &self,
+        lts_views: &[[&[CQ15]; 4]; 4],
+    ) -> Result<Vec<FxMat4>, PhyError> {
+        let estimate = self.estimator.estimate(lts_views)?;
+        Ok(estimate.invert_all(&self.qrd)?)
+    }
+
+    /// Resets a stream workspace for a fresh accumulation pass of
+    /// `n_syms` symbols at `ncbps` coded bits each.
+    pub(crate) fn begin_stream_pass(ws: &mut RxStreamWorkspace, n_syms: usize, ncbps: usize) {
+        ws.evm_num = 0.0;
+        ws.evm_den = 0.0;
+        ws.phase_acc = 0.0;
+        ws.stream_llrs.clear();
+        ws.stream_llrs.reserve(n_syms * ncbps);
+    }
+
+    /// One stream × one symbol of the per-symbol core: row `k` of the
+    /// zero-forcing detection over this symbol's gathered carriers
+    /// (`rx_occ[a]` = antenna `a`'s occupied carriers), then the
+    /// shared [`SymbolPost`] stage. `sym` is the absolute symbol index
+    /// after the LTS (= pilot polarity index).
+    #[allow(clippy::too_many_arguments)] // one argument per pipeline input
+    pub(crate) fn process_symbol(
+        &self,
+        k: usize,
+        ws: &mut RxStreamWorkspace,
+        rx_occ: &[&[CQ15]; 4],
+        h_inv: &[FxMat4],
+        kit: &RateKit,
+        sym: usize,
+        collect_diag: bool,
+    ) -> Result<(), PhyError> {
+        self.detector
+            .detect_stream_into(h_inv, rx_occ, k, &mut ws.eq)?;
+        self.post.run(kit, sym, collect_diag, ws)
+    }
+
     /// Receives one burst from the four antenna streams, learning its
     /// rate and length from the SIGNAL-field header — no prior
     /// knowledge of the transmit MCS is used. Accepts any per-stream
     /// sample container (`Vec<CQ15>`, `&[CQ15]`, boxed slices, …), so
     /// borrowed stream views decode without copying.
+    ///
+    /// This whole-capture entry point is a batch schedule over the
+    /// same per-symbol core the [`StreamingReceiver`](crate::StreamingReceiver)
+    /// drives chunk by chunk; the two are bit-identical burst for
+    /// burst.
     ///
     /// # Errors
     ///
@@ -292,11 +469,12 @@ impl MimoReceiver {
     }
 
     /// The front (antenna) stage of one burst: time sync, channel
-    /// estimation/inversion, then per-antenna FFT + carrier gather into
-    /// the workspace. Entirely rate-independent — it runs before the
-    /// SIGNAL field is parsed. `parallel` fans the antenna loop out
-    /// across scoped threads; the [`BurstPipeline`](crate::BurstPipeline)
-    /// passes `false` and overlaps whole stages across bursts instead.
+    /// estimation/inversion, then per-antenna symbol ingest + carrier
+    /// gather into the workspace. Entirely rate-independent — it runs
+    /// before the SIGNAL field is parsed. `parallel` fans the antenna
+    /// loop out across scoped threads; the
+    /// [`BurstPipeline`](crate::BurstPipeline) passes `false` and
+    /// overlaps whole stages across bursts instead.
     pub(crate) fn front_stage<S>(
         &self,
         sync: &mut TimeSynchronizer,
@@ -322,7 +500,9 @@ impl MimoReceiver {
         // fading, and payload data — four antennas vs the STS's one —
         // can out-correlate a faded preamble). Fine: the paper's
         // 32-tap cross-correlator, scanned in a ±48-sample window
-        // around the coarse estimate, best antenna wins. ---
+        // around the coarse estimate, best antenna wins. The coarse
+        // detector is the same online CoarseTracker the streaming
+        // receiver runs chunk by chunk. ---
         sync.reset();
         let event = match mimo_sync::coarse_sts_end(streams) {
             Some(coarse) => {
@@ -358,8 +538,7 @@ impl MimoReceiver {
                 &streams[rx].as_ref()[start..start + 2 * n]
             })
         });
-        let estimate = self.estimator.estimate(&lts_views)?;
-        let h_inv = estimate.invert_all(&self.qrd)?;
+        let h_inv = self.estimate_channel(&lts_views)?;
 
         // --- Demodulate every whole symbol after the preamble (the
         // SIGNAL header and payload both come from this gather; how
@@ -374,27 +553,20 @@ impl MimoReceiver {
                 available: shortest,
             });
         }
-        let n_occ = self.occupied.len();
+        let n_occ = self.n_occupied();
 
-        // Per antenna: FFT each symbol and gather the occupied
-        // carriers (one grow per burst, none per symbol).
+        // Per antenna: ingest each symbol (CP strip + FFT via the
+        // workspace's SymbolIngest) and gather the occupied carriers
+        // (one grow per burst, none per symbol).
         let run_antenna = |a: usize,
                            ws: &mut crate::workspace::RxAntennaWorkspace|
          -> Result<(), PhyError> {
             ws.freq_occ.resize(available * n_occ, CQ15::ZERO);
             let stream = streams[a].as_ref();
-            let cp = sym_len - n;
             for m in 0..available {
                 let start = data_start + m * sym_len;
-                let time = &stream[start + cp..start + sym_len];
-                self.demodulator
-                    .fft()
-                    .fft_into(time, &mut ws.fft)
-                    .map_err(|_| PhyError::BadConfig("FFT size mismatch".into()))?;
-                let dst = &mut ws.freq_occ[m * n_occ..(m + 1) * n_occ];
-                for (d, &bin) in dst.iter_mut().zip(&self.occ_bins) {
-                    *d = ws.fft[bin];
-                }
+                let frame = ws.ingest.ingest_period(&stream[start..start + sym_len])?;
+                self.gather_occ(frame, &mut ws.freq_occ[m * n_occ..(m + 1) * n_occ]);
             }
             Ok(())
         };
@@ -410,11 +582,9 @@ impl MimoReceiver {
     }
 
     /// The back (stream) stage of one burst: SIGNAL-field header
-    /// decode (stream 0, most robust MCS), then per-stream
-    /// zero-forcing detection, pilot corrections, demap,
-    /// de-interleave, depuncture and Viterbi at the announced rate
-    /// over the carriers the front stage gathered, then the
-    /// round-robin payload reassembly.
+    /// decode (stream 0, most robust MCS), then per-stream runs of the
+    /// per-symbol core at the announced rate over the carriers the
+    /// front stage gathered, then the round-robin payload reassembly.
     pub(crate) fn back_stage(
         &self,
         workspace: &mut RxWorkspace,
@@ -438,19 +608,9 @@ impl MimoReceiver {
         let freq: [&[CQ15]; 4] = std::array::from_fn(|a| antennas[a].freq_occ.as_slice());
 
         // --- SIGNAL field: stream 0, symbols 0..h, BPSK r=1/2. ---
-        self.run_stream_symbols(
-            0,
-            header,
-            &freq,
-            &front.h_inv,
-            StreamJob {
-                kit: self.rates.header_kit(),
-                first_sym: 0,
-                n_syms: h,
-                collect_diag: false,
-            },
-        )?;
-        let params = self.parse_header(header)?;
+        self.run_stream_symbols(0, header, &freq, &front.h_inv, self.rates.header_kit(), 0, h, false)?;
+        let max = self.cfg.n_streams() * crate::tx::MAX_STREAM_BYTES;
+        let params = parse_header_ws(&self.viterbi, header, max)?;
         let n_symbols = params.payload_symbols(geometry);
         if front.available < h + n_symbols {
             return Err(PhyError::TruncatedBurst {
@@ -463,56 +623,13 @@ impl MimoReceiver {
         let kit = self.rates.kit(params.mcs);
         let n_streams = geometry.n_streams();
         let run_stream = |k: usize, ws: &mut RxStreamWorkspace| -> Result<(), PhyError> {
-            self.run_stream_symbols(
-                k,
-                ws,
-                &freq,
-                &front.h_inv,
-                StreamJob {
-                    kit,
-                    first_sym: h,
-                    n_syms: n_symbols,
-                    collect_diag: true,
-                },
-            )?;
+            self.run_stream_symbols(k, ws, &freq, &front.h_inv, kit, h, n_symbols, true)?;
             self.decode_stream(kit, params.stream_bytes(k, n_streams), ws)
         };
         run_four(parallel, stream_ws, run_stream)?;
 
-        // --- Reassemble: round-robin byte interleave. ---
-        let per_stream_bytes: Vec<&[u8]> =
-            stream_ws.iter().map(|ws| ws.bytes.as_slice()).collect();
-        let total: usize = per_stream_bytes.iter().map(|b| b.len()).sum();
-        debug_assert_eq!(total, params.length);
-        let mut payload = Vec::with_capacity(total);
-        let mut cursors = [0usize; 4];
-        for i in 0..total {
-            let s = i % n_streams;
-            let Some(&b) = per_stream_bytes[s].get(cursors[s]) else {
-                return Err(PhyError::Decode(
-                    "stream lengths inconsistent with round-robin split".into(),
-                ));
-            };
-            payload.push(b);
-            cursors[s] += 1;
-        }
-
-        let ws0 = &stream_ws[0];
-        let evm_db = if ws0.evm_den > 0.0 && ws0.evm_num > 0.0 {
-            10.0 * (ws0.evm_num / ws0.evm_den).log10()
-        } else {
-            f64::NEG_INFINITY
-        };
-        Ok(RxResult {
-            payload,
-            diagnostics: RxDiagnostics {
-                sync: front.event,
-                mcs: params.mcs,
-                evm_db,
-                mean_phase_rad: ws0.phase_acc / n_symbols.max(1) as f64,
-                n_symbols,
-            },
-        })
+        let payload = assemble_payload(&params, n_streams, stream_ws)?;
+        Ok(finish_result(front.event, params.mcs, n_symbols, stream_ws, payload))
     }
 
     /// Whether this burst should fan out across scoped threads.
@@ -520,124 +637,40 @@ impl MimoReceiver {
         cfg!(feature = "parallel") && self.cfg.parallelism()
     }
 
-    /// Stream `k`'s symbol pipeline over `job.n_syms` symbols at
-    /// `job.kit`'s rate: detection, pilot corrections, demap and
-    /// de-interleave, accumulating LLRs into `ws.stream_llrs`. Zero
-    /// heap allocation at steady state: every buffer lives in `ws`
-    /// (sized for the max-MCS envelope, sliced to this burst's
-    /// N_CBPS) and is reused across symbols and bursts.
+    /// Stream `k`'s batch pass: the per-symbol core over symbols
+    /// `first_sym..first_sym + n_syms` of the gathered carrier buffers
+    /// at `kit`'s rate — exactly the loop the streaming receiver
+    /// unrolls one symbol at a time.
+    #[allow(clippy::too_many_arguments)] // the pipeline seam is the point
     fn run_stream_symbols(
         &self,
         k: usize,
         ws: &mut RxStreamWorkspace,
         freq: &[&[CQ15]; 4],
         h_inv: &[FxMat4],
-        job: StreamJob<'_>,
+        kit: &RateKit,
+        first_sym: usize,
+        n_syms: usize,
+        collect_diag: bool,
     ) -> Result<(), PhyError> {
-        let n_occ = self.occupied.len();
-        let ncbps = job.kit.coded_bits_per_symbol();
-        ws.evm_num = 0.0;
-        ws.evm_den = 0.0;
-        ws.phase_acc = 0.0;
-        ws.stream_llrs.clear();
-        ws.stream_llrs.reserve(job.n_syms * ncbps);
-
-        for m in 0..job.n_syms {
+        let n_occ = self.n_occupied();
+        Self::begin_stream_pass(ws, n_syms, kit.coded_bits_per_symbol());
+        for m in 0..n_syms {
             // Absolute symbol index after the LTS — also the pilot
             // polarity index (the SIGNAL field occupies the first
             // header_symbols positions of the 802.11a numbering).
-            let sym = job.first_sym + m;
-            // Row k of the zero-forcing detection for this symbol.
+            let sym = first_sym + m;
             let rx_occ: [&[CQ15]; 4] =
                 std::array::from_fn(|a| &freq[a][sym * n_occ..(sym + 1) * n_occ]);
-            self.detector
-                .detect_stream_into(h_inv, &rx_occ, k, &mut ws.eq)?;
-
-            // Common phase from the de-scrambled pilot average.
-            let polarity = mimo_coding::pilot_polarity(sym);
-            let pattern = self.demodulator.map().pilot_pattern();
-            for (sign, &base) in ws.signs.iter_mut().zip(pattern) {
-                *sign = base * polarity;
-            }
-            for (pilot, &p) in ws.pilots.iter_mut().zip(&self.pilot_pos) {
-                *pilot = ws.eq[p];
-            }
-            let phi = self.phase.estimate_phase(&ws.pilots, &ws.signs);
-            self.phase.correct_in_place(&mut ws.eq, phi);
-            if job.collect_diag && k == 0 {
-                ws.phase_acc += phi.to_f64();
-            }
-
-            // Feed-forward timing (tau) from the corrected pilots.
-            for (pilot, &p) in ws.pilots.iter_mut().zip(&self.pilot_pos) {
-                *pilot = ws.eq[p];
-            }
-            let tau = self
-                .timing
-                .estimate_tau(&ws.pilots, &ws.signs, &self.pilot_indices);
-            self.timing
-                .correct_in_place(&mut ws.eq, &self.occupied, tau);
-
-            // Demap the data carriers at this burst's rate.
-            for (d, &p) in ws.data.iter_mut().zip(&self.data_pos) {
-                *d = ws.eq[p];
-            }
-            if job.collect_diag && k == 0 {
-                let (num, den) = evm_contribution(job.kit, ws);
-                ws.evm_num += num;
-                ws.evm_den += den;
-            }
-            let llrs = &mut ws.llrs[..ncbps];
-            if self.cfg.soft_decoding() {
-                job.kit.demapper.soft_demap_into(&ws.data, llrs);
-            } else {
-                let hard = &mut ws.hard_bits[..ncbps];
-                job.kit.demapper.hard_demap_into(&ws.data, hard);
-                for (llr, &bit) in llrs.iter_mut().zip(hard.iter()) {
-                    *llr = hard_to_llr(bit);
-                }
-            }
-            // De-interleave (soft values) and accumulate.
-            job.kit
-                .interleaver
-                .deinterleave_into(llrs, &mut ws.deinterleaved[..ncbps])?;
-            ws.stream_llrs.extend_from_slice(&ws.deinterleaved[..ncbps]);
+            self.process_symbol(k, ws, &rx_occ, h_inv, kit, sym, collect_diag && k == 0)?;
         }
         Ok(())
-    }
-
-    /// Decodes the accumulated SIGNAL-field LLRs in `ws` and parses
-    /// the burst parameters (rate index, length, CRC).
-    fn parse_header(&self, ws: &mut RxStreamWorkspace) -> Result<BurstParams, PhyError> {
-        decode_llrs(
-            mimo_coding::CodeRate::Half,
-            &self.viterbi,
-            &ws.stream_llrs,
-            &mut ws.restored,
-            &mut ws.viterbi,
-            &mut ws.decoded,
-        )?;
-        // The SIGNAL field is never scrambled: parse the bits as-is.
-        if ws.decoded.len() < SIGNAL_BITS {
-            return Err(PhyError::Decode(
-                "header shorter than the SIGNAL field".into(),
-            ));
-        }
-        let params = parse_signal_field(&ws.decoded)?;
-        let max = self.cfg.n_streams() * crate::tx::MAX_STREAM_BYTES;
-        if params.length > max {
-            return Err(PhyError::Decode(format!(
-                "SIGNAL length {} exceeds the {max}-byte burst maximum",
-                params.length
-            )));
-        }
-        Ok(params)
     }
 
     /// One stream's bit pipeline, inverse of the transmitter's:
     /// depuncture → Viterbi → descramble → exactly the byte count the
     /// SIGNAL field announced, all in workspace buffers.
-    fn decode_stream(
+    pub(crate) fn decode_stream(
         &self,
         kit: &RateKit,
         expect_bytes: usize,
@@ -654,6 +687,92 @@ impl MimoReceiver {
             &mut ws.decoded,
             &mut ws.bytes,
         )
+    }
+}
+
+/// Decodes the SIGNAL-field LLRs accumulated in `ws` and parses the
+/// burst parameters (rate index, length, CRC), rejecting lengths
+/// beyond `max_bytes` — the single header parse shared by the MIMO,
+/// SISO and streaming receivers.
+pub(crate) fn parse_header_ws(
+    viterbi: &ViterbiDecoder,
+    ws: &mut RxStreamWorkspace,
+    max_bytes: usize,
+) -> Result<BurstParams, PhyError> {
+    decode_llrs(
+        mimo_coding::CodeRate::Half,
+        viterbi,
+        &ws.stream_llrs,
+        &mut ws.restored,
+        &mut ws.viterbi,
+        &mut ws.decoded,
+    )?;
+    // The SIGNAL field is never scrambled: parse the bits as-is.
+    if ws.decoded.len() < SIGNAL_BITS {
+        return Err(PhyError::Decode(
+            "header shorter than the SIGNAL field".into(),
+        ));
+    }
+    let params = parse_signal_field(&ws.decoded)?;
+    if params.length > max_bytes {
+        return Err(PhyError::Decode(format!(
+            "SIGNAL length {} exceeds the {max_bytes}-byte burst maximum",
+            params.length
+        )));
+    }
+    Ok(params)
+}
+
+/// Round-robin byte reassembly of the per-stream decoded payloads —
+/// the inverse of the transmitter's split, shared by the batch and
+/// streaming burst closers.
+pub(crate) fn assemble_payload(
+    params: &BurstParams,
+    n_streams: usize,
+    stream_ws: &[RxStreamWorkspace],
+) -> Result<Vec<u8>, PhyError> {
+    let per_stream_bytes: Vec<&[u8]> = stream_ws.iter().map(|ws| ws.bytes.as_slice()).collect();
+    let total: usize = per_stream_bytes.iter().map(|b| b.len()).sum();
+    debug_assert_eq!(total, params.length);
+    let mut payload = Vec::with_capacity(total);
+    let mut cursors = [0usize; 4];
+    for i in 0..total {
+        let s = i % n_streams;
+        let Some(&b) = per_stream_bytes[s].get(cursors[s]) else {
+            return Err(PhyError::Decode(
+                "stream lengths inconsistent with round-robin split".into(),
+            ));
+        };
+        payload.push(b);
+        cursors[s] += 1;
+    }
+    Ok(payload)
+}
+
+/// Builds the final [`RxResult`] from the per-stream workspaces'
+/// diagnostics accumulators — one formula for every receive mode.
+pub(crate) fn finish_result(
+    event: SyncEvent,
+    mcs: Mcs,
+    n_symbols: usize,
+    stream_ws: &[RxStreamWorkspace],
+    payload: Vec<u8>,
+) -> RxResult {
+    let ws0 = &stream_ws[0];
+    let evm_db = if ws0.evm_den > 0.0 && ws0.evm_num > 0.0 {
+        10.0 * (ws0.evm_num / ws0.evm_den).log10()
+    } else {
+        f64::NEG_INFINITY
+    };
+    RxResult {
+        payload,
+        diagnostics: RxDiagnostics {
+            sync: event,
+            mcs,
+            evm_db,
+            mean_phase_rad: ws0.phase_acc / n_symbols.max(1) as f64,
+            n_symbols,
+        },
     }
 }
 
@@ -703,9 +822,9 @@ pub(crate) fn decode_llrs(
     Ok(())
 }
 
-/// The per-stream payload bit pipeline shared by the MIMO and SISO
-/// receivers: depuncture → Viterbi → descramble → exactly the bytes
-/// the SIGNAL field announced for this stream, entirely in
+/// The per-stream payload bit pipeline shared by the MIMO, SISO and
+/// streaming receivers: depuncture → Viterbi → descramble → exactly
+/// the bytes the SIGNAL field announced for this stream, entirely in
 /// caller-owned buffers. One owner of the burst framing so the 1×1
 /// baseline cannot drift from the 4×4 chain.
 #[allow(clippy::too_many_arguments)] // the workspace split is the point

@@ -5,20 +5,30 @@
 //! single complex multiply per carrier) and a two-slot preamble. The
 //! burst format is the same rate-agile one as the 4×4 chain: SIGNAL
 //! header first (BPSK r=1/2), payload at the announced [`Mcs`].
+//!
+//! The receive datapath is the **same per-symbol core** as the 4×4
+//! chain: [`SymbolIngest`](mimo_ofdm::SymbolIngest) for CP strip +
+//! FFT, the shared [`SymbolPost`](crate::rx::SymbolPost) stage for
+//! pilot corrections/demap/de-interleave, and the shared bit pipeline
+//! and SIGNAL parse — only the equalizer differs (one complex multiply
+//! per carrier instead of a `H⁻¹` row). Running on workspace buffers,
+//! the 1×1 payload loop is allocation-free like the 4×4 one, and the
+//! baseline cannot drift from the MIMO chain because there is no
+//! second copy of the symbol datapath to drift.
 
-use mimo_coding::{hard_to_llr, CodeSpec, Llr, ViterbiDecoder};
+use mimo_coding::{CodeSpec, ViterbiDecoder};
 use mimo_fixed::{CQ15, CQ16, Q16};
 use mimo_ofdm::preamble::{lts_reference, sync_reference, DEFAULT_AMPLITUDE};
-use mimo_ofdm::{OfdmDemodulator, SubcarrierMap};
+use mimo_ofdm::OfdmDemodulator;
 use mimo_sync::{TimeSynchronizer, DEFAULT_THRESHOLD_FACTOR};
 
 use crate::config::{LinkGeometry, PhyConfig};
 use crate::error::PhyError;
-use crate::mcs::{BurstParams, Mcs};
-use crate::rates::{RateKit, RateTable};
-use crate::rx::{RxDiagnostics, RxResult};
-use crate::signal::{parse_signal_field, SIGNAL_BITS};
+use crate::mcs::Mcs;
+use crate::rates::RateTable;
+use crate::rx::{finish_result, parse_header_ws, RxResult, SymbolPost};
 use crate::tx::{MimoTransmitter, TxBurst};
+use crate::workspace::{RxAntennaWorkspace, RxStreamWorkspace, RxWorkspace};
 
 /// The SISO transmitter: one instance of the Fig 1 per-channel chain
 /// with an STS + single-LTS preamble and the same SIGNAL-field burst
@@ -93,12 +103,15 @@ pub struct SisoReceiver {
     demodulator: OfdmDemodulator,
     lts_ref: Vec<i8>,
     inv_amplitude: Q16,
-    phase: mimo_detect::PilotPhaseCorrector,
-    timing: mimo_detect::TimingCorrector,
     viterbi: ViterbiDecoder,
-    data_pos: Vec<usize>,
-    pilot_pos: Vec<usize>,
-    occupied: Vec<i32>,
+    /// The shared post-equalization per-symbol stage.
+    post: SymbolPost,
+    /// FFT bin of each occupied carrier (the gather map).
+    occ_bins: Vec<usize>,
+    /// Symbol ingest + gather scratch for the single antenna.
+    ant: RxAntennaWorkspace,
+    /// Stream-side per-symbol and bit-pipeline scratch.
+    ws: RxStreamWorkspace,
 }
 
 impl SisoReceiver {
@@ -125,7 +138,24 @@ impl SisoReceiver {
         let rates = RateTable::new(geometry)?;
         let viterbi = ViterbiDecoder::new(CodeSpec::ieee80211a());
         let lts_ref = lts_reference(demodulator.map());
-        let (data_pos, pilot_pos, occupied) = positions(demodulator.map());
+        let post = SymbolPost::new(demodulator.map(), geometry.soft_decoding());
+        let occ_bins: Vec<usize> = demodulator
+            .map()
+            .occupied_indices()
+            .iter()
+            .map(|&l| demodulator.map().bin(l))
+            .collect();
+        let workspace = RxWorkspace::new(
+            geometry,
+            rates.max_coded_bits_per_symbol(),
+            post.n_occupied(),
+            post.n_pilots(),
+        );
+        let RxWorkspace {
+            mut antennas,
+            mut streams,
+            ..
+        } = workspace;
         Ok(Self {
             header_symbols: geometry.header_symbols(),
             cfg,
@@ -134,12 +164,11 @@ impl SisoReceiver {
             demodulator,
             lts_ref,
             inv_amplitude: Q16::from_f64(1.0 / DEFAULT_AMPLITUDE),
-            phase: mimo_detect::PilotPhaseCorrector::new(),
-            timing: mimo_detect::TimingCorrector::new(),
             viterbi,
-            data_pos,
-            pilot_pos,
-            occupied,
+            post,
+            occ_bins,
+            ant: antennas.remove(0),
+            ws: streams.remove(0),
         })
     }
 
@@ -192,7 +221,9 @@ impl SisoReceiver {
         let first = self.demodulator.fft_block(&reps[..n])?;
         let second = self.demodulator.fft_block(&reps[n..])?;
         let h: Vec<CQ16> = self
-            .occupied
+            .demodulator
+            .map()
+            .occupied_indices()
             .iter()
             .zip(&self.lts_ref)
             .map(|(&l, &sign)| {
@@ -216,17 +247,10 @@ impl SisoReceiver {
             });
         }
 
-        // --- SIGNAL field: symbols 0..h at BPSK r=1/2. ---
-        let header_llrs = self.demap_symbols(
-            stream,
-            data_start,
-            &equalizer,
-            self.rates.header_kit(),
-            0,
-            h_syms,
-            None,
-        )?;
-        let params = self.parse_header(&header_llrs)?;
+        // --- SIGNAL field: symbols 0..h at BPSK r=1/2, through the
+        // shared per-symbol core. ---
+        self.run_symbols(stream, data_start, &equalizer, Mcs::most_robust(), 0, h_syms, false)?;
+        let params = parse_header_ws(&self.viterbi, &mut self.ws, crate::tx::MAX_STREAM_BYTES)?;
         let n_symbols = params.payload_symbols(self.cfg.geometry());
         if available < h_syms + n_symbols {
             return Err(PhyError::TruncatedBurst {
@@ -236,163 +260,66 @@ impl SisoReceiver {
         }
 
         // --- Payload at the announced rate. ---
-        let kit = self.rates.kit(params.mcs);
-        let mut phase_acc = 0.0;
-        let payload_llrs = self.demap_symbols(
-            stream,
-            data_start,
-            &equalizer,
-            kit,
-            h_syms,
-            n_symbols,
-            Some(&mut phase_acc),
+        self.run_symbols(stream, data_start, &equalizer, params.mcs, h_syms, n_symbols, true)?;
+        crate::rx::decode_bit_pipeline(
+            params.mcs.code_rate(),
+            self.cfg.scramble(),
+            params.length,
+            &self.viterbi,
+            &self.ws.stream_llrs,
+            &mut self.ws.restored,
+            &mut self.ws.viterbi,
+            &mut self.ws.decoded,
+            &mut self.ws.bytes,
         )?;
-        let payload = self.decode_stream(kit, params.length, &payload_llrs)?;
-        Ok(RxResult {
-            diagnostics: RxDiagnostics {
-                sync: event,
-                mcs: params.mcs,
-                evm_db: f64::NAN,
-                mean_phase_rad: phase_acc / n_symbols as f64,
-                n_symbols,
-            },
+        // The output Vec is owned by the caller; taking it costs the
+        // one unavoidable per-burst allocation (next burst's decode
+        // refills a fresh buffer).
+        let payload = std::mem::take(&mut self.ws.bytes);
+        Ok(finish_result(
+            event,
+            params.mcs,
+            n_symbols,
+            std::slice::from_ref(&self.ws),
             payload,
-        })
+        ))
     }
 
     /// Equalizes, corrects and demaps symbols `first..first + count`
     /// (absolute indices after the LTS, which are also the pilot
-    /// polarity indices), returning the de-interleaved LLR stream.
-    #[allow(clippy::too_many_arguments)] // the baseline is not on the hot path
-    fn demap_symbols(
-        &self,
+    /// polarity indices) through the shared per-symbol core,
+    /// accumulating the de-interleaved LLR stream in the workspace.
+    #[allow(clippy::too_many_arguments)] // mirrors the MIMO batch pass
+    fn run_symbols(
+        &mut self,
         stream: &[CQ15],
         data_start: usize,
         equalizer: &mimo_detect::SisoEqualizer,
-        kit: &RateKit,
+        mcs: Mcs,
         first: usize,
         count: usize,
-        mut phase_acc: Option<&mut f64>,
-    ) -> Result<Vec<Llr>, PhyError> {
-        let n = self.cfg.fft_size();
+        collect_diag: bool,
+    ) -> Result<(), PhyError> {
+        let kit = self.rates.kit(mcs);
         let sym_len = self.cfg.symbol_samples();
-        let mut llrs_all: Vec<Llr> = Vec::with_capacity(count * kit.coded_bits_per_symbol());
+        let n_occ = self.post.n_occupied();
+        self.ant.freq_occ.resize(n_occ, CQ15::ZERO);
+        crate::rx::MimoReceiver::begin_stream_pass(
+            &mut self.ws,
+            count,
+            kit.coded_bits_per_symbol(),
+        );
         for m in first..first + count {
             let start = data_start + m * sym_len;
-            let time = mimo_ofdm::strip_cyclic_prefix_ref(&stream[start..start + sym_len], n)?;
-            let freq = self.demodulator.fft_block(time)?;
-            let occ: Vec<CQ15> = self
-                .occupied
-                .iter()
-                .map(|&l| freq[self.demodulator.map().bin(l)])
-                .collect();
-            let equalized = equalizer.equalize(&occ)?;
-
-            let polarity = mimo_coding::pilot_polarity(m);
-            let signs: Vec<i8> = self
-                .demodulator
-                .map()
-                .pilot_pattern()
-                .iter()
-                .map(|&b| b * polarity)
-                .collect();
-            let pilots: Vec<CQ15> = self.pilot_pos.iter().map(|&p| equalized[p]).collect();
-            let phi = self.phase.estimate_phase(&pilots, &signs);
-            if let Some(acc) = phase_acc.as_deref_mut() {
-                *acc += phi.to_f64();
+            let frame = self.ant.ingest.ingest_period(&stream[start..start + sym_len])?;
+            for (d, &bin) in self.ant.freq_occ.iter_mut().zip(&self.occ_bins) {
+                *d = frame[bin];
             }
-            let corrected = self.phase.correct(&equalized, phi);
-            let pilots2: Vec<CQ15> = self.pilot_pos.iter().map(|&p| corrected[p]).collect();
-            let pilot_indices: Vec<i32> =
-                self.pilot_pos.iter().map(|&p| self.occupied[p]).collect();
-            let tau = self.timing.estimate_tau(&pilots2, &signs, &pilot_indices);
-            let corrected = self.timing.correct(&corrected, &self.occupied, tau);
-
-            let data: Vec<CQ15> = self.data_pos.iter().map(|&p| corrected[p]).collect();
-            let llrs: Vec<Llr> = if self.cfg.soft_decoding() {
-                kit.demapper.soft_demap(&data)
-            } else {
-                kit.demapper
-                    .hard_demap(&data)
-                    .into_iter()
-                    .map(hard_to_llr)
-                    .collect()
-            };
-            llrs_all.extend(kit.interleaver.deinterleave(&llrs)?);
+            equalizer.equalize_into(&self.ant.freq_occ, &mut self.ws.eq)?;
+            self.post.run(kit, m, collect_diag, &mut self.ws)?;
         }
-        Ok(llrs_all)
+        Ok(())
     }
-
-    /// Decodes the SIGNAL-field LLRs and parses the burst parameters.
-    fn parse_header(&self, llrs: &[Llr]) -> Result<BurstParams, PhyError> {
-        let mut restored = Vec::new();
-        let mut viterbi_ws = mimo_coding::ViterbiWorkspace::new();
-        let mut decoded = Vec::new();
-        crate::rx::decode_llrs(
-            mimo_coding::CodeRate::Half,
-            &self.viterbi,
-            llrs,
-            &mut restored,
-            &mut viterbi_ws,
-            &mut decoded,
-        )?;
-        if decoded.len() < SIGNAL_BITS {
-            return Err(PhyError::Decode(
-                "header shorter than the SIGNAL field".into(),
-            ));
-        }
-        let params = parse_signal_field(&decoded)?;
-        let max = crate::tx::MAX_STREAM_BYTES;
-        if params.length > max {
-            return Err(PhyError::Decode(format!(
-                "SIGNAL length {} exceeds the {max}-byte SISO burst maximum",
-                params.length
-            )));
-        }
-        Ok(params)
-    }
-
-    fn decode_stream(
-        &self,
-        kit: &RateKit,
-        expect_bytes: usize,
-        llrs: &[Llr],
-    ) -> Result<Vec<u8>, PhyError> {
-        // The SISO baseline shares the MIMO chain's bit pipeline (one
-        // owner of the burst framing); it is not on the parallel hot
-        // path, so per-call scratch is fine.
-        let mut restored = Vec::new();
-        let mut viterbi_ws = mimo_coding::ViterbiWorkspace::new();
-        let mut decoded = Vec::new();
-        let mut bytes = Vec::new();
-        crate::rx::decode_bit_pipeline(
-            kit.mcs.code_rate(),
-            self.cfg.scramble(),
-            expect_bytes,
-            &self.viterbi,
-            llrs,
-            &mut restored,
-            &mut viterbi_ws,
-            &mut decoded,
-            &mut bytes,
-        )?;
-        Ok(bytes)
-    }
-}
-
-fn positions(map: &SubcarrierMap) -> (Vec<usize>, Vec<usize>, Vec<i32>) {
-    let occupied = map.occupied_indices();
-    let pilots: std::collections::HashSet<i32> = map.pilot_indices().iter().copied().collect();
-    let mut data_pos = Vec::new();
-    let mut pilot_pos = Vec::new();
-    for (i, &l) in occupied.iter().enumerate() {
-        if pilots.contains(&l) {
-            pilot_pos.push(i);
-        } else {
-            data_pos.push(i);
-        }
-    }
-    (data_pos, pilot_pos, occupied)
 }
 
 #[cfg(test)]
@@ -409,6 +336,8 @@ mod tests {
         assert_eq!(burst.streams.len(), 1);
         let result = rx.receive_burst(&burst.streams[0]).unwrap();
         assert_eq!(result.payload, payload);
+        // The shared core now measures real EVM for the baseline too.
+        assert!(result.diagnostics.evm_db < -20.0, "EVM {}", result.diagnostics.evm_db);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 
 use mimo_coding::{Llr, ViterbiWorkspace};
 use mimo_fixed::CQ15;
+use mimo_ofdm::SymbolIngest;
 
 use crate::config::LinkGeometry;
 
@@ -69,13 +70,19 @@ impl TxWorkspace {
     }
 }
 
-/// Per-antenna receive scratch (stage 1: FFT + carrier gather).
-#[derive(Debug, Clone, Default)]
+/// Per-antenna receive scratch (stage 1: symbol ingest + carrier
+/// gather). The [`SymbolIngest`] is this antenna's streaming state —
+/// CP-strip position, collect buffer and FFT frame — so both the
+/// whole-burst and the chunk-driven receivers carry it here and the
+/// steady state allocates nothing.
+#[derive(Debug, Clone)]
 pub(crate) struct RxAntennaWorkspace {
-    /// FFT output scratch (N bins).
-    pub fft: Vec<CQ15>,
-    /// Gathered occupied carriers for every payload symbol, flat
-    /// `symbol-major`: `freq_occ[m * n_occ + s]`. Grows once per burst.
+    /// CP strip + FFT stage (owns the frame scratch).
+    pub ingest: SymbolIngest,
+    /// Gathered occupied carriers, flat `symbol-major`:
+    /// `freq_occ[m * n_occ + s]`. The batch receiver fills every
+    /// demodulated symbol (grows once per burst); the streaming
+    /// receiver keeps a single rolling row.
     pub freq_occ: Vec<CQ15>,
 }
 
@@ -123,7 +130,7 @@ pub(crate) struct RxStreamWorkspace {
 /// the two parallel stages can borrow them independently, plus a
 /// dedicated stream-shaped scratch for decoding the SIGNAL-field
 /// header (stream 0, before the payload fan-out).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub(crate) struct RxWorkspace {
     pub antennas: Vec<RxAntennaWorkspace>,
     pub streams: Vec<RxStreamWorkspace>,
@@ -161,7 +168,8 @@ impl RxWorkspace {
         Self {
             antennas: (0..n)
                 .map(|_| RxAntennaWorkspace {
-                    fft: vec![CQ15::ZERO; geometry.fft_size()],
+                    ingest: SymbolIngest::new(geometry.fft_size())
+                        .expect("geometry validated before workspace construction"),
                     freq_occ: Vec::new(),
                 })
                 .collect(),

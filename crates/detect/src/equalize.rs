@@ -210,22 +210,38 @@ impl SisoEqualizer {
     ///
     /// Returns [`DetectError::CarrierMismatch`] on length mismatch.
     pub fn equalize(&self, carriers: &[CQ15]) -> Result<Vec<CQ15>, DetectError> {
+        let mut out = vec![CQ15::ZERO; carriers.len()];
+        self.equalize_into(carriers, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free [`SisoEqualizer::equalize`] into a
+    /// caller-provided buffer — the per-symbol hot-path form the
+    /// receiver workspaces use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectError::CarrierMismatch`] on length mismatch.
+    pub fn equalize_into(&self, carriers: &[CQ15], out: &mut [CQ15]) -> Result<(), DetectError> {
         if carriers.len() != self.inv_h.len() {
             return Err(DetectError::CarrierMismatch {
                 expected: self.inv_h.len(),
                 got: carriers.len(),
             });
         }
-        Ok(carriers
-            .iter()
-            .zip(&self.inv_h)
-            .map(|(&r, &coeff)| {
-                let wide: CQ16 = r.convert();
-                let eq = wide * coeff;
-                let narrow: CFx<15> = eq.convert();
-                narrow.saturate_bits(SAMPLE_BITS)
-            })
-            .collect())
+        if out.len() != self.inv_h.len() {
+            return Err(DetectError::CarrierMismatch {
+                expected: self.inv_h.len(),
+                got: out.len(),
+            });
+        }
+        for ((dst, &r), &coeff) in out.iter_mut().zip(carriers).zip(&self.inv_h) {
+            let wide: CQ16 = r.convert();
+            let eq = wide * coeff;
+            let narrow: CFx<15> = eq.convert();
+            *dst = narrow.saturate_bits(SAMPLE_BITS);
+        }
+        Ok(())
     }
 }
 

@@ -331,6 +331,43 @@ mod tests {
     }
 
     #[test]
+    fn rfd_overwrite_boundary_is_exact() {
+        // Regression guard for the write-while-reading rule: address
+        // `a` of the draining half is re-read by the cyclic prefix, so
+        // it is only free once the read pointer passed `a + N/4`. The
+        // streaming straddle work audited this boundary; pin it by
+        // writing the moment rfd rises and checking no in-flight frame
+        // is corrupted across several back-to-back symbols.
+        let n = 64;
+        let mut buf = CpBuffer::new(n).unwrap();
+        let frames = 6usize;
+        let symbols: Vec<Vec<CQ15>> = (0..frames)
+            .map(|s| (0..n).map(|i| sample(7 * s + i + 1)).collect())
+            .collect();
+        let mut input = symbols.iter().flatten().copied().peekable();
+        let mut out = Vec::new();
+        let mut stalls = 0u32;
+        for _ in 0..(frames + 3) * symbol_len(n) {
+            let write = if buf.ready_for_data() {
+                // Exercise the exact rising edge: the first write after
+                // a stall lands on the just-freed address.
+                input.next()
+            } else {
+                if input.peek().is_some() {
+                    stalls += 1;
+                }
+                None
+            };
+            if let Some(s) = buf.clock(write) {
+                out.push(s);
+            }
+        }
+        assert!(stalls > 0, "back-pressure must engage at steady state");
+        let expected: Vec<CQ15> = symbols.iter().flat_map(|s| add_cyclic_prefix(s)).collect();
+        assert_eq!(out, expected, "a write on the rfd edge corrupted a frame");
+    }
+
+    #[test]
     fn memory_is_twice_frame_size() {
         let buf = CpBuffer::new(64).unwrap();
         assert_eq!(buf.memory_words(), 128);

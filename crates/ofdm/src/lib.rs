@@ -15,15 +15,20 @@
 //!   sequences") and the staggered MIMO preamble pattern of Fig 2.
 //! * [`OfdmModulator`] / [`OfdmDemodulator`] — one antenna's
 //!   symbol-level modulation chain (map → IFFT → CP and its inverse).
+//! * [`SymbolIngest`] — the receive-side per-symbol stage (CP strip +
+//!   FFT), consuming whole periods zero-copy or arbitrary sample
+//!   chunks, shared by the whole-burst and streaming receivers.
 
 mod cp;
 mod frame;
+mod ingest;
 pub mod preamble;
 mod subcarriers;
 
 pub use cp::{add_cyclic_prefix, add_cyclic_prefix_into, strip_cyclic_prefix,
     strip_cyclic_prefix_ref, CpBuffer};
 pub use frame::{OfdmDemodulator, OfdmModulator};
+pub use ingest::SymbolIngest;
 pub use subcarriers::{OfdmError, SubcarrierMap};
 
 /// Cyclic-prefix fraction of the FFT size (the paper fixes 25 %).

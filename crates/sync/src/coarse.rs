@@ -14,23 +14,32 @@
 //! STS regardless of channel gain, and small over data or noise. Its
 //! plateau ends where the STS ends — which is the LTS start the fine
 //! correlator then pins down exactly.
+//!
+//! The detector itself is the **online**
+//! [`CoarseTracker`](crate::CoarseTracker): [`coarse_sts_end`] is a
+//! thin whole-capture wrapper that feeds the tracker one sample column
+//! per position and applies the end-of-buffer rule, so the batch and
+//! chunk-driven receivers share a single implementation (and therefore
+//! a single answer) for every input.
 
-use mimo_fixed::{CQ15, Cf64};
+use mimo_fixed::CQ15;
+
+use crate::tracker::CoarseTracker;
 
 /// Autocorrelation lag: the STS short-symbol period.
-const LAG: usize = 16;
+pub(crate) const LAG: usize = 16;
 
 /// Correlation window length (two short symbols).
-const WINDOW: usize = 32;
+pub(crate) const WINDOW: usize = 32;
 
 /// Minimum plateau run to accept (the STS supports ~112 positions).
-const MIN_RUN: usize = 64;
+pub(crate) const MIN_RUN: usize = 64;
 
 /// Plateau threshold on the normalized metric.
-const THRESHOLD: f64 = 0.70;
+pub(crate) const THRESHOLD: f64 = 0.70;
 
 /// Minimum per-window energy (rejects the all-zero idle channel).
-const MIN_ENERGY: f64 = 1e-4;
+pub(crate) const MIN_ENERGY: f64 = 1e-4;
 
 /// Result of coarse STS detection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,75 +77,21 @@ pub struct CoarseSts {
 /// # }
 /// ```
 pub fn coarse_sts_end<S: AsRef<[CQ15]>>(streams: &[S]) -> Option<CoarseSts> {
-    let len = streams.iter().map(|s| s.as_ref().len()).min()?;
-    if len < WINDOW + LAG {
+    if streams.is_empty() {
         return None;
     }
-    let positions = len - WINDOW - LAG;
-
-    // Sliding sums per antenna, combined: O(n) per antenna.
-    let mut best: Option<CoarseSts> = None;
-    let mut run_start: Option<usize> = None;
-
-    // Precompute per-position lag products and energies incrementally.
-    let mut corr = Cf64::ZERO;
-    let mut energy = 0.0f64;
-    let term = |i: usize, n: usize, streams: &[S]| -> (Cf64, f64) {
-        let mut c = Cf64::ZERO;
-        let mut e = 0.0;
-        for s in streams {
-            let s = s.as_ref();
-            let a = Cf64::from_fixed(s[n + i]);
-            let b = Cf64::from_fixed(s[n + i + LAG]);
-            c += a * b.conj();
-            e += b.norm_sqr();
+    let len = streams.iter().map(|s| s.as_ref().len()).min()?;
+    let mut tracker = CoarseTracker::new(streams.len());
+    let mut column = vec![CQ15::ZERO; streams.len()];
+    for j in 0..len {
+        for (slot, s) in column.iter_mut().zip(streams) {
+            *slot = s.as_ref()[j];
         }
-        (c, e)
-    };
-    // Initialize window at n = 0.
-    for i in 0..WINDOW {
-        let (c, e) = term(i, 0, streams);
-        corr += c;
-        energy += e;
-    }
-
-    for n in 0..positions {
-        let plateau = energy > MIN_ENERGY * WINDOW as f64
-            && corr.norm_sqr() >= (THRESHOLD * energy) * (THRESHOLD * energy);
-        match (plateau, run_start) {
-            (true, None) => run_start = Some(n),
-            (false, Some(start)) => {
-                if n - start >= MIN_RUN && best.is_none() {
-                    best = Some(CoarseSts {
-                        sts_end: n - 1 + WINDOW + LAG,
-                        plateau_start: start,
-                    });
-                }
-                run_start = None;
-            }
-            _ => {}
-        }
-        // Slide the window to n + 1.
-        let (c_old, e_old) = term(0, n, streams);
-        corr -= c_old;
-        energy -= e_old;
-        let (c_new, e_new) = term(WINDOW - 1, n + 1, streams);
-        corr += c_new;
-        energy += e_new;
-        if energy < 0.0 {
-            energy = 0.0;
+        if let Some(coarse) = tracker.push_column(&column) {
+            return Some(coarse);
         }
     }
-    // A plateau running to the end of the buffer.
-    if let (Some(start), None) = (run_start, best) {
-        if positions - start >= MIN_RUN {
-            best = Some(CoarseSts {
-                sts_end: positions - 1 + WINDOW + LAG,
-                plateau_start: start,
-            });
-        }
-    }
-    best
+    tracker.finish()
 }
 
 #[cfg(test)]
@@ -216,5 +171,15 @@ mod tests {
     fn short_input_returns_none() {
         assert!(coarse_sts_end(&[vec![CQ15::ZERO; 10]]).is_none());
         assert!(coarse_sts_end::<Vec<CQ15>>(&[]).is_none());
+    }
+
+    #[test]
+    fn tracker_backed_wrapper_matches_plateau_to_buffer_end() {
+        // A capture ending inside the STS exercises the end-of-buffer
+        // rule through the tracker's finish() path.
+        let burst = preamble_burst();
+        let truncated = &burst[..150];
+        let coarse = coarse_sts_end(&[truncated]).expect("plateau to end accepted");
+        assert_eq!(coarse.sts_end, truncated.len() - 1);
     }
 }

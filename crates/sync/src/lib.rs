@@ -16,14 +16,25 @@
 //! the threshold, carrying the located LTS start. [`CircularBuffer`]
 //! models the input buffer "large enough to handle time synchronizer
 //! latency".
+//!
+//! Burst acquisition in front of the correlator is chunk-driven:
+//! [`CoarseTracker`] is the online lag-16 STS plateau detector
+//! (gain-invariant, all antennas combined) and [`SyncTracker`]
+//! composes it with the fine cross-correlator into a
+//! consume-any-chunk-size state machine. The whole-capture entry point
+//! [`coarse_sts_end`] is a thin wrapper over the tracker, so batch and
+//! streaming receivers share one acquisition implementation with
+//! bit-identical results.
 
 mod buffer;
 mod coarse;
 mod correlator;
+mod tracker;
 
 pub use buffer::CircularBuffer;
 pub use coarse::{coarse_sts_end, CoarseSts};
 pub use correlator::{SyncEvent, SyncError, TimeSynchronizer};
+pub use tracker::{CoarseTracker, SyncTracker};
 
 /// Number of correlator taps (16 STS tail + 16 LTS head samples).
 pub const CORRELATOR_TAPS: usize = 32;

@@ -1,62 +1,121 @@
-//! Drives the cycle-accurate hardware models side by side — the
-//! structures the paper's figures describe as clocked circuits:
+//! Drives the streaming receive datapath the way hardware would see
+//! it: a continuous per-antenna sample stream delivered in irregular
+//! chunks (1 sample, a FIFO drain, a DMA page), with bursts at mixed
+//! rates and idle gaps in between. No hand-rolled buffering — the
+//! [`StreamingReceiver`] carries sync, channel-estimate and per-symbol
+//! state across every chunk boundary itself.
 //!
-//! * the streaming FFT core (sample-per-clock, `sop`/`eop` framing),
-//! * the ping-pong interleaver memories,
-//! * the Fig 3 cyclic-prefix buffer with `rfd` back-pressure,
-//! * the Fig 4 streaming correlator,
-//! * the Figs 6–7 clocked systolic QRD array.
+//! A second section ties the chunk-level stages to the cycle-accurate
+//! hardware models they abstract (the clocked streaming FFT and the
+//! Fig 3 cyclic-prefix buffer), confirming value-identity.
 //!
 //! ```bash
 //! cargo run --release --example streaming_hardware
 //! ```
 
-use mimo_baseband::chanest::{CordicQrd, Mat4, SystolicQrdArray};
 use mimo_baseband::fft::StreamingFft;
-use mimo_baseband::fixed::{CQ15, Cf64};
-use mimo_baseband::interleave::PingPongInterleaver;
-use mimo_baseband::ofdm::{preamble, symbol_len, CpBuffer, SubcarrierMap};
-use mimo_baseband::sync::TimeSynchronizer;
+use mimo_baseband::fixed::CQ15;
+use mimo_baseband::ofdm::{add_cyclic_prefix, symbol_len, CpBuffer, SymbolIngest};
+use mimo_baseband::phy::{LinkGeometry, Mcs, MimoTransmitter, PhyConfig, StreamingReceiver};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("== Clock-level hardware models ==\n");
+    println!("== Streaming sample-at-a-time receiver ==\n");
 
-    // --- Streaming FFT: one sample per clock. ---
-    let mut fft = StreamingFft::forward(64)?;
-    let mut first_out = None;
-    let impulse: Vec<CQ15> = (0..64)
-        .map(|i| CQ15::from_f64(if i == 0 { 0.5 } else { 0.0 }, 0.0))
+    // --- Build one continuous 4-antenna stream: three bursts at
+    // different MCS, separated by idle air. ---
+    let tx = MimoTransmitter::new(PhyConfig::paper_synthesis())?;
+    let plan = [
+        (Mcs::Qpsk12, 120usize, 0usize),
+        (Mcs::Qam64R34, 400, 256),
+        (Mcs::Bpsk12, 60, 777),
+    ];
+    let mut streams: Vec<Vec<CQ15>> = vec![Vec::new(); 4];
+    let mut payloads = Vec::new();
+    for (mcs, len, gap) in plan {
+        let payload: Vec<u8> = (0..len).map(|i| (i * 13 + 7) as u8).collect();
+        let burst = tx.transmit_burst_with(mcs, &payload)?;
+        for (a, s) in streams.iter_mut().enumerate() {
+            s.extend(std::iter::repeat_n(CQ15::ZERO, gap));
+            s.extend_from_slice(&burst.streams[a]);
+        }
+        payloads.push(payload);
+    }
+    let total = streams[0].len();
+    println!("on-air stream: {total} samples/antenna, 3 bursts (QPSK r=1/2, 64-QAM r=3/4, BPSK r=1/2)");
+
+    // --- Chunked ingest: the chunk sizes cycle through hardware-ish
+    // shapes — single samples, a 7-deep FIFO, one 64-word line, a
+    // 4 KiB DMA page. ---
+    let mut rx = StreamingReceiver::from_geometry(LinkGeometry::mimo())?;
+    let chunk_cycle = [1usize, 7, 64, 4096];
+    let mut at = 0;
+    let mut pushes = 0usize;
+    let mut recovered = Vec::new();
+    while at < total {
+        let chunk = chunk_cycle[pushes % chunk_cycle.len()];
+        let end = (at + chunk).min(total);
+        let views: Vec<&[CQ15]> = streams.iter().map(|s| &s[at..end]).collect();
+        if let Some(burst) = rx.push_samples(&views)? {
+            recovered.push(burst);
+            while let Some(more) = rx.poll()? {
+                recovered.push(more);
+            }
+        }
+        pushes += 1;
+        at = end;
+    }
+    println!("fed {pushes} chunks (sizes cycling {chunk_cycle:?})\n");
+
+    for (i, burst) in recovered.iter().enumerate() {
+        let d = &burst.result.diagnostics;
+        println!(
+            "burst {i}: {} · {} bytes · sync@{} · EVM {:.1} dB · {} payload symbols · ends@{}",
+            d.mcs,
+            burst.result.payload.len(),
+            d.sync.lts_start,
+            d.evm_db,
+            d.n_symbols,
+            burst.burst_end
+        );
+        assert_eq!(
+            burst.result.payload, payloads[i],
+            "burst {i} payload must round-trip losslessly"
+        );
+    }
+    assert_eq!(recovered.len(), payloads.len(), "every burst recovered");
+    println!("\nall {} bursts recovered losslessly through chunked ingest\n", recovered.len());
+
+    // --- The chunk-level ingest vs the clocked hardware models. ---
+    println!("== Chunk stages vs cycle-accurate models ==\n");
+
+    // SymbolIngest (chunk-driven CP strip + FFT) against the clocked
+    // sample-per-cycle StreamingFft: identical frames, different
+    // bookkeeping.
+    let n = 64;
+    let symbol: Vec<CQ15> = (0..n)
+        .map(|i| CQ15::from_f64(0.3 * (i as f64 * 0.19).sin(), 0.1 * (i as f64 * 0.11).cos()))
         .collect();
-    for cycle in 0..300usize {
-        if fft.clock(impulse.get(cycle).copied()).is_some() && first_out.is_none() {
-            first_out = Some(cycle);
+    let on_air = add_cyclic_prefix(&symbol);
+    let mut ingest = SymbolIngest::new(n)?;
+    let mut fast = Vec::new();
+    ingest.push(&on_air, |frame| fast = frame.to_vec());
+    let mut clocked = StreamingFft::forward(n)?;
+    let mut slow = Vec::new();
+    for cycle in 0..(n + clocked.latency_cycles() as usize + n) {
+        if let Some(out) = clocked.clock(symbol.get(cycle).copied()) {
+            slow.push(out);
         }
     }
     println!(
-        "streaming FFT (64-pt): first output at cycle {} (model latency {})",
-        first_out.expect("frame emerges"),
-        fft.latency_cycles()
+        "SymbolIngest vs clocked StreamingFft: frames bit-identical = {} (model latency {} cycles)",
+        fast == slow,
+        clocked.latency_cycles()
     );
 
-    // --- Ping-pong interleaver: continual streaming. ---
-    let mut il = PingPongInterleaver::<u8>::new(192, 4)?;
-    let mut outputs = 0usize;
-    let total_in = 4 * 192;
-    for cycle in 0..(total_in + 192) {
-        let input = (cycle < total_in).then_some((cycle % 2) as u8);
-        if il.clock(input).is_some() {
-            outputs += 1;
-        }
-    }
-    println!(
-        "ping-pong interleaver: {outputs} bits out after {total_in} in (latency = one {}-bit block)",
-        il.block_size()
-    );
-
-    // --- Cyclic-prefix buffer: rfd back-pressure duty cycle. ---
-    let mut cp = CpBuffer::new(64)?;
+    // The Fig 3 cyclic-prefix buffer's rfd back-pressure duty cycle.
+    let mut cp = CpBuffer::new(n)?;
     let mut writes = 0u64;
-    let cycles = 40 * symbol_len(64) as u64;
+    let cycles = 40 * symbol_len(n) as u64;
     for _ in 0..cycles {
         let input = cp.ready_for_data().then_some(CQ15::from_f64(0.1, 0.0));
         if input.is_some() {
@@ -67,39 +126,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "CP buffer: write duty {:.1}% over {cycles} cycles (theory: 80% = N/(N+N/4))",
         100.0 * writes as f64 / cycles as f64
-    );
-
-    // --- Streaming correlator: sample-per-clock detection. ---
-    let core = mimo_baseband::fft::FixedFft::new(64)?;
-    let map = SubcarrierMap::new(64)?;
-    let taps = preamble::sync_reference(&core, &map, 0.5)?;
-    let mut sync = TimeSynchronizer::new(taps, mimo_baseband::sync::DEFAULT_THRESHOLD_FACTOR)
-        .map_err(|e| format!("sync: {e}"))?;
-    let mut burst = preamble::sts_time(&core, &map, 0.5)?;
-    let lts_start = burst.len();
-    burst.extend(preamble::lts_time(&core, &map, 0.5)?);
-    let mut hit = None;
-    for (i, &s) in burst.iter().enumerate() {
-        if let Some(event) = sync.push(s) {
-            hit = Some((i, event.lts_start));
-            break;
-        }
-    }
-    let (at, lts) = hit.expect("detection");
-    println!(
-        "streaming correlator: fired at sample {at}, LTS located at {lts} (truth {lts_start})"
-    );
-
-    // --- Clocked systolic QRD array. ---
-    let h = Mat4::from_fn(|r, c| Cf64::new(0.25 * (r as f64 - 1.5), -0.15 * (c as f64 - 1.5)));
-    let mut array = SystolicQrdArray::new();
-    let (clocked, latency) = array.run(&h.to_fixed());
-    let functional = CordicQrd::new().decompose(&h.to_fixed());
-    println!(
-        "systolic QRD array: {} cycles datapath latency (paper: 440); bit-identical to \
-         functional model: {}",
-        latency,
-        clocked == functional
     );
     Ok(())
 }
