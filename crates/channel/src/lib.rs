@@ -8,6 +8,9 @@
 //! * [`IdealChannel`] — direct wiring (TX *i* → RX *i*), for loopback
 //!   and bit-exactness tests.
 //! * [`AwgnChannel`] — complex white Gaussian noise at a target SNR.
+//! * [`TimeVaryingAwgn`] — AWGN whose SNR follows a per-burst schedule
+//!   (ramps, triangular sweeps): the stimulus closed-loop link
+//!   adaptation climbs and backs off against.
 //! * [`FlatRayleighMimo`] — a random 4×4 (or N×M) complex channel
 //!   matrix, constant over a burst: the model the QRD channel
 //!   estimator/inverter targets.
@@ -30,7 +33,7 @@ mod noise;
 
 pub use chain::{ChannelChain, CfoImpairment, PhaseNoise, TimingOffset};
 pub use fading::{FlatRayleighMimo, MultipathMimo};
-pub use noise::AwgnChannel;
+pub use noise::{AwgnChannel, TimeVaryingAwgn};
 
 use mimo_fixed::{CQ15, Cf64};
 

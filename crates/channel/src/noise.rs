@@ -56,6 +56,25 @@ impl AwgnChannel {
     }
 }
 
+/// Adds calibrated AWGN at `snr_db` to every stream — the shared
+/// propagation core of [`AwgnChannel`] and [`TimeVaryingAwgn`].
+fn add_awgn(rng: &mut ChaCha8Rng, tx: &[Vec<CQ15>], snr_db: f64) -> Vec<Vec<CQ15>> {
+    let signal_power = average_power(tx);
+    let noise_power = signal_power / 10f64.powf(snr_db / 10.0);
+    tx.iter()
+        .map(|stream| {
+            stream
+                .iter()
+                .map(|&s| {
+                    let noisy = Cf64::from_fixed(s)
+                        + AwgnChannel::complex_gaussian(rng, noise_power);
+                    noisy.to_fixed::<15>().saturate_bits(16)
+                })
+                .collect()
+        })
+        .collect()
+}
+
 impl ChannelModel for AwgnChannel {
     fn n_rx(&self) -> usize {
         self.n
@@ -63,20 +82,118 @@ impl ChannelModel for AwgnChannel {
 
     fn propagate(&mut self, tx: &[Vec<CQ15>]) -> Vec<Vec<CQ15>> {
         assert_eq!(tx.len(), self.n, "stream count mismatch");
-        let signal_power = average_power(tx);
-        let noise_power = signal_power / 10f64.powf(self.snr_db / 10.0);
-        tx.iter()
-            .map(|stream| {
-                stream
-                    .iter()
-                    .map(|&s| {
-                        let noisy = Cf64::from_fixed(s)
-                            + Self::complex_gaussian(&mut self.rng, noise_power);
-                        noisy.to_fixed::<15>().saturate_bits(16)
-                    })
-                    .collect()
+        add_awgn(&mut self.rng, tx, self.snr_db)
+    }
+}
+
+/// AWGN whose SNR follows a per-burst schedule: call `k` of
+/// [`ChannelModel::propagate`] applies `profile[min(k, len-1)]` dB
+/// (the last entry holds once the schedule is exhausted). This is the
+/// time-varying stimulus closed-loop link adaptation is tested
+/// against: an SNR ramp sweeps the link through every rate's
+/// operating region, burst by burst.
+///
+/// # Examples
+///
+/// ```
+/// use mimo_channel::{ChannelModel, TimeVaryingAwgn};
+/// use mimo_fixed::CQ15;
+///
+/// // 10 dB → 30 dB over 5 bursts, then back down.
+/// let mut chan = TimeVaryingAwgn::up_down(1, 10.0, 30.0, 5, 42);
+/// assert_eq!(chan.current_snr_db(), 10.0);
+/// let tx = vec![vec![CQ15::from_f64(0.25, 0.0); 256]];
+/// chan.propagate(&tx);
+/// assert!(chan.current_snr_db() > 10.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimeVaryingAwgn {
+    n: usize,
+    profile: Vec<f64>,
+    burst_idx: usize,
+    rng: ChaCha8Rng,
+}
+
+impl TimeVaryingAwgn {
+    /// Creates a scheduled-SNR channel over `n` antennas from an
+    /// explicit per-burst SNR profile (dB) and a deterministic seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `profile` is empty.
+    pub fn new(n: usize, profile: Vec<f64>, seed: u64) -> Self {
+        assert!(!profile.is_empty(), "SNR profile must not be empty");
+        Self {
+            n,
+            profile,
+            burst_idx: 0,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// A linear SNR ramp from `start_db` to `end_db` (inclusive) over
+    /// `bursts` bursts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bursts` is zero.
+    pub fn ramp(n: usize, start_db: f64, end_db: f64, bursts: usize, seed: u64) -> Self {
+        assert!(bursts > 0, "a ramp needs at least one burst");
+        let profile = (0..bursts)
+            .map(|i| {
+                let t = if bursts > 1 {
+                    i as f64 / (bursts - 1) as f64
+                } else {
+                    0.0
+                };
+                start_db + t * (end_db - start_db)
             })
-            .collect()
+            .collect();
+        Self::new(n, profile, seed)
+    }
+
+    /// A triangular sweep `lo → hi → lo`: an up leg of
+    /// `bursts_each_way` bursts and a mirrored down leg sharing the
+    /// peak burst, `2·bursts_each_way − 1` scheduled bursts in total —
+    /// the climb-then-back-off stimulus for rate controllers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bursts_each_way` is zero.
+    pub fn up_down(n: usize, lo_db: f64, hi_db: f64, bursts_each_way: usize, seed: u64) -> Self {
+        assert!(bursts_each_way > 0, "a sweep needs at least one burst per leg");
+        let up = Self::ramp(n, lo_db, hi_db, bursts_each_way, seed).profile;
+        let mut profile = up.clone();
+        profile.extend(up.iter().rev().skip(1));
+        Self::new(n, profile, seed)
+    }
+
+    /// The SNR (dB) the **next** `propagate` call will apply.
+    pub fn current_snr_db(&self) -> f64 {
+        self.profile[self.burst_idx.min(self.profile.len() - 1)]
+    }
+
+    /// Bursts propagated so far.
+    pub fn burst_index(&self) -> usize {
+        self.burst_idx
+    }
+
+    /// The full per-burst schedule, dB.
+    pub fn profile(&self) -> &[f64] {
+        &self.profile
+    }
+}
+
+impl ChannelModel for TimeVaryingAwgn {
+    fn n_rx(&self) -> usize {
+        self.n
+    }
+
+    fn propagate(&mut self, tx: &[Vec<CQ15>]) -> Vec<Vec<CQ15>> {
+        assert_eq!(tx.len(), self.n, "stream count mismatch");
+        let snr_db = self.current_snr_db();
+        self.burst_idx += 1;
+        add_awgn(&mut self.rng, tx, snr_db)
     }
 }
 

@@ -53,7 +53,15 @@
 //!   decodes borrowed stream views without copying.
 //! * [`LinkSimulation`] — end-to-end BER/PER measurement harness, with
 //!   [`LinkSimulation::sweep_mcs`] covering the whole rate grid
-//!   through one transceiver pair.
+//!   through one transceiver pair and
+//!   [`LinkSimulation::run_adaptive`] driving the closed
+//!   TX → channel → RX → controller loop.
+//! * [`adapt`] — closed-loop link adaptation: every receiver reports a
+//!   per-burst [`ChannelQuality`] (aggregate **and per-stream** EVM +
+//!   mean pilot phase, floored at [`EVM_FLOOR_DB`]), and the
+//!   EVM-driven [`RateController`] / [`LinkAdaptor`] feed it back into
+//!   [`MimoTransmitter::transmit_burst_with`] to pick each burst's
+//!   rate — the control loop the SIGNAL field exists for.
 //!
 //! # One streaming datapath; batch is a schedule over it
 //!
@@ -179,7 +187,40 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Closing the rate loop: the receiver's per-burst [`ChannelQuality`]
+//! feeds a [`RateController`], and the [`LinkAdaptor`] transmits each
+//! burst at whatever rate the controller currently trusts — on a clean
+//! link it climbs from BPSK r=1/2 to the 64-QAM r=3/4 headline rate:
+//!
+//! ```
+//! use mimo_core::{
+//!     LinkAdaptor, LinkGeometry, Mcs, MimoReceiver, MimoTransmitter, PhyConfig,
+//!     RateController,
+//! };
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let tx = MimoTransmitter::new(PhyConfig::paper_synthesis())?;
+//! let controller = RateController::for_geometry(&LinkGeometry::mimo()).with_dwell(1, 1);
+//! let mut link = LinkAdaptor::new(tx, controller);
+//! let mut rx = MimoReceiver::from_geometry(LinkGeometry::mimo())?;
+//!
+//! let payload: Vec<u8> = (0..128).map(|i| (i * 3) as u8).collect();
+//! for _ in 0..8 {
+//!     let burst = link.transmit(&payload)?;        // controller's rate
+//!     let result = rx.receive_burst(&burst.streams)?;
+//!     assert_eq!(result.payload, payload);
+//!     // Worst-stream EVM drives the next burst's rate (a lossless
+//!     // wire reports clean EVM on all four streams, so the loop
+//!     // climbs one rung per burst at dwell 1).
+//!     link.feedback(Some(&result.diagnostics.quality));
+//! }
+//! assert_eq!(link.current_mcs(), Mcs::Qam64R34);
+//! # Ok(())
+//! # }
+//! ```
 
+pub mod adapt;
 mod config;
 mod error;
 mod link;
@@ -193,12 +234,13 @@ mod stream;
 mod tx;
 mod workspace;
 
+pub use adapt::{LinkAdaptor, RateController, RateThresholds};
 pub use config::{LinkGeometry, PhyConfig};
 pub use error::PhyError;
-pub use link::{BerPoint, LinkSimulation};
+pub use link::{AdaptiveBurstRecord, AdaptiveTrace, BerPoint, LinkSimulation};
 pub use mcs::{BurstParams, Mcs};
 pub use pipeline::{BurstPipeline, BurstStreams};
-pub use rx::{MimoReceiver, RxDiagnostics, RxResult};
+pub use rx::{ChannelQuality, MimoReceiver, RxDiagnostics, RxResult, EVM_FLOOR_DB};
 pub use siso::{SisoReceiver, SisoTransmitter};
 pub use stream::{ReceivedBurst, StreamingReceiver};
 pub use tx::{MimoTransmitter, TxBurst};

@@ -6,10 +6,11 @@ use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+use crate::adapt::RateController;
 use crate::config::PhyConfig;
 use crate::error::PhyError;
 use crate::mcs::Mcs;
-use crate::rx::MimoReceiver;
+use crate::rx::{MimoReceiver, RxResult};
 use crate::siso::{SisoReceiver, SisoTransmitter};
 use crate::tx::MimoTransmitter;
 
@@ -45,6 +46,73 @@ impl BerPoint {
         } else {
             self.burst_errors as f64 / self.bursts as f64
         }
+    }
+}
+
+/// One burst of a closed-loop adaptive run: the rate the controller
+/// chose, whether the payload came back bit-exact, the receiver's
+/// quality measurement (absent for lost bursts) and the on-air time.
+#[derive(Debug, Clone)]
+pub struct AdaptiveBurstRecord {
+    /// The MCS the controller selected for this burst.
+    pub mcs: Mcs,
+    /// Whether the decoded payload matched the transmitted one
+    /// bit-exactly.
+    pub ok: bool,
+    /// The receiver's per-burst quality measurement; `None` when the
+    /// burst was lost before diagnostics existed (sync loss, header
+    /// CRC failure, decode error).
+    pub quality: Option<crate::rx::ChannelQuality>,
+    /// On-air duration of the burst (preamble + header + payload
+    /// symbols) at the link clock, seconds.
+    pub airtime_s: f64,
+    /// Payload bytes carried.
+    pub payload_bytes: usize,
+}
+
+/// The per-burst trace of one [`LinkSimulation::run_adaptive`] run.
+#[derive(Debug, Clone, Default)]
+pub struct AdaptiveTrace {
+    /// One record per transmitted burst, in transmit order.
+    pub records: Vec<AdaptiveBurstRecord>,
+}
+
+impl AdaptiveTrace {
+    /// Payload bits delivered bit-exactly.
+    pub fn delivered_bits(&self) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| r.ok)
+            .map(|r| 8 * r.payload_bytes as u64)
+            .sum()
+    }
+
+    /// Total on-air time of every transmitted burst, seconds.
+    pub fn airtime_s(&self) -> f64 {
+        self.records.iter().map(|r| r.airtime_s).sum()
+    }
+
+    /// Goodput: bit-exact delivered payload bits per second of
+    /// airtime — the figure of merit link adaptation maximizes (a
+    /// too-timid controller wastes airtime on slow rates, a too-greedy
+    /// one loses bursts).
+    pub fn goodput_bps(&self) -> f64 {
+        let airtime = self.airtime_s();
+        if airtime > 0.0 {
+            self.delivered_bits() as f64 / airtime
+        } else {
+            0.0
+        }
+    }
+
+    /// Bursts delivered bit-exactly.
+    pub fn bursts_ok(&self) -> u64 {
+        self.records.iter().filter(|r| r.ok).count() as u64
+    }
+
+    /// The highest rate index the controller reached.
+    pub fn max_mcs(&self) -> Option<Mcs> {
+        self.records.iter().map(|r| r.mcs).max_by_key(|m| m.index())
     }
 }
 
@@ -172,6 +240,86 @@ impl LinkSimulation {
                     .map(|point| (mcs, point))
             })
             .collect()
+    }
+
+    /// Drives the full closed loop — TX at the controller's rate →
+    /// `channel` → RX → [`RateController::update`] — for `bursts`
+    /// bursts of `payload_bytes` random payload, returning the
+    /// per-burst (mcs, quality, ok) trace.
+    ///
+    /// Feedback convention: a bit-exact burst feeds its
+    /// [`ChannelQuality`](crate::ChannelQuality) to the controller; a
+    /// lost **or corrupted** burst feeds `None` (a burst that decodes
+    /// to wrong bytes is a loss for adaptation purposes, whatever its
+    /// EVM claimed). With a time-varying channel (e.g.
+    /// [`mimo_channel::TimeVaryingAwgn`]) the controller climbs the
+    /// rate ladder as SNR improves and backs off as it degrades.
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration-level errors (bad payload size for the
+    /// burst format, stream-count mismatch); channel-induced decode
+    /// failures are folded into the trace as lost bursts.
+    pub fn run_adaptive(
+        &mut self,
+        controller: &mut RateController,
+        channel: &mut dyn ChannelModel,
+        payload_bytes: usize,
+        bursts: u64,
+    ) -> Result<AdaptiveTrace, PhyError> {
+        let clock_hz = self.cfg.clock_hz();
+        let mut trace = AdaptiveTrace::default();
+        for _ in 0..bursts {
+            let mcs = controller.current();
+            let payload: Vec<u8> = (0..payload_bytes).map(|_| self.rng.gen()).collect();
+            let (tx_samples, received) = self.run_one_traced(mcs, channel, &payload)?;
+            let (ok, quality) = match received {
+                Ok(result) => {
+                    let ok = result.payload == payload;
+                    (ok, ok.then_some(result.diagnostics.quality))
+                }
+                Err(_) => (false, None),
+            };
+            controller.update(quality.as_ref());
+            trace.records.push(AdaptiveBurstRecord {
+                mcs,
+                ok,
+                quality,
+                airtime_s: tx_samples as f64 / clock_hz,
+                payload_bytes,
+            });
+        }
+        Ok(trace)
+    }
+
+    /// One closed-loop burst: transmit at `mcs`, propagate, receive.
+    /// The outer error is configuration-level (propagates); the inner
+    /// is the channel-induced receive outcome. Also returns the
+    /// per-stream on-air sample count for airtime accounting.
+    fn run_one_traced(
+        &mut self,
+        mcs: Mcs,
+        channel: &mut dyn ChannelModel,
+        payload: &[u8],
+    ) -> Result<(usize, Result<RxResult, PhyError>), PhyError> {
+        if let Some((tx, rx)) = self.mimo.as_mut() {
+            let burst = tx.transmit_burst_with(mcs, payload)?;
+            let tx_samples = burst.streams[0].len();
+            let received = channel.propagate(&burst.streams);
+            Ok((tx_samples, rx.receive_burst(&received)))
+        } else {
+            let (tx, rx) = self.siso.as_mut().expect("one of the two is set");
+            let burst = tx.transmit_burst_with(mcs, payload)?;
+            let tx_samples = burst.streams[0].len();
+            let received = channel.propagate(&burst.streams);
+            // An empty channel output is a ChannelModel contract bug,
+            // not a sync failure: surface it as the stream-count error.
+            let stream = received
+                .into_iter()
+                .next()
+                .ok_or(PhyError::BadStreamCount { expected: 1, got: 0 })?;
+            Ok((tx_samples, rx.receive_burst(&stream)))
+        }
     }
 
     fn run_at(

@@ -85,21 +85,86 @@ use crate::workspace::{run_four, RxStreamWorkspace, RxWorkspace};
 /// channel estimate absorbs it.
 pub(crate) const WINDOW_BACKOFF: usize = 6;
 
+/// Finite floor for every reported EVM figure, dB. A burst whose
+/// equalized constellation matches the re-mapped reference exactly
+/// (zero error energy, e.g. BPSK through a noiseless wire) reports
+/// this floor instead of `-inf`, so downstream consumers — rate
+/// controllers, JSON snapshots, dB arithmetic — never meet a
+/// non-finite value.
+pub const EVM_FLOOR_DB: f64 = -80.0;
+
+/// Per-burst link-quality measurement, aggregated over **every**
+/// spatial stream — the feedback input of closed-loop link adaptation
+/// (see [`crate::adapt`]).
+///
+/// The aggregate EVM is the error-energy ratio summed across streams
+/// before the dB conversion,
+/// `evm_db = 10·log₁₀(Σₖ numₖ / Σₖ denₖ)`, where `numₖ` is stream
+/// `k`'s accumulated squared error against the nearest constellation
+/// point and `denₖ` the accumulated squared reference power — so one
+/// drowning stream degrades the aggregate no matter how clean the
+/// other three are. Every figure is clamped to the finite
+/// [`EVM_FLOOR_DB`] floor.
+///
+/// The per-stream vector is built once at burst close (alongside the
+/// payload `Vec`, the receive path's one pre-existing per-burst
+/// allocation) — the per-symbol steady-state loops remain
+/// allocation-free.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelQuality {
+    /// Aggregate error-vector magnitude over all streams, dB (lower is
+    /// better; never below [`EVM_FLOOR_DB`], never non-finite).
+    pub evm_db: f64,
+    /// Per-stream EVM, dB, one entry per spatial stream in stream
+    /// order (same floor/finiteness guarantees as the aggregate).
+    pub per_stream_evm_db: Vec<f64>,
+    /// Mean pilot common-phase estimate over all streams and payload
+    /// symbols, radians.
+    pub mean_phase_rad: f64,
+}
+
+impl ChannelQuality {
+    /// The worst (highest) per-stream EVM — the conservative figure a
+    /// rate controller should adapt on, since the burst only decodes
+    /// if the weakest stream decodes.
+    pub fn worst_stream_evm_db(&self) -> f64 {
+        self.per_stream_evm_db
+            .iter()
+            .copied()
+            .fold(self.evm_db, f64::max)
+    }
+}
+
 /// Per-burst receiver diagnostics.
+///
+/// The EVM/phase figures aggregate over **all** spatial streams (see
+/// [`ChannelQuality`] for the exact formula); the per-stream
+/// breakdown lives in [`RxDiagnostics::quality`].
 #[derive(Debug, Clone)]
 pub struct RxDiagnostics {
     /// The time-synchroniser detection.
     pub sync: SyncEvent,
     /// The MCS announced by the burst's SIGNAL-field header.
     pub mcs: Mcs,
-    /// Error-vector magnitude of the equalized data constellation,
-    /// in dB (lower is better).
-    pub evm_db: f64,
-    /// Mean pilot common-phase estimate over the payload symbols,
-    /// radians.
-    pub mean_phase_rad: f64,
+    /// The link-quality measurement: aggregate + per-stream EVM and
+    /// mean pilot phase.
+    pub quality: ChannelQuality,
     /// Payload OFDM symbols decoded (header symbols excluded).
     pub n_symbols: usize,
+}
+
+impl RxDiagnostics {
+    /// Aggregate error-vector magnitude over all streams, dB —
+    /// shorthand for `quality.evm_db`.
+    pub fn evm_db(&self) -> f64 {
+        self.quality.evm_db
+    }
+
+    /// Mean pilot common-phase estimate over all streams and payload
+    /// symbols, radians — shorthand for `quality.mean_phase_rad`.
+    pub fn mean_phase_rad(&self) -> f64 {
+        self.quality.mean_phase_rad
+    }
 }
 
 /// A decoded burst.
@@ -140,7 +205,7 @@ pub(crate) struct FrontInfo {
 
 /// The post-equalization half of the per-symbol receive datapath:
 /// pilot common-phase estimation/correction, feed-forward timing
-/// correction, demap and de-interleave, with optional stream-0
+/// correction, demap and de-interleave, with optional per-stream
 /// EVM/phase diagnostics. It operates on the equalized occupied
 /// carriers already sitting in `ws.eq`, so the 4×4 chain (after
 /// zero-forcing detection), the 1×1 baseline (after its scalar
@@ -662,7 +727,7 @@ impl MimoReceiver {
             let sym = first_sym + m;
             let rx_occ: [&[CQ15]; 4] =
                 std::array::from_fn(|a| &freq[a][sym * n_occ..(sym + 1) * n_occ]);
-            self.process_symbol(k, ws, &rx_occ, h_inv, kit, sym, collect_diag && k == 0)?;
+            self.process_symbol(k, ws, &rx_occ, h_inv, kit, sym, collect_diag)?;
         }
         Ok(())
     }
@@ -749,8 +814,26 @@ pub(crate) fn assemble_payload(
     Ok(payload)
 }
 
+/// Converts an accumulated error-energy ratio to dB with the finite
+/// [`EVM_FLOOR_DB`] floor: zero error energy (or an empty
+/// accumulation) reports the floor, never `-inf` or NaN.
+fn evm_ratio_db(num: f64, den: f64) -> f64 {
+    if num > 0.0 && den > 0.0 {
+        (10.0 * (num / den).log10()).max(EVM_FLOOR_DB)
+    } else {
+        EVM_FLOOR_DB
+    }
+}
+
 /// Builds the final [`RxResult`] from the per-stream workspaces'
 /// diagnostics accumulators — one formula for every receive mode.
+///
+/// EVM aggregates across **all** stream workspaces as
+/// `10·log₁₀(Σₖ numₖ / Σₖ denₖ)` (energies summed before the dB
+/// conversion), the per-stream figures are each stream's own ratio,
+/// and the mean phase averages every stream's accumulated pilot phase
+/// over `streams × symbols`. All EVM figures are floored at
+/// [`EVM_FLOOR_DB`].
 pub(crate) fn finish_result(
     event: SyncEvent,
     mcs: Mcs,
@@ -758,19 +841,29 @@ pub(crate) fn finish_result(
     stream_ws: &[RxStreamWorkspace],
     payload: Vec<u8>,
 ) -> RxResult {
-    let ws0 = &stream_ws[0];
-    let evm_db = if ws0.evm_den > 0.0 && ws0.evm_num > 0.0 {
-        10.0 * (ws0.evm_num / ws0.evm_den).log10()
-    } else {
-        f64::NEG_INFINITY
-    };
+    let mut num = 0.0;
+    let mut den = 0.0;
+    let mut phase = 0.0;
+    let per_stream_evm_db = stream_ws
+        .iter()
+        .map(|ws| {
+            num += ws.evm_num;
+            den += ws.evm_den;
+            phase += ws.phase_acc;
+            evm_ratio_db(ws.evm_num, ws.evm_den)
+        })
+        .collect();
+    let samples = (stream_ws.len() * n_symbols.max(1)).max(1);
     RxResult {
         payload,
         diagnostics: RxDiagnostics {
             sync: event,
             mcs,
-            evm_db,
-            mean_phase_rad: ws0.phase_acc / n_symbols.max(1) as f64,
+            quality: ChannelQuality {
+                evm_db: evm_ratio_db(num, den),
+                per_stream_evm_db,
+                mean_phase_rad: phase / samples as f64,
+            },
             n_symbols,
         },
     }
@@ -885,8 +978,79 @@ mod tests {
         let result = rx.receive_burst(&burst.streams).unwrap();
         assert_eq!(result.payload, payload);
         assert_eq!(result.diagnostics.mcs, Mcs::Qam16R12);
-        // Ideal channel: EVM well below -20 dB.
-        assert!(result.diagnostics.evm_db < -20.0, "EVM {}", result.diagnostics.evm_db);
+        // Ideal channel: EVM well below -20 dB, on every stream.
+        let q = &result.diagnostics.quality;
+        assert!(q.evm_db < -20.0, "EVM {}", q.evm_db);
+        assert_eq!(q.per_stream_evm_db.len(), 4);
+        for (k, &evm) in q.per_stream_evm_db.iter().enumerate() {
+            assert!(evm < -20.0 && evm.is_finite(), "stream {k}: EVM {evm}");
+        }
+        assert!(q.worst_stream_evm_db() >= q.evm_db);
+    }
+
+    #[test]
+    fn evm_floor_is_finite_never_neg_infinity() {
+        // Zero error energy (and the degenerate empty accumulation)
+        // report the finite floor, not -inf/NaN.
+        assert_eq!(super::evm_ratio_db(0.0, 1.0), EVM_FLOOR_DB);
+        assert_eq!(super::evm_ratio_db(0.0, 0.0), EVM_FLOOR_DB);
+        // Tiny-but-nonzero error clamps at the floor too.
+        assert_eq!(super::evm_ratio_db(1e-30, 1.0), EVM_FLOOR_DB);
+        // Ordinary ratios convert normally.
+        assert!((super::evm_ratio_db(0.01, 1.0) + 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finish_result_aggregates_every_stream_workspace() {
+        // A burst where stream 3's accumulators carry all the error
+        // must degrade the aggregate: the pre-fix ws0-only formula
+        // would report stream 0's pristine -40 dB.
+        let cfg = PhyConfig::paper_synthesis();
+        let rx = MimoReceiver::new(cfg).unwrap();
+        let mut ws = rx.make_workspace();
+        for (k, s) in ws.streams.iter_mut().enumerate() {
+            s.evm_den = 100.0;
+            s.evm_num = if k == 3 { 10.0 } else { 0.01 };
+            s.phase_acc = 0.2;
+        }
+        let event = SyncEvent {
+            peak_index: 0,
+            lts_start: 0,
+            magnitude: mimo_fixed::Q16::from_f64(0.0),
+        };
+        let result =
+            finish_result(event, Mcs::Qam16R12, 10, &ws.streams, Vec::new());
+        let q = &result.diagnostics.quality;
+        // Σnum/Σden = 10.03/400 ≈ -16 dB, not stream 0's -40 dB.
+        assert!((q.evm_db - 10.0 * (10.03f64 / 400.0).log10()).abs() < 1e-9);
+        assert!((q.per_stream_evm_db[0] + 40.0).abs() < 1e-9);
+        assert!((q.per_stream_evm_db[3] + 10.0).abs() < 1e-9);
+        assert!((q.worst_stream_evm_db() + 10.0).abs() < 1e-9);
+        // Phase averages over streams × symbols: 4·0.2 / (4·10).
+        assert!((q.mean_phase_rad - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn header_symbols_do_not_pollute_payload_evm() {
+        // The SIGNAL field is BPSK on stream 0 (streams 1-3 silent).
+        // If those symbols leaked into the payload-MCS accumulators,
+        // a 64-QAM burst would re-demap them against the 64-QAM grid
+        // and report tens of dB of phantom error. Pinned here: the
+        // header pass runs with collect_diag = false on the dedicated
+        // header workspace, and begin_stream_pass resets the payload
+        // accumulators, so an ideal-channel 64-QAM burst stays clean
+        // on every stream.
+        let cfg = PhyConfig::gigabit();
+        let tx = MimoTransmitter::new(cfg.clone()).unwrap();
+        let mut rx = MimoReceiver::new(cfg).unwrap();
+        let payload: Vec<u8> = (0..160).map(|i| (i * 53 + 11) as u8).collect();
+        let burst = tx.transmit_burst(&payload).unwrap();
+        let result = rx.receive_burst(&burst.streams).unwrap();
+        assert_eq!(result.payload, payload);
+        let q = &result.diagnostics.quality;
+        for (k, &evm) in q.per_stream_evm_db.iter().enumerate() {
+            assert!(evm < -25.0, "stream {k}: header leaked into EVM? {evm}");
+        }
     }
 
     #[test]

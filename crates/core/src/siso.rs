@@ -336,8 +336,35 @@ mod tests {
         assert_eq!(burst.streams.len(), 1);
         let result = rx.receive_burst(&burst.streams[0]).unwrap();
         assert_eq!(result.payload, payload);
-        // The shared core now measures real EVM for the baseline too.
-        assert!(result.diagnostics.evm_db < -20.0, "EVM {}", result.diagnostics.evm_db);
+        // The shared core now measures real EVM for the baseline too:
+        // one per-stream entry, finite, matching the aggregate.
+        let q = &result.diagnostics.quality;
+        assert!(q.evm_db < -20.0, "EVM {}", q.evm_db);
+        assert_eq!(q.per_stream_evm_db.len(), 1);
+        assert_eq!(q.per_stream_evm_db[0].to_bits(), q.evm_db.to_bits());
+        assert!(q.mean_phase_rad.is_finite());
+    }
+
+    #[test]
+    fn siso_quality_is_reproducible_bit_for_bit() {
+        // The 1×1 baseline runs the same finish_result aggregation as
+        // the 4×4 chain; decoding one capture twice must produce
+        // bit-identical ChannelQuality.
+        let cfg = PhyConfig::siso();
+        let tx = SisoTransmitter::new(cfg.clone()).unwrap();
+        let mut rx = SisoReceiver::new(cfg).unwrap();
+        let payload: Vec<u8> = (0..120).map(|i| (i * 7 + 5) as u8).collect();
+        let burst = tx.transmit_burst_with(Mcs::Qam64R23, &payload).unwrap();
+        let a = rx.receive_burst(&burst.streams[0]).unwrap();
+        let b = rx.receive_burst(&burst.streams[0]).unwrap();
+        assert_eq!(a.payload, b.payload);
+        let (qa, qb) = (&a.diagnostics.quality, &b.diagnostics.quality);
+        assert_eq!(qa.evm_db.to_bits(), qb.evm_db.to_bits());
+        assert_eq!(qa.mean_phase_rad.to_bits(), qb.mean_phase_rad.to_bits());
+        assert_eq!(qa.per_stream_evm_db.len(), qb.per_stream_evm_db.len());
+        for (x, y) in qa.per_stream_evm_db.iter().zip(&qb.per_stream_evm_db) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
     }
 
     #[test]

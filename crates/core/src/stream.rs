@@ -523,7 +523,7 @@ impl StreamingReceiver {
         let kit = self.rx.rates.kit(mcs);
         for (k, ws) in streams.iter_mut().enumerate() {
             self.rx
-                .process_symbol(k, ws, &rows, &ctx.h_inv, kit, sym, k == 0)?;
+                .process_symbol(k, ws, &rows, &ctx.h_inv, kit, sym, true)?;
         }
         Ok(())
     }

@@ -117,8 +117,9 @@ pub(crate) struct RxStreamWorkspace {
     pub decoded: Vec<u8>,
     /// Recovered payload bytes of this stream.
     pub bytes: Vec<u8>,
-    /// Stream-0 diagnostics accumulators (EVM numerator/denominator
-    /// and common-phase sum), written by the owning worker only.
+    /// Per-stream diagnostics accumulators (EVM numerator/denominator
+    /// and common-phase sum), written by the owning worker only and
+    /// aggregated across all stream workspaces by `finish_result`.
     pub evm_num: f64,
     /// See [`RxStreamWorkspace::evm_num`].
     pub evm_den: f64,

@@ -58,7 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         assert_eq!(decoded.diagnostics.mcs, mcs);
         println!(
             "  ideal channel: payload recovered, SIGNAL announced {}, EVM {:.1} dB",
-            decoded.diagnostics.mcs, decoded.diagnostics.evm_db
+            decoded.diagnostics.mcs, decoded.diagnostics.evm_db()
         );
 
         // Now with receiver noise.
@@ -67,7 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         assert_eq!(decoded.payload, payload);
         println!(
             "  AWGN 25 dB:    payload recovered, EVM {:.1} dB",
-            decoded.diagnostics.evm_db
+            decoded.diagnostics.evm_db()
         );
     }
 

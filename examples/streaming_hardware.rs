@@ -73,7 +73,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             d.mcs,
             burst.result.payload.len(),
             d.sync.lts_start,
-            d.evm_db,
+            d.evm_db(),
             d.n_symbols,
             burst.burst_end
         );

@@ -63,15 +63,29 @@ fn assert_results_identical(got: &[Result<RxResult, mimo_baseband::phy::PhyError
         assert_eq!(g.diagnostics.sync.lts_start, w.diagnostics.sync.lts_start);
         assert_eq!(g.diagnostics.n_symbols, w.diagnostics.n_symbols);
         assert_eq!(
-            g.diagnostics.evm_db.to_bits(),
-            w.diagnostics.evm_db.to_bits(),
+            g.diagnostics.evm_db().to_bits(),
+            w.diagnostics.evm_db().to_bits(),
             "EVM diverges for burst {i}"
         );
         assert_eq!(
-            g.diagnostics.mean_phase_rad.to_bits(),
-            w.diagnostics.mean_phase_rad.to_bits(),
+            g.diagnostics.mean_phase_rad().to_bits(),
+            w.diagnostics.mean_phase_rad().to_bits(),
             "mean phase diverges for burst {i}"
         );
+        for (k, (ge, we)) in g
+            .diagnostics
+            .quality
+            .per_stream_evm_db
+            .iter()
+            .zip(&w.diagnostics.quality.per_stream_evm_db)
+            .enumerate()
+        {
+            assert_eq!(
+                ge.to_bits(),
+                we.to_bits(),
+                "stream {k} EVM diverges for burst {i}"
+            );
+        }
     }
 }
 

@@ -31,7 +31,7 @@ fn small_cfo_is_corrected_by_pilot_phase() {
         // reflect the drift direction.
         if epsilon > 2.0e-5 {
             assert!(
-                result.diagnostics.mean_phase_rad.abs() > 1e-3,
+                result.diagnostics.mean_phase_rad().abs() > 1e-3,
                 "CFO should show up in the pilot phase estimate"
             );
         }
@@ -109,7 +109,7 @@ fn evm_degrades_gracefully_with_snr() {
         let mut chan = AwgnChannel::new(4, snr, 99);
         let received = chan.propagate(&burst.streams);
         let result = rx.receive_burst(&received).unwrap();
-        evms.push(result.diagnostics.evm_db);
+        evms.push(result.diagnostics.evm_db());
     }
     // EVM (dB) should worsen (rise) as SNR falls.
     assert!(

@@ -58,12 +58,24 @@ fn assert_bit_identical(cfg: &PhyConfig, data: &[u8], channel_seed: Option<u64>)
     assert_eq!(dp.n_symbols, ds.n_symbols);
     // Diagnostics are f64 sums accumulated in the same order by the
     // same worker in both schedules: exact equality, not approximate.
-    assert_eq!(dp.evm_db.to_bits(), ds.evm_db.to_bits(), "EVM diverges");
+    // Every stream's accumulators feed the aggregate now, so the
+    // per-stream figures must match bit for bit too.
+    assert_eq!(dp.evm_db().to_bits(), ds.evm_db().to_bits(), "EVM diverges");
     assert_eq!(
-        dp.mean_phase_rad.to_bits(),
-        ds.mean_phase_rad.to_bits(),
+        dp.mean_phase_rad().to_bits(),
+        ds.mean_phase_rad().to_bits(),
         "mean phase diverges"
     );
+    assert_eq!(dp.quality.per_stream_evm_db.len(), 4);
+    for (k, (p, s)) in dp
+        .quality
+        .per_stream_evm_db
+        .iter()
+        .zip(&ds.quality.per_stream_evm_db)
+        .enumerate()
+    {
+        assert_eq!(p.to_bits(), s.to_bits(), "stream {k} EVM diverges");
+    }
 }
 
 #[test]
@@ -121,7 +133,7 @@ fn repeated_bursts_reuse_workspace_identically() {
     assert_eq!(from_warm.payload, from_fresh.payload);
     assert_eq!(from_warm.payload, small);
     assert_eq!(
-        from_warm.diagnostics.evm_db.to_bits(),
-        from_fresh.diagnostics.evm_db.to_bits()
+        from_warm.diagnostics.evm_db().to_bits(),
+        from_fresh.diagnostics.evm_db().to_bits()
     );
 }

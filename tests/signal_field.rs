@@ -85,15 +85,24 @@ fn assert_identical(got: &RxResult, want: &RxResult, what: &str) {
         "{what}: n_symbols"
     );
     assert_eq!(
-        got.diagnostics.evm_db.to_bits(),
-        want.diagnostics.evm_db.to_bits(),
+        got.diagnostics.evm_db().to_bits(),
+        want.diagnostics.evm_db().to_bits(),
         "{what}: EVM"
     );
     assert_eq!(
-        got.diagnostics.mean_phase_rad.to_bits(),
-        want.diagnostics.mean_phase_rad.to_bits(),
+        got.diagnostics.mean_phase_rad().to_bits(),
+        want.diagnostics.mean_phase_rad().to_bits(),
         "{what}: mean phase"
     );
+    let (gq, wq) = (&got.diagnostics.quality, &want.diagnostics.quality);
+    assert_eq!(
+        gq.per_stream_evm_db.len(),
+        wq.per_stream_evm_db.len(),
+        "{what}: stream count"
+    );
+    for (k, (g, w)) in gq.per_stream_evm_db.iter().zip(&wq.per_stream_evm_db).enumerate() {
+        assert_eq!(g.to_bits(), w.to_bits(), "{what}: stream {k} EVM");
+    }
 }
 
 #[test]

@@ -55,18 +55,39 @@ fn assert_bit_identical(got: &RxResult, want: &RxResult, offset: usize, tag: &st
     assert_eq!(g.sync.lts_start, w.sync.lts_start + offset, "{tag}: lts");
     assert_eq!(g.sync.magnitude, w.sync.magnitude, "{tag}: magnitude");
     assert_eq!(
-        g.evm_db.to_bits(),
-        w.evm_db.to_bits(),
+        g.evm_db().to_bits(),
+        w.evm_db().to_bits(),
         "{tag}: evm {} vs {}",
-        g.evm_db,
-        w.evm_db
+        g.evm_db(),
+        w.evm_db()
     );
     assert_eq!(
-        g.mean_phase_rad.to_bits(),
-        w.mean_phase_rad.to_bits(),
+        g.mean_phase_rad().to_bits(),
+        w.mean_phase_rad().to_bits(),
         "{tag}: phase {} vs {}",
-        g.mean_phase_rad,
-        w.mean_phase_rad
+        g.mean_phase_rad(),
+        w.mean_phase_rad()
+    );
+    // The full ChannelQuality — aggregate and per-stream EVM — must
+    // also match to the last mantissa bit: streaming and batch run the
+    // same finish_result aggregation over the same accumulators.
+    let (gq, wq) = (&g.quality, &w.quality);
+    assert_eq!(
+        gq.per_stream_evm_db.len(),
+        wq.per_stream_evm_db.len(),
+        "{tag}: quality stream count"
+    );
+    for (k, (ge, we)) in gq.per_stream_evm_db.iter().zip(&wq.per_stream_evm_db).enumerate() {
+        assert_eq!(
+            ge.to_bits(),
+            we.to_bits(),
+            "{tag}: stream {k} evm {ge} vs {we}"
+        );
+    }
+    assert!(gq.evm_db.is_finite(), "{tag}: aggregate EVM must be finite");
+    assert!(
+        gq.per_stream_evm_db.iter().all(|e| e.is_finite()),
+        "{tag}: per-stream EVM must be finite"
     );
 }
 
