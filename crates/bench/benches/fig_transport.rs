@@ -1,0 +1,293 @@
+//! **Experiment F11 — framed sample-transport throughput and overhead.**
+//!
+//! The streaming receiver can eat samples two ways: straight
+//! `push_samples` calls (the in-process path every earlier bench
+//! uses) or through the framed sample transport — `SampleSender`
+//! pacing CQ15 chunks into CRC-framed wire frames, a carrier in the
+//! middle, `SampleReceiver` reassembling on the far side. This bench
+//! prices the difference:
+//!
+//! * **direct** — `StreamingTransmitter::pull_into` feeding
+//!   `StreamingReceiver::push_samples`, the transport-free baseline;
+//! * **framed (clean)** — the identical burst plan through
+//!   encode-frame → `MemoryDuplex` → decode-frame, so the slowdown
+//!   ratio is pure framing + copy + CRC cost;
+//! * **framed (~1 % faults)** — the same wire behind a seeded
+//!   `FaultInjector`, measuring delivered **goodput** (bursts that
+//!   still decode byte-exact) when the link misbehaves.
+//!
+//! Wire overhead is computed from the sender ledger: each frame adds
+//! `frame_len(n, s) − 4·n·s` bytes of header + CRC on top of the raw
+//! sample payload. The snapshot `BENCH_transport.json` records the
+//! three legs plus the overhead fraction; the acceptance figure is
+//! the clean framed path staying within a small constant factor of
+//! direct push (the CRC table is 256 words — this is a memcpy-bound
+//! path) and the faulty leg still delivering a useful burst fraction
+//! with every loss accounted for in the receiver ledger.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mimo_channel::{FaultLottery, FaultSchedule};
+use mimo_core::{LinkGeometry, Mcs, PhyConfig, StreamingReceiver, StreamingTransmitter};
+use mimo_transport::{
+    frame::{encode_frame, frame_len, FrameDecoder},
+    Carrier, FaultInjector, LinkEvent, MemoryDuplex, SampleReceiver, SampleSender,
+};
+
+/// Pacing quantum: two OFDM symbols' worth of samples per frame.
+const CHUNK: usize = 160;
+/// Fault probability for the hostile leg (per frame, per fault kind).
+const FAULT_RATE: f64 = 0.01;
+/// Seed for the fault lottery — fixed so snapshots are reproducible.
+const FAULT_SEED: u64 = 0xF1A6;
+
+struct Budget {
+    /// Bursts per leg.
+    bursts: usize,
+    /// Timed repetitions per leg (best-of, to shed scheduler noise).
+    reps: usize,
+}
+
+/// The mixed-rate burst plan shared by all three legs.
+fn plan(bursts: usize) -> Vec<(Mcs, Vec<u8>)> {
+    (0..bursts)
+        .map(|i| {
+            let mcs = Mcs::ALL[i % Mcs::ALL.len()];
+            let payload: Vec<u8> =
+                (0..64 + (i * 53) % 400).map(|b| (b * 31 + i) as u8).collect();
+            (mcs, payload)
+        })
+        .collect()
+}
+
+struct LegResult {
+    secs: f64,
+    /// Samples per antenna that crossed the link.
+    samples: u64,
+    /// Frames the sender emitted (0 for the direct leg).
+    frames: u64,
+    /// Payload bytes of bursts that decoded byte-exact.
+    goodput_bytes: u64,
+    decoded: usize,
+}
+
+/// Transport-free baseline: paced chunks straight into the receiver.
+fn run_direct(plan: &[(Mcs, Vec<u8>)]) -> LegResult {
+    let mut tx = StreamingTransmitter::new(PhyConfig::paper_synthesis()).unwrap();
+    for (mcs, payload) in plan {
+        tx.enqueue_with(*mcs, payload).unwrap();
+    }
+    let mut rx = StreamingReceiver::from_geometry(LinkGeometry::mimo()).unwrap();
+    let mut decoded: Vec<Vec<u8>> = Vec::new();
+    let mut samples = 0u64;
+    let mut buf = Vec::new();
+    let start = Instant::now();
+    while tx.pull_into(&mut buf, CHUNK).unwrap() > 0 {
+        samples += buf.first().map_or(0, |s| s.len() as u64);
+        if let Some(b) = rx.push_samples(&buf).unwrap() {
+            decoded.push(b.result.payload);
+            while let Some(more) = rx.poll().unwrap() {
+                decoded.push(more.result.payload);
+            }
+        }
+    }
+    if let Some(b) = rx.flush().unwrap() {
+        decoded.push(b.result.payload);
+    }
+    let secs = start.elapsed().as_secs_f64();
+    finish_leg(plan, decoded, secs, samples, 0)
+}
+
+/// Framed leg over any carrier pair; `faulty` wraps the send side in
+/// the seeded injector.
+fn run_framed(plan: &[(Mcs, Vec<u8>)], faulty: bool) -> LegResult {
+    let (wire_a, wire_b) = MemoryDuplex::pair(1 << 24);
+    let streaming_tx = StreamingTransmitter::new(PhyConfig::paper_synthesis()).unwrap();
+    let streaming_rx = StreamingReceiver::from_geometry(LinkGeometry::mimo()).unwrap();
+    let mut rx = SampleReceiver::new(streaming_rx, wire_b);
+    let mut decoded: Vec<Vec<u8>> = Vec::new();
+
+    let (secs, stats) = if faulty {
+        let lottery = FaultLottery::new(FaultSchedule::uniform(FAULT_RATE), FAULT_SEED);
+        let mut tx =
+            SampleSender::new(streaming_tx, FaultInjector::new(wire_a, lottery), CHUNK)
+                .unwrap();
+        for (mcs, payload) in plan {
+            tx.transmitter_mut().enqueue_with(*mcs, payload).unwrap();
+        }
+        let start = Instant::now();
+        drive(&mut tx, &mut rx, &mut decoded);
+        let stats = tx.stats();
+        let mut injector = tx.into_carrier();
+        injector.flush_held().unwrap();
+        drain(&mut rx, &mut decoded);
+        (start.elapsed().as_secs_f64(), stats)
+    } else {
+        let mut tx = SampleSender::new(streaming_tx, wire_a, CHUNK).unwrap();
+        for (mcs, payload) in plan {
+            tx.transmitter_mut().enqueue_with(*mcs, payload).unwrap();
+        }
+        let start = Instant::now();
+        drive(&mut tx, &mut rx, &mut decoded);
+        drain(&mut rx, &mut decoded);
+        (start.elapsed().as_secs_f64(), tx.stats())
+    };
+    if let Some(LinkEvent::Burst(b)) = rx.finish() {
+        decoded.push(b.result.payload);
+    }
+    finish_leg(plan, decoded, secs, stats.samples_sent, stats.frames_sent)
+}
+
+fn drive<C: Carrier, D: Carrier>(
+    tx: &mut SampleSender<C>,
+    rx: &mut SampleReceiver<D>,
+    decoded: &mut Vec<Vec<u8>>,
+) {
+    while !tx.is_idle() {
+        tx.pump().unwrap();
+        drain(rx, decoded);
+    }
+}
+
+fn drain<C: Carrier>(rx: &mut SampleReceiver<C>, decoded: &mut Vec<Vec<u8>>) {
+    while let Some(ev) = rx.poll().unwrap() {
+        if let LinkEvent::Burst(b) = ev {
+            decoded.push(b.result.payload);
+        }
+    }
+}
+
+fn finish_leg(
+    plan: &[(Mcs, Vec<u8>)],
+    decoded: Vec<Vec<u8>>,
+    secs: f64,
+    samples: u64,
+    frames: u64,
+) -> LegResult {
+    let goodput_bytes = decoded
+        .iter()
+        .filter(|got| plan.iter().any(|(_, want)| want == *got))
+        .map(|p| p.len() as u64)
+        .sum();
+    LegResult { secs, samples, frames, goodput_bytes, decoded: decoded.len() }
+}
+
+/// Best-of-`reps` run of a leg: wall-clock noise shrinks, the
+/// deterministic counters must agree across reps.
+fn best_of(reps: usize, mut leg: impl FnMut() -> LegResult) -> LegResult {
+    let mut best = leg();
+    for _ in 1..reps {
+        let next = leg();
+        assert_eq!(next.decoded, best.decoded, "legs must be deterministic");
+        if next.secs < best.secs {
+            best = next;
+        }
+    }
+    best
+}
+
+fn msamp_per_s(leg: &LegResult) -> f64 {
+    leg.samples as f64 / leg.secs / 1e6
+}
+
+fn bench(c: &mut Criterion) {
+    let quick = std::env::var_os("QUICK_BENCH").is_some();
+    let budget =
+        if quick { Budget { bursts: 10, reps: 1 } } else { Budget { bursts: 48, reps: 3 } };
+    let plan = plan(budget.bursts);
+    let sent_bytes: u64 = plan.iter().map(|(_, p)| p.len() as u64).sum();
+
+    eprintln!("\n=== F11: framed sample transport vs direct push ({} bursts) ===", plan.len());
+    let start = Instant::now();
+
+    let direct = best_of(budget.reps, || run_direct(&plan));
+    let clean = best_of(budget.reps, || run_framed(&plan, false));
+    let faulty = best_of(budget.reps, || run_framed(&plan, true));
+
+    // Wire accounting from the sender ledger: raw sample payload is
+    // 4 antennas × 4 bytes per CQ15; everything else is frame tax.
+    let raw_bytes = 16 * clean.samples;
+    let wire_bytes = raw_bytes + clean.frames * (frame_len(4, 1) as u64 - 16);
+    let overhead_pct = 100.0 * (wire_bytes - raw_bytes) as f64 / raw_bytes as f64;
+    let slowdown = clean.secs / direct.secs;
+    let goodput_frac = faulty.goodput_bytes as f64 / sent_bytes as f64;
+
+    eprintln!(
+        "direct push      | {:>7.1} Msamp/s | {}/{} bursts",
+        msamp_per_s(&direct),
+        direct.decoded,
+        plan.len()
+    );
+    eprintln!(
+        "framed, clean    | {:>7.1} Msamp/s | {}/{} bursts | {:.2}x direct | wire overhead {:.2}%",
+        msamp_per_s(&clean),
+        clean.decoded,
+        plan.len(),
+        slowdown,
+        overhead_pct
+    );
+    eprintln!(
+        "framed, {:.0}% fault | {:>7.1} Msamp/s | {}/{} bursts | goodput {:.1}% of sent bytes",
+        100.0 * FAULT_RATE,
+        msamp_per_s(&faulty),
+        faulty.decoded,
+        plan.len(),
+        100.0 * goodput_frac
+    );
+
+    assert_eq!(direct.decoded, plan.len(), "direct leg must deliver everything");
+    assert_eq!(clean.decoded, plan.len(), "clean framed leg must deliver everything");
+    assert!(faulty.goodput_bytes <= sent_bytes, "goodput cannot exceed what was sent");
+
+    let json = format!(
+        "{{\n  \"bench\": \"fig_transport\",\n  \"chunk_samples\": {CHUNK},\n  \
+         \"bursts\": {},\n  \"sent_payload_bytes\": {sent_bytes},\n  \
+         \"direct\": {{\"msamples_per_s\": {:.2}, \"bursts_decoded\": {}}},\n  \
+         \"framed_clean\": {{\"msamples_per_s\": {:.2}, \"bursts_decoded\": {}, \
+         \"slowdown_vs_direct\": {:.3}, \"wire_overhead_pct\": {overhead_pct:.3}, \
+         \"frames\": {}}},\n  \
+         \"framed_faulty\": {{\"fault_rate\": {FAULT_RATE}, \"seed\": {FAULT_SEED}, \
+         \"msamples_per_s\": {:.2}, \"bursts_decoded\": {}, \
+         \"goodput_fraction\": {goodput_frac:.3}}}\n}}\n",
+        plan.len(),
+        msamp_per_s(&direct),
+        direct.decoded,
+        msamp_per_s(&clean),
+        clean.decoded,
+        slowdown,
+        clean.frames,
+        msamp_per_s(&faulty),
+        faulty.decoded,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_transport.json");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        eprintln!("snapshot written to {path} ({:.1} s total)", start.elapsed().as_secs_f64());
+    }
+
+    // Criterion wrapper: the per-frame codec hot path (encode + CRC +
+    // decode of one chunk), the cost the transport adds per CHUNK
+    // samples over raw memcpy.
+    let mut group = c.benchmark_group("fig11_transport");
+    group.measurement_time(Duration::from_millis(if quick { 200 } else { 2000 }));
+    group.bench_function("frame_codec_roundtrip", |b| {
+        let chunks: Vec<Vec<mimo_fixed::CQ15>> =
+            vec![vec![mimo_fixed::CQ15::default(); CHUNK]; 4];
+        let mut wire = Vec::new();
+        let mut dec = FrameDecoder::new();
+        let mut seq = 0u32;
+        b.iter(|| {
+            wire.clear();
+            encode_frame(seq, &chunks, &mut wire).unwrap();
+            seq = seq.wrapping_add(1);
+            dec.push(&wire);
+            criterion::black_box(dec.next_event().expect("one frame per roundtrip"))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

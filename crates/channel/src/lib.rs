@@ -23,16 +23,22 @@
 //! * [`TimingOffset`] — unknown burst start the time synchroniser must
 //!   find.
 //! * [`ChannelChain`] — composition of the above.
+//! * [`FaultSchedule`] / [`FaultLottery`] — seeded **frame-level**
+//!   fault schedules (drop / truncate / corrupt / duplicate / stall)
+//!   for the digital sample transport, consumed by `mimo_transport`'s
+//!   fault injector.
 //!
 //! All models process the fixed-point sample streams in `f64` and
 //! re-quantize to Q1.15 at the output — the ADC model.
 
 mod chain;
 mod fading;
+mod fault;
 mod noise;
 
 pub use chain::{ChannelChain, CfoImpairment, PhaseNoise, TimingOffset};
 pub use fading::{FlatRayleighMimo, MultipathMimo};
+pub use fault::{FaultKind, FaultLottery, FaultSchedule};
 pub use noise::{AwgnChannel, TimeVaryingAwgn};
 
 use mimo_fixed::{CQ15, Cf64};

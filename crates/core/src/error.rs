@@ -59,6 +59,21 @@ pub enum PhyError {
     Estimation(String),
     /// Decoding failed (frame fields implausible or coding error).
     Decode(String),
+    /// The sample transport reported a discontinuity (dropped frames,
+    /// a resync after garbage) while a burst was mid-decode: the burst
+    /// in flight is unrecoverable and has been abandoned. The receiver
+    /// has already re-armed at the post-gap position — push more
+    /// samples to keep going.
+    StreamGap {
+        /// Samples the transport believes were lost (an estimate when
+        /// frame sizes vary; exactness is not required for recovery).
+        missing: usize,
+    },
+    /// The receiver's internal stream bookkeeping desynchronised from
+    /// the buffered history (an index walked off the retained window —
+    /// only reachable through hostile or discontinuous input). The
+    /// receiver has re-armed; the burst in flight is lost.
+    Desync(String),
 }
 
 impl fmt::Display for PhyError {
@@ -85,6 +100,13 @@ impl fmt::Display for PhyError {
             ),
             PhyError::Estimation(msg) => write!(f, "channel estimation failed: {msg}"),
             PhyError::Decode(msg) => write!(f, "decode failed: {msg}"),
+            PhyError::StreamGap { missing } => write!(
+                f,
+                "sample stream discontinuity (~{missing} samples lost) abandoned the burst in flight"
+            ),
+            PhyError::Desync(msg) => {
+                write!(f, "stream bookkeeping desynchronised: {msg}")
+            }
         }
     }
 }
@@ -142,6 +164,12 @@ mod tests {
         let mcs = PhyError::UnsupportedMcs { index: 12, table_len: 8 };
         assert!(mcs.to_string().contains("12"), "{mcs}");
         assert!(mcs.to_string().contains("0..8"), "{mcs}");
+        let gap = PhyError::StreamGap { missing: 1280 };
+        assert!(gap.to_string().contains("1280"), "{gap}");
+        assert!(gap.to_string().contains("discontinuity"), "{gap}");
+        let desync = PhyError::Desync("estimation window left the history".into());
+        assert!(desync.to_string().contains("desynchronised"), "{desync}");
+        assert!(desync.to_string().contains("history"), "{desync}");
     }
 
     #[test]

@@ -45,7 +45,15 @@
 //! * [`StreamingReceiver`] — the chunk-driven receiver core:
 //!   [`StreamingReceiver::push_samples`] consumes arbitrary-size
 //!   sample chunks and emits [`ReceivedBurst`]s as they complete,
-//!   carrying sync/estimate/per-symbol state across chunk boundaries.
+//!   carrying sync/estimate/per-symbol state across chunk boundaries;
+//!   [`StreamingReceiver::notify_gap`] absorbs sample-stream
+//!   discontinuities (lost transport frames) by re-arming, surfacing
+//!   an interrupted burst as a typed [`PhyError::StreamGap`].
+//! * [`StreamingTransmitter`] — the TX dual: a packet queue drained
+//!   as paced per-antenna chunks ([`StreamingTransmitter::pull_into`]),
+//!   bit-identical to concatenated batch bursts; pair it with the
+//!   `mimo_transport` crate to carry the chunks over framed links
+//!   (rings, files, sockets) with CRC, sequencing and fault recovery.
 //! * [`BurstPipeline`] — persistent worker-pool batch receiver that
 //!   overlaps the antenna stage of burst *n+1* with the stream stage
 //!   of burst *n*, recycling workspaces through a pool; batches may
@@ -188,6 +196,48 @@
 //! # }
 //! ```
 //!
+//! Two endpoints over a real socket: the streaming transmitter pacing
+//! framed chunks into one end of a Unix socket pair, the streaming
+//! receiver decoding them out of the other (the `mimo_transport`
+//! crate adds CRC framing, sequence tracking and fault recovery in
+//! between — a lost frame surfaces as a typed event, not a panic):
+//!
+//! ```
+//! use mimo_core::{LinkGeometry, Mcs, StreamingReceiver, StreamingTransmitter};
+//! use mimo_transport::{LinkEvent, SampleReceiver, SampleSender, StreamCarrier};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let (near, far) = std::os::unix::net::UnixStream::pair()?;
+//! let mut sender = SampleSender::new(
+//!     StreamingTransmitter::from_geometry(LinkGeometry::mimo())?,
+//!     StreamCarrier::unix(near)?,
+//!     160, // samples per frame — the pacing quantum
+//! )?;
+//! let mut receiver = SampleReceiver::new(
+//!     StreamingReceiver::from_geometry(LinkGeometry::mimo())?,
+//!     StreamCarrier::unix(far)?,
+//! );
+//!
+//! let payload: Vec<u8> = (0..96).map(|i| (i * 5) as u8).collect();
+//! sender.transmitter_mut().enqueue_with(Mcs::Qam16R12, &payload)?;
+//!
+//! let mut decoded = Vec::new();
+//! while !sender.is_idle() {
+//!     sender.pump()?; // frame → socket
+//!     while let Some(event) = receiver.poll()? {
+//!         if let LinkEvent::Burst(b) = event {
+//!             decoded.push(b.result.payload);
+//!         }
+//!     }
+//! }
+//! if let Some(LinkEvent::Burst(b)) = receiver.finish() {
+//!     decoded.push(b.result.payload);
+//! }
+//! assert_eq!(decoded, vec![payload]);
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! Closing the rate loop: the receiver's per-burst [`ChannelQuality`]
 //! feeds a [`RateController`], and the [`LinkAdaptor`] transmits each
 //! burst at whatever rate the controller currently trusts — on a clean
@@ -232,6 +282,7 @@ pub mod signal;
 mod siso;
 mod stream;
 mod tx;
+mod txstream;
 mod workspace;
 
 pub use adapt::{LinkAdaptor, RateController, RateThresholds};
@@ -244,3 +295,4 @@ pub use rx::{ChannelQuality, MimoReceiver, RxDiagnostics, RxResult, EVM_FLOOR_DB
 pub use siso::{SisoReceiver, SisoTransmitter};
 pub use stream::{ReceivedBurst, StreamingReceiver};
 pub use tx::{MimoTransmitter, TxBurst};
+pub use txstream::StreamingTransmitter;

@@ -297,7 +297,7 @@ impl SymbolPost {
             *d = ws.eq[p];
         }
         if collect_diag {
-            let (num, den) = evm_contribution(kit, ws);
+            let (num, den) = evm_contribution(kit, ws)?;
             ws.evm_num += num;
             ws.evm_den += den;
         }
@@ -873,20 +873,21 @@ pub(crate) fn finish_result(
 /// error vs the nearest constellation point over squared reference
 /// power. Uses the workspace's hard-bit and re-map scratch, so it
 /// allocates nothing.
-fn evm_contribution(kit: &RateKit, ws: &mut RxStreamWorkspace) -> (f64, f64) {
+fn evm_contribution(kit: &RateKit, ws: &mut RxStreamWorkspace) -> Result<(f64, f64), PhyError> {
     let nbits = kit.coded_bits_per_symbol();
     let hard = &mut ws.hard_bits[..nbits];
     kit.demapper.hard_demap_into(&ws.data, hard);
-    kit.mapper
-        .map_bits_into(hard, &mut ws.evm_points)
-        .expect("demap output is well-formed");
+    // The hard bits come from this kit's own demapper, so the re-map
+    // can only fail if the workspace desynchronised from the kit — a
+    // typed error, not a panic, since this sits on the payload path.
+    kit.mapper.map_bits_into(hard, &mut ws.evm_points)?;
     let mut num = 0.0;
     let mut den = 0.0;
     for (&got, &want) in ws.data.iter().zip(&ws.evm_points) {
         num += (Cf64::from_fixed(got) - Cf64::from_fixed(want)).norm_sqr();
         den += Cf64::from_fixed(want).norm_sqr();
     }
-    (num, den)
+    Ok((num, den))
 }
 
 /// Depuncture + Viterbi over a stream's accumulated LLRs into

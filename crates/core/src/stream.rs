@@ -250,6 +250,45 @@ impl StreamingReceiver {
         self.pump(false)
     }
 
+    /// Declares a discontinuity in the sample stream: `missing`
+    /// samples (per antenna) were lost in flight — dropped transport
+    /// frames, a resync after garbage — and the samples before and
+    /// after the gap must not be interpreted as contiguous.
+    ///
+    /// The receiver discards all buffered history, advances its
+    /// absolute position past the gap and re-arms the search at the
+    /// post-gap position, so the very next [`push_samples`] chunk is
+    /// searched fresh. `missing` may be an estimate; it only keeps the
+    /// absolute sample numbering monotonic.
+    ///
+    /// [`push_samples`]: StreamingReceiver::push_samples
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhyError::StreamGap`] if a burst was mid-decode (its
+    /// samples are unrecoverable, so the burst is abandoned); the
+    /// receiver is already re-armed when the error is returned.
+    /// Returns `Ok(())` when the gap fell between bursts.
+    pub fn notify_gap(&mut self, missing: usize) -> Result<(), PhyError> {
+        let interrupted = !matches!(self.phase, Phase::Searching);
+        self.pos += missing;
+        // The stream is discontinuous: nothing buffered can be
+        // combined with post-gap samples, so drop it all (bounded
+        // history under any fault schedule — a gap never grows state).
+        for h in &mut self.hist {
+            h.clear();
+        }
+        self.hist_base = self.pos;
+        self.tracker.rearm_at(self.pos);
+        self.tracker_fed = self.pos;
+        self.phase = Phase::Searching;
+        if interrupted {
+            Err(PhyError::StreamGap { missing })
+        } else {
+            Ok(())
+        }
+    }
+
     /// Advances the state machine over already-buffered samples
     /// without pushing new ones — call repeatedly after
     /// [`StreamingReceiver::push_samples`] to drain a chunk that
@@ -325,6 +364,18 @@ impl StreamingReceiver {
                         return Ok(None);
                     }
                     let base = self.hist_base;
+                    // The four staggered LTS views span exactly
+                    // `lts0 + n/2 .. lts0 + 4·field` (field = 5n/2);
+                    // the upper edge is covered by the `needed` check
+                    // above, but a hostile stream can desynchronise
+                    // the lower edge from the retained history.
+                    if lts0 + n / 2 < base {
+                        self.abort_search_at(self.pos);
+                        return Err(PhyError::Desync(format!(
+                            "LTS window at {} precedes retained history (base {base})",
+                            lts0 + n / 2
+                        )));
+                    }
                     let lts_views: [[&[CQ15]; 4]; 4] = std::array::from_fn(|rx| {
                         std::array::from_fn(|slot| {
                             let start = lts0 + slot * field + n / 2 - base;
@@ -482,8 +533,18 @@ impl StreamingReceiver {
     /// every antenna into the rolling gathered-carrier rows.
     fn ingest_symbol_rows(&mut self, start: usize, sym_len: usize) -> Result<(), PhyError> {
         let base = self.hist_base;
+        let lo = start.checked_sub(base).ok_or_else(|| {
+            PhyError::Desync(format!(
+                "symbol window at {start} precedes retained history (base {base})"
+            ))
+        })?;
         for (ant, hist) in self.ws.antennas.iter_mut().zip(&self.hist) {
-            let period = &hist[start - base..start - base + sym_len];
+            let period = hist.get(lo..lo + sym_len).ok_or_else(|| {
+                PhyError::Desync(format!(
+                    "symbol window {start}..{} exceeds buffered samples",
+                    start + sym_len
+                ))
+            })?;
             let frame = ant.ingest.ingest_period(period)?;
             self.rx.gather_occ(frame, &mut ant.freq_occ);
         }
@@ -655,6 +716,31 @@ mod tests {
         let full: Vec<&[CQ15]> = burst.streams.iter().map(Vec::as_slice).collect();
         let got = rx.push_samples(&full).unwrap().expect("recovers");
         assert_eq!(got.result.payload, vec![0xA5; 64]);
+    }
+
+    #[test]
+    fn gap_mid_burst_surfaces_and_rearms() {
+        let tx = MimoTransmitter::new(PhyConfig::paper_synthesis()).unwrap();
+        let mut rx = StreamingReceiver::from_geometry(LinkGeometry::mimo()).unwrap();
+        let payload: Vec<u8> = (0..120).map(|i| (i * 3 + 1) as u8).collect();
+        let burst = tx.transmit_burst(&payload).unwrap();
+        // Feed the preamble plus one data symbol, then declare a gap:
+        // the burst in flight must surface as a typed loss.
+        let cut = tx.preamble_schedule().data_offset() + 80;
+        let views: Vec<&[CQ15]> = burst.streams.iter().map(|s| &s[..cut]).collect();
+        assert!(rx.push_samples(&views).unwrap().is_none());
+        assert!(matches!(
+            rx.notify_gap(1000),
+            Err(PhyError::StreamGap { missing: 1000 })
+        ));
+        // A gap between bursts is silent.
+        assert!(rx.notify_gap(64).is_ok());
+        // The receiver re-armed past the gap: a fresh burst decodes.
+        let full: Vec<&[CQ15]> = burst.streams.iter().map(Vec::as_slice).collect();
+        let got = rx.push_samples(&full).unwrap().expect("recovers after gap");
+        assert_eq!(got.result.payload, payload);
+        // Absolute numbering stayed monotonic across the gap.
+        assert!(got.burst_end > cut + 1064);
     }
 
     #[test]

@@ -1,0 +1,521 @@
+//! The chunk frame codec: how paced CQ15 sample chunks travel as
+//! bytes.
+//!
+//! Wire layout (all integers little-endian):
+//!
+//! ```text
+//! +-------+---------+-----------+---------+------------------+---------+
+//! | magic |  seq    | n_streams |  len    |     payload      |  crc32  |
+//! | 4 B   |  u32    |   u8      |  u16    | n·len·4 B        |  u32    |
+//! +-------+---------+-----------+---------+------------------+---------+
+//! ```
+//!
+//! * `magic` — [`MAGIC`], the resynchronisation anchor.
+//! * `seq` — frame sequence number (wraps), fed to the receiver's
+//!   sequence tracker for gap/duplicate accounting.
+//! * `n_streams` / `len` — chunk geometry: `n_streams` equal-length
+//!   per-antenna slices of `len` samples each.
+//! * `payload` — samples as `i16` re/im pairs: the Q1.15 bus width of
+//!   the paper's JESD204A converters (4 bytes per complex sample),
+//!   stream 0 first.
+//! * `crc32` — IEEE CRC-32 over everything after the magic
+//!   (`seq..payload`), so any bit flip in header or payload is caught.
+//!
+//! The decoder ([`FrameDecoder`]) is a resynchronising scanner: bytes
+//! go in via [`FrameDecoder::push`] in arbitrary slices (carriers make
+//! no framing promises), events come out of
+//! [`FrameDecoder::next_event`] — decoded frames, CRC rejections, and
+//! counts of garbage bytes skipped while hunting for the next magic.
+//! A header whose geometry is implausible (zero streams, oversized
+//! chunk) is treated as a coincidental magic and scanned past one byte
+//! at a time, so the decoder can never be wedged by hostile input.
+
+use mimo_fixed::{Fx, CQ15};
+
+use crate::error::TransportError;
+
+/// Frame delimiter: "CQ15" — the sample format on the wire.
+pub const MAGIC: [u8; 4] = *b"CQ15";
+
+/// Maximum samples per stream in one frame (u16 len field spare room;
+/// also bounds decoder memory per frame to ~256 KiB at 8 streams).
+pub const MAX_FRAME_SAMPLES: usize = 8192;
+
+/// Maximum per-antenna streams in one frame (twice the paper's 4×4).
+pub const MAX_STREAMS: usize = 8;
+
+/// Bytes before the payload: magic + seq + n_streams + len.
+pub const HEADER_LEN: usize = 4 + 4 + 1 + 2;
+
+/// Bytes per complex sample on the wire (i16 re + i16 im).
+pub const BYTES_PER_SAMPLE: usize = 4;
+
+const CRC_LEN: usize = 4;
+
+/// Total encoded size of a frame with the given geometry.
+pub fn frame_len(n_streams: usize, samples: usize) -> usize {
+    HEADER_LEN + n_streams * samples * BYTES_PER_SAMPLE + CRC_LEN
+}
+
+const fn make_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+const CRC_TABLE: [u32; 256] = make_crc_table();
+
+/// IEEE CRC-32 (the zlib/Ethernet polynomial, reflected).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = (c >> 8) ^ CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !c
+}
+
+/// Encodes one multi-stream sample chunk as a frame, **appending** the
+/// bytes to `out` (callers batch several frames into one carrier send
+/// by not clearing in between).
+///
+/// Samples are serialized as saturated `i16` raw Q1.15 values — the
+/// 16-bit converter bus. Values representable in 16 bits round-trip
+/// exactly.
+///
+/// # Errors
+///
+/// [`TransportError::BadFrame`] when the chunk has no streams, more
+/// than [`MAX_STREAMS`], ragged stream lengths, zero samples, or more
+/// than [`MAX_FRAME_SAMPLES`] samples per stream.
+pub fn encode_frame<S: AsRef<[CQ15]>>(
+    seq: u32,
+    chunks: &[S],
+    out: &mut Vec<u8>,
+) -> Result<(), TransportError> {
+    let n_streams = chunks.len();
+    if n_streams == 0 || n_streams > MAX_STREAMS {
+        return Err(TransportError::BadFrame(format!(
+            "{n_streams} streams outside the 1..={MAX_STREAMS} codec limit"
+        )));
+    }
+    let len = chunks[0].as_ref().len();
+    if len == 0 || len > MAX_FRAME_SAMPLES {
+        return Err(TransportError::BadFrame(format!(
+            "{len} samples/stream outside the 1..={MAX_FRAME_SAMPLES} codec limit"
+        )));
+    }
+    if chunks.iter().any(|c| c.as_ref().len() != len) {
+        return Err(TransportError::BadFrame(
+            "ragged chunk: streams have unequal sample counts".into(),
+        ));
+    }
+
+    let start = out.len();
+    out.reserve(frame_len(n_streams, len));
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.push(n_streams as u8);
+    out.extend_from_slice(&(len as u16).to_le_bytes());
+    for chunk in chunks {
+        for s in chunk.as_ref() {
+            let re = s.re.raw().clamp(i64::from(i16::MIN), i64::from(i16::MAX)) as i16;
+            let im = s.im.raw().clamp(i64::from(i16::MIN), i64::from(i16::MAX)) as i16;
+            out.extend_from_slice(&re.to_le_bytes());
+            out.extend_from_slice(&im.to_le_bytes());
+        }
+    }
+    let crc = crc32(&out[start + MAGIC.len()..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+    Ok(())
+}
+
+/// One decoded frame: the sequence number and the per-stream samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampleFrame {
+    /// Wire sequence number (wraps at `u32::MAX`).
+    pub seq: u32,
+    /// One equal-length sample vector per stream.
+    pub streams: Vec<Vec<CQ15>>,
+}
+
+impl SampleFrame {
+    /// Samples per stream.
+    pub fn samples(&self) -> usize {
+        self.streams.first().map_or(0, Vec::len)
+    }
+}
+
+/// What the decoder found next in the byte stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeEvent {
+    /// A complete frame whose CRC verified.
+    Frame(SampleFrame),
+    /// A framed region whose CRC failed — the header's sequence number
+    /// is reported as a *hint* only (it is itself unverified). The
+    /// scanner resumes one byte past the bad magic.
+    BadCrc {
+        /// Unverified sequence number from the rejected header.
+        seq_hint: u32,
+    },
+    /// Bytes discarded while scanning for the next magic.
+    Garbage {
+        /// Number of bytes skipped.
+        bytes: usize,
+    },
+}
+
+/// Incremental resynchronising frame parser. See the module docs.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (compacted once it grows).
+    read: usize,
+    /// Garbage bytes skipped since the last emitted event.
+    garbage_run: usize,
+}
+
+/// Outcome of positioning the cursor on the next plausible frame.
+enum Scan {
+    /// A plausible complete frame starts at the cursor.
+    Frame { total: usize },
+    /// More bytes are needed (possibly mid-frame or mid-magic).
+    NeedMore,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw carrier bytes. Call [`FrameDecoder::next_event`]
+    /// until it returns `None` to drain what they complete.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed (bounded by one maximum
+    /// frame plus one carrier read, given a draining caller).
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.read
+    }
+
+    /// Returns the next decode event, or `None` when the buffered
+    /// bytes hold no complete event yet.
+    pub fn next_event(&mut self) -> Option<DecodeEvent> {
+        match self.scan() {
+            Scan::NeedMore => {
+                self.compact();
+                self.take_garbage()
+            }
+            Scan::Frame { total } => {
+                if let Some(g) = self.take_garbage() {
+                    // Report the skipped run first; the frame is
+                    // still at the cursor for the next call.
+                    return Some(g);
+                }
+                let frame = &self.buf[self.read..self.read + total];
+                let want =
+                    u32::from_le_bytes(frame[total - CRC_LEN..].try_into().unwrap());
+                let got = crc32(&frame[MAGIC.len()..total - CRC_LEN]);
+                if want == got {
+                    let decoded = decode_verified(frame);
+                    self.read += total;
+                    self.compact();
+                    return Some(DecodeEvent::Frame(decoded));
+                }
+                // Corrupted frame (or a coincidental magic inside
+                // other data): reject, rescan one byte past the
+                // magic so a real frame hiding inside is found.
+                let seq_hint = u32::from_le_bytes(frame[4..8].try_into().unwrap());
+                self.read += 1;
+                self.garbage_run += 1;
+                Some(DecodeEvent::BadCrc { seq_hint })
+            }
+        }
+    }
+
+    /// Advances `read` past garbage until the cursor sits on a
+    /// plausible complete frame or runs out of data. Skipped bytes
+    /// accumulate in `garbage_run`.
+    fn scan(&mut self) -> Scan {
+        loop {
+            let avail = &self.buf[self.read..];
+            // Find the next magic.
+            let Some(at) = find_magic(avail) else {
+                // No magic anywhere: everything but a possible magic
+                // prefix dangling at the tail is garbage.
+                let keep = magic_prefix_len(avail);
+                let skip = avail.len() - keep;
+                self.read += skip;
+                self.garbage_run += skip;
+                return Scan::NeedMore;
+            };
+            self.read += at;
+            self.garbage_run += at;
+            let avail = &self.buf[self.read..];
+            if avail.len() < HEADER_LEN {
+                return Scan::NeedMore;
+            }
+            let n_streams = avail[8] as usize;
+            let len = u16::from_le_bytes([avail[9], avail[10]]) as usize;
+            if n_streams == 0
+                || n_streams > MAX_STREAMS
+                || len == 0
+                || len > MAX_FRAME_SAMPLES
+            {
+                // Implausible geometry: a coincidental magic. Step one
+                // byte and keep hunting.
+                self.read += 1;
+                self.garbage_run += 1;
+                continue;
+            }
+            let total = frame_len(n_streams, len);
+            if avail.len() < total {
+                return Scan::NeedMore;
+            }
+            return Scan::Frame { total };
+        }
+    }
+
+    fn take_garbage(&mut self) -> Option<DecodeEvent> {
+        if self.garbage_run > 0 {
+            let bytes = std::mem::take(&mut self.garbage_run);
+            Some(DecodeEvent::Garbage { bytes })
+        } else {
+            None
+        }
+    }
+
+    /// Drops the consumed prefix once it dominates the buffer.
+    fn compact(&mut self) {
+        if self.read > 4096 && self.read * 2 >= self.buf.len() {
+            self.buf.drain(..self.read);
+            self.read = 0;
+        }
+    }
+}
+
+/// Longest tail of `bytes` that is a proper prefix of [`MAGIC`] (and
+/// so might complete into a magic with more input).
+fn magic_prefix_len(bytes: &[u8]) -> usize {
+    for keep in (1..MAGIC.len()).rev() {
+        if bytes.len() >= keep && bytes[bytes.len() - keep..] == MAGIC[..keep] {
+            return keep;
+        }
+    }
+    0
+}
+
+/// Index of the first [`MAGIC`] occurrence in `bytes`.
+fn find_magic(bytes: &[u8]) -> Option<usize> {
+    if bytes.len() < MAGIC.len() {
+        return None;
+    }
+    (0..=bytes.len() - MAGIC.len()).find(|&i| bytes[i..i + MAGIC.len()] == MAGIC)
+}
+
+/// Decodes a frame whose CRC has already verified.
+fn decode_verified(frame: &[u8]) -> SampleFrame {
+    let seq = u32::from_le_bytes(frame[4..8].try_into().unwrap());
+    let n_streams = frame[8] as usize;
+    let len = u16::from_le_bytes([frame[9], frame[10]]) as usize;
+    let mut streams = Vec::with_capacity(n_streams);
+    let mut at = HEADER_LEN;
+    for _ in 0..n_streams {
+        let mut stream = Vec::with_capacity(len);
+        for _ in 0..len {
+            let re = i16::from_le_bytes([frame[at], frame[at + 1]]);
+            let im = i16::from_le_bytes([frame[at + 2], frame[at + 3]]);
+            at += BYTES_PER_SAMPLE;
+            stream.push(CQ15 {
+                re: Fx::from_raw(i64::from(re)),
+                im: Fx::from_raw(i64::from(im)),
+            });
+        }
+        streams.push(stream);
+    }
+    SampleFrame { seq, streams }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk(n_streams: usize, len: usize, salt: i64) -> Vec<Vec<CQ15>> {
+        (0..n_streams)
+            .map(|s| {
+                (0..len)
+                    .map(|i| {
+                        let v = (salt + (s * len + i) as i64 * 31) % 32768;
+                        CQ15 {
+                            re: Fx::from_raw(v),
+                            im: Fx::from_raw(-v),
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn drain(dec: &mut FrameDecoder) -> Vec<DecodeEvent> {
+        std::iter::from_fn(|| dec.next_event()).collect()
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        // The canonical CRC-32 test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn roundtrip_is_identity_across_split_points() {
+        let chunks = chunk(4, 160, 7);
+        let mut bytes = Vec::new();
+        encode_frame(99, &chunks, &mut bytes).unwrap();
+        assert_eq!(bytes.len(), frame_len(4, 160));
+
+        for split in [1usize, 3, 11, 64, bytes.len()] {
+            let mut dec = FrameDecoder::new();
+            for piece in bytes.chunks(split) {
+                dec.push(piece);
+            }
+            let events = drain(&mut dec);
+            assert_eq!(events.len(), 1, "split {split}: {events:?}");
+            let DecodeEvent::Frame(f) = &events[0] else {
+                panic!("split {split}: {events:?}");
+            };
+            assert_eq!(f.seq, 99);
+            assert_eq!(f.streams, chunks);
+            assert_eq!(dec.buffered(), 0);
+        }
+    }
+
+    #[test]
+    fn corrupted_byte_anywhere_is_rejected_not_decoded() {
+        let chunks = chunk(2, 9, 3);
+        let mut bytes = Vec::new();
+        encode_frame(5, &chunks, &mut bytes).unwrap();
+        // Flip one bit in every single byte position in turn; no
+        // position may yield a clean decode of wrong data.
+        for pos in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x10;
+            let mut dec = FrameDecoder::new();
+            dec.push(&bad);
+            for e in drain(&mut dec) {
+                if let DecodeEvent::Frame(f) = e {
+                    panic!("corrupt byte {pos} decoded as frame seq {}", f.seq);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resynchronises_after_garbage_and_reports_it() {
+        let chunks = chunk(1, 4, 1);
+        let mut wire = vec![0xA5u8; 237]; // leading noise
+        encode_frame(0, &chunks, &mut wire).unwrap();
+        wire.extend_from_slice(b"CQ1"); // a teasing partial magic
+        wire.extend_from_slice(&[9, 9, 9]);
+        encode_frame(1, &chunks, &mut wire).unwrap();
+
+        let mut dec = FrameDecoder::new();
+        dec.push(&wire);
+        let events = drain(&mut dec);
+        let frames: Vec<u32> = events
+            .iter()
+            .filter_map(|e| match e {
+                DecodeEvent::Frame(f) => Some(f.seq),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(frames, vec![0, 1]);
+        let garbage: usize = events
+            .iter()
+            .filter_map(|e| match e {
+                DecodeEvent::Garbage { bytes } => Some(*bytes),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(garbage, 237 + 6);
+    }
+
+    #[test]
+    fn implausible_header_after_real_magic_does_not_wedge() {
+        // A magic followed by a zero-stream header must be skipped.
+        let mut wire = MAGIC.to_vec();
+        wire.extend_from_slice(&[0u8; 7]); // seq + n_streams=0 + len=0
+        let chunks = chunk(2, 3, 11);
+        encode_frame(7, &chunks, &mut wire).unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.push(&wire);
+        let events = drain(&mut dec);
+        assert!(
+            events.iter().any(
+                |e| matches!(e, DecodeEvent::Frame(f) if f.seq == 7 && f.streams == chunks)
+            ),
+            "{events:?}"
+        );
+    }
+
+    #[test]
+    fn encode_rejects_bad_geometry() {
+        let mut out = Vec::new();
+        let empty: Vec<Vec<CQ15>> = Vec::new();
+        assert!(matches!(
+            encode_frame(0, &empty, &mut out),
+            Err(TransportError::BadFrame(_))
+        ));
+        let ragged = vec![vec![CQ15::ZERO; 4], vec![CQ15::ZERO; 5]];
+        assert!(matches!(
+            encode_frame(0, &ragged, &mut out),
+            Err(TransportError::BadFrame(_))
+        ));
+        let huge = vec![vec![CQ15::ZERO; MAX_FRAME_SAMPLES + 1]];
+        assert!(matches!(
+            encode_frame(0, &huge, &mut out),
+            Err(TransportError::BadFrame(_))
+        ));
+        let wide = vec![vec![CQ15::ZERO; 1]; MAX_STREAMS + 1];
+        assert!(matches!(
+            encode_frame(0, &wide, &mut out),
+            Err(TransportError::BadFrame(_))
+        ));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn saturating_i16_serialization_roundtrips_bus_range_exactly() {
+        let extremes = vec![vec![
+            CQ15 {
+                re: Fx::from_raw(i64::from(i16::MAX)),
+                im: Fx::from_raw(i64::from(i16::MIN)),
+            },
+            CQ15 {
+                re: Fx::from_raw(i64::from(i16::MAX) + 500), // saturates
+                im: Fx::from_raw(0),
+            },
+        ]];
+        let mut bytes = Vec::new();
+        encode_frame(0, &extremes, &mut bytes).unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        let Some(DecodeEvent::Frame(f)) = dec.next_event() else {
+            panic!()
+        };
+        assert_eq!(f.streams[0][0], extremes[0][0]);
+        assert_eq!(f.streams[0][1].re.raw(), i64::from(i16::MAX));
+    }
+}

@@ -1,0 +1,103 @@
+//! Fault-tolerant sample transport for the streaming PHY.
+//!
+//! The paper's transceiver moves Q1.15 baseband samples between
+//! modules over real serial links (the JESD204A converter interfaces
+//! and the inter-board transports of FPGA base-station platforms).
+//! Real links are hostile: frames get dropped, truncated, bit-flipped,
+//! duplicated and stalled. This crate is the digital link layer that
+//! lets the software PHY survive all of that:
+//!
+//! * [`frame`] — the chunk codec: per-antenna CQ15 chunks as
+//!   magic + sequence + geometry + i16 sample payload + CRC-32
+//!   frames, with a resynchronising [`FrameDecoder`] that can never
+//!   be wedged by garbage.
+//! * [`SeqTracker`] — wrapping sequence-number accounting: gaps,
+//!   duplicates, late (reordered) frames.
+//! * [`Carrier`] implementations — bounded in-memory duplex pairs
+//!   ([`MemoryDuplex`]), capture/replay files ([`FileSink`],
+//!   [`FileSource`]), and non-blocking Unix/TCP sockets
+//!   ([`StreamCarrier`]).
+//! * [`FaultInjector`] — seeded, deterministic frame-level fault
+//!   injection over any carrier, driven by
+//!   [`mimo_channel::FaultSchedule`].
+//! * [`SampleSender`] / [`SampleReceiver`] — the linked endpoints:
+//!   a paced [`StreamingTransmitter`](mimo_core::StreamingTransmitter)
+//!   behind framing and backpressure on one side; on the other, a
+//!   [`StreamingReceiver`](mimo_core::StreamingReceiver) that turns
+//!   every link fault into a typed [`LinkEvent`] plus a counter in
+//!   [`LinkStats`], tells the PHY about sample gaps so it re-arms
+//!   mid-burst, and keeps decoding.
+//!
+//! # Examples
+//!
+//! A full duplex hop over an in-memory link, with a drop fault the
+//! receiver heals from:
+//!
+//! ```
+//! use mimo_channel::{FaultLottery, FaultSchedule};
+//! use mimo_core::{LinkGeometry, StreamingReceiver, StreamingTransmitter};
+//! use mimo_transport::{
+//!     FaultInjector, LinkEvent, MemoryDuplex, SampleReceiver, SampleSender,
+//! };
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let (wire_tx, wire_rx) = MemoryDuplex::pair(1 << 20);
+//! // Fault the sender's side of the wire: ~30% of frames vanish.
+//! let faulty = FaultInjector::new(
+//!     wire_tx,
+//!     FaultLottery::new(FaultSchedule::clean().with_drop(0.3), 0xBAD),
+//! );
+//! let mut tx = SampleSender::new(
+//!     StreamingTransmitter::from_geometry(LinkGeometry::mimo())?,
+//!     faulty,
+//!     160,
+//! )?;
+//! let mut rx = SampleReceiver::new(
+//!     StreamingReceiver::from_geometry(LinkGeometry::mimo())?,
+//!     wire_rx,
+//! );
+//!
+//! for burst in 0u8..4 {
+//!     tx.transmitter_mut().enqueue(&[burst; 64])?;
+//! }
+//! let (mut decoded, mut healed) = (0, 0);
+//! while !tx.is_idle() {
+//!     tx.pump()?;
+//!     while let Some(event) = rx.poll()? {
+//!         match event {
+//!             LinkEvent::Burst(_) => decoded += 1,
+//!             LinkEvent::Phy(_) => healed += 1, // re-armed, kept going
+//!             LinkEvent::Fault(_) => {}         // accounted in stats
+//!         }
+//!     }
+//! }
+//! if let Some(LinkEvent::Burst(_)) = rx.finish() {
+//!     decoded += 1;
+//! }
+//! // Some bursts died to dropped frames, but the link never wedged:
+//! // every loss is accounted and decoding continues after each one.
+//! assert!(rx.stats().gap_events > 0 || decoded == 4);
+//! let _ = healed; // gaps mid-burst surface here as typed PhyErrors
+//! assert_eq!(rx.stats().bursts as usize, decoded);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod carrier;
+mod error;
+pub mod frame;
+mod inject;
+mod link;
+mod seq;
+
+pub use carrier::{Carrier, FileSink, FileSource, MemoryDuplex, StreamCarrier};
+pub use error::TransportError;
+pub use frame::{
+    crc32, encode_frame, frame_len, DecodeEvent, FrameDecoder, SampleFrame,
+    BYTES_PER_SAMPLE, HEADER_LEN, MAGIC, MAX_FRAME_SAMPLES, MAX_STREAMS,
+};
+pub use inject::{FaultCounts, FaultInjector};
+pub use link::{LinkEvent, LinkFault, LinkStats, SampleReceiver, SampleSender, SenderStats};
+pub use seq::{SeqStatus, SeqTracker};

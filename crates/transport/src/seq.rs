@@ -1,0 +1,105 @@
+//! Frame sequence-number tracking: gap, duplicate and reorder
+//! detection over the wrapping `u32` wire counter.
+
+/// How a received sequence number relates to the expected one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeqStatus {
+    /// Exactly the expected frame (or the first frame ever seen).
+    InOrder,
+    /// The frame is ahead of expectation: `missing` frames between the
+    /// last accepted one and this one were lost (or are still in
+    /// flight, in which case they will later classify as
+    /// [`SeqStatus::Stale`]).
+    Gap {
+        /// Frames skipped over.
+        missing: u32,
+    },
+    /// The frame is at or behind the last accepted one: a duplicate,
+    /// or a stalled frame arriving after its slot was given up on.
+    /// Feeding it onward would corrupt the sample stream — drop it.
+    Stale,
+}
+
+/// Tracks the expected next sequence number with wrapping arithmetic:
+/// a forward distance of less than half the `u32` space is a gap,
+/// anything else is stale. The first frame observed anchors the
+/// stream at its own number (links may start mid-stream).
+#[derive(Debug, Clone, Default)]
+pub struct SeqTracker {
+    next: Option<u32>,
+}
+
+impl SeqTracker {
+    /// A tracker that will anchor on the first frame it sees.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The sequence number the tracker expects next, once anchored.
+    pub fn expected(&self) -> Option<u32> {
+        self.next
+    }
+
+    /// Classifies one received frame and advances the expectation.
+    /// Gap frames are **accepted** (the expectation jumps past them);
+    /// stale frames leave the tracker unchanged.
+    pub fn classify(&mut self, seq: u32) -> SeqStatus {
+        let Some(expected) = self.next else {
+            self.next = Some(seq.wrapping_add(1));
+            return SeqStatus::InOrder;
+        };
+        let ahead = seq.wrapping_sub(expected);
+        if ahead == 0 {
+            self.next = Some(seq.wrapping_add(1));
+            SeqStatus::InOrder
+        } else if ahead < u32::MAX / 2 {
+            self.next = Some(seq.wrapping_add(1));
+            SeqStatus::Gap { missing: ahead }
+        } else {
+            SeqStatus::Stale
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_stream_stays_in_order() {
+        let mut t = SeqTracker::new();
+        for seq in 10..200 {
+            assert_eq!(t.classify(seq), SeqStatus::InOrder, "seq {seq}");
+        }
+        assert_eq!(t.expected(), Some(200));
+    }
+
+    #[test]
+    fn gaps_report_the_exact_missing_count_and_resume() {
+        let mut t = SeqTracker::new();
+        assert_eq!(t.classify(0), SeqStatus::InOrder);
+        assert_eq!(t.classify(4), SeqStatus::Gap { missing: 3 });
+        assert_eq!(t.classify(5), SeqStatus::InOrder);
+    }
+
+    #[test]
+    fn duplicates_and_late_arrivals_are_stale() {
+        let mut t = SeqTracker::new();
+        t.classify(7);
+        t.classify(8);
+        assert_eq!(t.classify(8), SeqStatus::Stale);
+        assert_eq!(t.classify(3), SeqStatus::Stale);
+        // Stale frames do not move the expectation.
+        assert_eq!(t.classify(9), SeqStatus::InOrder);
+    }
+
+    #[test]
+    fn wrapping_around_u32_is_seamless() {
+        let mut t = SeqTracker::new();
+        assert_eq!(t.classify(u32::MAX - 1), SeqStatus::InOrder);
+        assert_eq!(t.classify(u32::MAX), SeqStatus::InOrder);
+        assert_eq!(t.classify(0), SeqStatus::InOrder);
+        assert_eq!(t.classify(2), SeqStatus::Gap { missing: 1 });
+        assert_eq!(t.classify(u32::MAX), SeqStatus::Stale);
+    }
+}

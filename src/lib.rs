@@ -67,3 +67,7 @@ pub use mimo_fpga as fpga;
 
 /// The transceiver itself: TX/RX chains, burst format, link harness.
 pub use mimo_core as phy;
+
+/// Fault-tolerant framed sample transport: chunk codec, carriers,
+/// deterministic fault injection, linked streaming endpoints.
+pub use mimo_transport as transport;

@@ -6,8 +6,8 @@
 
 use mimo_baseband::fixed::CQ15;
 use mimo_baseband::phy::{
-    LinkGeometry, Mcs, MimoReceiver, MimoTransmitter, PhyConfig, ReceivedBurst, RxResult,
-    StreamingReceiver,
+    LinkGeometry, Mcs, MimoReceiver, MimoTransmitter, PhyConfig, PhyError, ReceivedBurst,
+    RxResult, StreamingReceiver,
 };
 
 /// On-air samples per OFDM symbol at the 64-point geometry.
@@ -198,6 +198,74 @@ fn back_to_back_bursts_in_one_stream() {
         // Bursts must be reported in stream order and end in order.
         assert!(got.windows(2).all(|w| w[0].burst_end < w[1].burst_end));
     }
+}
+
+#[test]
+fn truncation_mid_payload_is_typed_and_the_receiver_rearms() {
+    // A stream that ends mid-Payload must not flush to Ok(None) — the
+    // burst in flight has to surface as a typed TruncatedBurst — and
+    // the same receiver must then decode a following burst cleanly.
+    let tx = MimoTransmitter::new(PhyConfig::paper_synthesis()).unwrap();
+    let payload: Vec<u8> = (0..180).map(|i| (i * 13 + 5) as u8).collect();
+    let burst = tx.transmit_burst_with(Mcs::Qam16R12, &payload).unwrap();
+    let whole = burst.streams[0].len();
+
+    let mut rx = StreamingReceiver::from_geometry(LinkGeometry::mimo()).unwrap();
+    // Feed all but the last two payload symbols, in ragged chunks.
+    let cut = whole - 2 * SYM_LEN;
+    let mut at = 0;
+    while at < cut {
+        let end = (at + 51).min(cut);
+        let views: Vec<&[CQ15]> = burst.streams.iter().map(|s| &s[at..end]).collect();
+        assert!(rx.push_samples(&views).unwrap().is_none(), "burst cannot be whole yet");
+        at = end;
+    }
+    match rx.flush() {
+        Err(PhyError::TruncatedBurst { needed, available }) => {
+            assert_eq!(available, cut, "available must be what was fed");
+            assert!(needed > available, "{needed} vs {available}");
+        }
+        other => panic!("flush on a cut stream returned {other:?}"),
+    }
+
+    // Re-armed: the identical receiver decodes the next burst, and the
+    // decode is bit-identical to the batch reference.
+    let mut batch = MimoReceiver::from_geometry(LinkGeometry::mimo()).unwrap();
+    let want = batch.receive_burst(&burst.streams).unwrap();
+    let got = feed_chunks(&mut rx, &burst.streams, 160);
+    assert_eq!(got.len(), 1, "receiver must recover after truncation");
+    let shift = got[0].result.diagnostics.sync.lts_start - want.diagnostics.sync.lts_start;
+    assert_bit_identical(&got[0].result, &want, shift, "post-truncation burst");
+}
+
+#[test]
+fn sample_gap_mid_payload_is_typed_and_the_receiver_rearms() {
+    // The transport layer translates lost frames into notify_gap();
+    // a gap cutting through a burst must surface as StreamGap and the
+    // receiver must decode the next burst afterwards.
+    let tx = MimoTransmitter::new(PhyConfig::paper_synthesis()).unwrap();
+    let payload: Vec<u8> = (0..120).map(|i| (i * 29 + 3) as u8).collect();
+    let burst = tx.transmit_burst_with(Mcs::Qpsk34, &payload).unwrap();
+    let whole = burst.streams[0].len();
+
+    let mut rx = StreamingReceiver::from_geometry(LinkGeometry::mimo()).unwrap();
+    let cut = whole / 2;
+    let views: Vec<&[CQ15]> = burst.streams.iter().map(|s| &s[..cut]).collect();
+    assert!(rx.push_samples(&views).unwrap().is_none());
+    match rx.notify_gap(640) {
+        Err(PhyError::StreamGap { missing }) => assert_eq!(missing, 640),
+        other => panic!("gap mid-burst returned {other:?}"),
+    }
+
+    // A gap while idle (searching) is absorbed silently.
+    assert!(rx.notify_gap(64).is_ok());
+
+    let mut batch = MimoReceiver::from_geometry(LinkGeometry::mimo()).unwrap();
+    let want = batch.receive_burst(&burst.streams).unwrap();
+    let got = feed_chunks(&mut rx, &burst.streams, 97);
+    assert_eq!(got.len(), 1, "receiver must recover after a gap");
+    let shift = got[0].result.diagnostics.sync.lts_start - want.diagnostics.sync.lts_start;
+    assert_bit_identical(&got[0].result, &want, shift, "post-gap burst");
 }
 
 #[test]
