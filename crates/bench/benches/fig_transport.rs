@@ -14,7 +14,11 @@
 //!   ratio is pure framing + copy + CRC cost;
 //! * **framed (~1 % faults)** — the same wire behind a seeded
 //!   `FaultInjector`, measuring delivered **goodput** (bursts that
-//!   still decode byte-exact) when the link misbehaves.
+//!   still decode byte-exact) when the link misbehaves;
+//! * **supervised** — the clean wire under the full robustness stack:
+//!   HELLO/RESET handshake, credit-based flow control, heartbeats and
+//!   the watchdog all active, pricing what supervision costs on a
+//!   healthy link.
 //!
 //! Wire overhead is computed from the sender ledger: each frame adds
 //! `frame_len(n, s) − 4·n·s` bytes of header + CRC on top of the raw
@@ -33,6 +37,7 @@ use mimo_core::{LinkGeometry, Mcs, PhyConfig, StreamingReceiver, StreamingTransm
 use mimo_transport::{
     frame::{encode_frame, frame_len, FrameDecoder},
     Carrier, FaultInjector, LinkEvent, MemoryDuplex, SampleReceiver, SampleSender,
+    SupervisedReceiver, SupervisedSender, SupervisorConfig, TransportError,
 };
 
 /// Pacing quantum: two OFDM symbols' worth of samples per frame.
@@ -139,6 +144,64 @@ fn run_framed(plan: &[(Mcs, Vec<u8>)], faulty: bool) -> LegResult {
     finish_leg(plan, decoded, secs, stats.samples_sent, stats.frames_sent)
 }
 
+/// The full robustness stack on a clean wire: flow control (4096
+/// sample window, 1024 quantum), HELLO/RESET handshake, heartbeats
+/// and watchdog on a 1 ms logical clock.
+fn run_supervised(plan: &[(Mcs, Vec<u8>)]) -> LegResult {
+    let (wire_a, wire_b) = MemoryDuplex::pair(1 << 24);
+    let link_tx = SampleSender::new(
+        StreamingTransmitter::new(PhyConfig::paper_synthesis()).unwrap(),
+        wire_a,
+        CHUNK,
+    )
+    .unwrap()
+    .with_flow_control(4096)
+    .unwrap();
+    let link_rx = SampleReceiver::new(
+        StreamingReceiver::from_geometry(LinkGeometry::mimo()).unwrap(),
+        wire_b,
+    )
+    .with_flow_control(4096, 1024);
+    let mut tx = SupervisedSender::new(
+        link_tx,
+        SupervisorConfig::default(),
+        Box::new(|| Err(TransportError::Closed)),
+    )
+    .unwrap();
+    let mut rx = SupervisedReceiver::new(
+        link_rx,
+        SupervisorConfig::default(),
+        Box::new(|| Ok(None)),
+    );
+    for (mcs, payload) in plan {
+        tx.link_mut().transmitter_mut().enqueue_with(*mcs, payload).unwrap();
+    }
+    let mut decoded: Vec<Vec<u8>> = Vec::new();
+    let tick = Duration::from_millis(1);
+    let mut now = Duration::ZERO;
+    let start = Instant::now();
+    while !tx.link().is_idle() {
+        now += tick;
+        tx.step(now).unwrap();
+        while let Some(ev) = rx.step(now).unwrap() {
+            if let LinkEvent::Burst(b) = ev {
+                decoded.push(b.result.payload);
+            }
+        }
+    }
+    while let Some(ev) = rx.step(now).unwrap() {
+        if let LinkEvent::Burst(b) = ev {
+            decoded.push(b.result.payload);
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    if let Some(LinkEvent::Burst(b)) = rx.link_mut().finish() {
+        decoded.push(b.result.payload);
+    }
+    let stats = tx.link().stats();
+    finish_leg(plan, decoded, secs, stats.samples_sent, stats.frames_sent)
+}
+
 fn drive<C: Carrier, D: Carrier>(
     tx: &mut SampleSender<C>,
     rx: &mut SampleReceiver<D>,
@@ -204,6 +267,7 @@ fn bench(c: &mut Criterion) {
     let direct = best_of(budget.reps, || run_direct(&plan));
     let clean = best_of(budget.reps, || run_framed(&plan, false));
     let faulty = best_of(budget.reps, || run_framed(&plan, true));
+    let supervised = best_of(budget.reps, || run_supervised(&plan));
 
     // Wire accounting from the sender ledger: raw sample payload is
     // 4 antennas × 4 bytes per CQ15; everything else is frame tax.
@@ -235,9 +299,22 @@ fn bench(c: &mut Criterion) {
         plan.len(),
         100.0 * goodput_frac
     );
+    let supervised_slowdown = supervised.secs / direct.secs;
+    eprintln!(
+        "supervised       | {:>7.1} Msamp/s | {}/{} bursts | {:.2}x direct | credits + heartbeats + handshake active",
+        msamp_per_s(&supervised),
+        supervised.decoded,
+        plan.len(),
+        supervised_slowdown
+    );
 
     assert_eq!(direct.decoded, plan.len(), "direct leg must deliver everything");
     assert_eq!(clean.decoded, plan.len(), "clean framed leg must deliver everything");
+    assert_eq!(
+        supervised.decoded,
+        plan.len(),
+        "supervised leg must deliver everything on a clean wire"
+    );
     assert!(faulty.goodput_bytes <= sent_bytes, "goodput cannot exceed what was sent");
 
     let json = format!(
@@ -249,7 +326,10 @@ fn bench(c: &mut Criterion) {
          \"frames\": {}}},\n  \
          \"framed_faulty\": {{\"fault_rate\": {FAULT_RATE}, \"seed\": {FAULT_SEED}, \
          \"msamples_per_s\": {:.2}, \"bursts_decoded\": {}, \
-         \"goodput_fraction\": {goodput_frac:.3}}}\n}}\n",
+         \"goodput_fraction\": {goodput_frac:.3}}},\n  \
+         \"framed_supervised\": {{\"msamples_per_s\": {:.2}, \"bursts_decoded\": {}, \
+         \"slowdown_vs_direct\": {supervised_slowdown:.3}, \
+         \"flow_window_samples\": 4096, \"credit_quantum_samples\": 1024}}\n}}\n",
         plan.len(),
         msamp_per_s(&direct),
         direct.decoded,
@@ -259,6 +339,8 @@ fn bench(c: &mut Criterion) {
         clean.frames,
         msamp_per_s(&faulty),
         faulty.decoded,
+        msamp_per_s(&supervised),
+        supervised.decoded,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_transport.json");
     if let Err(e) = std::fs::write(path, json) {

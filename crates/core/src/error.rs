@@ -69,6 +69,16 @@ pub enum PhyError {
         /// frame sizes vary; exactness is not required for recovery).
         missing: usize,
     },
+    /// The streaming transmitter's bounded packet queue is at capacity
+    /// and its policy is to reject new packets. Drain the queue with
+    /// [`StreamingTransmitter::pull_into`](crate::StreamingTransmitter::pull_into)
+    /// (or retry after the link drains); the alternative drop-oldest
+    /// policy ([`StreamingTransmitter::with_drop_oldest`](crate::StreamingTransmitter::with_drop_oldest))
+    /// evicts the head burst instead of erroring.
+    QueueFull {
+        /// The configured queue capacity (bursts).
+        capacity: usize,
+    },
     /// The receiver's internal stream bookkeeping desynchronised from
     /// the buffered history (an index walked off the retained window —
     /// only reachable through hostile or discontinuous input). The
@@ -103,6 +113,10 @@ impl fmt::Display for PhyError {
             PhyError::StreamGap { missing } => write!(
                 f,
                 "sample stream discontinuity (~{missing} samples lost) abandoned the burst in flight"
+            ),
+            PhyError::QueueFull { capacity } => write!(
+                f,
+                "transmit packet queue full ({capacity} bursts); drain with pull_into or enable drop-oldest"
             ),
             PhyError::Desync(msg) => {
                 write!(f, "stream bookkeeping desynchronised: {msg}")
@@ -170,6 +184,9 @@ mod tests {
         let desync = PhyError::Desync("estimation window left the history".into());
         assert!(desync.to_string().contains("desynchronised"), "{desync}");
         assert!(desync.to_string().contains("history"), "{desync}");
+        let full = PhyError::QueueFull { capacity: 8 };
+        assert!(full.to_string().contains('8'), "{full}");
+        assert!(full.to_string().contains("queue full"), "{full}");
     }
 
     #[test]

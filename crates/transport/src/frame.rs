@@ -1,34 +1,57 @@
-//! The chunk frame codec: how paced CQ15 sample chunks travel as
-//! bytes.
+//! The frame codec: how paced CQ15 sample chunks **and the control
+//! plane** travel as bytes.
 //!
-//! Wire layout (all integers little-endian):
+//! Two frame families share one wire, one magic and one CRC. The byte
+//! at offset 8 dispatches them: data frames put their stream count
+//! there (`1..=`[`MAX_STREAMS`]), control frames a type tag
+//! (`0xC1..=0xC5`) — the ranges are disjoint, so a data frame can
+//! never parse as a control frame or vice versa.
+//!
+//! Data frame (all integers little-endian):
 //!
 //! ```text
 //! +-------+---------+-----------+---------+------------------+---------+
 //! | magic |  seq    | n_streams |  len    |     payload      |  crc32  |
-//! | 4 B   |  u32    |   u8      |  u16    | n·len·4 B        |  u32    |
+//! | 4 B   |  u32    |  u8 1..=8 |  u16    | n·len·4 B        |  u32    |
 //! +-------+---------+-----------+---------+------------------+---------+
 //! ```
 //!
+//! Control frame (fixed 21 bytes):
+//!
+//! ```text
+//! +-------+---------+-----------+----------+---------+
+//! | magic |  seq    |   type    |  value   |  crc32  |
+//! | 4 B   |  u32    | u8 ≥ 0xC1 |   u64    |  u32    |
+//! +-------+---------+-----------+----------+---------+
+//! ```
+//!
 //! * `magic` — [`MAGIC`], the resynchronisation anchor.
-//! * `seq` — frame sequence number (wraps), fed to the receiver's
-//!   sequence tracker for gap/duplicate accounting.
+//! * `seq` — frame sequence number (wraps). Data frames feed the
+//!   receiver's sequence tracker for gap/duplicate accounting; control
+//!   frames count in an independent per-direction space (the control
+//!   plane uses cumulative values, so its frames are idempotent and
+//!   reorder-safe and need no gap tracking).
 //! * `n_streams` / `len` — chunk geometry: `n_streams` equal-length
 //!   per-antenna slices of `len` samples each.
+//! * `type` / `value` — the control message ([`ControlMsg`]): CREDIT
+//!   (cumulative samples granted), HEARTBEAT (sender's sample
+//!   position), HELLO / RESET (session handshake nonce), BYE (final
+//!   sample position).
 //! * `payload` — samples as `i16` re/im pairs: the Q1.15 bus width of
 //!   the paper's JESD204A converters (4 bytes per complex sample),
 //!   stream 0 first.
-//! * `crc32` — IEEE CRC-32 over everything after the magic
-//!   (`seq..payload`), so any bit flip in header or payload is caught.
+//! * `crc32` — IEEE CRC-32 over everything after the magic, so any bit
+//!   flip in header, payload or control value is caught.
 //!
 //! The decoder ([`FrameDecoder`]) is a resynchronising scanner: bytes
 //! go in via [`FrameDecoder::push`] in arbitrary slices (carriers make
 //! no framing promises), events come out of
-//! [`FrameDecoder::next_event`] — decoded frames, CRC rejections, and
-//! counts of garbage bytes skipped while hunting for the next magic.
-//! A header whose geometry is implausible (zero streams, oversized
-//! chunk) is treated as a coincidental magic and scanned past one byte
-//! at a time, so the decoder can never be wedged by hostile input.
+//! [`FrameDecoder::next_event`] — decoded data frames, control frames,
+//! CRC rejections, and counts of garbage bytes skipped while hunting
+//! for the next magic. A header whose dispatch byte is implausible
+//! (zero streams, oversized chunk, unknown control type) is treated as
+//! a coincidental magic and scanned past one byte at a time, so the
+//! decoder can never be wedged by hostile input.
 
 use mimo_fixed::{Fx, CQ15};
 
@@ -50,7 +73,19 @@ pub const HEADER_LEN: usize = 4 + 4 + 1 + 2;
 /// Bytes per complex sample on the wire (i16 re + i16 im).
 pub const BYTES_PER_SAMPLE: usize = 4;
 
+/// Total encoded size of every control frame:
+/// magic + seq + type + u64 value + CRC-32.
+pub const CONTROL_FRAME_LEN: usize = 4 + 4 + 1 + 8 + CRC_LEN;
+
 const CRC_LEN: usize = 4;
+
+/// Control type tags. Deliberately disjoint from the data dispatch
+/// range `1..=MAX_STREAMS` (see the module docs).
+const TYPE_CREDIT: u8 = 0xC1;
+const TYPE_HEARTBEAT: u8 = 0xC2;
+const TYPE_HELLO: u8 = 0xC3;
+const TYPE_RESET: u8 = 0xC4;
+const TYPE_BYE: u8 = 0xC5;
 
 /// Total encoded size of a frame with the given geometry.
 pub fn frame_len(n_streams: usize, samples: usize) -> usize {
@@ -139,6 +174,108 @@ pub fn encode_frame<S: AsRef<[CQ15]>>(
     Ok(())
 }
 
+/// A control-plane message: the non-sample frames that make the link
+/// supervised — flow control, liveness and session management. Every
+/// message carries one cumulative `u64`, which makes the whole plane
+/// idempotent: duplicates and reordering are absorbed by taking the
+/// maximum (credits, positions) or comparing nonces (sessions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlMsg {
+    /// Receiver → sender: cumulative samples (per antenna) the sender
+    /// is allowed to have put on the wire since the session started.
+    /// The sender takes the max of all grants seen.
+    Credit {
+        /// Cumulative sample allowance (monotone per session).
+        granted: u64,
+    },
+    /// Either direction: "I am alive", carrying the emitter's
+    /// cumulative sample position (sent for a sender, consumed for a
+    /// receiver) as a liveness-plus-progress signal for the peer's
+    /// watchdog.
+    Heartbeat {
+        /// Cumulative samples per antenna at the emitter.
+        position: u64,
+    },
+    /// Sender → receiver on (re)connect: begin session `session`. The
+    /// receiver abandons any burst mid-decode (via the PHY's typed
+    /// gap path), resets its sequence tracker and credit ledger, and
+    /// replies with [`ControlMsg::Reset`] echoing the nonce.
+    Hello {
+        /// The new session nonce (monotone per sender lifetime).
+        session: u64,
+    },
+    /// Receiver → sender: session `session` is accepted; data may
+    /// flow. Also re-sent in reply to duplicate HELLOs (the original
+    /// RESET may have been lost).
+    Reset {
+        /// The session nonce being acknowledged.
+        session: u64,
+    },
+    /// Sender → receiver: clean end of stream after `position` total
+    /// samples per antenna. On a clean link the receiver's delivered
+    /// ledger must match it exactly.
+    Bye {
+        /// Final cumulative samples per antenna.
+        position: u64,
+    },
+}
+
+impl ControlMsg {
+    fn tag(self) -> u8 {
+        match self {
+            Self::Credit { .. } => TYPE_CREDIT,
+            Self::Heartbeat { .. } => TYPE_HEARTBEAT,
+            Self::Hello { .. } => TYPE_HELLO,
+            Self::Reset { .. } => TYPE_RESET,
+            Self::Bye { .. } => TYPE_BYE,
+        }
+    }
+
+    fn value(self) -> u64 {
+        match self {
+            Self::Credit { granted } => granted,
+            Self::Heartbeat { position } | Self::Bye { position } => position,
+            Self::Hello { session } | Self::Reset { session } => session,
+        }
+    }
+
+    fn from_wire(tag: u8, value: u64) -> Option<Self> {
+        match tag {
+            TYPE_CREDIT => Some(Self::Credit { granted: value }),
+            TYPE_HEARTBEAT => Some(Self::Heartbeat { position: value }),
+            TYPE_HELLO => Some(Self::Hello { session: value }),
+            TYPE_RESET => Some(Self::Reset { session: value }),
+            TYPE_BYE => Some(Self::Bye { position: value }),
+            _ => None,
+        }
+    }
+}
+
+/// One decoded control frame: its (control-plane) sequence number and
+/// the message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ControlFrame {
+    /// Control-plane wire sequence number (independent of the data
+    /// space; diagnostics only).
+    pub seq: u32,
+    /// The decoded message.
+    pub msg: ControlMsg,
+}
+
+/// Encodes one control message, **appending** the bytes to `out`
+/// (same batching contract as [`encode_frame`]). Control frames are
+/// always [`CONTROL_FRAME_LEN`] bytes and never fail to encode.
+pub fn encode_control(seq: u32, msg: ControlMsg, out: &mut Vec<u8>) {
+    let start = out.len();
+    out.reserve(CONTROL_FRAME_LEN);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.push(msg.tag());
+    out.extend_from_slice(&msg.value().to_le_bytes());
+    let crc = crc32(&out[start + MAGIC.len()..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+}
+
 /// One decoded frame: the sequence number and the per-stream samples.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SampleFrame {
@@ -160,6 +297,8 @@ impl SampleFrame {
 pub enum DecodeEvent {
     /// A complete frame whose CRC verified.
     Frame(SampleFrame),
+    /// A complete control frame whose CRC verified.
+    Control(ControlFrame),
     /// A framed region whose CRC failed — the header's sequence number
     /// is reported as a *hint* only (it is itself unverified). The
     /// scanner resumes one byte past the bad magic.
@@ -186,8 +325,9 @@ pub struct FrameDecoder {
 
 /// Outcome of positioning the cursor on the next plausible frame.
 enum Scan {
-    /// A plausible complete frame starts at the cursor.
-    Frame { total: usize },
+    /// A plausible complete frame starts at the cursor; `control`
+    /// records which family its dispatch byte selected.
+    Frame { total: usize, control: bool },
     /// More bytes are needed (possibly mid-frame or mid-magic).
     NeedMore,
 }
@@ -218,7 +358,7 @@ impl FrameDecoder {
                 self.compact();
                 self.take_garbage()
             }
-            Scan::Frame { total } => {
+            Scan::Frame { total, control } => {
                 if let Some(g) = self.take_garbage() {
                     // Report the skipped run first; the frame is
                     // still at the cursor for the next call.
@@ -229,10 +369,14 @@ impl FrameDecoder {
                     u32::from_le_bytes(frame[total - CRC_LEN..].try_into().unwrap());
                 let got = crc32(&frame[MAGIC.len()..total - CRC_LEN]);
                 if want == got {
-                    let decoded = decode_verified(frame);
+                    let event = if control {
+                        DecodeEvent::Control(decode_control_verified(frame))
+                    } else {
+                        DecodeEvent::Frame(decode_verified(frame))
+                    };
                     self.read += total;
                     self.compact();
-                    return Some(DecodeEvent::Frame(decoded));
+                    return Some(event);
                 }
                 // Corrupted frame (or a coincidental magic inside
                 // other data): reject, rescan one byte past the
@@ -264,18 +408,32 @@ impl FrameDecoder {
             self.read += at;
             self.garbage_run += at;
             let avail = &self.buf[self.read..];
+            // The dispatch byte sits one past the seq field; without
+            // it we cannot tell the frame family yet.
+            if avail.len() <= 8 {
+                return Scan::NeedMore;
+            }
+            let dispatch = avail[8];
+            if (TYPE_CREDIT..=TYPE_BYE).contains(&dispatch) {
+                // Control frame: fixed length, nothing else to vet
+                // before the CRC.
+                if avail.len() < CONTROL_FRAME_LEN {
+                    return Scan::NeedMore;
+                }
+                return Scan::Frame { total: CONTROL_FRAME_LEN, control: true };
+            }
             if avail.len() < HEADER_LEN {
                 return Scan::NeedMore;
             }
-            let n_streams = avail[8] as usize;
+            let n_streams = dispatch as usize;
             let len = u16::from_le_bytes([avail[9], avail[10]]) as usize;
             if n_streams == 0
                 || n_streams > MAX_STREAMS
                 || len == 0
                 || len > MAX_FRAME_SAMPLES
             {
-                // Implausible geometry: a coincidental magic. Step one
-                // byte and keep hunting.
+                // Implausible dispatch byte or geometry: a
+                // coincidental magic. Step one byte and keep hunting.
                 self.read += 1;
                 self.garbage_run += 1;
                 continue;
@@ -284,7 +442,7 @@ impl FrameDecoder {
             if avail.len() < total {
                 return Scan::NeedMore;
             }
-            return Scan::Frame { total };
+            return Scan::Frame { total, control: false };
         }
     }
 
@@ -323,6 +481,16 @@ fn find_magic(bytes: &[u8]) -> Option<usize> {
         return None;
     }
     (0..=bytes.len() - MAGIC.len()).find(|&i| bytes[i..i + MAGIC.len()] == MAGIC)
+}
+
+/// Decodes a control frame whose CRC has already verified.
+fn decode_control_verified(frame: &[u8]) -> ControlFrame {
+    let seq = u32::from_le_bytes(frame[4..8].try_into().unwrap());
+    let value = u64::from_le_bytes(frame[9..17].try_into().unwrap());
+    // The scanner only classifies known tags as control frames, so
+    // this cannot be None.
+    let msg = ControlMsg::from_wire(frame[8], value).expect("scanner vetted the tag");
+    ControlFrame { seq, msg }
 }
 
 /// Decodes a frame whose CRC has already verified.
@@ -494,6 +662,86 @@ mod tests {
             Err(TransportError::BadFrame(_))
         ));
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn control_frames_roundtrip_and_interleave_with_data() {
+        let msgs = [
+            ControlMsg::Credit { granted: 123_456_789_012 },
+            ControlMsg::Heartbeat { position: u64::MAX },
+            ControlMsg::Hello { session: 7 },
+            ControlMsg::Reset { session: 7 },
+            ControlMsg::Bye { position: 0 },
+        ];
+        let chunks = chunk(4, 31, 5);
+        let mut wire = Vec::new();
+        for (i, msg) in msgs.iter().enumerate() {
+            let before = wire.len();
+            encode_control(i as u32, *msg, &mut wire);
+            assert_eq!(wire.len() - before, CONTROL_FRAME_LEN);
+            encode_frame(i as u32, &chunks, &mut wire).unwrap();
+        }
+        for split in [1usize, 5, CONTROL_FRAME_LEN, wire.len()] {
+            let mut dec = FrameDecoder::new();
+            for piece in wire.chunks(split) {
+                dec.push(piece);
+            }
+            let events = drain(&mut dec);
+            let controls: Vec<ControlMsg> = events
+                .iter()
+                .filter_map(|e| match e {
+                    DecodeEvent::Control(c) => Some(c.msg),
+                    _ => None,
+                })
+                .collect();
+            let frames = events
+                .iter()
+                .filter(|e| matches!(e, DecodeEvent::Frame(_)))
+                .count();
+            assert_eq!(controls, msgs, "split {split}");
+            assert_eq!(frames, msgs.len(), "split {split}");
+            assert!(
+                !events.iter().any(|e| matches!(
+                    e,
+                    DecodeEvent::Garbage { .. } | DecodeEvent::BadCrc { .. }
+                )),
+                "split {split}: {events:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_control_frame_is_rejected_not_misparsed() {
+        let mut wire = Vec::new();
+        encode_control(9, ControlMsg::Credit { granted: 4096 }, &mut wire);
+        for pos in 0..wire.len() {
+            let mut bad = wire.clone();
+            bad[pos] ^= 0x04;
+            let mut dec = FrameDecoder::new();
+            dec.push(&bad);
+            for e in drain(&mut dec) {
+                assert!(
+                    !matches!(e, DecodeEvent::Control(_) | DecodeEvent::Frame(_)),
+                    "corrupt byte {pos} decoded cleanly: {e:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_ranges_are_structurally_disjoint() {
+        // A data frame's dispatch byte is its stream count (1..=8); a
+        // control frame's is its tag (0xC1..=0xC5). Encode both and
+        // confirm the families come back as themselves.
+        let chunks = chunk(MAX_STREAMS, 3, 2);
+        let mut wire = Vec::new();
+        encode_frame(0, &chunks, &mut wire).unwrap();
+        encode_control(0, ControlMsg::Hello { session: 1 }, &mut wire);
+        let mut dec = FrameDecoder::new();
+        dec.push(&wire);
+        let events = drain(&mut dec);
+        assert!(matches!(events[0], DecodeEvent::Frame(_)), "{events:?}");
+        assert!(matches!(events[1], DecodeEvent::Control(_)), "{events:?}");
     }
 
     #[test]

@@ -16,15 +16,47 @@
 //! Every abnormal condition surfaces as a typed [`LinkEvent`] and a
 //! counter in [`LinkStats`] — nothing panics, nothing is silently
 //! swallowed, and the receiver keeps decoding whatever bursts survive.
+//!
+//! # The control plane
+//!
+//! Beside the data frames both endpoints speak the fixed-length
+//! control frames of [`ControlMsg`] (same carrier — every carrier is
+//! duplex). Three protocols ride on it, all opt-in and all built from
+//! **cumulative** values so lost/duplicated/reordered control frames
+//! are self-healing:
+//!
+//! * **Flow control** ([`SampleSender::with_flow_control`] /
+//!   [`SampleReceiver::with_flow_control`]): the receiver grants
+//!   cumulative sample credits as it consumes frames; the sender stops
+//!   pulling from the transmitter when the window is exhausted
+//!   (counted as [`SenderStats::credit_stalls`]). With the
+//!   transmitter's bounded packet queue
+//!   ([`StreamingTransmitter::with_queue_capacity`]) this bounds
+//!   memory end-to-end. See [`crate::flow`].
+//! * **Liveness**: either endpoint can emit
+//!   [`ControlMsg::Heartbeat`] frames carrying its cumulative sample
+//!   position; the supervisors in [`crate::supervisor`] use wire
+//!   activity plus heartbeats to declare a peer dead.
+//! * **Sessions**: a (re)connecting sender opens with
+//!   [`ControlMsg::Hello`] carrying a session nonce and gates data
+//!   until the receiver answers [`ControlMsg::Reset`]. The receiver's
+//!   HELLO handler abandons any burst in flight via the typed
+//!   [`StreamingReceiver::notify_gap`] path, rewinds its sequence
+//!   tracker and credit grantor, and replies — so a mid-burst
+//!   reconnect is a typed loss, never corruption.
+//!   [`ControlMsg::Bye`] closes a session cleanly, carrying the final
+//!   sent position for end-of-run ledger cross-checks.
 
 use std::collections::VecDeque;
+use std::mem;
 
 use mimo_core::{PhyError, ReceivedBurst, StreamingReceiver, StreamingTransmitter};
 use mimo_fixed::CQ15;
 
 use crate::carrier::Carrier;
 use crate::error::TransportError;
-use crate::frame::{encode_frame, DecodeEvent, FrameDecoder, MAX_FRAME_SAMPLES};
+use crate::flow::{CreditGrantor, CreditWindow};
+use crate::frame::{encode_control, encode_frame, ControlMsg, DecodeEvent, FrameDecoder, MAX_FRAME_SAMPLES};
 use crate::seq::{SeqStatus, SeqTracker};
 
 /// Sender-side counters.
@@ -36,6 +68,17 @@ pub struct SenderStats {
     pub samples_sent: u64,
     /// Sends refused by carrier backpressure (each later retried).
     pub backpressure: u64,
+    /// Pumps that pulled nothing because the credit window was
+    /// exhausted (flow control only).
+    pub credit_stalls: u64,
+    /// Control frames handed to the carrier.
+    pub control_sent: u64,
+    /// Control frames absorbed from the reverse plane.
+    pub control_rcvd: u64,
+    /// CREDIT grants folded into the window.
+    pub credits_rcvd: u64,
+    /// RESET acknowledgements that completed a handshake.
+    pub resets_rcvd: u64,
 }
 
 /// The framing producer endpoint. See the module docs.
@@ -49,6 +92,21 @@ pub struct SampleSender<C> {
     frame: Vec<u8>,
     /// `frame` holds an encoded frame the carrier has not accepted.
     frame_pending: bool,
+    /// Reverse-plane decoder (CREDIT/RESET/HEARTBEAT from the peer).
+    ctl: FrameDecoder,
+    ctl_seq: u32,
+    /// Encoded control frames the carrier has not accepted yet.
+    ctl_queue: VecDeque<Vec<u8>>,
+    ctl_io: Vec<u8>,
+    credits: Option<CreditWindow>,
+    /// Session nonce sent in HELLO, cleared by the matching RESET;
+    /// data frames are gated while this is set.
+    awaiting: Option<u64>,
+    /// Peer's cumulative position from its last HEARTBEAT/BYE.
+    peer_position: u64,
+    /// Monotone count of reverse-plane reads that produced bytes —
+    /// the supervisor's watchdog input.
+    activity: u64,
     stats: SenderStats,
 }
 
@@ -78,8 +136,36 @@ impl<C: Carrier> SampleSender<C> {
             chunk: Vec::new(),
             frame: Vec::new(),
             frame_pending: false,
+            ctl: FrameDecoder::new(),
+            ctl_seq: 0,
+            ctl_queue: VecDeque::new(),
+            ctl_io: Vec::new(),
+            credits: None,
+            awaiting: None,
+            peer_position: 0,
+            activity: 0,
             stats: SenderStats::default(),
         })
+    }
+
+    /// Enables credit flow control with `initial_window` samples of
+    /// pre-granted allowance (must match the peer grantor's window).
+    /// Pulls are all-or-nothing per chunk, so the window must fit at
+    /// least one pacing chunk or the link would deadlock.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::BadFrame`] when `initial_window` is smaller
+    /// than the pacing chunk.
+    pub fn with_flow_control(mut self, initial_window: u64) -> Result<Self, TransportError> {
+        if initial_window < self.chunk_samples as u64 {
+            return Err(TransportError::BadFrame(format!(
+                "credit window of {initial_window} cannot fit one {}-sample chunk",
+                self.chunk_samples
+            )));
+        }
+        self.credits = Some(CreditWindow::new(initial_window));
+        Ok(self)
     }
 
     /// The wrapped transmitter (e.g. to queue packets via
@@ -101,14 +187,185 @@ impl<C: Carrier> SampleSender<C> {
     /// `true` when every queued packet has been framed **and**
     /// accepted by the carrier.
     pub fn is_idle(&self) -> bool {
-        !self.frame_pending && self.tx.is_idle()
+        !self.frame_pending && self.ctl_queue.is_empty() && self.tx.is_idle()
     }
 
-    /// Advances the link by at most one frame: retries a frame the
-    /// carrier previously refused, else pulls the next chunk, frames
-    /// it and sends it. Returns the samples per antenna newly pulled
-    /// from the transmitter (`0` when idle or still blocked on
-    /// backpressure — check [`SampleSender::is_idle`] to tell apart).
+    /// `true` once the peer has acknowledged the current session (or
+    /// no handshake was ever started). Data frames are gated while
+    /// `false`.
+    pub fn is_established(&self) -> bool {
+        self.awaiting.is_none()
+    }
+
+    /// Samples still spendable under the credit window (`None` when
+    /// flow control is off).
+    pub fn credit_available(&self) -> Option<u64> {
+        self.credits.as_ref().map(CreditWindow::available)
+    }
+
+    /// Monotone count of reverse-plane reads that produced bytes; a
+    /// changing value means the peer is alive.
+    pub fn activity(&self) -> u64 {
+        self.activity
+    }
+
+    /// The peer's cumulative consumed position from its latest
+    /// HEARTBEAT (or BYE).
+    pub fn peer_position(&self) -> u64 {
+        self.peer_position
+    }
+
+    /// Encodes and sends a control frame; carrier backpressure parks
+    /// it for the next [`SampleSender::pump`].
+    ///
+    /// # Errors
+    ///
+    /// Carrier errors other than backpressure.
+    pub fn send_control(&mut self, msg: ControlMsg) -> Result<(), TransportError> {
+        let mut wire = Vec::with_capacity(crate::frame::CONTROL_FRAME_LEN);
+        encode_control(self.ctl_seq, msg, &mut wire);
+        self.ctl_seq = self.ctl_seq.wrapping_add(1);
+        if !self.ctl_queue.is_empty() {
+            self.ctl_queue.push_back(wire);
+            return Ok(());
+        }
+        match self.carrier.send(&wire) {
+            Ok(()) => {
+                self.stats.control_sent += 1;
+                Ok(())
+            }
+            Err(TransportError::Backpressure) => {
+                self.stats.backpressure += 1;
+                self.ctl_queue.push_back(wire);
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Re-issues the HELLO for a handshake still in flight (the
+    /// original may have been eaten by the fault schedule). No-op once
+    /// established.
+    ///
+    /// # Errors
+    ///
+    /// See [`SampleSender::send_control`].
+    pub fn resend_hello(&mut self) -> Result<(), TransportError> {
+        if let Some(session) = self.awaiting {
+            self.send_control(ControlMsg::Hello { session })?;
+        }
+        Ok(())
+    }
+
+    /// Opens a fresh session: abandons any burst mid-drain (the peer
+    /// must never see a headless tail), rewinds sequence numbers and
+    /// the credit window, drops stale unsent frames, and sends
+    /// HELLO with `session`. Data is gated until the peer's RESET
+    /// arrives. Call after [`SampleSender::replace_carrier`] on
+    /// reconnect.
+    ///
+    /// # Errors
+    ///
+    /// See [`SampleSender::send_control`].
+    pub fn begin_session(&mut self, session: u64) -> Result<(), TransportError> {
+        self.frame_pending = false;
+        self.ctl_queue.clear();
+        self.seq = 0;
+        self.tx.abandon_current();
+        if let Some(w) = &mut self.credits {
+            w.reset();
+        }
+        self.ctl = FrameDecoder::new();
+        self.awaiting = Some(session);
+        self.send_control(ControlMsg::Hello { session })
+    }
+
+    /// Swaps in a fresh carrier (reconnect), returning the old one.
+    /// Follow with [`SampleSender::begin_session`] to resync the peer.
+    pub fn replace_carrier(&mut self, carrier: C) -> C {
+        mem::replace(&mut self.carrier, carrier)
+    }
+
+    /// Drains the reverse control plane: folds CREDIT grants into the
+    /// window, completes the HELLO/RESET handshake, records peer
+    /// heartbeats. Called by [`SampleSender::pump`] whenever flow
+    /// control or a handshake is active; call directly when
+    /// supervising a plain link.
+    ///
+    /// # Errors
+    ///
+    /// Carrier failures ([`TransportError::Closed`],
+    /// [`TransportError::Io`]).
+    pub fn poll_control(&mut self) -> Result<(), TransportError> {
+        loop {
+            if let Some(ev) = self.ctl.next_event() {
+                if let DecodeEvent::Control(frame) = ev {
+                    self.stats.control_rcvd += 1;
+                    match frame.msg {
+                        ControlMsg::Credit { granted } => {
+                            self.stats.credits_rcvd += 1;
+                            if let Some(w) = &mut self.credits {
+                                w.on_grant(granted);
+                            }
+                        }
+                        ControlMsg::Reset { session } => {
+                            if self.awaiting == Some(session) {
+                                self.awaiting = None;
+                                self.stats.resets_rcvd += 1;
+                            }
+                        }
+                        ControlMsg::Heartbeat { position } | ControlMsg::Bye { position } => {
+                            self.peer_position = self.peer_position.max(position);
+                        }
+                        // A peer never HELLOs the sender; data frames,
+                        // garbage and CRC noise on the reverse plane
+                        // are likewise ignored — cumulative credit
+                        // state self-heals past any of it.
+                        ControlMsg::Hello { .. } => {}
+                    }
+                }
+                continue;
+            }
+            self.ctl_io.clear();
+            match self.carrier.recv(&mut self.ctl_io) {
+                Ok(0) => return Ok(()),
+                Ok(_) => {
+                    self.activity += 1;
+                    self.ctl.push(&self.ctl_io);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Flushes parked control frames. `Ok(true)` when the queue is
+    /// empty afterwards.
+    fn flush_control(&mut self) -> Result<bool, TransportError> {
+        while let Some(wire) = self.ctl_queue.front() {
+            match self.carrier.send(wire) {
+                Ok(()) => {
+                    self.stats.control_sent += 1;
+                    self.ctl_queue.pop_front();
+                }
+                Err(TransportError::Backpressure) => {
+                    self.stats.backpressure += 1;
+                    return Ok(false);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(true)
+    }
+
+    /// Advances the link by at most one frame: drains the reverse
+    /// control plane (when flow control or a handshake is active),
+    /// flushes parked control frames, retries a data frame the
+    /// carrier previously refused, then — unless gated on the
+    /// handshake or out of credit — pulls the next chunk, frames it
+    /// and sends it. Returns the samples per antenna newly pulled
+    /// from the transmitter (`0` when idle, gated, stalled on credit,
+    /// or blocked on backpressure — check [`SampleSender::is_idle`]
+    /// to tell apart).
     ///
     /// # Errors
     ///
@@ -116,6 +373,12 @@ impl<C: Carrier> SampleSender<C> {
     /// the retry state) and [`PhyError`]s from pacing, stringified
     /// into [`TransportError::BadFrame`].
     pub fn pump(&mut self) -> Result<usize, TransportError> {
+        if self.credits.is_some() || self.awaiting.is_some() {
+            self.poll_control()?;
+        }
+        if !self.flush_control()? {
+            return Ok(0);
+        }
         if self.frame_pending {
             match self.carrier.send(&self.frame) {
                 Ok(()) => {
@@ -129,12 +392,28 @@ impl<C: Carrier> SampleSender<C> {
                 Err(e) => return Err(e),
             }
         }
+        if self.awaiting.is_some() {
+            // Data is gated until the peer acknowledges the session.
+            return Ok(0);
+        }
+        if let Some(w) = &self.credits {
+            // All-or-nothing: a partial pull would strand samples in
+            // `chunk` with no credit to send them — never pull unless
+            // a full chunk is spendable.
+            if (w.available() as usize) < self.chunk_samples && !self.tx.is_idle() {
+                self.stats.credit_stalls += 1;
+                return Ok(0);
+            }
+        }
         let pulled = self
             .tx
             .pull_into(&mut self.chunk, self.chunk_samples)
             .map_err(|e| TransportError::BadFrame(e.to_string()))?;
         if pulled == 0 {
             return Ok(0);
+        }
+        if let Some(w) = &mut self.credits {
+            w.consume(pulled as u64);
         }
         self.frame.clear();
         encode_frame(self.seq, &self.chunk, &mut self.frame)?;
@@ -203,6 +482,10 @@ pub enum LinkEvent {
     Phy(PhyError),
     /// A transport-level fault was absorbed.
     Fault(LinkFault),
+    /// A control frame arrived (HELLO means the peer (re)opened a
+    /// session; BYE means it finished cleanly at the carried
+    /// position).
+    Control(ControlMsg),
 }
 
 /// Receiver-side counters: the link's health ledger.
@@ -228,6 +511,14 @@ pub struct LinkStats {
     pub phy_errors: u64,
     /// Bursts decoded.
     pub bursts: u64,
+    /// Control frames absorbed.
+    pub control_frames: u64,
+    /// HELLO handshakes honoured (sessions opened or re-opened).
+    pub hellos: u64,
+    /// Peer heartbeats received.
+    pub heartbeats_rcvd: u64,
+    /// CREDIT grants put on the wire.
+    pub credits_sent: u64,
 }
 
 /// The self-healing consumer endpoint. See the module docs.
@@ -241,6 +532,17 @@ pub struct SampleReceiver<C> {
     nominal_chunk: usize,
     pending: VecDeque<LinkEvent>,
     io_buf: Vec<u8>,
+    grantor: Option<CreditGrantor>,
+    ctl_seq: u32,
+    /// Encoded control frames (CREDIT grants, RESET replies,
+    /// heartbeats) awaiting the carrier; retried every poll.
+    ctl_queue: VecDeque<Vec<u8>>,
+    /// The session nonce last honoured with a RESET.
+    session: Option<u64>,
+    /// The peer's final position from its BYE, if one arrived.
+    peer_bye: Option<u64>,
+    /// Monotone count of reads that produced bytes.
+    activity: u64,
     stats: LinkStats,
 }
 
@@ -255,8 +557,23 @@ impl<C: Carrier> SampleReceiver<C> {
             nominal_chunk: 0,
             pending: VecDeque::new(),
             io_buf: Vec::new(),
+            grantor: None,
+            ctl_seq: 0,
+            ctl_queue: VecDeque::new(),
+            session: None,
+            peer_bye: None,
+            activity: 0,
             stats: LinkStats::default(),
         }
+    }
+
+    /// Enables credit granting: up to `window` samples in flight,
+    /// announced in steps of `quantum` (see [`crate::flow`]). The
+    /// window must match the peer's
+    /// [`SampleSender::with_flow_control`] argument.
+    pub fn with_flow_control(mut self, window: u64, quantum: u64) -> Self {
+        self.grantor = Some(CreditGrantor::new(window, quantum));
+        self
     }
 
     /// Receiver counters so far.
@@ -269,9 +586,42 @@ impl<C: Carrier> SampleReceiver<C> {
         &self.rx
     }
 
-    /// Advances the link: drains queued events, then decoder events,
-    /// then reads the carrier. `Ok(None)` means the carrier has
-    /// nothing right now — poll again after the peer pumps.
+    /// Monotone count of reads that produced bytes; a changing value
+    /// means the peer is alive.
+    pub fn activity(&self) -> u64 {
+        self.activity
+    }
+
+    /// The final cumulative position the peer announced with BYE
+    /// (`None` until a clean shutdown arrives). Cross-check against
+    /// [`LinkStats::samples_ok`] on clean runs.
+    pub fn peer_final_position(&self) -> Option<u64> {
+        self.peer_bye
+    }
+
+    /// Queues a control frame (e.g. a liveness heartbeat carrying
+    /// [`LinkStats::samples_ok`]); sent during the next polls,
+    /// surviving backpressure.
+    pub fn send_control(&mut self, msg: ControlMsg) {
+        let mut wire = Vec::with_capacity(crate::frame::CONTROL_FRAME_LEN);
+        encode_control(self.ctl_seq, msg, &mut wire);
+        self.ctl_seq = self.ctl_seq.wrapping_add(1);
+        self.ctl_queue.push_back(wire);
+    }
+
+    /// Swaps in a fresh carrier (reconnect), returning the old one.
+    /// The byte-level decoder restarts (a partial frame from the old
+    /// socket must not prefix the new stream); session state waits
+    /// for the peer's HELLO.
+    pub fn replace_carrier(&mut self, carrier: C) -> C {
+        self.decoder = FrameDecoder::new();
+        mem::replace(&mut self.carrier, carrier)
+    }
+
+    /// Advances the link: flushes queued control frames, drains queued
+    /// events, then decoder events, then reads the carrier. `Ok(None)`
+    /// means the carrier has nothing right now — poll again after the
+    /// peer pumps.
     ///
     /// # Errors
     ///
@@ -279,6 +629,7 @@ impl<C: Carrier> SampleReceiver<C> {
     /// [`TransportError::Io`]); every decode- and PHY-level problem is
     /// returned as a [`LinkEvent`] instead.
     pub fn poll(&mut self) -> Result<Option<LinkEvent>, TransportError> {
+        self.flush_control();
         loop {
             if let Some(e) = self.pending.pop_front() {
                 return Ok(Some(e));
@@ -290,7 +641,10 @@ impl<C: Carrier> SampleReceiver<C> {
             self.io_buf.clear();
             match self.carrier.recv(&mut self.io_buf) {
                 Ok(0) => return Ok(None),
-                Ok(_) => self.decoder.push(&self.io_buf),
+                Ok(_) => {
+                    self.activity += 1;
+                    self.decoder.push(&self.io_buf);
+                }
                 Err(e) => return Err(e),
             }
         }
@@ -319,6 +673,62 @@ impl<C: Carrier> SampleReceiver<C> {
         self.carrier
     }
 
+    /// Best-effort drain of the control send queue. Backpressure and
+    /// carrier failures leave the queue intact for the next poll —
+    /// the forward plane's own recv will surface a dead carrier, and
+    /// cumulative grants tolerate arbitrary delay.
+    fn flush_control(&mut self) {
+        while let Some(wire) = self.ctl_queue.front() {
+            match self.carrier.send(wire) {
+                Ok(()) => {
+                    self.ctl_queue.pop_front();
+                }
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Accounts `n` consumed samples with the grantor and queues a
+    /// CREDIT announcement when one is due.
+    fn credit_delivered(&mut self, n: u64) {
+        let Some(g) = &mut self.grantor else { return };
+        g.on_delivered(n);
+        if let Some(total) = g.due() {
+            g.mark_granted(total);
+            self.stats.credits_sent += 1;
+            self.send_control(ControlMsg::Credit { granted: total });
+            self.flush_control();
+        }
+    }
+
+    /// Handles a peer HELLO: first sighting of a session nonce resets
+    /// the link state (abandoning any burst in flight as a typed
+    /// loss); every sighting re-sends the RESET acknowledgement,
+    /// because the previous one may have been eaten by the wire.
+    fn on_hello(&mut self, session: u64) {
+        self.stats.hellos += 1;
+        if self.session != Some(session) {
+            self.session = Some(session);
+            self.seq = SeqTracker::new();
+            self.ctl_queue.clear();
+            if let Some(g) = &mut self.grantor {
+                g.reset();
+            }
+            // A fresh receiver has no stream history to abandon and
+            // must keep its absolute position at zero, or a clean
+            // handshake would already desync burst positions from a
+            // direct-push reference.
+            if self.stats.frames_ok > 0 {
+                if let Err(e) = self.rx.notify_gap(self.nominal_chunk.max(1)) {
+                    self.stats.phy_errors += 1;
+                    self.pending.push_back(LinkEvent::Phy(e));
+                }
+            }
+        }
+        self.send_control(ControlMsg::Reset { session });
+        self.flush_control();
+    }
+
     /// Folds one decoder event into PHY feeds, stats and pending
     /// link events.
     fn absorb(&mut self, ev: DecodeEvent) {
@@ -331,6 +741,22 @@ impl<C: Carrier> SampleReceiver<C> {
             DecodeEvent::BadCrc { .. } => {
                 self.stats.crc_errors += 1;
                 self.pending.push_back(LinkEvent::Fault(LinkFault::BadCrc));
+            }
+            DecodeEvent::Control(frame) => {
+                self.stats.control_frames += 1;
+                match frame.msg {
+                    ControlMsg::Hello { session } => self.on_hello(session),
+                    ControlMsg::Heartbeat { .. } => {
+                        self.stats.heartbeats_rcvd += 1;
+                    }
+                    ControlMsg::Bye { position } => {
+                        self.peer_bye = Some(position);
+                    }
+                    // CREDIT/RESET travel the other way; arriving here
+                    // is harmless noise, surfaced but not acted on.
+                    ControlMsg::Credit { .. } | ControlMsg::Reset { .. } => {}
+                }
+                self.pending.push_back(LinkEvent::Control(frame.msg));
             }
             DecodeEvent::Frame(frame) => {
                 match self.seq.classify(frame.seq) {
@@ -357,6 +783,9 @@ impl<C: Carrier> SampleReceiver<C> {
                             self.stats.phy_errors += 1;
                             self.pending.push_back(LinkEvent::Phy(e));
                         }
+                        // The lost frames spent the sender's credit;
+                        // refund them or the window leaks shut.
+                        self.credit_delivered(missing_samples as u64);
                     }
                     SeqStatus::InOrder => {}
                 }
@@ -373,6 +802,7 @@ impl<C: Carrier> SampleReceiver<C> {
                 self.nominal_chunk = frame.samples();
                 self.stats.frames_ok += 1;
                 self.stats.samples_ok += frame.samples() as u64;
+                self.credit_delivered(frame.samples() as u64);
                 match self.rx.push_samples(&frame.streams) {
                     Ok(Some(burst)) => {
                         self.stats.bursts += 1;
@@ -478,5 +908,149 @@ mod tests {
         assert!(tx.stats().backpressure > 0, "test must exercise backpressure");
         assert_eq!(rx.stats().frames_ok, tx.stats().frames_sent);
         assert_eq!(rx.stats().stale_frames, 0);
+    }
+
+    #[test]
+    fn flow_controlled_link_stalls_and_resumes_on_credit() {
+        // Window fits exactly two chunks; the receiver only grants
+        // more as it consumes, so the sender must stall at least once
+        // if the receiver lags a full window behind.
+        let (a, b) = MemoryDuplex::pair(1 << 20);
+        let tx_phy = StreamingTransmitter::from_geometry(LinkGeometry::mimo()).unwrap();
+        let rx_phy = StreamingReceiver::from_geometry(LinkGeometry::mimo()).unwrap();
+        let mut tx = SampleSender::new(tx_phy, a, 64)
+            .unwrap()
+            .with_flow_control(128)
+            .unwrap();
+        let mut rx = SampleReceiver::new(rx_phy, b).with_flow_control(128, 64);
+        let payload: Vec<u8> = (0..96).map(|i| (i * 7) as u8).collect();
+        tx.transmitter_mut().enqueue(&payload).unwrap();
+        // Starve the receiver: pump alone until the window jams shut.
+        // Without credit gating the sender would drain the whole
+        // burst into the (huge) ring right here.
+        let mut spins = 0;
+        while tx.stats().credit_stalls == 0 {
+            tx.pump().unwrap();
+            spins += 1;
+            assert!(spins < 10_000, "sender never exhausted its window");
+            assert!(!tx.is_idle(), "burst fit inside the window; enlarge the payload");
+        }
+        assert_eq!(tx.stats().samples_sent, 128, "window must cap the un-granted send run");
+        // Now let the receiver drain, grant, and the link finish.
+        let mut bursts = Vec::new();
+        let mut spins = 0;
+        while !tx.is_idle() {
+            tx.pump().unwrap();
+            while let Some(ev) = rx.poll().unwrap() {
+                if let LinkEvent::Burst(b) = ev {
+                    bursts.push(b);
+                }
+            }
+            spins += 1;
+            assert!(spins < 10_000, "flow-controlled link deadlocked");
+        }
+        if let Some(LinkEvent::Burst(b)) = rx.finish() {
+            bursts.push(b);
+        }
+        assert_eq!(bursts.len(), 1);
+        assert_eq!(bursts[0].result.payload, payload);
+        assert!(tx.stats().credit_stalls > 0, "window never gated the sender");
+        assert!(rx.stats().credits_sent > 0, "receiver never granted");
+        assert_eq!(rx.stats().frames_ok, tx.stats().frames_sent);
+    }
+
+    #[test]
+    fn hello_reset_handshake_gates_data_and_resyncs() {
+        let (mut tx, mut rx) = endpoints(64, 1 << 20);
+        tx.begin_session(0xFEED).unwrap();
+        assert!(!tx.is_established());
+        tx.transmitter_mut().enqueue(&[9; 32]).unwrap();
+        // Data must stay gated until the RESET comes back.
+        assert_eq!(tx.pump().unwrap(), 0);
+        let mut saw_hello = false;
+        while let Some(ev) = rx.poll().unwrap() {
+            if let LinkEvent::Control(ControlMsg::Hello { session }) = ev {
+                assert_eq!(session, 0xFEED);
+                saw_hello = true;
+            }
+        }
+        assert!(saw_hello);
+        assert_eq!(rx.stats().hellos, 1);
+        // The RESET reply is on the wire; the next pump absorbs it
+        // and opens the data path.
+        let mut bursts = 0;
+        let mut spins = 0;
+        while !tx.is_idle() {
+            tx.pump().unwrap();
+            while let Some(ev) = rx.poll().unwrap() {
+                if let LinkEvent::Burst(_) = ev {
+                    bursts += 1;
+                }
+            }
+            spins += 1;
+            assert!(spins < 10_000, "handshake never completed");
+        }
+        if let Some(LinkEvent::Burst(_)) = rx.finish() {
+            bursts += 1;
+        }
+        assert!(tx.is_established());
+        assert_eq!(tx.stats().resets_rcvd, 1);
+        assert_eq!(bursts, 1);
+    }
+
+    #[test]
+    fn mid_burst_hello_is_a_typed_loss_then_recovery() {
+        // Start a burst, interrupt it with a new session (as a
+        // reconnect would), and check the receiver reports a typed
+        // gap loss and then decodes the re-sent packet cleanly.
+        let (mut tx, mut rx) = endpoints(64, 1 << 20);
+        tx.transmitter_mut().enqueue(&[3; 48]).unwrap();
+        // Push roughly half the burst.
+        for _ in 0..4 {
+            tx.pump().unwrap();
+        }
+        while rx.poll().unwrap().is_some() {}
+        assert!(rx.stats().frames_ok > 0, "setup: some data must land");
+        // Reconnect: new session abandons the mid-drain burst.
+        tx.begin_session(0xD1A1).unwrap();
+        tx.transmitter_mut().enqueue(&[5; 48]).unwrap();
+        let (mut gaps, mut bursts) = (0, 0);
+        let mut spins = 0;
+        loop {
+            tx.pump().unwrap();
+            while let Some(ev) = rx.poll().unwrap() {
+                match ev {
+                    LinkEvent::Phy(PhyError::StreamGap { .. }) => gaps += 1,
+                    LinkEvent::Burst(b) => {
+                        assert_eq!(b.result.payload, vec![5; 48]);
+                        bursts += 1;
+                    }
+                    _ => {}
+                }
+            }
+            if tx.is_idle() && bursts > 0 {
+                break;
+            }
+            spins += 1;
+            assert!(spins < 10_000, "post-reconnect link never recovered");
+        }
+        assert_eq!(gaps, 1, "mid-burst HELLO must surface exactly one typed loss");
+        assert_eq!(bursts, 1);
+        assert_eq!(rx.stats().hellos, 1);
+    }
+
+    #[test]
+    fn bye_carries_the_final_position() {
+        let (mut tx, mut rx) = endpoints(64, 1 << 20);
+        tx.transmitter_mut().enqueue(&[1; 16]).unwrap();
+        while !tx.is_idle() {
+            tx.pump().unwrap();
+            while rx.poll().unwrap().is_some() {}
+        }
+        let sent = tx.stats().samples_sent;
+        tx.send_control(ControlMsg::Bye { position: sent }).unwrap();
+        while rx.poll().unwrap().is_some() {}
+        assert_eq!(rx.peer_final_position(), Some(sent));
+        assert_eq!(rx.stats().samples_ok, sent);
     }
 }

@@ -1,0 +1,657 @@
+//! Link supervision: heartbeats, a peer-death watchdog, and
+//! reconnect with capped exponential backoff.
+//!
+//! [`SupervisedSender`] and [`SupervisedReceiver`] wrap the link
+//! endpoints ([`SampleSender`], [`SampleReceiver`]) and add the
+//! liveness layer a real deployment needs:
+//!
+//! * **Heartbeats** — each endpoint emits a
+//!   [`ControlMsg::Heartbeat`] carrying its cumulative sample
+//!   position whenever [`SupervisorConfig::heartbeat_interval`] of
+//!   logical time passes without other traffic proving it alive.
+//! * **Watchdog** — when nothing arrives from the peer for
+//!   [`SupervisorConfig::watchdog_timeout`], the supervisor declares
+//!   [`SupervisorEvent::PeerDead`] and tears the carrier down.
+//! * **Reconnect** — the sender re-dials through its `dial` closure
+//!   with capped exponential backoff
+//!   ([`SupervisorConfig::backoff_initial`] doubling up to
+//!   [`SupervisorConfig::backoff_max`], at most
+//!   [`SupervisorConfig::max_attempts`] tries per outage); the
+//!   receiver re-accepts through its `accept` closure. On success the
+//!   sender opens a fresh session ([`SampleSender::begin_session`]) —
+//!   the HELLO/RESET handshake rewinds sequence numbers and credit
+//!   windows on both ends, and a burst cut by the outage surfaces as
+//!   a typed loss through the receiver's
+//!   [`notify_gap`](mimo_core::StreamingReceiver::notify_gap) path.
+//!
+//! Time is **logical**: every [`SupervisedSender::step`] /
+//! [`SupervisedReceiver::step`] takes `now` as a [`Duration`] since
+//! the link epoch, supplied by the caller. Tests drive a synthetic
+//! clock and are fully deterministic; production callers pass
+//! `Instant::now() - epoch`.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use crate::carrier::Carrier;
+use crate::error::TransportError;
+use crate::frame::ControlMsg;
+use crate::link::{LinkEvent, SampleReceiver, SampleSender};
+
+/// Timing and retry policy for a supervised endpoint.
+#[derive(Debug, Clone, Copy)]
+pub struct SupervisorConfig {
+    /// Quiet interval after which a heartbeat is emitted.
+    pub heartbeat_interval: Duration,
+    /// Quiet interval after which the peer is declared dead. Should
+    /// comfortably exceed `heartbeat_interval` (several missed
+    /// heartbeats, not one late one).
+    pub watchdog_timeout: Duration,
+    /// First reconnect delay after a failed dial.
+    pub backoff_initial: Duration,
+    /// Backoff ceiling (delays double up to this).
+    pub backoff_max: Duration,
+    /// Dial attempts per outage before giving up.
+    pub max_attempts: u32,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self {
+            heartbeat_interval: Duration::from_millis(50),
+            watchdog_timeout: Duration::from_millis(250),
+            backoff_initial: Duration::from_millis(25),
+            backoff_max: Duration::from_millis(400),
+            max_attempts: 10,
+        }
+    }
+}
+
+/// A supervision state change, drained via `next_event`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SupervisorEvent {
+    /// The watchdog expired: nothing heard from the peer for the
+    /// carried quiet interval. The carrier is being torn down.
+    PeerDead {
+        /// How long the peer had been silent.
+        quiet: Duration,
+    },
+    /// A reconnect attempt is due.
+    Reconnecting {
+        /// 1-based attempt number within this outage.
+        attempt: u32,
+        /// Delay before the *next* attempt if this one fails.
+        next_delay: Duration,
+    },
+    /// A reconnect succeeded; the link is resyncing via HELLO/RESET.
+    Reconnected {
+        /// Attempts this outage took.
+        attempts: u32,
+    },
+    /// All attempts failed; the supervisor is permanently down.
+    GaveUp {
+        /// Attempts made before surrender.
+        attempts: u32,
+    },
+}
+
+/// Supervision counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SupervisorStats {
+    /// Heartbeats emitted.
+    pub heartbeats_sent: u64,
+    /// Watchdog expiries (peer declared dead).
+    pub watchdog_trips: u64,
+    /// Dial/accept attempts made across all outages.
+    pub reconnect_attempts: u64,
+    /// Outages successfully healed.
+    pub reconnects: u64,
+}
+
+/// Link-up/link-down lifecycle shared by both supervised endpoints.
+#[derive(Debug, Clone, Copy)]
+enum SupState {
+    Up,
+    Down {
+        next_try: Duration,
+        backoff: Duration,
+        attempt: u32,
+    },
+    Dead,
+}
+
+/// Shared liveness bookkeeping for one supervised endpoint.
+#[derive(Debug)]
+struct Liveness {
+    cfg: SupervisorConfig,
+    state: SupState,
+    last_heartbeat: Duration,
+    last_peer_activity: Duration,
+    seen_activity: u64,
+    stats: SupervisorStats,
+    events: VecDeque<SupervisorEvent>,
+}
+
+impl Liveness {
+    fn new(cfg: SupervisorConfig) -> Self {
+        Self {
+            cfg,
+            state: SupState::Up,
+            last_heartbeat: Duration::ZERO,
+            last_peer_activity: Duration::ZERO,
+            seen_activity: 0,
+            stats: SupervisorStats::default(),
+            events: VecDeque::new(),
+        }
+    }
+
+    /// Feeds the endpoint's monotone activity counter; returns `true`
+    /// when the watchdog has expired.
+    fn watchdog(&mut self, now: Duration, activity: u64) -> bool {
+        if activity != self.seen_activity {
+            self.seen_activity = activity;
+            self.last_peer_activity = now;
+        }
+        let quiet = now.saturating_sub(self.last_peer_activity);
+        if quiet > self.cfg.watchdog_timeout {
+            self.stats.watchdog_trips += 1;
+            self.events.push_back(SupervisorEvent::PeerDead { quiet });
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `true` when a heartbeat is due (and rearms the timer).
+    fn heartbeat_due(&mut self, now: Duration) -> bool {
+        if now.saturating_sub(self.last_heartbeat) >= self.cfg.heartbeat_interval {
+            self.last_heartbeat = now;
+            self.stats.heartbeats_sent += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Transitions to Down with an immediate first retry.
+    fn go_down(&mut self, now: Duration) {
+        self.state = SupState::Down {
+            next_try: now,
+            backoff: self.cfg.backoff_initial,
+            attempt: 0,
+        };
+    }
+
+    /// Resets the liveness clocks after a successful reconnect.
+    fn back_up(&mut self, now: Duration, attempts: u32) {
+        self.state = SupState::Up;
+        self.last_heartbeat = now;
+        self.last_peer_activity = now;
+        self.stats.reconnects += 1;
+        self.events
+            .push_back(SupervisorEvent::Reconnected { attempts });
+    }
+}
+
+/// The supervised producer endpoint. See the module docs.
+pub struct SupervisedSender<C> {
+    link: SampleSender<C>,
+    live: Liveness,
+    dial: Box<dyn FnMut() -> Result<C, TransportError>>,
+    /// Session nonce for the next HELLO; bumped every reconnect so a
+    /// receiver that survived the outage still resets.
+    session: u64,
+}
+
+impl<C: Carrier> SupervisedSender<C> {
+    /// Wraps `link` and immediately opens session 1 (HELLO is sent;
+    /// data stays gated until the peer's RESET). `dial` produces a
+    /// fresh carrier on reconnect.
+    ///
+    /// # Errors
+    ///
+    /// Carrier errors from sending the opening HELLO.
+    pub fn new(
+        mut link: SampleSender<C>,
+        cfg: SupervisorConfig,
+        dial: Box<dyn FnMut() -> Result<C, TransportError>>,
+    ) -> Result<Self, TransportError> {
+        link.begin_session(1)?;
+        Ok(Self {
+            link,
+            live: Liveness::new(cfg),
+            dial,
+            session: 1,
+        })
+    }
+
+    /// The wrapped link endpoint.
+    pub fn link(&self) -> &SampleSender<C> {
+        &self.link
+    }
+
+    /// Mutable access to the wrapped link endpoint (e.g. to enqueue
+    /// packets via its transmitter).
+    pub fn link_mut(&mut self) -> &mut SampleSender<C> {
+        &mut self.link
+    }
+
+    /// Supervision counters so far.
+    pub fn stats(&self) -> SupervisorStats {
+        self.live.stats
+    }
+
+    /// Oldest undrained supervision event, if any.
+    pub fn next_event(&mut self) -> Option<SupervisorEvent> {
+        self.live.events.pop_front()
+    }
+
+    /// `true` once all reconnect attempts are exhausted.
+    pub fn gave_up(&self) -> bool {
+        matches!(self.live.state, SupState::Dead)
+    }
+
+    /// `true` while the carrier is believed healthy.
+    pub fn is_up(&self) -> bool {
+        matches!(self.live.state, SupState::Up)
+    }
+
+    /// Advances the supervised link at logical time `now`: pumps data
+    /// and control, emits heartbeats, runs the watchdog, and drives
+    /// the reconnect state machine. Returns the samples newly pulled
+    /// from the transmitter (as [`SampleSender::pump`]).
+    ///
+    /// # Errors
+    ///
+    /// Non-carrier errors only (e.g. pacing failures); carrier
+    /// deaths are absorbed into the reconnect machinery.
+    pub fn step(&mut self, now: Duration) -> Result<usize, TransportError> {
+        match self.live.state {
+            SupState::Up => {
+                let pulled = match self.link.pump() {
+                    Ok(n) => n,
+                    Err(TransportError::Closed) | Err(TransportError::Io(_)) => {
+                        self.live.go_down(now);
+                        return Ok(0);
+                    }
+                    Err(e) => return Err(e),
+                };
+                if self.live.watchdog(now, self.link.activity()) {
+                    self.live.go_down(now);
+                    return Ok(0);
+                }
+                if self.live.heartbeat_due(now) {
+                    let position = self.link.stats().samples_sent;
+                    // A handshake still in flight re-offers its HELLO
+                    // on the same cadence (the original may have been
+                    // eaten by the fault schedule).
+                    let send = if self.link.is_established() {
+                        self.link.send_control(ControlMsg::Heartbeat { position })
+                    } else {
+                        self.link.resend_hello()
+                    };
+                    if send.is_err() {
+                        self.live.go_down(now);
+                        return Ok(0);
+                    }
+                }
+                Ok(pulled)
+            }
+            SupState::Down {
+                next_try,
+                backoff,
+                attempt,
+            } => {
+                if now < next_try {
+                    return Ok(0);
+                }
+                let attempt = attempt + 1;
+                self.live.stats.reconnect_attempts += 1;
+                self.live.events.push_back(SupervisorEvent::Reconnecting {
+                    attempt,
+                    next_delay: backoff,
+                });
+                match (self.dial)() {
+                    Ok(carrier) => {
+                        let _ = self.link.replace_carrier(carrier);
+                        self.session += 1;
+                        if self.link.begin_session(self.session).is_err() {
+                            // The fresh carrier died under the HELLO;
+                            // treat it as a failed attempt.
+                            self.retry_or_die(now, backoff, attempt);
+                            return Ok(0);
+                        }
+                        self.live.back_up(now, attempt);
+                        Ok(0)
+                    }
+                    Err(_) => {
+                        self.retry_or_die(now, backoff, attempt);
+                        Ok(0)
+                    }
+                }
+            }
+            SupState::Dead => Ok(0),
+        }
+    }
+
+    /// Schedules the next attempt with doubled (capped) backoff, or
+    /// declares surrender once the attempt budget is spent.
+    fn retry_or_die(&mut self, now: Duration, backoff: Duration, attempt: u32) {
+        if attempt >= self.live.cfg.max_attempts {
+            self.live.state = SupState::Dead;
+            self.live
+                .events
+                .push_back(SupervisorEvent::GaveUp { attempts: attempt });
+        } else {
+            self.live.state = SupState::Down {
+                next_try: now + backoff,
+                backoff: (backoff * 2).min(self.live.cfg.backoff_max),
+                attempt,
+            };
+        }
+    }
+}
+
+/// The supervised consumer endpoint. See the module docs.
+pub struct SupervisedReceiver<C> {
+    link: SampleReceiver<C>,
+    live: Liveness,
+    /// Non-blocking accept: `Ok(None)` means no peer yet — retried
+    /// every step while down, without backoff (accepting is passive).
+    accept: Box<dyn FnMut() -> Result<Option<C>, TransportError>>,
+}
+
+impl<C: Carrier> SupervisedReceiver<C> {
+    /// Wraps `link`; `accept` produces a replacement carrier when the
+    /// watchdog tears the old one down.
+    pub fn new(
+        link: SampleReceiver<C>,
+        cfg: SupervisorConfig,
+        accept: Box<dyn FnMut() -> Result<Option<C>, TransportError>>,
+    ) -> Self {
+        Self {
+            link,
+            live: Liveness::new(cfg),
+            accept,
+        }
+    }
+
+    /// The wrapped link endpoint.
+    pub fn link(&self) -> &SampleReceiver<C> {
+        &self.link
+    }
+
+    /// Mutable access to the wrapped link endpoint.
+    pub fn link_mut(&mut self) -> &mut SampleReceiver<C> {
+        &mut self.link
+    }
+
+    /// Supervision counters so far.
+    pub fn stats(&self) -> SupervisorStats {
+        self.live.stats
+    }
+
+    /// Oldest undrained supervision event, if any.
+    pub fn next_event(&mut self) -> Option<SupervisorEvent> {
+        self.live.events.pop_front()
+    }
+
+    /// `true` while the carrier is believed healthy.
+    pub fn is_up(&self) -> bool {
+        matches!(self.live.state, SupState::Up)
+    }
+
+    /// Advances the supervised link at logical time `now`: polls for
+    /// the next [`LinkEvent`], emits heartbeats, runs the watchdog,
+    /// and re-accepts a carrier after an outage. `Ok(None)` means
+    /// nothing right now — keep stepping.
+    ///
+    /// # Errors
+    ///
+    /// Non-carrier errors only; carrier deaths are absorbed into the
+    /// reconnect machinery.
+    pub fn step(&mut self, now: Duration) -> Result<Option<LinkEvent>, TransportError> {
+        match self.live.state {
+            SupState::Up => {
+                let polled = match self.link.poll() {
+                    Ok(ev) => ev,
+                    Err(TransportError::Closed) | Err(TransportError::Io(_)) => {
+                        self.live.go_down(now);
+                        return Ok(None);
+                    }
+                    Err(e) => return Err(e),
+                };
+                if polled.is_some() {
+                    return Ok(polled);
+                }
+                if self.live.watchdog(now, self.link.activity()) {
+                    self.live.go_down(now);
+                    return Ok(None);
+                }
+                if self.live.heartbeat_due(now) {
+                    let position = self.link.stats().samples_ok;
+                    self.link.send_control(ControlMsg::Heartbeat { position });
+                }
+                Ok(None)
+            }
+            SupState::Down { attempt, .. } => {
+                self.live.stats.reconnect_attempts += 1;
+                match (self.accept)() {
+                    Ok(Some(carrier)) => {
+                        let _ = self.link.replace_carrier(carrier);
+                        self.live.back_up(now, attempt + 1);
+                    }
+                    Ok(None) => {
+                        self.live.state = SupState::Down {
+                            next_try: now,
+                            backoff: self.live.cfg.backoff_initial,
+                            attempt: attempt + 1,
+                        };
+                    }
+                    Err(_) => {}
+                }
+                Ok(None)
+            }
+            SupState::Dead => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::carrier::MemoryDuplex;
+    use mimo_core::{LinkGeometry, StreamingReceiver, StreamingTransmitter};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    const MS: Duration = Duration::from_millis(1);
+
+    /// A reconnectable in-memory wire: killing it drops both current
+    /// halves; re-plugging mints a fresh pair, handing one half to the
+    /// dialler and one to the acceptor.
+    #[derive(Default)]
+    struct Patchbay {
+        tx_half: Option<MemoryDuplex>,
+        rx_half: Option<MemoryDuplex>,
+    }
+
+    impl Patchbay {
+        fn plug(bay: &Rc<RefCell<Self>>) {
+            let (a, b) = MemoryDuplex::pair(1 << 20);
+            let mut bay = bay.borrow_mut();
+            bay.tx_half = Some(a);
+            bay.rx_half = Some(b);
+        }
+    }
+
+    fn supervised_pair(
+        cfg: SupervisorConfig,
+        chunk: usize,
+        window: u64,
+    ) -> (
+        SupervisedSender<MemoryDuplex>,
+        SupervisedReceiver<MemoryDuplex>,
+        Rc<RefCell<Patchbay>>,
+    ) {
+        let bay = Rc::new(RefCell::new(Patchbay::default()));
+        Patchbay::plug(&bay);
+        let first_tx = bay.borrow_mut().tx_half.take().unwrap();
+        let first_rx = bay.borrow_mut().rx_half.take().unwrap();
+        let tx_link = SampleSender::new(
+            StreamingTransmitter::from_geometry(LinkGeometry::mimo()).unwrap(),
+            first_tx,
+            chunk,
+        )
+        .unwrap()
+        .with_flow_control(window)
+        .unwrap();
+        let rx_link = SampleReceiver::new(
+            StreamingReceiver::from_geometry(LinkGeometry::mimo()).unwrap(),
+            first_rx,
+        )
+        .with_flow_control(window, window / 2);
+        let dial_bay = Rc::clone(&bay);
+        let tx = SupervisedSender::new(
+            tx_link,
+            cfg,
+            Box::new(move || {
+                dial_bay
+                    .borrow_mut()
+                    .tx_half
+                    .take()
+                    .ok_or(TransportError::Closed)
+            }),
+        )
+        .unwrap();
+        let accept_bay = Rc::clone(&bay);
+        let rx = SupervisedReceiver::new(
+            rx_link,
+            cfg,
+            Box::new(move || Ok(accept_bay.borrow_mut().rx_half.take())),
+        );
+        (tx, rx, bay)
+    }
+
+    #[test]
+    fn clean_supervised_link_handshakes_and_delivers() {
+        let (mut tx, mut rx, _bay) = supervised_pair(SupervisorConfig::default(), 64, 256);
+        tx.link_mut().transmitter_mut().enqueue(&[11; 40]).unwrap();
+        let mut bursts = 0;
+        for tick in 0..10_000u64 {
+            let now = MS * tick as u32;
+            tx.step(now).unwrap();
+            while let Some(ev) = rx.step(now).unwrap() {
+                if let LinkEvent::Burst(_) = ev {
+                    bursts += 1;
+                }
+            }
+            if bursts > 0 && tx.link().is_idle() {
+                break;
+            }
+        }
+        assert_eq!(bursts, 1);
+        assert_eq!(tx.stats().watchdog_trips, 0);
+        assert_eq!(rx.stats().watchdog_trips, 0);
+        assert!(tx.link().is_established());
+    }
+
+    #[test]
+    fn idle_link_stays_alive_on_heartbeats() {
+        // Nothing to send for far longer than the watchdog: the
+        // heartbeats alone must keep both watchdogs quiet.
+        let cfg = SupervisorConfig::default();
+        let (mut tx, mut rx, _bay) = supervised_pair(cfg, 64, 256);
+        let horizon = cfg.watchdog_timeout * 20;
+        let mut now = Duration::ZERO;
+        while now < horizon {
+            tx.step(now).unwrap();
+            while rx.step(now).unwrap().is_some() {}
+            now += MS * 10;
+        }
+        assert_eq!(tx.stats().watchdog_trips, 0, "sender watchdog tripped while idle");
+        assert_eq!(rx.stats().watchdog_trips, 0, "receiver watchdog tripped while idle");
+        assert!(tx.stats().heartbeats_sent > 10);
+        assert!(rx.link().stats().heartbeats_rcvd > 10);
+    }
+
+    #[test]
+    fn cut_wire_trips_the_watchdog_and_reconnects() {
+        let cfg = SupervisorConfig::default();
+        let (mut tx, mut rx, bay) = supervised_pair(cfg, 64, 256);
+        // Let the handshake settle.
+        for tick in 0..20u64 {
+            tx.step(MS * tick as u32).unwrap();
+            while rx.step(MS * tick as u32).unwrap().is_some() {}
+        }
+        assert!(tx.link().is_established());
+        // Cut the wire: replace both carriers with dead ones. The
+        // endpoints notice Closed (or trip the watchdog) and go down.
+        {
+            let (dead_a, dead_b) = MemoryDuplex::pair(16);
+            drop(dead_b);
+            let (dead_c, dead_d) = MemoryDuplex::pair(16);
+            drop(dead_c);
+            let _ = tx.link_mut().replace_carrier(dead_a);
+            let _ = rx.link_mut().replace_carrier(dead_d);
+        }
+        // Re-plug the patchbay after a while; both sides must heal.
+        let mut now = MS * 20;
+        let mut plugged = false;
+        tx.link_mut().transmitter_mut().enqueue(&[42; 40]).unwrap();
+        let mut bursts = 0;
+        for _ in 0..10_000 {
+            now += MS * 5;
+            if !plugged && now > MS * 100 {
+                Patchbay::plug(&bay);
+                plugged = true;
+            }
+            tx.step(now).unwrap();
+            while let Some(ev) = rx.step(now).unwrap() {
+                if let LinkEvent::Burst(_) = ev {
+                    bursts += 1;
+                }
+            }
+            if bursts > 0 {
+                break;
+            }
+        }
+        assert_eq!(bursts, 1, "link never healed after the cut");
+        assert!(tx.stats().reconnects >= 1);
+        assert!(rx.stats().reconnects >= 1);
+        assert!(rx.link().stats().hellos >= 2, "reconnect must re-handshake");
+    }
+
+    #[test]
+    fn backoff_doubles_and_gives_up() {
+        let cfg = SupervisorConfig {
+            max_attempts: 3,
+            ..SupervisorConfig::default()
+        };
+        let (mut tx, _rx, bay) = supervised_pair(cfg, 64, 256);
+        // Empty the patchbay so every dial fails, and kill the wire.
+        bay.borrow_mut().tx_half = None;
+        let (dead_a, dead_b) = MemoryDuplex::pair(16);
+        drop(dead_b);
+        let _ = tx.link_mut().replace_carrier(dead_a);
+        let mut now = Duration::ZERO;
+        let mut reconnecting = Vec::new();
+        for _ in 0..10_000 {
+            now += MS;
+            tx.step(now).unwrap();
+            while let Some(ev) = tx.next_event() {
+                if let SupervisorEvent::Reconnecting { next_delay, .. } = ev {
+                    reconnecting.push(next_delay);
+                }
+            }
+            if tx.gave_up() {
+                break;
+            }
+        }
+        assert!(tx.gave_up(), "supervisor must surrender after max_attempts");
+        assert_eq!(reconnecting.len(), 3);
+        assert_eq!(reconnecting[0], cfg.backoff_initial);
+        assert_eq!(reconnecting[1], cfg.backoff_initial * 2);
+        assert_eq!(tx.stats().reconnect_attempts, 3);
+    }
+}

@@ -5,7 +5,8 @@
 
 use mimo_fixed::{Fx, CQ15};
 use mimo_transport::{
-    encode_frame, frame_len, DecodeEvent, FrameDecoder, SeqStatus, SeqTracker,
+    encode_control, encode_frame, frame_len, ControlMsg, CreditGrantor, CreditWindow,
+    DecodeEvent, FrameDecoder, SeqStatus, SeqTracker, CONTROL_FRAME_LEN,
 };
 use proptest::prelude::*;
 
@@ -195,5 +196,135 @@ proptest! {
             }
         }
         prop_assert_eq!(missing_total, expected_missing);
+    }
+
+    /// Control frames roundtrip across arbitrary carrier split points,
+    /// interleaved with data frames, preserving order and content.
+    #[test]
+    fn control_roundtrip_any_split(
+        msgs in proptest::collection::vec((0u8..5, proptest::prelude::any::<u64>()), 1..12),
+        interleave_data in proptest::prelude::any::<bool>(),
+        split in 1usize..64,
+    ) {
+        let to_msg = |(kind, value): &(u8, u64)| match kind {
+            0 => ControlMsg::Credit { granted: *value },
+            1 => ControlMsg::Heartbeat { position: *value },
+            2 => ControlMsg::Hello { session: *value },
+            3 => ControlMsg::Reset { session: *value },
+            _ => ControlMsg::Bye { position: *value },
+        };
+        let data_chunk = chunk_from(&[11, -22, 33, -44], 2);
+        let mut wire = Vec::new();
+        for (i, m) in msgs.iter().enumerate() {
+            encode_control(i as u32, to_msg(m), &mut wire);
+            if interleave_data {
+                encode_frame(i as u32, &data_chunk, &mut wire).unwrap();
+            }
+        }
+        let mut dec = FrameDecoder::new();
+        for piece in wire.chunks(split) {
+            dec.push(piece);
+        }
+        let events = drain(&mut dec);
+        let controls: Vec<ControlMsg> = events
+            .iter()
+            .filter_map(|e| match e {
+                DecodeEvent::Control(c) => Some(c.msg),
+                _ => None,
+            })
+            .collect();
+        let expected: Vec<ControlMsg> = msgs.iter().map(to_msg).collect();
+        prop_assert_eq!(controls, expected);
+        let data = events
+            .iter()
+            .filter(|e| matches!(e, DecodeEvent::Frame(_)))
+            .count();
+        prop_assert_eq!(data, if interleave_data { msgs.len() } else { 0 });
+        prop_assert!(!events.iter().any(|e| matches!(
+            e,
+            DecodeEvent::Garbage { .. } | DecodeEvent::BadCrc { .. }
+        )));
+        prop_assert_eq!(dec.buffered(), 0);
+    }
+
+    /// Type confusion is structurally impossible: a well-formed data
+    /// frame never surfaces as a control event (its dispatch byte is a
+    /// stream count 1..=8, outside the control tag range), and a
+    /// control frame never surfaces as a data frame.
+    #[test]
+    fn data_and_control_never_confuse(
+        n_streams in 1usize..8,
+        per_stream in 1usize..96,
+        seq in proptest::prelude::any::<u32>(),
+        kind in 0u8..5,
+        value in proptest::prelude::any::<u64>(),
+    ) {
+        let raws: Vec<i16> = (0..n_streams * per_stream)
+            .map(|i| (i as i16).wrapping_mul(2063))
+            .collect();
+        let mut data_wire = Vec::new();
+        encode_frame(seq, &chunk_from(&raws, n_streams), &mut data_wire).unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.push(&data_wire);
+        prop_assert!(
+            drain(&mut dec).iter().all(|e| matches!(e, DecodeEvent::Frame(_))),
+            "data frame bytes produced a non-data event"
+        );
+
+        let msg = match kind {
+            0 => ControlMsg::Credit { granted: value },
+            1 => ControlMsg::Heartbeat { position: value },
+            2 => ControlMsg::Hello { session: value },
+            3 => ControlMsg::Reset { session: value },
+            _ => ControlMsg::Bye { position: value },
+        };
+        let mut ctl_wire = Vec::new();
+        encode_control(seq, msg, &mut ctl_wire);
+        prop_assert_eq!(ctl_wire.len(), CONTROL_FRAME_LEN);
+        let mut dec = FrameDecoder::new();
+        dec.push(&ctl_wire);
+        prop_assert!(
+            drain(&mut dec).iter().all(|e| matches!(e, DecodeEvent::Control(_))),
+            "control frame bytes produced a non-control event"
+        );
+    }
+
+    /// The credit ledgers' core invariant over any consumption
+    /// sequence and any pattern of lost grant announcements:
+    /// granted − consumed == in-flight allowance, never negative,
+    /// never above the window; and the sender never spends more than
+    /// it was granted.
+    #[test]
+    fn credit_accounting_invariants(
+        window in 1u64..4096,
+        quantum in 1u64..4096,
+        takes in proptest::collection::vec((1u64..512, proptest::prelude::any::<bool>()), 1..64),
+    ) {
+        let mut w = CreditWindow::new(window);
+        let mut g = CreditGrantor::new(window, quantum);
+        prop_assert_eq!(g.in_flight(), window);
+        for (want, deliver_grant) in takes {
+            let take = w.available().min(want);
+            w.consume(take);
+            g.on_delivered(take);
+            // The sender's cumulative spend can never exceed the
+            // receiver's cumulative announcements.
+            prop_assert!(w.used() <= g.granted());
+            if let Some(total) = g.due() {
+                prop_assert!(total > g.granted(), "grants must advance");
+                g.mark_granted(total);
+                if deliver_grant {
+                    w.on_grant(total);
+                }
+            }
+            // granted − delivered == in-flight allowance ≤ window.
+            prop_assert_eq!(g.in_flight(), g.granted() - g.delivered());
+            prop_assert!(g.in_flight() <= g.window());
+        }
+        // Session reset restores the initial agreement exactly.
+        w.reset();
+        g.reset();
+        prop_assert_eq!(w.available(), window);
+        prop_assert_eq!(g.in_flight(), window);
     }
 }

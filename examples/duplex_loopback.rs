@@ -13,11 +13,13 @@
 //! cargo run --release --example duplex_loopback
 //! ```
 
+use std::time::Duration;
+
 use mimo_baseband::channel::{FaultLottery, FaultSchedule};
 use mimo_baseband::phy::{LinkGeometry, Mcs, PhyConfig, StreamingReceiver, StreamingTransmitter};
 use mimo_baseband::transport::{
     Carrier, FaultInjector, LinkEvent, MemoryDuplex, SampleReceiver, SampleSender,
-    StreamCarrier,
+    StreamCarrier, SupervisedReceiver, SupervisedSender, SupervisorConfig, TransportError,
 };
 
 /// Samples per frame: the pacing quantum (two OFDM symbols' worth).
@@ -49,7 +51,7 @@ fn run<C: Carrier, D: Carrier>(
             match ev {
                 LinkEvent::Burst(b) => decoded.push(b.result.payload),
                 LinkEvent::Phy(_) => typed += 1,
-                LinkEvent::Fault(_) => {}
+                _ => {}
             }
         }
     }
@@ -117,7 +119,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         match ev {
             LinkEvent::Burst(b) => decoded.push(b.result.payload),
             LinkEvent::Phy(_) => typed += 1,
-            LinkEvent::Fault(_) => {}
+            _ => {}
         }
     }
     match rx.finish() {
@@ -152,5 +154,96 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     assert!(counts.total_faults() > 0, "the schedule should have fired");
     println!("\nno panic, no deadlock: every fault recovered or surfaced as a typed event");
+
+    // --- Supervised, flow-controlled wire: the full robustness stack. ---
+    println!("\n== Supervised flow-controlled duplex (faulted, logical clock) ==\n");
+    let (wire_a, wire_b) = MemoryDuplex::pair(1 << 22);
+    let link_tx = SampleSender::new(
+        StreamingTransmitter::new(PhyConfig::paper_synthesis())?.with_queue_capacity(4),
+        FaultInjector::new(
+            wire_a,
+            FaultLottery::new(FaultSchedule::uniform(0.01), 0x5AFE),
+        ),
+        CHUNK,
+    )?
+    .with_flow_control(2048)?;
+    let link_rx = SampleReceiver::new(
+        StreamingReceiver::from_geometry(LinkGeometry::mimo())?,
+        wire_b,
+    )
+    .with_flow_control(2048, 512);
+    // The in-memory wire cannot be re-dialled; the supervisors still
+    // provide heartbeats, the watchdog and the HELLO/RESET handshake.
+    let mut tx = SupervisedSender::new(
+        link_tx,
+        SupervisorConfig::default(),
+        Box::new(|| Err(TransportError::Closed)),
+    )?;
+    let mut rx = SupervisedReceiver::new(
+        link_rx,
+        SupervisorConfig::default(),
+        Box::new(|| Ok(None)),
+    );
+    let mut decoded = 0usize;
+    let mut now = Duration::ZERO;
+    let tick = Duration::from_millis(1);
+    let mut queue_full = 0u64;
+    for (mcs, payload) in &plan {
+        loop {
+            match tx.link_mut().transmitter_mut().enqueue_with(*mcs, payload) {
+                Ok(()) => break,
+                Err(mimo_baseband::phy::PhyError::QueueFull { .. }) => {
+                    queue_full += 1;
+                    now += tick;
+                    tx.step(now)?;
+                    while let Some(ev) = rx.step(now)? {
+                        if let LinkEvent::Burst(_) = ev {
+                            decoded += 1;
+                        }
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+    for _ in 0..200_000 {
+        now += tick;
+        tx.step(now)?;
+        while let Some(ev) = rx.step(now)? {
+            if let LinkEvent::Burst(_) = ev {
+                decoded += 1;
+            }
+        }
+        if tx.link().is_idle() {
+            break;
+        }
+    }
+    let s_tx = tx.link().stats();
+    let s_rx = rx.link().stats();
+    println!(
+        "extended ledger: {} credit stalls · {} credits granted · {} heartbeats sent (tx) / {} received (rx) · {} hellos · {} queue-full rejections · {} queue drops · max queue depth {}/4",
+        s_tx.credit_stalls,
+        s_rx.credits_sent,
+        tx.stats().heartbeats_sent + rx.stats().heartbeats_sent,
+        s_rx.heartbeats_rcvd,
+        s_rx.hellos,
+        queue_full,
+        tx.link().transmitter().queue_drops(),
+        tx.link().transmitter().max_queue_depth(),
+    );
+    println!(
+        "supervision: {} watchdog trips · {} reconnect attempts · {} reconnects · goodput {}/{} bursts",
+        tx.stats().watchdog_trips + rx.stats().watchdog_trips,
+        tx.stats().reconnect_attempts + rx.stats().reconnect_attempts,
+        tx.stats().reconnects + rx.stats().reconnects,
+        decoded,
+        plan.len(),
+    );
+    assert!(
+        tx.link().transmitter().max_queue_depth() <= 4,
+        "bounded queue must hold its bound"
+    );
+    assert!(tx.link().is_established(), "handshake must have completed");
+    println!("\nmemory bounded end-to-end: queue ≤ 4 bursts, ≤ 2048 samples in flight");
     Ok(())
 }

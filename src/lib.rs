@@ -28,6 +28,73 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ## Quickstart: a supervised streaming link
+//!
+//! For samples that cross a real wire, wrap the streaming endpoints
+//! in the transport layer's supervised links: CRC-framed chunks,
+//! credit-based flow control, HELLO/RESET session handshake,
+//! heartbeats and a reconnecting watchdog.
+//!
+//! ```
+//! use std::time::Duration;
+//! use mimo_baseband::phy::{
+//!     LinkGeometry, Mcs, PhyConfig, StreamingReceiver, StreamingTransmitter,
+//! };
+//! use mimo_baseband::transport::{
+//!     LinkEvent, MemoryDuplex, SampleReceiver, SampleSender,
+//!     SupervisedReceiver, SupervisedSender, SupervisorConfig, TransportError,
+//! };
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let (near, far) = MemoryDuplex::pair(1 << 20);
+//! let link_tx = SampleSender::new(
+//!     StreamingTransmitter::new(PhyConfig::paper_synthesis())?
+//!         .with_queue_capacity(4),          // bounded: QueueFull, not OOM
+//!     near,
+//!     160,                                  // samples per wire frame
+//! )?
+//! .with_flow_control(1024)?;                // stop when credit runs out
+//! let link_rx = SampleReceiver::new(
+//!     StreamingReceiver::from_geometry(LinkGeometry::mimo())?,
+//!     far,
+//! )
+//! .with_flow_control(1024, 256);            // grant credit as we consume
+//!
+//! // The in-memory wire cannot be re-dialled; over TCP the closures
+//! // would reconnect/re-accept after an outage.
+//! let mut tx = SupervisedSender::new(
+//!     link_tx,
+//!     SupervisorConfig::default(),
+//!     Box::new(|| Err(TransportError::Closed)),
+//! )?;
+//! let mut rx = SupervisedReceiver::new(
+//!     link_rx,
+//!     SupervisorConfig::default(),
+//!     Box::new(|| Ok(None)),
+//! );
+//!
+//! let payload: Vec<u8> = (0..96).map(|i| i as u8).collect();
+//! tx.link_mut().transmitter_mut().enqueue_with(Mcs::Qam16R12, &payload)?;
+//!
+//! let mut decoded = Vec::new();
+//! for tick in 1..=200u32 {                  // logical clock drives liveness
+//!     let now = Duration::from_millis(tick as u64);
+//!     tx.step(now)?;
+//!     while let Some(ev) = rx.step(now)? {
+//!         if let LinkEvent::Burst(b) = ev {
+//!             decoded.push(b.result.payload);
+//!         }
+//!     }
+//!     if tx.link().is_idle() && !decoded.is_empty() {
+//!         break;
+//!     }
+//! }
+//! assert_eq!(decoded, vec![payload]);
+//! assert!(tx.link().is_established());     // HELLO/RESET completed
+//! # Ok(())
+//! # }
+//! ```
 
 /// Fixed-point arithmetic (Q1.15 samples, Q2.16 CORDIC words).
 pub use mimo_fixed as fixed;
@@ -69,5 +136,7 @@ pub use mimo_fpga as fpga;
 pub use mimo_core as phy;
 
 /// Fault-tolerant framed sample transport: chunk codec, carriers,
-/// deterministic fault injection, linked streaming endpoints.
+/// deterministic fault injection, linked streaming endpoints, plus
+/// the supervised link layer — credit-based flow control, HELLO/RESET
+/// sessions, heartbeat/watchdog liveness and reconnect-with-backoff.
 pub use mimo_transport as transport;

@@ -12,13 +12,16 @@
 //! deadlock, no unbounded buffering — and the stats ledger accounts
 //! for what the injector did.
 
+use std::time::Duration;
+
 use mimo_baseband::channel::{FaultLottery, FaultSchedule};
 use mimo_baseband::phy::{
     LinkGeometry, Mcs, PhyConfig, ReceivedBurst, StreamingReceiver, StreamingTransmitter,
 };
 use mimo_baseband::transport::{
     Carrier, FaultInjector, LinkEvent, MemoryDuplex, SampleReceiver, SampleSender,
-    StreamCarrier,
+    StreamCarrier, SupervisedReceiver, SupervisedSender, SupervisorConfig, SupervisorEvent,
+    TransportError,
 };
 
 fn payload_for(mcs: Mcs, len: usize) -> Vec<u8> {
@@ -226,6 +229,7 @@ fn faulty_link_soak_recovers_or_types_every_fault() {
             }
             LinkEvent::Phy(_) => typed_phy += 1,
             LinkEvent::Fault(_) => faults_seen += 1,
+            LinkEvent::Control(_) => {}
         }
     }
 
@@ -294,4 +298,239 @@ fn fault_soak_replays_identically_from_the_same_seed() {
     assert_eq!((a.2, a.3), (b.2, b.3), "ledger must replay");
     let c = run(78);
     assert!(a.1 != c.1 || a.0 != c.0, "different seeds should diverge");
+}
+
+#[test]
+fn clean_tcp_link_is_bit_identical_to_direct_push() {
+    // The soak exercised memory rings and Unix sockets; real
+    // deployments cross machines. Same bit-identity bar over
+    // loopback TCP: kernel socket buffers, Nagle-free small writes,
+    // WouldBlock spill — none of it may perturb a single sample.
+    let specs: Vec<(Mcs, usize)> = vec![
+        (Mcs::Bpsk12, 64),
+        (Mcs::Qam16R34, 700),
+        (Mcs::Qam64R34, 1800),
+        (Mcs::Qpsk12, 333),
+    ];
+    let chunk = 160;
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let client = std::net::TcpStream::connect(addr).unwrap();
+    let (server, _) = listener.accept().unwrap();
+    let mut tx = new_sender(StreamCarrier::tcp(client).unwrap(), chunk);
+    let mut rx = new_receiver(StreamCarrier::tcp(server).unwrap());
+    for &(mcs, len) in &specs {
+        tx.transmitter_mut().enqueue_with(mcs, &payload_for(mcs, len)).unwrap();
+    }
+    let mut events = run_link(&mut tx, &mut rx);
+    if let Some(ev) = rx.finish() {
+        events.push(ev);
+    }
+    let got = bursts(events);
+    let want = direct_reference(&specs, chunk);
+    assert_same_bursts(&got, &want, "tcp socket");
+    assert_eq!(rx.stats().crc_errors, 0);
+    assert_eq!(rx.stats().resync_bytes, 0);
+    assert_eq!(rx.stats().frames_ok, tx.stats().frames_sent);
+}
+
+/// Builds a supervised, flow-controlled pair over a fresh memory
+/// wire, with dial/accept closures that can never produce another
+/// carrier (for tests that don't exercise reconnection).
+fn supervised_pair(
+    cfg: SupervisorConfig,
+    chunk: usize,
+    window: u64,
+) -> (
+    SupervisedSender<MemoryDuplex>,
+    SupervisedReceiver<MemoryDuplex>,
+) {
+    let (wire_a, wire_b) = MemoryDuplex::pair(1 << 22);
+    let tx_link = SampleSender::new(
+        StreamingTransmitter::new(PhyConfig::paper_synthesis()).unwrap(),
+        wire_a,
+        chunk,
+    )
+    .unwrap()
+    .with_flow_control(window)
+    .unwrap();
+    let rx_link = SampleReceiver::new(
+        StreamingReceiver::from_geometry(LinkGeometry::mimo()).unwrap(),
+        wire_b,
+    )
+    .with_flow_control(window, window / 4);
+    let tx = SupervisedSender::new(
+        tx_link,
+        cfg,
+        Box::new(|| Err(TransportError::Closed)),
+    )
+    .unwrap();
+    let rx = SupervisedReceiver::new(rx_link, cfg, Box::new(|| Ok(None)));
+    (tx, rx)
+}
+
+#[test]
+fn stall_longer_than_watchdog_trips_peer_dead_and_link_recovers() {
+    // Regression for the supervisor's watchdog: freeze the sender for
+    // longer than the timeout. The receiver must declare PeerDead —
+    // and, once traffic resumes over a fresh wire, heal through the
+    // HELLO/RESET handshake and decode subsequent bursts cleanly.
+    let cfg = SupervisorConfig::default();
+    let ms = Duration::from_millis(1);
+    let (mut tx, mut rx) = supervised_pair(cfg, 160, 4096);
+    let payload = payload_for(Mcs::Qpsk12, 200);
+    tx.link_mut()
+        .transmitter_mut()
+        .enqueue_with(Mcs::Qpsk12, &payload)
+        .unwrap();
+    // Phase 1: run the link until the first burst lands.
+    let mut now = Duration::ZERO;
+    let mut bursts_seen = 0;
+    for _ in 0..100_000 {
+        now += ms;
+        tx.step(now).unwrap();
+        while let Some(ev) = rx.step(now).unwrap() {
+            if let LinkEvent::Burst(b) = ev {
+                assert_eq!(b.result.payload, payload);
+                bursts_seen += 1;
+            }
+        }
+        if bursts_seen > 0 && tx.link().is_idle() {
+            break;
+        }
+    }
+    assert_eq!(bursts_seen, 1);
+    assert_eq!(rx.stats().watchdog_trips, 0, "live link must not trip");
+    // Phase 2: the sender process freezes — only the receiver steps.
+    // Its watchdog must fire within (timeout, timeout + 2·interval].
+    let frozen_at = now;
+    let mut tripped_at = None;
+    while now < frozen_at + cfg.watchdog_timeout * 4 {
+        now += ms;
+        while rx.step(now).unwrap().is_some() {}
+        if let Some(SupervisorEvent::PeerDead { quiet }) = rx.next_event() {
+            assert!(quiet > cfg.watchdog_timeout);
+            tripped_at = Some(now);
+            break;
+        }
+    }
+    let tripped_at = tripped_at.expect("watchdog never tripped on a frozen peer");
+    assert!(
+        tripped_at - frozen_at <= cfg.watchdog_timeout + cfg.heartbeat_interval * 2,
+        "watchdog tripped late: {:?} after the freeze",
+        tripped_at - frozen_at
+    );
+    assert_eq!(rx.stats().watchdog_trips, 1);
+    // Phase 3: the sender thaws and both sides get a fresh wire (as
+    // the dial/accept closures of a socket deployment would mint).
+    let (wire_a, wire_b) = MemoryDuplex::pair(1 << 22);
+    let _ = tx.link_mut().replace_carrier(wire_a);
+    tx.link_mut().begin_session(0xAFE2).unwrap();
+    let _ = rx.link_mut().replace_carrier(wire_b);
+    // (the receiver's supervisor is mid-outage; hand it the carrier
+    // the way its accept closure would)
+    let payload2 = payload_for(Mcs::Qam16R34, 300);
+    tx.link_mut()
+        .transmitter_mut()
+        .enqueue_with(Mcs::Qam16R34, &payload2)
+        .unwrap();
+    // Both supervisors are mid-outage (their dial/accept closures can
+    // mint nothing in this in-process test), so drive the repaired
+    // links directly — the HELLO/RESET handshake is what's under test.
+    let mut recovered = 0;
+    for _ in 0..100_000 {
+        tx.link_mut().pump().unwrap();
+        while let Some(ev) = rx.link_mut().poll().unwrap() {
+            if let LinkEvent::Burst(b) = ev {
+                assert_eq!(b.result.payload, payload2);
+                recovered += 1;
+            }
+        }
+        if recovered > 0 {
+            break;
+        }
+    }
+    assert_eq!(recovered, 1, "link never recovered after the stall");
+    assert!(rx.link().stats().hellos >= 2, "recovery must re-handshake");
+}
+
+#[test]
+fn flow_controlled_faulty_soak_bounds_memory_and_replays() {
+    // Flow control + bounded transmit queue under the fault schedule:
+    // the sender's queue depth must never exceed its capacity, the
+    // credit window must actually gate (stalls observed), decoded
+    // payloads must all be genuine, and the whole ledger must replay
+    // from the same seed.
+    let run = |seed: u64| {
+        let specs: Vec<(Mcs, usize)> =
+            (0..16).map(|i| (Mcs::ALL[i % Mcs::ALL.len()], 64 + i * 47)).collect();
+        let (wire_a, wire_b) = MemoryDuplex::pair(1 << 22);
+        let faulty =
+            FaultInjector::new(wire_a, FaultLottery::new(FaultSchedule::uniform(0.01), seed));
+        let phy_tx = StreamingTransmitter::new(PhyConfig::paper_synthesis())
+            .unwrap()
+            .with_queue_capacity(4);
+        let mut tx = SampleSender::new(phy_tx, faulty, 160)
+            .unwrap()
+            .with_flow_control(2048)
+            .unwrap();
+        let mut rx = SampleReceiver::new(
+            StreamingReceiver::from_geometry(LinkGeometry::mimo()).unwrap(),
+            wire_b,
+        )
+        .with_flow_control(2048, 512);
+        // The bounded queue rejects when full: a real producer drains
+        // the link and retries, which is exactly what this loop does.
+        let mut sent: Vec<Vec<u8>> = Vec::new();
+        let mut events = Vec::new();
+        let mut queue_full_seen = 0u32;
+        let mut spins = 0;
+        for &(mcs, len) in &specs {
+            let p = payload_for(mcs, len);
+            loop {
+                match tx.transmitter_mut().enqueue_with(mcs, &p) {
+                    Ok(()) => break,
+                    Err(mimo_baseband::phy::PhyError::QueueFull { capacity }) => {
+                        assert_eq!(capacity, 4);
+                        queue_full_seen += 1;
+                        tx.pump().unwrap();
+                        while let Some(ev) = rx.poll().unwrap() {
+                            events.push(ev);
+                        }
+                        spins += 1;
+                        assert!(spins < 1_000_000, "bounded-queue producer deadlocked");
+                    }
+                    Err(e) => panic!("enqueue failed: {e}"),
+                }
+            }
+            sent.push(p);
+        }
+        assert!(queue_full_seen > 0, "capacity 4 must reject at least once");
+        events.extend(run_link(&mut tx, &mut rx));
+        let sender_stats = tx.stats();
+        let max_depth = tx.transmitter().max_queue_depth();
+        let mut injector = tx.into_carrier();
+        injector.flush_held().unwrap();
+        while let Some(ev) = rx.poll().unwrap() {
+            events.push(ev);
+        }
+        if let Some(ev) = rx.finish() {
+            events.push(ev);
+        }
+        for b in bursts(events) {
+            assert!(sent.contains(&b.result.payload), "decoded an unsent payload");
+        }
+        assert!(max_depth <= 4, "transmit queue exceeded its bound");
+        let stats = rx.stats();
+        (
+            stats.bursts,
+            stats.samples_ok,
+            stats.credits_sent,
+            sender_stats.credit_stalls,
+            injector.counts(),
+        )
+    };
+    let a = run(0xF10C);
+    let b = run(0xF10C);
+    assert_eq!(a, b, "flow-controlled soak must replay from its seed");
 }
