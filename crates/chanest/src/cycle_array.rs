@@ -224,9 +224,16 @@ impl SystolicQrdArray {
                     }
                 }
                 for cell in &mut self.internal[k] {
-                    if cell.busy.is_none() && !cell.input.is_empty() && !cell.angles.is_empty() {
-                        let x = cell.input.pop_front().expect("checked");
-                        let a = cell.angles.pop_front().expect("checked");
+                    if cell.busy.is_none() {
+                        // Fire only when an input and its angle set are
+                        // both queued; popping after the paired peek
+                        // keeps the two queues in lockstep.
+                        let (Some(&x), Some(&a)) = (cell.input.front(), cell.angles.front())
+                        else {
+                            continue;
+                        };
+                        cell.input.pop_front();
+                        cell.angles.pop_front();
                         let dephased = self.cordic.rotate(x.re, x.im, -a.phi);
                         let lane_re = self.cordic.rotate(cell.z.re, dephased.x, -a.theta);
                         let lane_im = self.cordic.rotate(cell.z.im, dephased.y, -a.theta);

@@ -213,12 +213,20 @@ impl ChannelEstimator {
         for (rx, per_rx) in lts_blocks.iter().enumerate() {
             for (slot, block) in per_rx.as_ref().iter().enumerate() {
                 let block = block.as_ref();
+                // Block length was validated to 2·N above; an FFT
+                // length complaint can only mean that check and this
+                // call disagree, which surfaces as the same typed
+                // error instead of a panic.
+                let bad_len = |_| ChanestError::BadBlockLength {
+                    expected: 2 * n,
+                    got: block.len(),
+                };
                 self.fft
                     .fft_into(&block[..n], &mut first)
-                    .expect("length validated above");
+                    .map_err(bad_len)?;
                 self.fft
                     .fft_into(&block[n..], &mut second)
-                    .expect("length validated above");
+                    .map_err(bad_len)?;
                 let base = (rx * N_ANTENNAS + slot) * n_occ;
                 for (s, &l) in occupied.iter().enumerate() {
                     let bin = self.map.bin(l);

@@ -142,6 +142,7 @@ impl ButterflyTrellis {
     /// Tie-break matches the scalar kernel: the lower-numbered
     /// predecessor (`2j`) wins on equality, so a set decision bit
     /// always means "`2j+1` was strictly better".
+    // phylint: hot
     #[inline]
     pub(crate) fn acs_step(&self, bm: &[i32], cur: &[i32], nxt: &mut [i32], surv: &mut [u64]) {
         let half = self.coded.len();
@@ -206,6 +207,7 @@ pub(crate) fn normalize_row(row: &mut [i32]) {
         *m -= best;
     }
 }
+// phylint: end-hot
 
 /// Index of the best end-state metric, ties resolved exactly like the
 /// scalar kernel's `max_by_key` (the last maximum wins).

@@ -69,7 +69,15 @@ impl CodeSpec {
     /// The industry-standard K=7 code used by 802.11a: generators
     /// 133/171 (octal), mother rate 1/2.
     pub fn ieee80211a() -> Self {
-        Self::new(7, vec![0o133, 0o171], 8).expect("built-in spec is valid")
+        // Constructed directly: the field invariants `new` checks
+        // (K in range, generators fit K bits, nonzero width) hold for
+        // these literals, and the equivalence with `new` is pinned by
+        // the spec tests below.
+        Self {
+            constraint_length: 7,
+            generators: vec![0o133, 0o171],
+            data_path_width: 8,
+        }
     }
 
     /// Creates a custom code.

@@ -137,7 +137,13 @@ pub fn depuncture_into(
     let mut it = soft.iter();
     for i in 0..mother_len {
         if pattern[i % pattern.len()] {
-            out.push(*it.next().expect("count checked above"));
+            // `soft.len() == kept_count` was checked above, so the
+            // iterator cannot run dry; a miscount surfaces as the
+            // same typed error rather than a panic.
+            out.push(it.next().copied().ok_or(CodingError::BadBlockLength {
+                got: soft.len(),
+                multiple: kept_count,
+            })?);
         } else {
             out.push(0); // erasure
         }

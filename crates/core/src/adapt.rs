@@ -271,7 +271,14 @@ impl RateController {
 
     /// The rate the next burst should use.
     pub fn current(&self) -> Mcs {
-        Mcs::from_index(self.current as u8).expect("controller index stays on-table")
+        // The controller clamps `current` to the table on every
+        // update (pinned by the on-table proptest); should that
+        // invariant ever break, degrade to the most robust rate
+        // rather than panicking mid-link.
+        Mcs::ALL
+            .get(self.current)
+            .copied()
+            .unwrap_or(Mcs::most_robust())
     }
 
     /// The thresholds in use.

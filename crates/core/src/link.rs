@@ -135,9 +135,15 @@ impl AdaptiveTrace {
 /// ```
 pub struct LinkSimulation {
     cfg: PhyConfig,
-    mimo: Option<(MimoTransmitter, MimoReceiver)>,
-    siso: Option<(SisoTransmitter, SisoReceiver)>,
+    endpoints: Endpoints,
     rng: ChaCha8Rng,
+}
+
+/// The transceiver pair under test: exactly one of the two shapes, by
+/// construction — no "neither" or "both" states to defend against.
+enum Endpoints {
+    Mimo(MimoTransmitter, MimoReceiver),
+    Siso(SisoTransmitter, SisoReceiver),
 }
 
 impl LinkSimulation {
@@ -148,27 +154,20 @@ impl LinkSimulation {
     /// Propagates configuration errors.
     pub fn new(cfg: PhyConfig, seed: u64) -> Result<Self, PhyError> {
         cfg.validate()?;
-        let (mimo, siso) = if cfg.n_streams() == 4 {
-            (
-                Some((
-                    MimoTransmitter::new(cfg.clone())?,
-                    MimoReceiver::new(cfg.clone())?,
-                )),
-                None,
+        let endpoints = if cfg.n_streams() == 4 {
+            Endpoints::Mimo(
+                MimoTransmitter::new(cfg.clone())?,
+                MimoReceiver::new(cfg.clone())?,
             )
         } else {
-            (
-                None,
-                Some((
-                    SisoTransmitter::new(cfg.clone())?,
-                    SisoReceiver::new(cfg.clone())?,
-                )),
+            Endpoints::Siso(
+                SisoTransmitter::new(cfg.clone())?,
+                SisoReceiver::new(cfg.clone())?,
             )
         };
         Ok(Self {
             cfg,
-            mimo,
-            siso,
+            endpoints,
             rng: ChaCha8Rng::seed_from_u64(seed),
         })
     }
@@ -302,23 +301,25 @@ impl LinkSimulation {
         channel: &mut dyn ChannelModel,
         payload: &[u8],
     ) -> Result<(usize, Result<RxResult, PhyError>), PhyError> {
-        if let Some((tx, rx)) = self.mimo.as_mut() {
-            let burst = tx.transmit_burst_with(mcs, payload)?;
-            let tx_samples = burst.streams[0].len();
-            let received = channel.propagate(&burst.streams);
-            Ok((tx_samples, rx.receive_burst(&received)))
-        } else {
-            let (tx, rx) = self.siso.as_mut().expect("one of the two is set");
-            let burst = tx.transmit_burst_with(mcs, payload)?;
-            let tx_samples = burst.streams[0].len();
-            let received = channel.propagate(&burst.streams);
-            // An empty channel output is a ChannelModel contract bug,
-            // not a sync failure: surface it as the stream-count error.
-            let stream = received
-                .into_iter()
-                .next()
-                .ok_or(PhyError::BadStreamCount { expected: 1, got: 0 })?;
-            Ok((tx_samples, rx.receive_burst(&stream)))
+        match &mut self.endpoints {
+            Endpoints::Mimo(tx, rx) => {
+                let burst = tx.transmit_burst_with(mcs, payload)?;
+                let tx_samples = burst.streams[0].len();
+                let received = channel.propagate(&burst.streams);
+                Ok((tx_samples, rx.receive_burst(&received)))
+            }
+            Endpoints::Siso(tx, rx) => {
+                let burst = tx.transmit_burst_with(mcs, payload)?;
+                let tx_samples = burst.streams[0].len();
+                let received = channel.propagate(&burst.streams);
+                // An empty channel output is a ChannelModel contract bug,
+                // not a sync failure: surface it as the stream-count error.
+                let stream = received
+                    .into_iter()
+                    .next()
+                    .ok_or(PhyError::BadStreamCount { expected: 1, got: 0 })?;
+                Ok((tx_samples, rx.receive_burst(&stream)))
+            }
         }
     }
 
@@ -367,22 +368,24 @@ impl LinkSimulation {
         channel: &mut dyn ChannelModel,
         payload: &[u8],
     ) -> Result<Vec<u8>, PhyError> {
-        if let Some((tx, rx)) = self.mimo.as_mut() {
-            let burst = match mcs {
-                Some(mcs) => tx.transmit_burst_with(mcs, payload)?,
-                None => tx.transmit_burst(payload)?,
-            };
-            let received = channel.propagate(&burst.streams);
-            Ok(rx.receive_burst(&received)?.payload)
-        } else {
-            let (tx, rx) = self.siso.as_mut().expect("one of the two is set");
-            let burst = match mcs {
-                Some(mcs) => tx.transmit_burst_with(mcs, payload)?,
-                None => tx.transmit_burst(payload)?,
-            };
-            let received = channel.propagate(&burst.streams);
-            let stream = received.into_iter().next().ok_or(PhyError::SyncNotFound)?;
-            Ok(rx.receive_burst(&stream)?.payload)
+        match &mut self.endpoints {
+            Endpoints::Mimo(tx, rx) => {
+                let burst = match mcs {
+                    Some(mcs) => tx.transmit_burst_with(mcs, payload)?,
+                    None => tx.transmit_burst(payload)?,
+                };
+                let received = channel.propagate(&burst.streams);
+                Ok(rx.receive_burst(&received)?.payload)
+            }
+            Endpoints::Siso(tx, rx) => {
+                let burst = match mcs {
+                    Some(mcs) => tx.transmit_burst_with(mcs, payload)?,
+                    None => tx.transmit_burst(payload)?,
+                };
+                let received = channel.propagate(&burst.streams);
+                let stream = received.into_iter().next().ok_or(PhyError::SyncNotFound)?;
+                Ok(rx.receive_burst(&stream)?.payload)
+            }
         }
     }
 }

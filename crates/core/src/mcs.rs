@@ -75,7 +75,10 @@ impl Mcs {
     /// The 4-bit SIGNAL-field rate index of this entry (0–7; indices
     /// 8–15 are reserved and rejected as [`PhyError::UnsupportedMcs`]).
     pub fn index(self) -> u8 {
-        Mcs::ALL.iter().position(|&m| m == self).unwrap() as u8
+        // `ALL` lists the variants in declaration order, so the
+        // discriminant *is* the table index (pinned by the
+        // `from_index` round-trip test).
+        self as u8
     }
 
     /// Looks up a SIGNAL-field rate index.

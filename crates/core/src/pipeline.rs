@@ -216,15 +216,34 @@ impl BurstPipeline {
             ws_pool: Mutex::new(Vec::new()),
         });
         let n_workers = if workers <= 1 { 0 } else { workers.min(64) };
-        let handles = (0..n_workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("burst-pipe-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn pipeline worker")
-            })
-            .collect();
+        let mut handles = Vec::with_capacity(n_workers);
+        for i in 0..n_workers {
+            let worker_shared = Arc::clone(&shared);
+            match std::thread::Builder::new()
+                .name(format!("burst-pipe-{i}"))
+                .spawn(move || worker_loop(&worker_shared))
+            {
+                Ok(h) => handles.push(h),
+                Err(e) => {
+                    // Shut down the workers that did start before
+                    // surfacing the typed error, so none are leaked.
+                    {
+                        let mut q = shared
+                            .q
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        q.shutdown = true;
+                    }
+                    shared.work_cv.notify_all();
+                    for h in handles {
+                        let _ = h.join();
+                    }
+                    return Err(PhyError::Pipeline(format!(
+                        "could not spawn worker {i} of {n_workers}: {e}"
+                    )));
+                }
+            }
+        }
         Ok(Self {
             shared,
             workers: handles,
@@ -286,7 +305,16 @@ impl BurstPipeline {
         }
         q.results
             .drain(..)
-            .map(|r| r.expect("every finished burst has a result"))
+            .map(|r| {
+                // `outstanding == 0` means every index was claimed and
+                // completed; an unfilled slot is a scheduler bug and
+                // surfaces as a typed per-burst error, not a panic.
+                r.unwrap_or_else(|| {
+                    Err(PhyError::Pipeline(
+                        "result slot never filled by any worker".into(),
+                    ))
+                })
+            })
             .collect()
     }
 
@@ -351,9 +379,16 @@ impl BurstPipeline {
         results
             .into_iter()
             .map(|slot| {
+                // The scoped crew claims every index before the scope
+                // closes; an unclaimed slot degrades to a typed
+                // per-burst error rather than a panic.
                 slot.into_inner()
                     .unwrap_or_else(std::sync::PoisonError::into_inner)
-                    .expect("every burst index was claimed by a worker")
+                    .unwrap_or_else(|| {
+                        Err(PhyError::Pipeline(
+                            "burst index never claimed by a worker".into(),
+                        ))
+                    })
             })
             .collect()
     }

@@ -478,6 +478,7 @@ impl MimoReceiver {
     /// (`rx_occ[a]` = antenna `a`'s occupied carriers), then the
     /// shared [`SymbolPost`] stage. `sym` is the absolute symbol index
     /// after the LTS (= pilot polarity index).
+    // phylint: hot
     #[allow(clippy::too_many_arguments)] // one argument per pipeline input
     pub(crate) fn process_symbol(
         &self,
@@ -493,6 +494,7 @@ impl MimoReceiver {
             .detect_stream_into(h_inv, rx_occ, k, &mut ws.eq)?;
         self.post.run(kit, sym, collect_diag, ws)
     }
+    // phylint: end-hot
 
     /// Receives one burst from the four antenna streams, learning its
     /// rate and length from the SIGNAL-field header — no prior

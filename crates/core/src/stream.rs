@@ -227,6 +227,7 @@ impl StreamingReceiver {
     /// [`MimoReceiver::receive_burst`]; after such an error the
     /// receiver re-arms and keeps searching the stream, so one bad
     /// burst never wedges the datapath.
+    // phylint: hot
     pub fn push_samples<S: AsRef<[CQ15]>>(
         &mut self,
         chunks: &[S],
@@ -249,6 +250,7 @@ impl StreamingReceiver {
         self.pos += len;
         self.pump(false)
     }
+    // phylint: end-hot
 
     /// Declares a discontinuity in the sample stream: `missing`
     /// samples (per antenna) were lost in flight — dropped transport

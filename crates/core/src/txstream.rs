@@ -275,6 +275,7 @@ impl StreamingTransmitter {
         for o in out.iter_mut() {
             o.clear();
         }
+        // phylint: hot
         let mut produced = 0;
         while produced < max_samples {
             if let Some((burst, offset)) = self.current.as_mut() {
@@ -304,6 +305,7 @@ impl StreamingTransmitter {
         }
         self.emitted += produced;
         Ok(produced)
+        // phylint: end-hot
     }
 }
 

@@ -170,6 +170,7 @@ impl RxWorkspace {
             antennas: (0..n)
                 .map(|_| RxAntennaWorkspace {
                     ingest: SymbolIngest::new(geometry.fft_size())
+                        // phylint: allow(panic_path) -- the geometry's FFT size was validated before any workspace is built, so `SymbolIngest::new` cannot reject it
                         .expect("geometry validated before workspace construction"),
                     freq_occ: Vec::new(),
                 })
@@ -200,7 +201,12 @@ pub(crate) fn run_four<T: Send, E: Send>(
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("channel worker panicked"))
+                .map(|h| {
+                    // A worker panic is a bug in `f`; re-raise it on the
+                    // caller's thread with the original payload intact.
+                    h.join()
+                        .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+                })
                 .collect()
         });
         for result in results {

@@ -134,6 +134,7 @@ impl StreamingFft {
                     Direction::Forward => self.core.fft_into(&self.collecting, &mut transformed),
                     Direction::Inverse => self.core.ifft_into(&self.collecting, &mut transformed),
                 }
+                // phylint: allow(panic_path) -- `collecting.len() == n` was checked two lines up and `transformed` was resized to `n`, the exact lengths `fft_into` requires
                 .expect("frame length enforced by collection");
                 self.collecting.clear();
                 // Attach result to the oldest un-filled in-flight slot.
@@ -141,6 +142,7 @@ impl StreamingFft {
                     .in_flight
                     .iter_mut()
                     .find(|(_, data)| data.is_empty())
+                    // phylint: allow(panic_path) -- an empty slot is pushed when a frame's first sample arrives and filled exactly once when its last sample arrives, so one empty slot always exists here
                     .expect("slot was pushed at frame start");
                 slot.1 = transformed;
             }
@@ -148,17 +150,19 @@ impl StreamingFft {
 
         self.cycle += 1;
 
-        if self.draining.is_empty() {
-            if let Some((ready_at, _)) = self.in_flight.front() {
-                if self.cycle > *ready_at {
-                    let (_, mut data) = self.in_flight.pop_front().expect("front exists");
-                    debug_assert_eq!(data.len(), n, "frame completed before latency elapsed");
-                    data.reverse();
-                    // Recycle the previous (now empty) draining buffer.
-                    let spent = std::mem::replace(&mut self.draining, data);
-                    if spent.capacity() > 0 && self.pool.len() < 4 {
-                        self.pool.push(spent);
-                    }
+        if self.draining.is_empty()
+            && self
+                .in_flight
+                .front()
+                .is_some_and(|(ready_at, _)| self.cycle > *ready_at)
+        {
+            if let Some((_, mut data)) = self.in_flight.pop_front() {
+                debug_assert_eq!(data.len(), n, "frame completed before latency elapsed");
+                data.reverse();
+                // Recycle the previous (now empty) draining buffer.
+                let spent = std::mem::replace(&mut self.draining, data);
+                if spent.capacity() > 0 && self.pool.len() < 4 {
+                    self.pool.push(spent);
                 }
             }
         }

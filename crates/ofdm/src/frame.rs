@@ -110,9 +110,12 @@ impl OfdmModulator {
         // IFFT straight into the post-prefix region, then copy the
         // last quarter in front of it.
         let (prefix, body) = out.split_at_mut(cp);
-        self.fft
-            .ifft_into(scratch, body)
-            .expect("frame length equals FFT size by construction");
+        self.fft.ifft_into(scratch, body).map_err(|_| {
+            OfdmError::FrameLengthMismatch {
+                expected: n,
+                got: scratch.len(),
+            }
+        })?;
         prefix.copy_from_slice(&body[n - cp..]);
         Ok(())
     }
@@ -157,10 +160,12 @@ impl OfdmDemodulator {
     /// Returns [`OfdmError::FrameLengthMismatch`] on bad input length.
     pub fn demodulate_symbol(&self, on_air: &[CQ15]) -> Result<(Vec<CQ15>, Vec<CQ15>), OfdmError> {
         let time = strip_cyclic_prefix(on_air, self.map.fft_size())?;
-        let freq = self
-            .fft
-            .fft(&time)
-            .expect("stripped frame length equals FFT size");
+        let freq = self.fft.fft(&time).map_err(|_| {
+            OfdmError::FrameLengthMismatch {
+                expected: self.map.fft_size(),
+                got: time.len(),
+            }
+        })?;
         self.map.extract(&freq)
     }
 

@@ -116,9 +116,12 @@ impl SymbolIngest {
     /// period.
     pub fn ingest_period(&mut self, period: &[CQ15]) -> Result<&[CQ15], OfdmError> {
         let body = crate::strip_cyclic_prefix_ref(period, self.fft_size())?;
-        self.fft
-            .fft_into(body, &mut self.frame)
-            .expect("body length enforced by CP strip");
+        self.fft.fft_into(body, &mut self.frame).map_err(|_| {
+            OfdmError::FrameLengthMismatch {
+                expected: self.fft_size(),
+                got: body.len(),
+            }
+        })?;
         Ok(&self.frame)
     }
 
@@ -138,6 +141,7 @@ impl SymbolIngest {
             if self.pos == period {
                 self.fft
                     .fft_into(&self.body, &mut self.frame)
+                    // phylint: allow(panic_path) -- `body` accumulates exactly `period - cp == N` samples before this branch is reached, the one length `fft_into` accepts; `push` has no `Result` channel to surface it through
                     .expect("collected body is exactly N samples");
                 emit(&self.frame);
                 self.body.clear();

@@ -1,0 +1,129 @@
+//! The workspace walker: discovers crates, lexes every `.rs` source
+//! file, runs the rules, and assembles the [`Report`].
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::analysis::{FileAnalysis, FileKind};
+use crate::manifest::{self, CrateFeatures};
+use crate::report::Report;
+use crate::{rules, wire};
+
+/// Directory names never descended into: build output, VCS metadata,
+/// vendored third-party shims (not held to PHY invariants), and the
+/// lint's own deliberately-dirty test fixtures.
+const SKIP_DIRS: [&str; 5] = ["target", ".git", "shims", "fixtures", "node_modules"];
+
+/// Run phylint over the workspace rooted at `root`.
+///
+/// `root` must contain a `Cargo.toml`. Every `.rs` file reachable
+/// outside the skip list (`target/`, `.git/`, `shims/`, `fixtures/`)
+/// is lexed and checked; the wire-format rule additionally
+/// cross-checks `crates/transport` when present.
+pub fn run(root: &Path) -> io::Result<Report> {
+    if !root.join("Cargo.toml").is_file() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("{} has no Cargo.toml", root.display()),
+        ));
+    }
+
+    let mut manifests: BTreeMap<PathBuf, CrateFeatures> = BTreeMap::new();
+    let mut rs_files: Vec<PathBuf> = Vec::new();
+    walk(root, &mut manifests, &mut rs_files)?;
+    rs_files.sort();
+
+    let mut report = Report::default();
+    for abs in &rs_files {
+        let Ok(src) = fs::read_to_string(abs) else {
+            continue; // non-UTF-8 or vanished mid-scan: not lintable
+        };
+        let rel = abs.strip_prefix(root).unwrap_or(abs).to_path_buf();
+        let crate_dir = owning_crate(root, abs, &manifests);
+        let kind = file_kind(&crate_dir, abs);
+        let fa = FileAnalysis::new(rel, src, kind);
+
+        rules::panic_path(&fa, &mut report.findings);
+        rules::alloc_hot(&fa, &mut report.findings);
+        rules::unsafe_safety(&fa, &mut report.findings);
+        let empty = CrateFeatures::default();
+        let features = manifests.get(&crate_dir).unwrap_or(&empty);
+        rules::feature_gate(&fa, features, &mut report.findings);
+
+        report.findings.extend(fa.marker_findings.iter().cloned());
+        fa.unused_suppression_findings(&mut report.findings);
+        report.suppressions_used += fa
+            .suppressions
+            .iter()
+            .filter(|s| s.used.get())
+            .count();
+        report.files_scanned += 1;
+    }
+
+    wire::check(root, &mut report.findings);
+    report.sort();
+    Ok(report)
+}
+
+/// Recursive directory walk collecting manifests and `.rs` files.
+fn walk(
+    dir: &Path,
+    manifests: &mut BTreeMap<PathBuf, CrateFeatures>,
+    rs_files: &mut Vec<PathBuf>,
+) -> io::Result<()> {
+    let manifest = dir.join("Cargo.toml");
+    if manifest.is_file() {
+        manifests.insert(dir.to_path_buf(), manifest::read_features(&manifest));
+    }
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, manifests, rs_files)?;
+        } else if name.ends_with(".rs") {
+            rs_files.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Deepest ancestor directory of `file` holding a `Cargo.toml`.
+fn owning_crate(
+    root: &Path,
+    file: &Path,
+    manifests: &BTreeMap<PathBuf, CrateFeatures>,
+) -> PathBuf {
+    let mut dir = file.parent();
+    while let Some(d) = dir {
+        if manifests.contains_key(d) {
+            return d.to_path_buf();
+        }
+        if d == root {
+            break;
+        }
+        dir = d.parent();
+    }
+    root.to_path_buf()
+}
+
+/// Classify a file by its first path component under the owning
+/// crate.
+fn file_kind(crate_dir: &Path, file: &Path) -> FileKind {
+    let rel = file.strip_prefix(crate_dir).unwrap_or(file);
+    match rel.components().next() {
+        Some(c) => match c.as_os_str().to_string_lossy().as_ref() {
+            "tests" => FileKind::Test,
+            "benches" => FileKind::Bench,
+            "examples" => FileKind::Example,
+            _ => FileKind::CrateSrc,
+        },
+        None => FileKind::CrateSrc,
+    }
+}

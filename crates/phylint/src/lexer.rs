@@ -1,0 +1,462 @@
+//! A lightweight Rust lexer: just enough to classify source text into
+//! tokens and comments with line spans, so the rule engine never
+//! mistakes the contents of a string literal or a comment for code.
+//!
+//! The lexer understands the constructs that defeat naive regex
+//! scanning:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments,
+//! * string literals with escapes, byte strings, C strings,
+//! * raw strings with arbitrary hash fences (`r#"…"#`, `br##"…"##`),
+//! * raw identifiers (`r#fn`) vs raw strings,
+//! * char literals vs lifetimes (`'a'` vs `'a`),
+//! * numeric literals including `0xC1` / `1_000` / `1.5e-3`.
+//!
+//! It does not build a syntax tree: rules pattern-match over the flat
+//! token stream plus the comment list.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers).
+    Ident,
+    /// Lifetime or loop label (`'a`, `'outer`).
+    Lifetime,
+    /// Numeric literal.
+    Number,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`, `c"…"`).
+    Str,
+    /// Char or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Single punctuation character.
+    Punct,
+}
+
+/// One token with its byte range and 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Lexeme classification.
+    pub kind: TokKind,
+    /// Byte range `[start, end)` into the source.
+    pub start: usize,
+    /// End of the byte range.
+    pub end: usize,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// One comment (line or block) with its placement.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Byte range `[start, end)` including the delimiters.
+    pub start: usize,
+    /// End of the byte range.
+    pub end: usize,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on.
+    pub end_line: u32,
+    /// True when nothing but whitespace precedes the comment on its
+    /// starting line (a standalone comment, not a trailing one).
+    pub own_line: bool,
+}
+
+/// Lexer output: the token stream plus the comment list, both in
+/// source order.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens.
+    pub tokens: Vec<Token>,
+    /// All comments.
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// Text of a token within `src`.
+    pub fn text<'a>(&self, src: &'a str, tok: &Token) -> &'a str {
+        src.get(tok.start..tok.end).unwrap_or("")
+    }
+}
+
+/// Text of a comment within `src`.
+pub fn comment_text<'a>(src: &'a str, c: &Comment) -> &'a str {
+    src.get(c.start..c.end).unwrap_or("")
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct Cursor<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    line_start: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.bytes.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.line_start = self.pos;
+        }
+        Some(c)
+    }
+
+    /// True when only whitespace lies between the current line start
+    /// and `at`.
+    fn only_ws_before(&self, at: usize) -> bool {
+        self.src[self.line_start..at].chars().all(char::is_whitespace)
+    }
+}
+
+/// Lex `src` into tokens and comments. The lexer is lenient: an
+/// unterminated construct consumes to end of input rather than
+/// erroring, so rule passes always see the whole file.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        line_start: 0,
+    };
+    let mut out = Lexed::default();
+
+    while let Some(c) = cur.peek() {
+        let start = cur.pos;
+        let line = cur.line;
+
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+
+        // Comments.
+        if c == '/' {
+            match cur.peek_at(1) {
+                Some(b'/') => {
+                    let own_line = cur.only_ws_before(start);
+                    while let Some(n) = cur.peek() {
+                        if n == '\n' {
+                            break;
+                        }
+                        cur.bump();
+                    }
+                    out.comments.push(Comment {
+                        start,
+                        end: cur.pos,
+                        line,
+                        end_line: line,
+                        own_line,
+                    });
+                    continue;
+                }
+                Some(b'*') => {
+                    let own_line = cur.only_ws_before(start);
+                    cur.bump();
+                    cur.bump();
+                    let mut depth = 1usize;
+                    while depth > 0 {
+                        match (cur.peek(), cur.peek_at(1)) {
+                            (Some('/'), Some(b'*')) => {
+                                depth += 1;
+                                cur.bump();
+                                cur.bump();
+                            }
+                            (Some('*'), Some(b'/')) => {
+                                depth -= 1;
+                                cur.bump();
+                                cur.bump();
+                            }
+                            (Some(_), _) => {
+                                cur.bump();
+                            }
+                            (None, _) => break,
+                        }
+                    }
+                    out.comments.push(Comment {
+                        start,
+                        end: cur.pos,
+                        line,
+                        end_line: cur.line,
+                        own_line,
+                    });
+                    continue;
+                }
+                _ => {}
+            }
+        }
+
+        // Identifiers, keywords, and string-literal prefixes.
+        if is_ident_start(c) {
+            cur.bump();
+            while cur.peek().is_some_and(is_ident_continue) {
+                cur.bump();
+            }
+            let text = &src[start..cur.pos];
+            // A handful of identifiers act as literal prefixes when
+            // glued to a quote or hash fence: r"", b"", br"", c"",
+            // cr"", b''.
+            let next = cur.peek();
+            let is_raw_prefix = matches!(text, "r" | "br" | "cr");
+            let is_str_prefix = matches!(text, "b" | "c") && next == Some('"');
+            let is_byte_char = text == "b" && next == Some('\'');
+            if is_raw_prefix && (next == Some('"') || next == Some('#')) {
+                if lex_raw_string(&mut cur) {
+                    out.tokens.push(Token {
+                        kind: TokKind::Str,
+                        start,
+                        end: cur.pos,
+                        line,
+                    });
+                    continue;
+                }
+                // `r#ident`: a raw identifier. Consume the hash and
+                // the identifier body as one Ident token.
+                if text == "r" && next == Some('#') {
+                    cur.bump();
+                    while cur.peek().is_some_and(is_ident_continue) {
+                        cur.bump();
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Ident,
+                    start,
+                    end: cur.pos,
+                    line,
+                });
+                continue;
+            }
+            if is_str_prefix {
+                lex_quoted(&mut cur, '"');
+                out.tokens.push(Token {
+                    kind: TokKind::Str,
+                    start,
+                    end: cur.pos,
+                    line,
+                });
+                continue;
+            }
+            if is_byte_char {
+                lex_quoted(&mut cur, '\'');
+                out.tokens.push(Token {
+                    kind: TokKind::Char,
+                    start,
+                    end: cur.pos,
+                    line,
+                });
+                continue;
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Ident,
+                start,
+                end: cur.pos,
+                line,
+            });
+            continue;
+        }
+
+        // Numbers.
+        if c.is_ascii_digit() {
+            cur.bump();
+            loop {
+                match cur.peek() {
+                    Some(n) if is_ident_continue(n) => {
+                        cur.bump();
+                    }
+                    // Decimal point: only when a digit follows, so
+                    // `0..n` and `1.max(2)` terminate the number.
+                    Some('.')
+                        if cur
+                            .peek_at(1)
+                            .is_some_and(|b| b.is_ascii_digit()) =>
+                    {
+                        cur.bump();
+                    }
+                    // Exponent sign: `1e-3` / `1E+5`.
+                    Some('+') | Some('-')
+                        if matches!(
+                            cur.bytes.get(cur.pos.wrapping_sub(1)),
+                            Some(b'e') | Some(b'E')
+                        ) && cur
+                            .peek_at(1)
+                            .is_some_and(|b| b.is_ascii_digit()) =>
+                    {
+                        cur.bump();
+                    }
+                    _ => break,
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Number,
+                start,
+                end: cur.pos,
+                line,
+            });
+            continue;
+        }
+
+        // Strings.
+        if c == '"' {
+            lex_quoted(&mut cur, '"');
+            out.tokens.push(Token {
+                kind: TokKind::Str,
+                start,
+                end: cur.pos,
+                line,
+            });
+            continue;
+        }
+
+        // Char literal or lifetime.
+        if c == '\'' {
+            cur.bump();
+            match cur.peek() {
+                // Escape: definitely a char literal.
+                Some('\\') => {
+                    cur.bump();
+                    cur.bump();
+                    while let Some(n) = cur.peek() {
+                        cur.bump();
+                        if n == '\'' {
+                            break;
+                        }
+                    }
+                    out.tokens.push(Token {
+                        kind: TokKind::Char,
+                        start,
+                        end: cur.pos,
+                        line,
+                    });
+                }
+                Some(n) if is_ident_start(n) => {
+                    // `'a'` is a char; `'a` (no closing quote) is a
+                    // lifetime or label.
+                    cur.bump();
+                    if cur.peek() == Some('\'') {
+                        cur.bump();
+                        out.tokens.push(Token {
+                            kind: TokKind::Char,
+                            start,
+                            end: cur.pos,
+                            line,
+                        });
+                    } else {
+                        while cur.peek().is_some_and(is_ident_continue) {
+                            cur.bump();
+                        }
+                        out.tokens.push(Token {
+                            kind: TokKind::Lifetime,
+                            start,
+                            end: cur.pos,
+                            line,
+                        });
+                    }
+                }
+                // `'('`, `' '`, etc: single non-ident char literal.
+                Some(_) => {
+                    cur.bump();
+                    if cur.peek() == Some('\'') {
+                        cur.bump();
+                    }
+                    out.tokens.push(Token {
+                        kind: TokKind::Char,
+                        start,
+                        end: cur.pos,
+                        line,
+                    });
+                }
+                None => {
+                    out.tokens.push(Token {
+                        kind: TokKind::Punct,
+                        start,
+                        end: cur.pos,
+                        line,
+                    });
+                }
+            }
+            continue;
+        }
+
+        // Everything else: one punctuation character per token.
+        cur.bump();
+        out.tokens.push(Token {
+            kind: TokKind::Punct,
+            start,
+            end: cur.pos,
+            line,
+        });
+    }
+
+    out
+}
+
+/// Consume a quoted literal starting at the opening quote, honouring
+/// backslash escapes. The cursor is positioned on the quote.
+fn lex_quoted(cur: &mut Cursor<'_>, quote: char) {
+    cur.bump(); // opening quote
+    while let Some(c) = cur.peek() {
+        if c == '\\' {
+            cur.bump();
+            cur.bump();
+            continue;
+        }
+        cur.bump();
+        if c == quote {
+            break;
+        }
+    }
+}
+
+/// Try to consume a raw string body (`#…#"…"#…#`) starting at either
+/// the opening quote or the first hash. Returns false (consuming
+/// nothing) when what follows is not a raw string — i.e. `r#ident`.
+fn lex_raw_string(cur: &mut Cursor<'_>) -> bool {
+    let save_pos = cur.pos;
+    let save_line = cur.line;
+    let save_ls = cur.line_start;
+    let mut hashes = 0usize;
+    while cur.peek() == Some('#') {
+        hashes += 1;
+        cur.bump();
+    }
+    if cur.peek() != Some('"') {
+        // Not a raw string (raw identifier, or stray hashes): rewind.
+        cur.pos = save_pos;
+        cur.line = save_line;
+        cur.line_start = save_ls;
+        return false;
+    }
+    cur.bump(); // opening quote
+    'scan: while let Some(c) = cur.bump() {
+        if c == '"' {
+            // Need `hashes` hash characters to close.
+            for i in 0..hashes {
+                if cur.peek_at(i) != Some(b'#') {
+                    continue 'scan;
+                }
+            }
+            for _ in 0..hashes {
+                cur.bump();
+            }
+            return true;
+        }
+    }
+    true // unterminated: consumed to EOF, still a string token
+}

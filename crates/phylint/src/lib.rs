@@ -1,0 +1,65 @@
+//! `phylint` — an offline, dependency-free static-analysis pass that
+//! enforces the PHY's design invariants as a CI gate.
+//!
+//! The codebase's core guarantees — zero-allocation steady state on
+//! the per-symbol/per-chunk hot paths, typed [`PhyError`]s instead of
+//! panics in the datapath, `unsafe` justified in place, feature names
+//! that actually exist, and a wire format whose documentation matches
+//! its constants — are design rules, not style preferences. This
+//! crate machine-checks them.
+//!
+//! # Rules
+//!
+//! | rule | what it enforces |
+//! |------|------------------|
+//! | `panic_path` | no `.unwrap()` / `.expect()` / `panic!` / `todo!` / `unimplemented!` in crate source outside tests; `[idx]` indexing additionally denied in `// phylint: datapath` modules |
+//! | `alloc_hot` | no `vec!` / `format!` / `Vec::new` / `Vec::with_capacity` / `Box::new` / `String::…` / `.to_vec()` / `.to_owned()` / `.to_string()` / `.collect()` inside `// phylint: hot` … `// phylint: end-hot` regions |
+//! | `unsafe_safety` | every `unsafe` carries a `// SAFETY:` comment on the same line or immediately above |
+//! | `feature_gate` | every `feature = "name"` reference names a feature declared in the owning crate's `Cargo.toml` |
+//! | `wire_format` | `crates/transport` frame constants (magic, control-frame size, type-byte range, header field widths) match the wire-format tables documented in its `lib.rs` |
+//! | `marker` | phylint's own markers are well-formed and every suppression is used |
+//!
+//! # Suppressions
+//!
+//! Findings are silenced in place, with a mandatory justification:
+//!
+//! ```text
+//! // phylint: allow(panic_path) -- table built above with the same length
+//! let row = table.last().expect("nonempty");
+//! ```
+//!
+//! A standalone `allow` comment covers the next code line; a trailing
+//! one covers its own line. An `allow` that matches no finding is
+//! itself a `marker` error, so stale suppressions cannot accumulate.
+//!
+//! # Hot regions
+//!
+//! Wrap an allocation-free region in marker comments:
+//!
+//! ```text
+//! // phylint: hot
+//! fn process_symbol(&mut self) { … }
+//! // phylint: end-hot
+//! ```
+//!
+//! The walker scans every `.rs` file in the workspace except
+//! `target/`, `crates/shims/` (vendored third-party stand-ins), and
+//! `tests/fixtures/` (this crate's deliberately-broken inputs). The
+//! binary exits non-zero when any finding survives suppression, which
+//! is what makes it a CI gate.
+//!
+//! [`PhyError`]: https://docs.rs/mimo_core
+//!
+//! This crate deliberately has **zero dependencies** (std only) and
+//! never touches the network.
+
+pub mod analysis;
+pub mod engine;
+pub mod lexer;
+pub mod manifest;
+pub mod report;
+pub mod rules;
+pub mod wire;
+
+pub use engine::run;
+pub use report::{Finding, Report, RuleId, ALL_RULES};

@@ -1,0 +1,111 @@
+//! Minimal `Cargo.toml` reading: just enough to learn which feature
+//! names a crate declares, with zero dependencies.
+//!
+//! Declared features are the keys of the `[features]` table plus the
+//! implicit feature Cargo creates for every `optional = true`
+//! dependency. This deliberately ignores everything else in the
+//! manifest.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::Path;
+
+/// Feature names a crate declares (explicit `[features]` keys plus
+/// implicit optional-dependency features).
+#[derive(Debug, Default, Clone)]
+pub struct CrateFeatures {
+    names: BTreeSet<String>,
+}
+
+impl CrateFeatures {
+    /// Whether `name` is a declared feature of the crate.
+    pub fn contains(&self, name: &str) -> bool {
+        self.names.contains(name)
+    }
+
+    /// Number of declared features.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when the crate declares no features.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// Strip a trailing line comment that is not inside a string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut prev_escape = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !prev_escape => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        prev_escape = c == '\\' && !prev_escape;
+    }
+    line
+}
+
+/// Key of a `key = value` TOML line, unquoted, or `None`.
+fn line_key(line: &str) -> Option<&str> {
+    let (key, _) = line.split_once('=')?;
+    let key = key.trim().trim_matches('"');
+    if key.is_empty() {
+        None
+    } else {
+        Some(key)
+    }
+}
+
+/// Read the declared feature set from a `Cargo.toml`.
+///
+/// A manifest that cannot be read yields the empty set; the caller
+/// reports missing-manifest conditions separately.
+pub fn read_features(manifest: &Path) -> CrateFeatures {
+    let Ok(text) = fs::read_to_string(manifest) else {
+        return CrateFeatures::default();
+    };
+    let mut out = CrateFeatures::default();
+    let mut section = String::new();
+    for raw in text.lines() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            section = line.trim_matches(['[', ']']).trim().to_string();
+            // `[dependencies.foo]` style optional deps are handled
+            // below when we see `optional = true` inside the section.
+            continue;
+        }
+        if section == "features" {
+            if let Some(key) = line_key(line) {
+                out.names.insert(key.to_string());
+            }
+            continue;
+        }
+        let is_dep_section = section.ends_with("dependencies")
+            || section
+                .rsplit_once('.')
+                .is_some_and(|(head, _)| head.ends_with("dependencies"));
+        if is_dep_section {
+            // Inline table: `foo = { …, optional = true }` declares
+            // implicit feature `foo`.
+            if line.contains("optional") && line.contains("true") {
+                if let Some((_, dep)) = section.rsplit_once('.') {
+                    if line_key(line) == Some("optional") {
+                        out.names.insert(dep.to_string());
+                        continue;
+                    }
+                }
+                if let Some(key) = line_key(line) {
+                    out.names.insert(key.to_string());
+                }
+            }
+        }
+    }
+    out
+}

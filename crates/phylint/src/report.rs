@@ -1,0 +1,144 @@
+//! Rule identifiers, findings, and the machine-readable report.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// The rule a finding belongs to. Every rule can be suppressed in
+/// place with `// phylint: allow(<rule>) -- <reason>` except
+/// [`RuleId::Marker`], which polices the marker comments themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// Panic-path audit: `unwrap`/`expect`/`panic!`/`todo!`/
+    /// `unimplemented!` (and `[idx]` in `datapath`-marked modules)
+    /// outside test code.
+    PanicPath,
+    /// Allocation inside a `// phylint: hot` region.
+    AllocHot,
+    /// `unsafe` without an immediately preceding `// SAFETY:` comment.
+    UnsafeSafety,
+    /// `cfg(feature = "…")` naming a feature the owning crate does
+    /// not declare.
+    FeatureGate,
+    /// Wire-format constants diverging from the documented tables.
+    WireFormat,
+    /// Malformed/unused phylint markers and suppressions.
+    Marker,
+}
+
+/// All rules, in report order.
+pub const ALL_RULES: [RuleId; 6] = [
+    RuleId::PanicPath,
+    RuleId::AllocHot,
+    RuleId::UnsafeSafety,
+    RuleId::FeatureGate,
+    RuleId::WireFormat,
+    RuleId::Marker,
+];
+
+impl RuleId {
+    /// Stable machine name, as used in `allow(...)` suppressions.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::PanicPath => "panic_path",
+            RuleId::AllocHot => "alloc_hot",
+            RuleId::UnsafeSafety => "unsafe_safety",
+            RuleId::FeatureGate => "feature_gate",
+            RuleId::WireFormat => "wire_format",
+            RuleId::Marker => "marker",
+        }
+    }
+
+    /// Parse a rule name as written in an `allow(...)` suppression.
+    pub fn parse(name: &str) -> Option<RuleId> {
+        ALL_RULES.iter().copied().find(|r| r.name() == name)
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One diagnostic: a rule violation at a source location.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Violated rule.
+    pub rule: RuleId,
+    /// Path relative to the scanned root.
+    pub path: PathBuf,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path.display(),
+            self.line,
+            self.rule,
+            self.msg
+        )
+    }
+}
+
+/// Full result of a phylint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Every finding, in file/line order.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Number of suppressions honoured (matched at least one would-be
+    /// finding).
+    pub suppressions_used: usize,
+}
+
+impl Report {
+    /// Findings per rule, in [`ALL_RULES`] order.
+    pub fn counts(&self) -> [(RuleId, usize); ALL_RULES.len()] {
+        let mut out = ALL_RULES.map(|r| (r, 0usize));
+        for f in &self.findings {
+            for slot in &mut out {
+                if slot.0 == f.rule {
+                    slot.1 += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// True when the run found nothing.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Count of findings for one rule.
+    pub fn count(&self, rule: RuleId) -> usize {
+        self.findings.iter().filter(|f| f.rule == rule).count()
+    }
+
+    /// One-line machine-readable summary (JSON object, stable key
+    /// order) for CI log diffing.
+    pub fn json_summary(&self) -> String {
+        let mut s = String::from("{");
+        for (rule, n) in self.counts() {
+            s.push_str(&format!("\"{}\":{},", rule.name(), n));
+        }
+        s.push_str(&format!(
+            "\"files_scanned\":{},\"suppressions_used\":{}}}",
+            self.files_scanned, self.suppressions_used
+        ));
+        s
+    }
+
+    /// Sort findings by path then line then rule for stable output.
+    pub fn sort(&mut self) {
+        self.findings
+            .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    }
+}

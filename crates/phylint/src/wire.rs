@@ -1,0 +1,573 @@
+//! Wire-format consistency rule: the constants in
+//! `crates/transport/src/frame.rs` and the documented wire-format
+//! tables in `crates/transport/src/lib.rs` must agree — the frame
+//! magic, the control-frame size, the control type-byte range, and
+//! every header field width. A doc table that drifts from the code it
+//! documents is a protocol bug waiting for a second implementation.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{self, TokKind};
+use crate::report::{Finding, RuleId};
+
+/// Everything the rule extracts from `frame.rs`.
+#[derive(Debug, Default)]
+struct FrameConsts {
+    magic: Option<String>,
+    consts: BTreeMap<String, i64>,
+    /// `(name, value, line)` for the control type bytes, in source
+    /// order.
+    type_bytes: Vec<(String, i64, u32)>,
+}
+
+/// Run the wire-format check rooted at `root`. Missing transport
+/// sources make the rule a no-op (fixture trees without a transport
+/// crate are legitimate).
+pub fn check(root: &Path, out: &mut Vec<Finding>) {
+    let frame_path = root.join("crates/transport/src/frame.rs");
+    let lib_path = root.join("crates/transport/src/lib.rs");
+    let (Ok(frame_src), Ok(lib_src)) = (
+        std::fs::read_to_string(&frame_path),
+        std::fs::read_to_string(&lib_path),
+    ) else {
+        return;
+    };
+    let rel_frame = PathBuf::from("crates/transport/src/frame.rs");
+    let rel_lib = PathBuf::from("crates/transport/src/lib.rs");
+
+    let fc = parse_frame_consts(&frame_src);
+    let mut fail = |path: &PathBuf, line: u32, msg: String| {
+        out.push(Finding {
+            rule: RuleId::WireFormat,
+            path: path.clone(),
+            line,
+            msg,
+        });
+    };
+
+    // --- Constants that must exist in frame.rs -----------------------
+    let Some(magic) = fc.magic.clone() else {
+        fail(
+            &rel_frame,
+            1,
+            "MAGIC byte-string constant not found".to_string(),
+        );
+        return;
+    };
+    let need = ["HEADER_LEN", "CONTROL_FRAME_LEN", "BYTES_PER_SAMPLE", "MAX_STREAMS"];
+    for name in need {
+        if !fc.consts.contains_key(name) {
+            fail(&rel_frame, 1, format!("const {name} not found or not numeric"));
+            return;
+        }
+    }
+    let header_len = fc.consts["HEADER_LEN"];
+    let control_len = fc.consts["CONTROL_FRAME_LEN"];
+    let bytes_per_sample = fc.consts["BYTES_PER_SAMPLE"];
+    let max_streams = fc.consts["MAX_STREAMS"];
+
+    // --- Type bytes: five, contiguous, disjoint from stream counts ---
+    if fc.type_bytes.len() != 5 {
+        fail(
+            &rel_frame,
+            1,
+            format!(
+                "expected 5 control type-byte constants (TYPE_*), found {}",
+                fc.type_bytes.len()
+            ),
+        );
+        return;
+    }
+    for w in fc.type_bytes.windows(2) {
+        if w[1].1 != w[0].1 + 1 {
+            fail(
+                &rel_frame,
+                w[1].2,
+                format!(
+                    "control type bytes must be contiguous: {} = {:#04X} does not \
+                     follow {} = {:#04X}",
+                    w[1].0, w[1].1, w[0].0, w[0].1
+                ),
+            );
+        }
+    }
+    let ty_min = fc.type_bytes[0].1;
+    let ty_max = fc.type_bytes[4].1;
+    if ty_min <= max_streams {
+        fail(
+            &rel_frame,
+            fc.type_bytes[0].2,
+            format!(
+                "control type bytes ({ty_min:#04X}…) overlap the data-frame stream-count \
+                 range 1..={max_streams}: the offset-8 dispatch byte is ambiguous"
+            ),
+        );
+    }
+
+    // --- Doc side: headings and tables in lib.rs ---------------------
+    let doc = DocSide::parse(&lib_src);
+
+    match doc.control_fixed_len {
+        None => fail(
+            &rel_lib,
+            1,
+            "control-frame doc heading `**Control frame** (fixed N bytes)` not found"
+                .to_string(),
+        ),
+        Some((n, line)) => {
+            if n != control_len {
+                fail(
+                    &rel_lib,
+                    line,
+                    format!(
+                        "doc says control frames are fixed {n} bytes but \
+                         CONTROL_FRAME_LEN in frame.rs is {control_len}"
+                    ),
+                );
+            }
+        }
+    }
+
+    check_table(
+        "data",
+        &doc.data_table,
+        &rel_lib,
+        &mut fail,
+        &TableSpec {
+            magic: &magic,
+            header_len: Some(header_len),
+            total_len: None,
+            payload_unit: Some(bytes_per_sample),
+        },
+    );
+    check_table(
+        "control",
+        &doc.control_table,
+        &rel_lib,
+        &mut fail,
+        &TableSpec {
+            magic: &magic,
+            header_len: None,
+            total_len: Some(control_len),
+            payload_unit: None,
+        },
+    );
+
+    // Control table type row must list exactly the TYPE_* values.
+    if let Some(row) = doc
+        .control_table
+        .iter()
+        .find(|r| r.offset == Some(8))
+    {
+        let mut doc_tags: Vec<i64> = hex_values(&row.field);
+        doc_tags.sort_unstable();
+        let mut code_tags: Vec<i64> = fc.type_bytes.iter().map(|t| t.1).collect();
+        code_tags.sort_unstable();
+        if doc_tags != code_tags {
+            let show = |v: &[i64]| {
+                v.iter()
+                    .map(|t| format!("{t:#04X}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            fail(
+                &rel_lib,
+                row.line,
+                format!(
+                    "control type-byte tags documented as [{}] but frame.rs \
+                     defines [{}]",
+                    show(&doc_tags),
+                    show(&code_tags)
+                ),
+            );
+        }
+    }
+
+    // Prose range `0xMIN..=0xMAX` must appear somewhere in the docs.
+    let range = format!("{ty_min:#04X}..={ty_max:#04X}");
+    if !lib_src.contains(&range) {
+        fail(
+            &rel_lib,
+            1,
+            format!(
+                "doc prose never states the control type-byte range `{range}` \
+                 matching frame.rs"
+            ),
+        );
+    }
+}
+
+/// Expectations for one doc table.
+struct TableSpec<'a> {
+    magic: &'a str,
+    /// Data table: offset of the first variable-size (payload) row.
+    header_len: Option<i64>,
+    /// Control table: total of all row sizes.
+    total_len: Option<i64>,
+    /// Data table: leading factor of the payload row's size formula.
+    payload_unit: Option<i64>,
+}
+
+fn check_table(
+    which: &str,
+    rows: &[DocRow],
+    rel_lib: &PathBuf,
+    fail: &mut impl FnMut(&PathBuf, u32, String),
+    spec: &TableSpec<'_>,
+) {
+    if rows.is_empty() {
+        fail(
+            rel_lib,
+            1,
+            format!("{which}-frame wire-format doc table not found"),
+        );
+        return;
+    }
+    // Row 0 is the magic: field text must quote the exact magic.
+    let quoted = format!("\"{}\"", spec.magic);
+    if !rows[0].field.contains(&quoted) {
+        fail(
+            rel_lib,
+            rows[0].line,
+            format!(
+                "{which} table's first row does not name the frame magic {quoted} \
+                 from frame.rs"
+            ),
+        );
+    }
+    // Offset continuity across numeric rows.
+    let mut running: Option<i64> = Some(0);
+    let mut fixed_total = 0i64;
+    for row in rows {
+        if let (Some(off), Some(expect)) = (row.offset, running) {
+            if off != expect {
+                fail(
+                    rel_lib,
+                    row.line,
+                    format!(
+                        "{which} table offsets are inconsistent: row at documented \
+                         offset {off} should start at {expect} (prior offsets + sizes)"
+                    ),
+                );
+            }
+        }
+        match (row.offset, row.size) {
+            (Some(off), Some(sz)) if !row.size_variable => {
+                running = Some(off + sz);
+                fixed_total = off + sz;
+            }
+            _ => running = None,
+        }
+        if row.size_variable {
+            if let (Some(unit), Some(lead)) = (spec.payload_unit, row.size) {
+                if lead != unit {
+                    fail(
+                        rel_lib,
+                        row.line,
+                        format!(
+                            "{which} table payload row scales by {lead} bytes/sample \
+                             but BYTES_PER_SAMPLE is {unit}"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    if let Some(header_len) = spec.header_len {
+        // The first variable row's offset is the header length.
+        if let Some(payload) = rows.iter().find(|r| r.size_variable) {
+            if payload.offset != Some(header_len) {
+                fail(
+                    rel_lib,
+                    payload.line,
+                    format!(
+                        "{which} table payload starts at documented offset {:?} but \
+                         HEADER_LEN in frame.rs is {header_len}",
+                        payload.offset
+                    ),
+                );
+            }
+        } else {
+            fail(
+                rel_lib,
+                rows[0].line,
+                format!("{which} table has no variable-size payload row"),
+            );
+        }
+    }
+    if let Some(total) = spec.total_len {
+        if rows.iter().any(|r| r.offset.is_none() || r.size.is_none()) {
+            fail(
+                rel_lib,
+                rows[0].line,
+                format!("{which} table must be fully numeric (fixed-size frame)"),
+            );
+        } else if fixed_total != total {
+            fail(
+                rel_lib,
+                rows[0].line,
+                format!(
+                    "{which} table rows sum to {fixed_total} bytes but the \
+                     frame.rs constant says {total}"
+                ),
+            );
+        }
+    }
+}
+
+/// One parsed `| offset | size | field |` doc-table row.
+#[derive(Debug)]
+struct DocRow {
+    offset: Option<i64>,
+    /// Leading integer of the size cell.
+    size: Option<i64>,
+    /// Size cell had trailing non-numeric content (`4·n·s`).
+    size_variable: bool,
+    field: String,
+    line: u32,
+}
+
+/// The documentation side: headings and tables pulled from `//!`
+/// lines.
+#[derive(Debug, Default)]
+struct DocSide {
+    control_fixed_len: Option<(i64, u32)>,
+    data_table: Vec<DocRow>,
+    control_table: Vec<DocRow>,
+}
+
+impl DocSide {
+    fn parse(lib_src: &str) -> DocSide {
+        let mut out = DocSide::default();
+        #[derive(PartialEq)]
+        enum Section {
+            None,
+            Data,
+            Control,
+        }
+        let mut section = Section::None;
+        for (idx, raw) in lib_src.lines().enumerate() {
+            let line_no = (idx + 1) as u32;
+            let t = raw.trim_start();
+            let Some(doc) = t
+                .strip_prefix("//!")
+                .or_else(|| t.strip_prefix("///"))
+            else {
+                continue;
+            };
+            let doc = doc.trim();
+            if doc.contains("**Data frame**") {
+                section = Section::Data;
+                continue;
+            }
+            if doc.contains("**Control frame**") {
+                section = Section::Control;
+                if let Some(rest) = doc.split("fixed").nth(1) {
+                    if let Some(n) = leading_int(rest.trim_start()) {
+                        out.control_fixed_len = Some((n, line_no));
+                    }
+                }
+                continue;
+            }
+            if !doc.starts_with('|') {
+                continue;
+            }
+            let cells: Vec<&str> = doc
+                .trim_matches('|')
+                .split('|')
+                .map(str::trim)
+                .collect();
+            if cells.len() != 3 {
+                continue;
+            }
+            // Skip the header and separator rows.
+            if cells[0].eq_ignore_ascii_case("offset") || cells[0].starts_with('-') {
+                continue;
+            }
+            let size_lead = leading_int(cells[1]);
+            let size_variable = match size_lead {
+                Some(n) => cells[1] != n.to_string(),
+                None => true,
+            };
+            let row = DocRow {
+                offset: leading_int(cells[0]),
+                size: size_lead,
+                size_variable,
+                field: cells[2].to_string(),
+                line: line_no,
+            };
+            match section {
+                Section::Data => out.data_table.push(row),
+                Section::Control => out.control_table.push(row),
+                Section::None => {}
+            }
+        }
+        out
+    }
+}
+
+/// Parse the leading integer of a string (`21 bytes):` → 21).
+fn leading_int(s: &str) -> Option<i64> {
+    let digits: String = s.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// Every `0xNN` hex value occurring in a string.
+fn hex_values(s: &str) -> Vec<i64> {
+    let mut out = Vec::new();
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i + 2 < bytes.len() {
+        if &bytes[i..i + 2] == b"0x" || &bytes[i..i + 2] == b"0X" {
+            let mut j = i + 2;
+            while j < bytes.len() && bytes[j].is_ascii_hexdigit() {
+                j += 1;
+            }
+            if j > i + 2 {
+                if let Ok(v) = i64::from_str_radix(
+                    std::str::from_utf8(&bytes[i + 2..j]).unwrap_or("x"),
+                    16,
+                ) {
+                    out.push(v);
+                }
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Pull the numeric constants, the MAGIC byte string, and the TYPE_*
+/// control tags out of `frame.rs` by token scanning. Simple constant
+/// expressions (`A + B + 4`) are folded using previously seen consts.
+fn parse_frame_consts(frame_src: &str) -> FrameConsts {
+    let lexed = lexer::lex(frame_src);
+    let toks = &lexed.tokens;
+    let text = |i: usize| -> &str {
+        toks.get(i)
+            .and_then(|t| frame_src.get(t.start..t.end))
+            .unwrap_or("")
+    };
+    let mut fc = FrameConsts::default();
+    let mut pending: Vec<(String, Vec<Term>, u32)> = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if text(i) != "const" || toks[i].kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        let name = text(i + 1).to_string();
+        // Scan to the `=` that ends the type ascription. Array types
+        // (`[u8; 4]`) contain semicolons, so only a `;` outside
+        // brackets ends the item.
+        let mut j = i + 2;
+        let mut bracket = 0usize;
+        while j < toks.len() {
+            match text(j) {
+                "[" => bracket += 1,
+                "]" => bracket = bracket.saturating_sub(1),
+                "=" if bracket == 0 => break,
+                ";" if bracket == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        if j >= toks.len() || text(j) != "=" {
+            i = j;
+            continue;
+        }
+        j += 1;
+        // MAGIC special case: `*b"CQ15"`.
+        if name == "MAGIC" {
+            let mut k = j;
+            while k < toks.len() && text(k) != ";" {
+                if toks[k].kind == TokKind::Str {
+                    let lit = text(k);
+                    let inner = lit
+                        .trim_start_matches(['b', 'r', 'c'])
+                        .trim_matches('#')
+                        .trim_matches('"');
+                    fc.magic = Some(inner.to_string());
+                }
+                k += 1;
+            }
+            i = k;
+            continue;
+        }
+        let mut terms: Vec<Term> = Vec::new();
+        let mut valid = true;
+        while j < toks.len() && text(j) != ";" {
+            let t = text(j);
+            match toks[j].kind {
+                TokKind::Number => match parse_number(t) {
+                    Some(v) => terms.push(Term::Num(v)),
+                    None => valid = false,
+                },
+                TokKind::Ident => terms.push(Term::Name(t.to_string())),
+                TokKind::Punct if t == "+" => {}
+                _ => valid = false,
+            }
+            j += 1;
+        }
+        if valid && !terms.is_empty() {
+            pending.push((name, terms, toks[i].line));
+        }
+        i = j;
+    }
+
+    // Fold to a fixpoint so consts may reference consts declared
+    // later in the file (`CONTROL_FRAME_LEN = … + CRC_LEN`).
+    let mut progressed = true;
+    while progressed {
+        progressed = false;
+        pending.retain(|(name, terms, line)| {
+            let mut sum = 0i64;
+            for term in terms {
+                match term {
+                    Term::Num(v) => sum += v,
+                    Term::Name(n) => match fc.consts.get(n) {
+                        Some(&v) => sum += v,
+                        None => return true, // unresolved: keep
+                    },
+                }
+            }
+            fc.consts.insert(name.clone(), sum);
+            if name.starts_with("TYPE_") {
+                fc.type_bytes.push((name.clone(), sum, *line));
+            }
+            progressed = true;
+            false
+        });
+    }
+    fc.type_bytes.sort_by_key(|t| t.2);
+    fc
+}
+
+/// One additive term of a constant expression.
+enum Term {
+    Num(i64),
+    Name(String),
+}
+
+/// Parse a Rust numeric literal (decimal or 0x/0o/0b, `_` separators,
+/// optional type suffix).
+fn parse_number(t: &str) -> Option<i64> {
+    let t = t.replace('_', "");
+    if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        let digits: String = hex.chars().take_while(char::is_ascii_hexdigit).collect();
+        return i64::from_str_radix(&digits, 16).ok();
+    }
+    if let Some(oct) = t.strip_prefix("0o") {
+        let digits: String = oct.chars().take_while(|c| ('0'..='7').contains(c)).collect();
+        return i64::from_str_radix(&digits, 8).ok();
+    }
+    if let Some(bin) = t.strip_prefix("0b") {
+        let digits: String = bin.chars().take_while(|c| *c == '0' || *c == '1').collect();
+        return i64::from_str_radix(&digits, 2).ok();
+    }
+    let digits: String = t.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}

@@ -1,0 +1,186 @@
+//! Golden-fixture tests: each tree under `tests/fixtures/` pins one
+//! rule's positive and negative behaviour, and the last test
+//! self-checks the real workspace — the same invocation CI gates on.
+
+use std::path::Path;
+
+use phylint::{run, Report, RuleId};
+
+fn fixture(name: &str) -> Report {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    run(&root).expect("fixture tree readable")
+}
+
+/// 1-based line of the first fixture-source line containing `needle`,
+/// so the tests assert real spans without hardcoding line numbers.
+fn line_of(name: &str, file: &str, needle: &str) -> u32 {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+        .join(file);
+    let src = std::fs::read_to_string(&path).expect("fixture source readable");
+    for (idx, line) in src.lines().enumerate() {
+        if line.contains(needle) {
+            return (idx + 1) as u32;
+        }
+    }
+    panic!("{needle:?} not found in {}", path.display());
+}
+
+fn rule_findings(report: &Report, rule: RuleId) -> Vec<(String, u32, String)> {
+    report
+        .findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| (f.path.display().to_string(), f.line, f.msg.clone()))
+        .collect()
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    let report = fixture("clean");
+    assert!(
+        report.is_clean(),
+        "clean fixture must produce no findings, got:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| format!("  {f}\n"))
+            .collect::<String>()
+    );
+    assert_eq!(report.files_scanned, 2, "lib.rs + no_index.rs");
+    assert_eq!(
+        report.suppressions_used, 1,
+        "the one trailing allow(panic_path) must count as used"
+    );
+}
+
+#[test]
+fn panic_path_fixture_finds_every_construct_with_spans() {
+    let report = fixture("panic_path");
+    let found = rule_findings(&report, RuleId::PanicPath);
+    assert_eq!(found.len(), 5, "unwrap, expect, panic!, todo!, [idx]: {found:?}");
+    for (path, _, _) in &found {
+        assert_eq!(path, "src/lib.rs", "tests/itest.rs must never be flagged");
+    }
+    for needle in ["v.unwrap()", "v.expect(\"boom\")", "panic!(\"bad\")", "todo!()", "xs[0]"] {
+        let want = line_of("panic_path", "src/lib.rs", needle);
+        assert!(
+            found.iter().any(|(_, line, _)| *line == want),
+            "no finding at line {want} ({needle}): {found:?}"
+        );
+    }
+    assert_eq!(report.count(RuleId::Marker), 0, "datapath marker is well-formed");
+}
+
+#[test]
+fn alloc_hot_fixture_flags_only_the_hot_region() {
+    let report = fixture("alloc_hot");
+    let found = rule_findings(&report, RuleId::AllocHot);
+    assert_eq!(found.len(), 6, "{found:?}");
+    let region_start = line_of("alloc_hot", "src/lib.rs", "phylint: hot");
+    for (_, line, _) in &found {
+        assert!(
+            *line > region_start,
+            "finding at line {line} is outside the hot region (cold code flagged)"
+        );
+    }
+    for what in [
+        "Vec::new",
+        "format!",
+        ".to_string()",
+        ".to_vec()",
+        "Box::new",
+        ".collect()",
+    ] {
+        assert!(
+            found.iter().any(|(_, _, msg)| msg.contains(what)),
+            "no finding mentions {what}: {found:?}"
+        );
+    }
+}
+
+#[test]
+fn unsafe_fixture_requires_safety_comments() {
+    let report = fixture("unsafe_safety");
+    let found = rule_findings(&report, RuleId::UnsafeSafety);
+    assert_eq!(found.len(), 2, "both unsafe tokens in `bare`: {found:?}");
+    let bare_fn = line_of("unsafe_safety", "src/lib.rs", "pub unsafe fn bare");
+    assert!(found.iter().all(|(_, line, _)| *line >= bare_fn));
+}
+
+#[test]
+fn feature_gate_fixture_flags_undeclared_feature() {
+    let report = fixture("feature_gate");
+    let found = rule_findings(&report, RuleId::FeatureGate);
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert_eq!(found[0].1, line_of("feature_gate", "src/lib.rs", "imaginary"));
+    assert!(found[0].2.contains("imaginary"));
+}
+
+#[test]
+fn marker_fixture_flags_stale_and_malformed_markers() {
+    let report = fixture("unused_allow");
+    let found = rule_findings(&report, RuleId::Marker);
+    assert_eq!(found.len(), 3, "{found:?}");
+    assert!(found.iter().any(|(_, _, m)| m.contains("unused suppression")));
+    assert!(found.iter().any(|(_, _, m)| m.contains("unrecognised")));
+    assert!(found.iter().any(|(_, _, m)| m.contains("justification")));
+}
+
+#[test]
+fn wire_fixture_catches_control_length_drift() {
+    let report = fixture("wire_bad");
+    let found = rule_findings(&report, RuleId::WireFormat);
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert_eq!(found[0].0, "crates/transport/src/lib.rs");
+    assert_eq!(
+        found[0].1,
+        line_of("wire_bad", "crates/transport/src/lib.rs", "fixed 22 bytes")
+    );
+    assert!(found[0].2.contains("22"), "{}", found[0].2);
+    assert!(found[0].2.contains("21"), "{}", found[0].2);
+}
+
+#[test]
+fn binary_exit_codes_gate_ci() {
+    let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let status = |name: &str| {
+        std::process::Command::new(env!("CARGO_BIN_EXE_phylint"))
+            .args(["--root"])
+            .arg(fixtures.join(name))
+            .output()
+            .expect("phylint binary runs")
+    };
+    let clean = status("clean");
+    assert_eq!(clean.status.code(), Some(0), "clean tree exits 0");
+    let dirty = status("panic_path");
+    assert_eq!(dirty.status.code(), Some(1), "findings exit 1");
+    let stdout = String::from_utf8_lossy(&dirty.stdout);
+    assert!(
+        stdout.contains("src/lib.rs:") && stdout.contains("[panic_path]"),
+        "diagnostics carry file:line spans and the rule name:\n{stdout}"
+    );
+    assert!(stdout.contains("phylint: summary {"), "machine summary line:\n{stdout}");
+}
+
+#[test]
+fn workspace_self_check_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let report = run(&root).expect("workspace scan succeeds");
+    assert!(
+        report.is_clean(),
+        "the workspace must pass its own lint, got:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| format!("  {f}\n"))
+            .collect::<String>()
+    );
+    assert!(report.files_scanned > 100, "walker saw the whole workspace");
+}

@@ -1,0 +1,22 @@
+//! Deliberately dirty: every denied allocator inside one hot region.
+//! The identical constructs in `cold` (outside the region) must not
+//! fire.
+
+pub fn cold(xs: &[u8]) -> Vec<u8> {
+    let mut v = vec![0; 4];
+    v.extend(xs.to_vec());
+    v
+}
+
+// phylint: hot
+pub fn hot(xs: &[u8]) -> usize {
+    let mut v = Vec::new();
+    v.extend(xs.iter().map(|x| x + 1));
+    let s = format!("{}", xs.len());
+    let t = s.to_string();
+    let w = xs.to_vec();
+    let b = Box::new(0u8);
+    let c: Vec<u8> = xs.iter().copied().collect();
+    v.len() + t.len() + w.len() + c.len() + usize::from(*b)
+}
+// phylint: end-hot

@@ -1,0 +1,8 @@
+//! Deliberately dirty: one `cfg(feature = …)` names a feature the
+//! manifest never declares.
+
+#[cfg(feature = "real")]
+pub fn gated() {}
+
+#[cfg(feature = "imaginary")]
+pub fn ghost() {}

@@ -1,0 +1,23 @@
+//! Deliberately dirty: naked panic paths in crate source, in a module
+//! that also opted into the strict `[idx]` denial.
+// phylint: datapath
+
+pub fn naked_unwrap(v: Option<u8>) -> u8 {
+    v.unwrap()
+}
+
+pub fn naked_expect(v: Option<u8>) -> u8 {
+    v.expect("boom")
+}
+
+pub fn panics() {
+    panic!("bad");
+}
+
+pub fn stub() {
+    todo!()
+}
+
+pub fn index(xs: &[u8]) -> u8 {
+    xs[0]
+}

@@ -1,0 +1,9 @@
+//! Integration tests may unwrap freely: the panic-path audit only
+//! fires on crate source.
+
+#[test]
+fn unwrap_in_integration_tests_is_fine() {
+    assert_eq!(Some(1).unwrap(), 1);
+    let v: Vec<u8> = Vec::new();
+    assert_eq!(v.first(), None);
+}

@@ -1,0 +1,11 @@
+//! Deliberately dirty: `unsafe` without a SAFETY comment. The first
+//! function shows both accepted forms (block above, trailing).
+
+/// SAFETY: `p` is non-null, aligned and live per the caller contract.
+pub unsafe fn justified(p: *const u8) -> u8 {
+    unsafe { *p } // SAFETY: caller contract upheld, see above
+}
+
+pub unsafe fn bare(p: *const u8) -> u8 {
+    unsafe { *p }
+}

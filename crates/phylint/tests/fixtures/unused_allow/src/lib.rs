@@ -1,0 +1,13 @@
+//! Deliberately dirty: marker-syntax errors — a stale suppression, an
+//! unknown directive, and a suppression with no justification.
+
+// phylint: allow(panic_path) -- nothing on the next line panics, so this is stale
+pub fn fine() -> u8 {
+    7
+}
+
+// phylint: frobnicate
+pub fn also_fine() {}
+
+// phylint: allow(alloc_hot)
+pub fn third() {}

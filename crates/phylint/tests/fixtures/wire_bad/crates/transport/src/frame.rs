@@ -1,0 +1,25 @@
+//! Fixture frame constants, shaped like the real transport codec.
+
+/// Frame magic.
+pub const MAGIC: [u8; 4] = *b"CQ15";
+/// Data-frame header: magic + seq + stream count + samples/stream.
+pub const HEADER_LEN: usize = 4 + 4 + 1 + 2;
+/// One CQ15 sample on the wire.
+pub const BYTES_PER_SAMPLE: usize = 4;
+/// Most streams a data frame may carry.
+pub const MAX_STREAMS: usize = 8;
+/// CRC-32 trailer length.
+pub const CRC_LEN: usize = 4;
+/// Control frames are fixed length: magic + seq + tag + value + CRC.
+pub const CONTROL_FRAME_LEN: usize = 4 + 4 + 1 + 8 + CRC_LEN;
+
+/// Control tags.
+pub const TYPE_CREDIT: u8 = 0xC1;
+/// Liveness.
+pub const TYPE_HEARTBEAT: u8 = 0xC2;
+/// Session open.
+pub const TYPE_HELLO: u8 = 0xC3;
+/// Session accept.
+pub const TYPE_RESET: u8 = 0xC4;
+/// Session close.
+pub const TYPE_BYE: u8 = 0xC5;

@@ -1,0 +1,28 @@
+//! Fixture doc tables with one deliberate drift: the control-frame
+//! heading claims 22 bytes while `CONTROL_FRAME_LEN` is 21.
+//!
+//! The dispatch byte at offset 8 is a stream count `1..=8` for data
+//! frames and a tag in `0xC1..=0xC5` for control frames.
+//!
+//! **Data frame** (variable length):
+//!
+//! | offset | size | field |
+//! |--------|------|-------|
+//! | 0      | 4    | magic `"CQ15"` |
+//! | 4      | 4    | sequence number, u32 LE |
+//! | 8      | 1    | stream count `1..=8` |
+//! | 9      | 2    | samples per stream, u16 LE |
+//! | 11     | 4·n·s| payload: per-stream i16 LE (I,Q) pairs |
+//! | …      | 4    | CRC-32, u32 LE |
+//!
+//! **Control frame** (fixed 22 bytes):
+//!
+//! | offset | size | field |
+//! |--------|------|-------|
+//! | 0      | 4    | magic `"CQ15"` |
+//! | 4      | 4    | sequence number, u32 LE |
+//! | 8      | 1    | type: CREDIT `0xC1`, HEARTBEAT `0xC2`, HELLO `0xC3`, RESET `0xC4`, BYE `0xC5` |
+//! | 9      | 8    | value, u64 LE |
+//! | 17     | 4    | CRC-32, u32 LE |
+
+pub mod frame;

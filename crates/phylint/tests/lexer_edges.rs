@@ -1,0 +1,103 @@
+//! Lexer edge cases: the constructs that defeat naive regex scanning
+//! must classify correctly, or every rule built on the token stream
+//! lies.
+
+use phylint::lexer::{lex, TokKind};
+
+fn kinds_and_texts(src: &str) -> Vec<(TokKind, String)> {
+    let lexed = lex(src);
+    lexed
+        .tokens
+        .iter()
+        .map(|t| (t.kind, lexed.text(src, t).to_string()))
+        .collect()
+}
+
+#[test]
+fn denied_names_inside_strings_are_one_str_token() {
+    let toks = kinds_and_texts(r#"let s = "x.unwrap() and panic!";"#);
+    assert!(toks.iter().any(|(k, t)| *k == TokKind::Str && t.contains("unwrap")));
+    assert!(!toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "unwrap"));
+}
+
+#[test]
+fn raw_strings_with_quotes_and_hash_fences() {
+    let src = r###"let s = r#"inner "quoted" .expect("msg")"#; let t = 1;"###;
+    let toks = kinds_and_texts(src);
+    assert!(!toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "expect"));
+    assert!(toks.iter().any(|(k, t)| *k == TokKind::Str && t.contains("quoted")));
+    // Lexing continues correctly after the fence.
+    assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "t"));
+}
+
+#[test]
+fn raw_identifier_is_ident_not_string() {
+    let toks = kinds_and_texts("fn r#match() { r#match() }");
+    let raws: Vec<_> = toks.iter().filter(|(_, t)| t == "r#match").collect();
+    assert_eq!(raws.len(), 2);
+    assert!(raws.iter().all(|(k, _)| *k == TokKind::Ident));
+}
+
+#[test]
+fn nested_block_comments_are_one_comment() {
+    let src = "/* outer /* inner .unwrap() */ still comment */ fn f() {}";
+    let lexed = lex(src);
+    assert_eq!(lexed.comments.len(), 1);
+    assert!(!lexed
+        .tokens
+        .iter()
+        .any(|t| lexed.text(src, t) == "unwrap"));
+    assert!(lexed.tokens.iter().any(|t| lexed.text(src, t) == "f"));
+}
+
+#[test]
+fn char_literal_vs_lifetime() {
+    let toks = kinds_and_texts(r"fn f<'a>(x: &'a str) -> char { '\'' }");
+    assert!(toks
+        .iter()
+        .any(|(k, t)| *k == TokKind::Lifetime && t == "'a"));
+    assert!(toks.iter().any(|(k, t)| *k == TokKind::Char && t == r"'\''"));
+}
+
+#[test]
+fn numbers_stop_at_ranges_and_method_calls() {
+    let toks = kinds_and_texts("for i in 0..10 { let x = 1.5e-3; let y = 2.pow(3); }");
+    assert!(toks.iter().any(|(k, t)| *k == TokKind::Number && t == "0"));
+    assert!(toks.iter().any(|(k, t)| *k == TokKind::Number && t == "10"));
+    assert!(toks
+        .iter()
+        .any(|(k, t)| *k == TokKind::Number && t == "1.5e-3"));
+    // `2.pow` must not swallow `pow` into the number.
+    assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "pow"));
+}
+
+#[test]
+fn hex_and_separators() {
+    let toks = kinds_and_texts("const A: u8 = 0xC1; const B: u32 = 1_000;");
+    assert!(toks.iter().any(|(k, t)| *k == TokKind::Number && t == "0xC1"));
+    assert!(toks
+        .iter()
+        .any(|(k, t)| *k == TokKind::Number && t == "1_000"));
+}
+
+#[test]
+fn trailing_vs_own_line_comments() {
+    let src = "let x = 1; // trailing\n// standalone\nlet y = 2;\n";
+    let lexed = lex(src);
+    assert_eq!(lexed.comments.len(), 2);
+    assert!(!lexed.comments[0].own_line);
+    assert!(lexed.comments[1].own_line);
+    assert_eq!(lexed.comments[1].line, 2);
+}
+
+#[test]
+fn token_lines_are_one_based_and_accurate() {
+    let src = "fn a() {}\n\nfn b() {}\n";
+    let lexed = lex(src);
+    let b = lexed
+        .tokens
+        .iter()
+        .find(|t| lexed.text(src, t) == "b")
+        .expect("token b");
+    assert_eq!(b.line, 3);
+}

@@ -107,7 +107,11 @@ impl MemoryDuplex {
 
     /// Bytes waiting to be received on this endpoint.
     pub fn pending(&self) -> usize {
-        self.rx.lock().expect("ring lock poisoned").bytes.len()
+        self.rx
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .bytes
+            .len()
     }
 }
 
@@ -117,7 +121,10 @@ impl Carrier for MemoryDuplex {
         if Arc::strong_count(&self.tx) < 2 {
             return Err(TransportError::Closed);
         }
-        let mut ring = self.tx.lock().expect("ring lock poisoned");
+        let mut ring = self
+            .tx
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if ring.bytes.len() + frame.len() > ring.capacity {
             return Err(TransportError::Backpressure);
         }
@@ -126,7 +133,10 @@ impl Carrier for MemoryDuplex {
     }
 
     fn recv(&mut self, buf: &mut Vec<u8>) -> Result<usize, TransportError> {
-        let mut ring = self.rx.lock().expect("ring lock poisoned");
+        let mut ring = self
+            .rx
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let n = ring.bytes.len();
         if n == 0 {
             if Arc::strong_count(&self.rx) < 2 {

@@ -155,6 +155,7 @@ pub fn encode_frame<S: AsRef<[CQ15]>>(
         ));
     }
 
+    // phylint: hot
     let start = out.len();
     out.reserve(frame_len(n_streams, len));
     out.extend_from_slice(&MAGIC);
@@ -172,6 +173,7 @@ pub fn encode_frame<S: AsRef<[CQ15]>>(
     let crc = crc32(&out[start + MAGIC.len()..]);
     out.extend_from_slice(&crc.to_le_bytes());
     Ok(())
+    // phylint: end-hot
 }
 
 /// A control-plane message: the non-sample frames that make the link
@@ -265,6 +267,7 @@ pub struct ControlFrame {
 /// Encodes one control message, **appending** the bytes to `out`
 /// (same batching contract as [`encode_frame`]). Control frames are
 /// always [`CONTROL_FRAME_LEN`] bytes and never fail to encode.
+// phylint: hot
 pub fn encode_control(seq: u32, msg: ControlMsg, out: &mut Vec<u8>) {
     let start = out.len();
     out.reserve(CONTROL_FRAME_LEN);
@@ -275,6 +278,7 @@ pub fn encode_control(seq: u32, msg: ControlMsg, out: &mut Vec<u8>) {
     let crc = crc32(&out[start + MAGIC.len()..]);
     out.extend_from_slice(&crc.to_le_bytes());
 }
+// phylint: end-hot
 
 /// One decoded frame: the sequence number and the per-stream samples.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -365,8 +369,7 @@ impl FrameDecoder {
                     return Some(g);
                 }
                 let frame = &self.buf[self.read..self.read + total];
-                let want =
-                    u32::from_le_bytes(frame[total - CRC_LEN..].try_into().unwrap());
+                let want = le_u32_at(frame, total - CRC_LEN);
                 let got = crc32(&frame[MAGIC.len()..total - CRC_LEN]);
                 if want == got {
                     let event = if control {
@@ -381,7 +384,7 @@ impl FrameDecoder {
                 // Corrupted frame (or a coincidental magic inside
                 // other data): reject, rescan one byte past the
                 // magic so a real frame hiding inside is found.
-                let seq_hint = u32::from_le_bytes(frame[4..8].try_into().unwrap());
+                let seq_hint = le_u32_at(frame, 4);
                 self.read += 1;
                 self.garbage_run += 1;
                 Some(DecodeEvent::BadCrc { seq_hint })
@@ -392,6 +395,7 @@ impl FrameDecoder {
     /// Advances `read` past garbage until the cursor sits on a
     /// plausible complete frame or runs out of data. Skipped bytes
     /// accumulate in `garbage_run`.
+    // phylint: hot
     fn scan(&mut self) -> Scan {
         loop {
             let avail = &self.buf[self.read..];
@@ -445,6 +449,7 @@ impl FrameDecoder {
             return Scan::Frame { total, control: false };
         }
     }
+    // phylint: end-hot
 
     fn take_garbage(&mut self) -> Option<DecodeEvent> {
         if self.garbage_run > 0 {
@@ -461,6 +466,27 @@ impl FrameDecoder {
             self.buf.drain(..self.read);
             self.read = 0;
         }
+    }
+}
+
+/// Reads a little-endian `u32` at `at` without a panicking slice
+/// conversion. The scanner vets frame lengths before decode, so the
+/// short-slice arm is unreachable in practice; if bookkeeping ever
+/// regressed, the 0 it yields fails the CRC comparison and the frame
+/// is rejected instead of crashing the receiver.
+fn le_u32_at(bytes: &[u8], at: usize) -> u32 {
+    match bytes.get(at..at + 4) {
+        Some(&[a, b, c, d]) => u32::from_le_bytes([a, b, c, d]),
+        _ => 0,
+    }
+}
+
+/// Reads a little-endian `u64` at `at`; same contract as
+/// [`le_u32_at`].
+fn le_u64_at(bytes: &[u8], at: usize) -> u64 {
+    match bytes.get(at..at + 8) {
+        Some(&[a, b, c, d, e, f, g, h]) => u64::from_le_bytes([a, b, c, d, e, f, g, h]),
+        _ => 0,
     }
 }
 
@@ -485,17 +511,18 @@ fn find_magic(bytes: &[u8]) -> Option<usize> {
 
 /// Decodes a control frame whose CRC has already verified.
 fn decode_control_verified(frame: &[u8]) -> ControlFrame {
-    let seq = u32::from_le_bytes(frame[4..8].try_into().unwrap());
-    let value = u64::from_le_bytes(frame[9..17].try_into().unwrap());
+    let seq = le_u32_at(frame, 4);
+    let value = le_u64_at(frame, 9);
     // The scanner only classifies known tags as control frames, so
     // this cannot be None.
+    // phylint: allow(panic_path) -- the scanner admits only dispatch bytes in TYPE_CREDIT..=TYPE_BYE before classifying a frame as control, exactly the tags `from_wire` accepts
     let msg = ControlMsg::from_wire(frame[8], value).expect("scanner vetted the tag");
     ControlFrame { seq, msg }
 }
 
 /// Decodes a frame whose CRC has already verified.
 fn decode_verified(frame: &[u8]) -> SampleFrame {
-    let seq = u32::from_le_bytes(frame[4..8].try_into().unwrap());
+    let seq = le_u32_at(frame, 4);
     let n_streams = frame[8] as usize;
     let len = u16::from_le_bytes([frame[9], frame[10]]) as usize;
     let mut streams = Vec::with_capacity(n_streams);

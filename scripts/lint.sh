@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Local mirror of CI's lint gates: clippy (deny warnings) + phylint,
+# the PHY-invariant static analyzer. Run from anywhere in the repo.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== clippy (deny warnings) =="
+cargo clippy --all-targets -- -D warnings
+
+echo
+echo "== phylint (PHY invariants) =="
+cargo run -p phylint --release
