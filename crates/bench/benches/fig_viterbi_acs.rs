@@ -1,22 +1,27 @@
 //! **Experiment F10 — Viterbi ACS kernel throughput.**
 //!
-//! Decoded information bits per second of the two Viterbi backends —
-//! the reference scalar kernel and the radix-2 butterfly kernel (branch
-//! metric table + ping-pong `i32` rows + `u64` survivor bitmasks) — on
-//! terminated K=7 blocks at burst-representative sizes, with hard
+//! Decoded information bits per second of the Viterbi backends — the
+//! reference scalar kernel, the radix-2 butterfly kernel (branch
+//! metric table + ping-pong `i32` rows + `u64` survivor bitmasks), the
+//! 8-lane SIMD butterfly tier, and the 64-burst bitsliced batch kernel
+//! — on terminated K=7 blocks at burst-representative sizes, with hard
 //! (±`HARD_LLR`) and noisy soft inputs.
 //!
 //! The ACS recursion is ~70 % of burst decode time in the software
 //! model, so this microbench isolates the kernel the `fig_sw_throughput`
-//! trajectory rides on. Alongside the criterion timings, the run writes
-//! a `BENCH_viterbi_acs.json` snapshot at the repo root so successive
-//! PRs can track the kernel in isolation.
+//! trajectory rides on. The run also reports the ACS/traceback phase
+//! split (via `decode_terminated_profiled`) and which kernel the
+//! decoder's auto dispatch actually selected on this machine. Alongside
+//! the criterion timings, the run writes a `BENCH_viterbi_acs.json`
+//! snapshot at the repo root so successive PRs can track the kernels in
+//! isolation.
 
 use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use mimo_coding::{
-    hard_to_llr, CodeSpec, ConvolutionalEncoder, Llr, ViterbiDecoder, ViterbiWorkspace,
+    hard_to_llr, BatchKernel, BatchViterbiWorkspace, CodeSpec, ConvolutionalEncoder, Llr,
+    ViterbiDecoder, ViterbiKernel, ViterbiWorkspace,
 };
 use rand::Rng;
 use rand_chacha::{rand_core::SeedableRng, ChaCha8Rng};
@@ -25,6 +30,9 @@ use rand_chacha::{rand_core::SeedableRng, ChaCha8Rng};
 /// per-stream burst block (2 KiB payload per stream at the gigabit
 /// operating point).
 const BLOCK_BITS: [usize; 2] = [1152, 16384];
+
+/// Bursts decoded simultaneously by the bitsliced batch kernel.
+const BATCH: usize = 64;
 
 /// Deterministic info bits.
 fn info_bits(n: usize) -> Vec<u8> {
@@ -46,47 +54,71 @@ fn coded_llrs(info: &[u8], noisy: bool) -> Vec<Llr> {
     soft
 }
 
-/// Decoded info bits per second for one kernel over ~`budget` of wall
-/// time (at least 3 decodes).
+/// Decoded info bits per second for one single-block kernel over
+/// ~`budget` of wall time (at least 3 decodes).
 fn measure_bits_per_sec(
     dec: &ViterbiDecoder,
     soft: &[Llr],
     info_len: usize,
-    scalar: bool,
+    kernel: ViterbiKernel,
     budget: Duration,
 ) -> f64 {
     let mut ws = ViterbiWorkspace::new();
     let mut out = Vec::new();
     // Warm the workspace and pin correctness once per config.
-    run_kernel(dec, soft, scalar, &mut ws, &mut out);
+    run_kernel(dec, soft, kernel, &mut ws, &mut out);
     assert_eq!(out.len(), info_len, "decode length mismatch");
 
     let start = Instant::now();
     let mut decodes = 0u64;
     while start.elapsed() < budget || decodes < 3 {
-        run_kernel(dec, soft, scalar, &mut ws, &mut out);
+        run_kernel(dec, soft, kernel, &mut ws, &mut out);
         criterion::black_box(out.len());
         decodes += 1;
     }
     decodes as f64 * info_len as f64 / start.elapsed().as_secs_f64()
 }
 
+/// Aggregate decoded bits per second of the bitsliced batch kernel
+/// (explicitly requested — `Auto` would pick per-block SIMD here) over
+/// `BATCH` simultaneous copies of the block.
+fn measure_batch_bits_per_sec(
+    dec: &ViterbiDecoder,
+    soft: &[Llr],
+    info_len: usize,
+    budget: Duration,
+) -> f64 {
+    let blocks: Vec<&[Llr]> = (0..BATCH).map(|_| soft).collect();
+    let mut ws = BatchViterbiWorkspace::new();
+    dec.decode_terminated_batch_with(BatchKernel::Bitsliced, &blocks, &mut ws)
+        .expect("batch decode");
+    for out in ws.outputs() {
+        assert_eq!(out.len(), info_len, "batch decode length mismatch");
+    }
+
+    let start = Instant::now();
+    let mut decodes = 0u64;
+    while start.elapsed() < budget || decodes < 3 {
+        dec.decode_terminated_batch_with(BatchKernel::Bitsliced, &blocks, &mut ws)
+            .expect("batch decode");
+        criterion::black_box(ws.outputs().len());
+        decodes += 1;
+    }
+    decodes as f64 * (BATCH * info_len) as f64 / start.elapsed().as_secs_f64()
+}
+
 fn run_kernel(
     dec: &ViterbiDecoder,
     soft: &[Llr],
-    scalar: bool,
+    kernel: ViterbiKernel,
     ws: &mut ViterbiWorkspace,
     out: &mut Vec<u8>,
 ) {
-    if scalar {
-        dec.decode_terminated_scalar_into(soft, ws, out).expect("decode");
-    } else {
-        dec.decode_terminated_into(soft, ws, out).expect("decode");
-    }
+    dec.decode_terminated_with(kernel, soft, ws, out).expect("decode");
 }
 
 /// Writes the JSON snapshot consumed by future PRs' trajectory checks.
-fn write_snapshot(rows: &[(usize, &'static str, &'static str, f64)]) {
+fn write_snapshot(dispatch: &str, rows: &[(usize, String, &'static str, f64)]) {
     let mut entries = Vec::new();
     for (block_bits, kernel, input, bps) in rows {
         entries.push(format!(
@@ -96,7 +128,7 @@ fn write_snapshot(rows: &[(usize, &'static str, &'static str, f64)]) {
     }
     let json = format!(
         "{{\n  \"bench\": \"fig_viterbi_acs\",\n  \"code\": \"K=7 133/171 r=1/2\",\n  \
-         \"results\": [\n{}\n  ]\n}}\n",
+         \"auto_dispatch\": \"{dispatch}\",\n  \"results\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_viterbi_acs.json");
@@ -116,42 +148,96 @@ fn bench(c: &mut Criterion) {
     };
     let dec = ViterbiDecoder::new(CodeSpec::ieee80211a());
 
-    let mut rows = Vec::new();
+    // What the decoder's automatic dispatch picks on this machine for
+    // demapper-scale soft inputs (records e.g. "simd-avx2" vs the
+    // portable-array tier).
+    let dispatch = dec.kernel_name(&[hard_to_llr(0), hard_to_llr(1)]);
     eprintln!("\n=== F10: Viterbi ACS kernel throughput (decoded info bits/sec) ===");
+    eprintln!("auto dispatch on this machine: {dispatch}");
+
+    let kernels = [
+        ("scalar", ViterbiKernel::Scalar),
+        ("butterfly", ViterbiKernel::Butterfly),
+        ("simd", ViterbiKernel::Simd),
+    ];
+    let mut rows = Vec::new();
     for &bits in &BLOCK_BITS {
         let info = info_bits(bits);
         for (input, noisy) in [("hard", false), ("soft", true)] {
             let soft = coded_llrs(&info, noisy);
-            let scalar = measure_bits_per_sec(&dec, &soft, bits, true, budget);
-            let bfly = measure_bits_per_sec(&dec, &soft, bits, false, budget);
-            eprintln!(
-                "{bits:>6}-bit block, {input}: scalar {:>7.2} Mbit/s | butterfly {:>7.2} Mbit/s | x{:.2}",
-                scalar / 1e6,
-                bfly / 1e6,
-                bfly / scalar
-            );
-            rows.push((bits, "scalar", input, scalar));
-            rows.push((bits, "butterfly", input, bfly));
+            let mut line = format!("{bits:>6}-bit block, {input}:");
+            let mut scalar_bps = 0.0;
+            for (name, kernel) in kernels {
+                let bps = measure_bits_per_sec(&dec, &soft, bits, kernel, budget);
+                if kernel == ViterbiKernel::Scalar {
+                    scalar_bps = bps;
+                }
+                line.push_str(&format!(" {name} {:.2} Mbit/s |", bps / 1e6));
+                rows.push((bits, name.to_string(), input, bps));
+            }
+            let batch = measure_batch_bits_per_sec(&dec, &soft, bits, budget);
+            line.push_str(&format!(
+                " bitslice64 {:.2} Mbit/s agg ({:.2} Mbit/s/lane) | x{:.2} vs scalar",
+                batch / 1e6,
+                batch / BATCH as f64 / 1e6,
+                batch / scalar_bps
+            ));
+            eprintln!("{line}");
+            rows.push((bits, "bitslice64".to_string(), input, batch));
         }
     }
-    write_snapshot(&rows);
+    write_snapshot(dispatch, &rows);
 
-    // Criterion wrappers: per-block decode latency for both kernels.
+    // ACS vs traceback phase split of the auto-dispatched kernel.
+    {
+        let info = info_bits(BLOCK_BITS[1]);
+        let soft = coded_llrs(&info, true);
+        let mut ws = ViterbiWorkspace::new();
+        let mut out = Vec::new();
+        let (mut acs, mut tb) = (Duration::ZERO, Duration::ZERO);
+        let mut kernel = "";
+        for _ in 0..5 {
+            let p = dec
+                .decode_terminated_profiled(&soft, &mut ws, &mut out)
+                .expect("profiled decode");
+            acs += p.acs;
+            tb += p.traceback;
+            kernel = p.kernel;
+        }
+        let total = (acs + tb).as_secs_f64().max(1e-12);
+        eprintln!(
+            "phase split ({kernel}, {}-bit blocks): ACS {:.1}% | traceback {:.1}%",
+            BLOCK_BITS[1],
+            100.0 * acs.as_secs_f64() / total,
+            100.0 * tb.as_secs_f64() / total,
+        );
+    }
+
+    // Criterion wrappers: per-block decode latency for each kernel.
     let mut group = c.benchmark_group("fig10_viterbi_acs");
     for &bits in &BLOCK_BITS {
         let info = info_bits(bits);
         let soft = coded_llrs(&info, true);
         group.throughput(Throughput::Elements(bits as u64));
-        for (kernel, scalar) in [("scalar", true), ("butterfly", false)] {
+        for (name, kernel) in kernels {
             let mut ws = ViterbiWorkspace::new();
             let mut out = Vec::new();
-            group.bench_function(&format!("{bits}b/{kernel}"), |b| {
+            group.bench_function(&format!("{bits}b/{name}"), |b| {
                 b.iter(|| {
-                    run_kernel(&dec, &soft, scalar, &mut ws, &mut out);
+                    run_kernel(&dec, &soft, kernel, &mut ws, &mut out);
                     out.len()
                 })
             });
         }
+        let blocks: Vec<&[Llr]> = (0..BATCH).map(|_| soft.as_slice()).collect();
+        let mut bws = BatchViterbiWorkspace::new();
+        group.bench_function(&format!("{bits}b/bitslice64"), |b| {
+            b.iter(|| {
+                dec.decode_terminated_batch_with(BatchKernel::Bitsliced, &blocks, &mut bws)
+                    .expect("batch decode");
+                bws.outputs().len()
+            })
+        });
     }
     group.finish();
 }

@@ -1,0 +1,270 @@
+//! Bitsliced many-burst Viterbi: decode up to 64 independent blocks of
+//! one code simultaneously.
+//!
+//! `BurstPipeline` naturally produces batches of same-code blocks (four
+//! spatial streams per burst, many bursts per batch). Decoding them one
+//! at a time leaves lane-level parallelism on the table: the trellis
+//! walk is identical for every block — only the LLRs differ — so the
+//! add-compare-select recursion vectorizes *across blocks* instead of
+//! across states.
+//!
+//! # Bit-plane packing
+//!
+//! * **Metrics.** Path metrics are stored lane-major: `metrics[s * W +
+//!   w]` is state `s` of lane (block) `w`, with `W` the lane count
+//!   rounded up to a multiple of 8 so the inner loop is fixed-width
+//!   vector arithmetic. Padding lanes decode an all-zero-LLR block —
+//!   well-defined, cheap, and isolated, since every operation is
+//!   per-lane (no cross-lane arithmetic, so a pad lane can never
+//!   perturb a real one).
+//! * **Branch metrics.** The `2^n`-entry correlation table of the
+//!   butterfly kernel becomes a `2^n × W` plane refilled per trellis
+//!   step from each lane's own branch LLRs.
+//! * **Survivors.** One decision *bit* per state per lane: survivor
+//!   word `planes[t * states + s]` holds bit `w` = lane `w`'s decision
+//!   for state `s` at step `t` — the bit-plane transpose of the
+//!   butterfly kernel's per-block survivor masks. Decision bytes are
+//!   packed eight at a time with a carry-free multiply gather (every
+//!   `(byte, bit)` product lands on a distinct bit, so no carries).
+//! * **Traceback.** Per real lane, the usual shift-and-mask walk from
+//!   state 0 (blocks are terminated), reading bit `w` of each plane
+//!   word.
+//!
+//! The recursion performs exactly the butterfly kernel's `i32`
+//! arithmetic per lane — same tie-breaks, same `NORM_INTERVAL`
+//! renormalization (per lane), same initial row — so each lane's output
+//! is bit-identical to decoding that block alone, which the property
+//! suite pins for every batch width 1..=64 and for ragged fallbacks.
+
+use crate::butterfly::{ButterflyTrellis, NEG_INF_I32, NORM_INTERVAL};
+use crate::viterbi::ViterbiWorkspace;
+use crate::{CodeSpec, Llr};
+
+/// Maximum blocks per bitsliced group — the width of one survivor word.
+pub(crate) const MAX_LANES: usize = 64;
+
+/// Preallocated working state for
+/// [`ViterbiDecoder::decode_terminated_batch`](crate::ViterbiDecoder::decode_terminated_batch):
+/// lane-major metric planes, survivor bit-planes, per-lane outputs, and
+/// a scalar scratch workspace for groups that fall back to per-block
+/// decoding. One workspace per decoding thread; buffers grow to the
+/// largest batch seen and are reused thereafter.
+#[derive(Debug, Clone, Default)]
+pub struct BatchViterbiWorkspace {
+    /// Lane-major path metrics for the current branch (`states × W`).
+    pub(crate) metrics: Vec<i32>,
+    /// Ping-pong partner of `metrics`.
+    pub(crate) next: Vec<i32>,
+    /// Per-lane branch-metric plane (`2^n × W`), refilled per step.
+    pub(crate) bmt: Vec<i32>,
+    /// Survivor bit-planes: `planes[t * states + s]`, bit `w` per lane.
+    pub(crate) planes: Vec<u64>,
+    /// Per-lane row maximum, for the periodic renormalization.
+    pub(crate) rowmax: Vec<i32>,
+    /// Decoded bits per input block (flush tail already stripped).
+    pub(crate) outs: Vec<Vec<u8>>,
+    /// Scalar/butterfly scratch for ineligible (fallback) groups.
+    pub(crate) scratch: ViterbiWorkspace,
+}
+
+impl BatchViterbiWorkspace {
+    /// Creates an empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The decoded outputs of the last batch, one `Vec<u8>` per input
+    /// block in input order.
+    pub fn outputs(&self) -> &[Vec<u8>] {
+        &self.outs
+    }
+
+    /// Mutable view of the last batch's outputs — lets callers
+    /// `mem::swap` results out without reallocating.
+    pub fn outputs_mut(&mut self) -> &mut [Vec<u8>] {
+        &mut self.outs
+    }
+
+    /// Sizes the output table for a batch of `n` blocks, keeping the
+    /// allocations of however many slots already exist.
+    pub(crate) fn reserve_outputs(&mut self, n: usize) {
+        self.outs.resize_with(n, Vec::new);
+    }
+}
+
+/// Packs up to 64 decision bytes (each 0 or 1) into one survivor word,
+/// bit `w` = byte `w`. Eight bytes collapse per multiply: with the
+/// magic constant, the partial product of byte `i` and constant byte
+/// `k` lands on bit `7 + 8i + 7k`, and those positions are pairwise
+/// distinct over `i, k ∈ 0..8`, so no carries — bits `56..64` of the
+/// product read back exactly bytes `0..8`.
+// phylint: hot
+#[inline]
+fn pack_sel(bytes: &[u8]) -> u64 {
+    let mut word = 0u64;
+    for (chunk_idx, chunk) in bytes.chunks_exact(8).enumerate() {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(chunk);
+        let bits = u64::from_le_bytes(b).wrapping_mul(0x0102_0408_1020_4080) >> 56;
+        word |= bits << (8 * chunk_idx);
+    }
+    word
+}
+
+/// Decodes one eligible group of ≤ [`MAX_LANES`] equal-length
+/// terminated blocks, writing `ws.outs[base + w]` for each lane `w`.
+///
+/// Callers (the batch dispatcher) have already validated the group:
+/// non-empty, equal lengths, a whole number of branches, more branches
+/// than the flush tail, and every block inside the butterfly kernel's
+/// `i32` exactness bound.
+pub(crate) fn decode_group(
+    spec: &CodeSpec,
+    bf: &ButterflyTrellis,
+    blocks: &[&[Llr]],
+    ws: &mut BatchViterbiWorkspace,
+    base: usize,
+) {
+    let Some(first) = blocks.first() else {
+        return;
+    };
+    let n_out = spec.outputs_per_input();
+    let n_branches = first.len() / n_out;
+    let n_states = bf.n_states();
+    let half = n_states / 2;
+    let table_len = bf.table_len();
+    let labels = bf.labels();
+    let flush = spec.constraint_length() - 1;
+    let lanes = blocks.len().next_multiple_of(8).min(MAX_LANES);
+
+    let BatchViterbiWorkspace {
+        metrics,
+        next,
+        bmt,
+        planes,
+        rowmax,
+        outs,
+        ..
+    } = ws;
+
+    // Lane-major planes: state 0 starts at metric 0 in every lane, all
+    // other states at the unreachable floor — per lane, the butterfly
+    // kernel's initial row.
+    metrics.clear();
+    metrics.resize(n_states * lanes, NEG_INF_I32);
+    metrics[..lanes].fill(0);
+    next.clear();
+    next.resize(n_states * lanes, 0);
+    // Pre-zeroed once: pad lanes (>= blocks.len()) are never refilled,
+    // so they decode all-zero LLRs for the whole group.
+    bmt.clear();
+    bmt.resize(table_len * lanes, 0);
+    rowmax.clear();
+    rowmax.resize(lanes, 0);
+    if planes.len() < n_branches * n_states {
+        planes.resize(n_branches * n_states, 0);
+    }
+
+    for t in 0..n_branches {
+        // Per-lane branch-metric plane: each lane correlates its own
+        // branch LLRs against every coded label, exactly
+        // `butterfly::fill_bm_table` with a lane stride.
+        for (w, block) in blocks.iter().enumerate() {
+            let branch = &block[t * n_out..(t + 1) * n_out];
+            for c in 0..table_len {
+                let mut acc = 0i32;
+                for (i, &l) in branch.iter().enumerate() {
+                    acc += if (c >> i) & 1 == 0 { l } else { -l };
+                }
+                bmt[c * lanes + w] = acc;
+            }
+        }
+        // Vertical ACS: one butterfly at a time, all lanes at once.
+        let plane_row = &mut planes[t * n_states..(t + 1) * n_states];
+        for j in 0..half {
+            let [c0, c1, c2, c3] = labels[j];
+            let m0 = &metrics[2 * j * lanes..(2 * j + 1) * lanes];
+            let m1 = &metrics[(2 * j + 1) * lanes..(2 * j + 2) * lanes];
+            let g0 = &bmt[c0 as usize * lanes..c0 as usize * lanes + lanes];
+            let g1 = &bmt[c1 as usize * lanes..c1 as usize * lanes + lanes];
+            let g2 = &bmt[c2 as usize * lanes..c2 as usize * lanes + lanes];
+            let g3 = &bmt[c3 as usize * lanes..c3 as usize * lanes + lanes];
+            let (nlo, nhi) = next.split_at_mut(half * lanes);
+            let nl = &mut nlo[j * lanes..(j + 1) * lanes];
+            let nh = &mut nhi[j * lanes..(j + 1) * lanes];
+            let mut sel_lo = [0u8; MAX_LANES];
+            let mut sel_hi = [0u8; MAX_LANES];
+            for w in 0..lanes {
+                // Successor j (input 0); `sel = b > a` keeps the
+                // butterfly tie-break (lower predecessor 2j wins).
+                let a = m0[w] + g0[w];
+                let b = m1[w] + g1[w];
+                let sel = b > a;
+                nl[w] = if sel { b } else { a };
+                sel_lo[w] = u8::from(sel);
+                // Successor half + j (input 1).
+                let a = m0[w] + g2[w];
+                let b = m1[w] + g3[w];
+                let sel = b > a;
+                nh[w] = if sel { b } else { a };
+                sel_hi[w] = u8::from(sel);
+            }
+            plane_row[j] = pack_sel(&sel_lo[..lanes]);
+            plane_row[half + j] = pack_sel(&sel_hi[..lanes]);
+        }
+        std::mem::swap(metrics, next);
+        if (t + 1) % NORM_INTERVAL == 0 {
+            // Per-lane renormalization: subtract each lane's row
+            // maximum — the uniform shift `butterfly::normalize_row`
+            // applies per block.
+            rowmax.fill(i32::MIN);
+            for row in metrics.chunks_exact(lanes) {
+                for (mx, &m) in rowmax.iter_mut().zip(row) {
+                    if m > *mx {
+                        *mx = m;
+                    }
+                }
+            }
+            for row in metrics.chunks_exact_mut(lanes) {
+                for (m, &mx) in row.iter_mut().zip(rowmax.iter()) {
+                    *m -= mx;
+                }
+            }
+        }
+    }
+    // phylint: end-hot
+
+    // Per-lane traceback from state 0 (terminated blocks), reading bit
+    // `w` of each survivor plane word; then strip the flush tail.
+    let k_top = spec.constraint_length() - 2;
+    for (w, out) in outs[base..base + blocks.len()].iter_mut().enumerate() {
+        out.clear();
+        out.resize(n_branches, 0);
+        let mut state = 0usize;
+        for t in (0..n_branches).rev() {
+            out[t] = ((state >> k_top) & 1) as u8;
+            let sel = ((planes[t * n_states + state] >> w) & 1) as usize;
+            state = ((state & (half - 1)) << 1) | sel;
+        }
+        out.truncate(n_branches - flush);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_sel_is_the_identity_on_bytes() {
+        let mut bytes = [0u8; MAX_LANES];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = u8::from((i * 7 + 3) % 5 < 2);
+        }
+        let word = pack_sel(&bytes);
+        for (i, &b) in bytes.iter().enumerate() {
+            assert_eq!((word >> i) & 1, u64::from(b), "bit {i}");
+        }
+        // Narrow (one-chunk) packs leave the upper bits clear.
+        assert_eq!(pack_sel(&bytes[..8]) >> 8, 0);
+    }
+}

@@ -130,6 +130,13 @@ impl ButterflyTrellis {
         self.n_states.div_ceil(64)
     }
 
+    /// The coded branch labels, one `[u8; 4]` per butterfly `j` in the
+    /// `coded[j][2*b + p]` layout — shared with the SIMD and bitsliced
+    /// kernels so all three tiers walk one table.
+    pub(crate) fn labels(&self) -> &[[u8; 4]] {
+        &self.coded
+    }
+
     /// Whether every LLR in `soft` is small enough for the `i32`
     /// metric rows to be exact (no wrap between renormalizations).
     pub(crate) fn safe_for(&self, soft: &[Llr]) -> bool {

@@ -45,18 +45,54 @@
 //! feature forces it as the backend everywhere. Both kernels are
 //! bit-identical on every input the butterfly accepts — enforced by
 //! the property suite in `tests/proptests.rs`.
+//!
+//! # The SIMD lane tier
+//!
+//! With the `simd` cargo feature (module `simd`, private), the
+//! butterfly walk runs eight butterflies per step in one `i32` register
+//! row: two contiguous loads pick up sixteen predecessor metrics, an
+//! in-register even/odd de-interleave forms the `2j`/`2j+1` vectors,
+//! the (≤ 8-entry) branch-metric table is gathered by an in-register
+//! permute over prebuilt label vectors, and the decision bits fall out
+//! of a sign-bit movemask straight into the survivor words. AVX2
+//! intrinsics are used when `is_x86_feature_detected!` reports support
+//! at run time; elsewhere a portable fixed-width-array tier (written
+//! for the autovectorizer) fills the same seam. Codes that do not fit
+//! the lanes — more than 3 output bits per input or fewer than 16
+//! states — stay on the scalar butterfly tier automatically.
+//! [`ViterbiKernel`] documents the full selection matrix, and
+//! `ViterbiDecoder::kernel_name` reports what `Auto` would dispatch.
+//!
+//! # The bitsliced batch kernel
+//!
+//! [`ViterbiDecoder::decode_terminated_batch`] decodes up to 64
+//! independent same-code blocks simultaneously (module `bitslice`,
+//! private): path metrics lane-major (`metrics[s * W + w]`, lane `w` =
+//! block `w`), branch metrics a `2^n × W` plane refilled per step from
+//! each lane's own LLRs, and survivors transposed into bit-planes —
+//! word `t·S + s` carries one decision bit per *block*. The ACS
+//! recursion then vectorizes across blocks, which is the batch shape
+//! `BurstPipeline` produces (four spatial streams per burst, many
+//! bursts per batch). Dispatch is cost-aware ([`BatchKernel`]): the
+//! bitsliced tier pays per lane, so sparse groups — and any build
+//! whose per-block tier is the faster 8-lane SIMD kernel — run a
+//! per-block loop instead, as do ragged or otherwise ineligible
+//! groups; every output is bit-identical to decoding that block alone.
 
 pub mod bits;
+mod bitslice;
 mod butterfly;
 mod conv;
 mod puncture;
 mod scrambler;
+mod simd;
 mod viterbi;
 
+pub use bitslice::BatchViterbiWorkspace;
 pub use conv::{CodeSpec, CodingError, ConvolutionalEncoder};
 pub use puncture::{depuncture, depuncture_into, puncture, puncture_into, CodeRate};
 pub use scrambler::{pilot_polarity, Scrambler};
-pub use viterbi::{ViterbiDecoder, ViterbiWorkspace};
+pub use viterbi::{BatchKernel, DecodeProfile, ViterbiDecoder, ViterbiKernel, ViterbiWorkspace};
 
 /// A soft bit (log-likelihood ratio). Positive means "more likely 0",
 /// negative "more likely 1", zero is an erasure. Hard bits map to

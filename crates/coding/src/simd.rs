@@ -1,0 +1,234 @@
+//! 8-lane SIMD tier of the butterfly ACS kernel.
+//!
+//! The paper's Viterbi core reaches its rate by replicating the ACS
+//! butterfly in fabric; this module is the software analogue of that
+//! lane replication. One [`SimdTrellis::acs_step`] call performs the
+//! add-compare-select of eight butterflies (sixteen states) at once on
+//! `i32` metric lanes, producing the same ping-pong rows and survivor
+//! bitmasks as [`ButterflyTrellis::acs_step`] — decision for decision.
+//!
+//! # Lane layout
+//!
+//! For butterflies `j = base..base+8` the kernel needs the metric pairs
+//! `cur[2j]`/`cur[2j+1]`. Those sixteen values are two contiguous
+//! 8-lane loads; an in-register even/odd de-interleave (a `vpermd` per
+//! load plus two 128-bit shuffles on AVX2) yields the `m0` vector
+//! (predecessors `2j`) and `m1` vector (predecessors `2j+1`). Branch
+//! metrics are gathered from the (≤ 8 entry) branch-metric table with a
+//! `vpermd` over the per-slot label vectors prebuilt by
+//! [`SimdTrellis::new`]. The two compare-selects per butterfly then run
+//! vertically: `sel = b > a` keeps the scalar tie-break (lower
+//! predecessor `2j` wins equality), the select writes successor rows
+//! `j` and `half + j` as two contiguous stores, and the eight decision
+//! bits drop out of a sign-bit movemask straight into the survivor
+//! word — `base` is a multiple of 8, so the shifted mask never
+//! straddles a `u64` boundary.
+//!
+//! # Tiers and eligibility
+//!
+//! Two lane implementations sit behind one seam: AVX2 intrinsics when
+//! `is_x86_feature_detected!` reports support at run time, and a
+//! portable fixed-width-array version (written so the autovectorizer
+//! can chew on it) everywhere else. Construction fails — and the
+//! dispatcher falls back to the scalar butterfly kernel — when the code
+//! shape does not fit the lanes: more than 3 output bits per input
+//! (branch-metric table longer than one 8-lane register) or fewer than
+//! 16 states (`half % 8 != 0`). The paper's K=7 rate-1/2 code passes
+//! both tests.
+
+use crate::butterfly::ButterflyTrellis;
+
+/// Metric lanes per step — one AVX2 register of `i32`.
+const LANES: usize = 8;
+
+/// Which lane implementation backs [`SimdTrellis::acs_step`], fixed at
+/// construction from runtime CPU-feature detection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LaneKernel {
+    /// AVX2 intrinsics (x86-64 with runtime `avx2` support).
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+    /// Portable fixed-width arrays; the compiler's autovectorizer is
+    /// the only hardware dependency.
+    Portable,
+}
+
+/// Precomputed 8-lane view of a [`ButterflyTrellis`].
+#[derive(Debug, Clone)]
+pub(crate) struct SimdTrellis {
+    /// Per transition slot (the `coded[j][2*b + p]` layout of
+    /// [`ButterflyTrellis::labels`]), the coded label of every
+    /// butterfly widened to `i32` so a label vector is a direct
+    /// unaligned load.
+    labels: [Vec<i32>; 4],
+    /// `states / 2` — butterflies per step; a multiple of [`LANES`].
+    half: usize,
+    /// The lane implementation selected at construction.
+    kernel: LaneKernel,
+}
+
+impl SimdTrellis {
+    /// Builds the lane tables, or `None` when the code shape does not
+    /// fit the 8-lane kernel (see the module docs); callers then stay
+    /// on the scalar butterfly tier.
+    pub(crate) fn new(bf: &ButterflyTrellis) -> Option<Self> {
+        let half = bf.n_states() / 2;
+        if bf.table_len() > LANES || !half.is_multiple_of(LANES) {
+            return None;
+        }
+        let mut labels: [Vec<i32>; 4] = Default::default();
+        for (slot, lane) in labels.iter_mut().enumerate() {
+            lane.extend(bf.labels().iter().map(|c| i32::from(c[slot])));
+        }
+        Some(Self {
+            labels,
+            half,
+            kernel: pick_kernel(),
+        })
+    }
+
+    /// Name of the lane implementation actually selected — what the
+    /// benches record so numbers from different hosts are comparable.
+    pub(crate) fn name(&self) -> &'static str {
+        match self.kernel {
+            #[cfg(target_arch = "x86_64")]
+            LaneKernel::Avx2 => "simd-avx2",
+            LaneKernel::Portable => "simd-portable",
+        }
+    }
+
+    /// 8-lane add-compare-select over all butterflies — drop-in for
+    /// [`ButterflyTrellis::acs_step`]: same rows, same survivor words,
+    /// same tie-breaks, bit-identical output.
+    ///
+    /// `bm` may be shorter than a register (`2^n` entries); it is
+    /// staged through a zero-padded stack array so the lane gathers
+    /// always read 8 lanes. The padding is never *selected* — labels
+    /// are `< 2^n` — so it cannot affect any metric.
+    // phylint: hot
+    #[inline]
+    pub(crate) fn acs_step(&self, bm: &[i32], cur: &[i32], nxt: &mut [i32], surv: &mut [u64]) {
+        let mut bm8 = [0i32; LANES];
+        let n = bm.len().min(LANES);
+        bm8[..n].copy_from_slice(&bm[..n]);
+        surv.fill(0);
+        match self.kernel {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: the `Avx2` variant is only constructed after
+            // `is_x86_feature_detected!("avx2")` reported support on
+            // this CPU, so the target-feature contract holds.
+            LaneKernel::Avx2 => unsafe { self.acs_step_avx2(&bm8, cur, nxt, surv) },
+            LaneKernel::Portable => self.acs_step_portable(&bm8, cur, nxt, surv),
+        }
+    }
+
+    /// Portable lane tier: the same 8-butterfly blocks as the AVX2
+    /// path, phrased as fixed-width array arithmetic.
+    fn acs_step_portable(&self, bm: &[i32; LANES], cur: &[i32], nxt: &mut [i32], surv: &mut [u64]) {
+        let half = self.half;
+        let (lo, hi) = nxt.split_at_mut(half);
+        let mut base = 0usize;
+        while base + LANES <= half {
+            let mut m0 = [0i32; LANES];
+            let mut m1 = [0i32; LANES];
+            for k in 0..LANES {
+                m0[k] = cur[2 * (base + k)];
+                m1[k] = cur[2 * (base + k) + 1];
+            }
+            let mut lo_bits = 0u64;
+            let mut hi_bits = 0u64;
+            for k in 0..LANES {
+                let j = base + k;
+                let a = m0[k] + bm[self.labels[0][j] as usize];
+                let b = m1[k] + bm[self.labels[1][j] as usize];
+                let sel = b > a;
+                lo[j] = if sel { b } else { a };
+                lo_bits |= u64::from(sel) << k;
+                let a = m0[k] + bm[self.labels[2][j] as usize];
+                let b = m1[k] + bm[self.labels[3][j] as usize];
+                let sel = b > a;
+                hi[j] = if sel { b } else { a };
+                hi_bits |= u64::from(sel) << k;
+            }
+            surv[base >> 6] |= lo_bits << (base & 63);
+            let hb = half + base;
+            surv[hb >> 6] |= hi_bits << (hb & 63);
+            base += LANES;
+        }
+    }
+
+    /// AVX2 lane tier. See the module docs for the register
+    /// choreography; every operation is the vector twin of one line of
+    /// the scalar butterfly loop.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    // SAFETY: callers must have verified AVX2 support at run
+    // time (enforced by construction — `LaneKernel::Avx2` exists only
+    // behind a positive `is_x86_feature_detected!`). All loads/stores
+    // are unaligned-safe intrinsics and stay in bounds: `new`
+    // guarantees `half % 8 == 0`, `labels[_].len() == half`, callers
+    // pass `cur`/`nxt` of `2 * half` elements, labels are `< 8` so the
+    // `bm` gathers index inside one register, and `base % 8 == 0`
+    // keeps every survivor-mask shift inside one `u64`.
+    unsafe fn acs_step_avx2(
+        &self,
+        bm: &[i32; LANES],
+        cur: &[i32],
+        nxt: &mut [i32],
+        surv: &mut [u64],
+    ) {
+        use std::arch::x86_64::*;
+        let half = self.half;
+        // Even/odd de-interleave pattern: [0,2,4,6 | 1,3,5,7].
+        let idx = _mm256_setr_epi32(0, 2, 4, 6, 1, 3, 5, 7);
+        let bmv = _mm256_loadu_si256(bm.as_ptr().cast());
+        let (lo, hi) = nxt.split_at_mut(half);
+        let mut base = 0usize;
+        while base + LANES <= half {
+            // Sixteen predecessor metrics -> m0 = cur[2j], m1 = cur[2j+1].
+            let v0 = _mm256_loadu_si256(cur.as_ptr().add(2 * base).cast());
+            let v1 = _mm256_loadu_si256(cur.as_ptr().add(2 * base + LANES).cast());
+            let p0 = _mm256_permutevar8x32_epi32(v0, idx);
+            let p1 = _mm256_permutevar8x32_epi32(v1, idx);
+            let m0 = _mm256_permute2x128_si256(p0, p1, 0x20);
+            let m1 = _mm256_permute2x128_si256(p0, p1, 0x31);
+            // Gather the four branch metrics per butterfly from the
+            // in-register table via the prebuilt label vectors.
+            let l0 = _mm256_loadu_si256(self.labels[0].as_ptr().add(base).cast());
+            let l1 = _mm256_loadu_si256(self.labels[1].as_ptr().add(base).cast());
+            let l2 = _mm256_loadu_si256(self.labels[2].as_ptr().add(base).cast());
+            let l3 = _mm256_loadu_si256(self.labels[3].as_ptr().add(base).cast());
+            let g0 = _mm256_permutevar8x32_epi32(bmv, l0);
+            let g1 = _mm256_permutevar8x32_epi32(bmv, l1);
+            let g2 = _mm256_permutevar8x32_epi32(bmv, l2);
+            let g3 = _mm256_permutevar8x32_epi32(bmv, l3);
+            // Successor j (input 0): a = m0 + bm[c0], b = m1 + bm[c1];
+            // max keeps `a` on ties, matching `if b > a { b } else { a }`.
+            let a = _mm256_add_epi32(m0, g0);
+            let b = _mm256_add_epi32(m1, g1);
+            let sel = _mm256_cmpgt_epi32(b, a);
+            _mm256_storeu_si256(lo.as_mut_ptr().add(base).cast(), _mm256_max_epi32(a, b));
+            let lo_bits = _mm256_movemask_ps(_mm256_castsi256_ps(sel)) as u32 as u64;
+            // Successor half + j (input 1).
+            let a = _mm256_add_epi32(m0, g2);
+            let b = _mm256_add_epi32(m1, g3);
+            let sel = _mm256_cmpgt_epi32(b, a);
+            _mm256_storeu_si256(hi.as_mut_ptr().add(base).cast(), _mm256_max_epi32(a, b));
+            let hi_bits = _mm256_movemask_ps(_mm256_castsi256_ps(sel)) as u32 as u64;
+            surv[base >> 6] |= lo_bits << (base & 63);
+            let hb = half + base;
+            surv[hb >> 6] |= hi_bits << (hb & 63);
+            base += LANES;
+        }
+    }
+    // phylint: end-hot
+}
+
+/// Runtime CPU-feature probe, evaluated once per decoder construction.
+fn pick_kernel() -> LaneKernel {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        return LaneKernel::Avx2;
+    }
+    LaneKernel::Portable
+}

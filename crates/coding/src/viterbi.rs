@@ -5,14 +5,22 @@
 //! demapping", so the decoder accepts LLRs; hard decisions are just
 //! ±[`HARD_LLR`](crate::HARD_LLR).
 //!
-//! Two add-compare-select kernels back the public entry points:
+//! Three add-compare-select kernel tiers back the public entry points
+//! (see [`ViterbiKernel`] for the selection matrix):
 //!
-//! * The **butterfly kernel** ([`crate::butterfly`]) — the default: a
+//! * The **SIMD tier** ([`crate::simd`]) — with the `simd` cargo
+//!   feature, the default for codes whose shape fits 8 metric lanes
+//!   (≤ 3 output bits per input, ≥ 16 states): the butterfly walk with
+//!   eight butterflies per step in one register row, AVX2 intrinsics
+//!   when the CPU has them at run time, a portable fixed-width-array
+//!   tier otherwise.
+//! * The **butterfly kernel** ([`crate::butterfly`]) — the scalar
 //!   radix-2 ACS butterfly walk with a per-branch metric table, `i32`
 //!   ping-pong metric rows and one-bit-per-state survivor masks,
 //!   mirroring the paper's ACS array + survivor RAM. Roughly 4× the
-//!   decoded bits/sec of the scalar kernel (see the `fig_viterbi_acs`
-//!   bench).
+//!   decoded bits/sec of the reference kernel (see the
+//!   `fig_viterbi_acs` bench); the fallback when the SIMD tier is
+//!   unavailable or the feature is off.
 //! * The **scalar kernel** — the original per-state/per-input loop over
 //!   `i64` metrics, retained as the differential-testing reference
 //!   (`decode_*_scalar*` methods) and as the automatic fallback for
@@ -20,14 +28,23 @@
 //!   (above `2^23 / n`, where `i32` path metrics could wrap). Building
 //!   with the `scalar-kernel` feature forces it everywhere.
 //!
-//! Both kernels make identical decisions (including tie-breaks), so
+//! A fourth shape — the **bitsliced batch kernel**
+//! ([`crate::bitslice`], reached through
+//! [`ViterbiDecoder::decode_terminated_batch`]) — runs the same
+//! recursion across up to 64 independent blocks at once, one survivor
+//! bit-plane per block.
+//!
+//! All kernels make identical decisions (including tie-breaks), so
 //! their outputs are bit-identical — pinned by the crate's property
 //! suite.
 
+use crate::bitslice::{self, BatchViterbiWorkspace, MAX_LANES};
 use crate::butterfly::{
     best_state, fill_bm_table, normalize_row, ButterflyTrellis, NEG_INF_I32, NORM_INTERVAL,
 };
+use crate::simd::SimdTrellis;
 use crate::{CodeSpec, CodingError, Llr};
+use std::time::{Duration, Instant};
 
 /// Preallocated working state for [`ViterbiDecoder`] — metric rows and
 /// survivor memory for both kernels. One workspace per decoding thread
@@ -134,6 +151,112 @@ pub struct ViterbiDecoder {
     transitions: Vec<[(u32, u32); 2]>,
     /// Radix-2 butterfly tables (`None` for codes with > 8 outputs).
     butterfly: Option<ButterflyTrellis>,
+    /// 8-lane SIMD view of the butterfly tables (`None` when the code
+    /// shape does not fit the lanes). Built unconditionally; the
+    /// `simd` feature only gates whether [`ViterbiKernel::Auto`]
+    /// dispatches to it.
+    simd: Option<SimdTrellis>,
+}
+
+/// Which add-compare-select kernel tier backs a decode — the
+/// `decode_*_with` entry points take one explicitly; everything else
+/// uses [`ViterbiKernel::Auto`].
+///
+/// Selection matrix (feature × runtime detection × code shape):
+///
+/// | tier        | needs                                                        |
+/// |-------------|--------------------------------------------------------------|
+/// | `simd`      | code fits 8 lanes (≤ 3 outputs/input, ≥ 16 states); AVX2 at  |
+/// |             | run time picks the intrinsic path, else the portable lanes   |
+/// | `butterfly` | ≤ 8 outputs/input                                            |
+/// | `scalar`    | anything (also the fallback when LLR magnitudes exceed the   |
+/// |             | `i32` tiers' exactness bound)                                |
+///
+/// `Auto` walks that table top-down, skipping the SIMD row unless the
+/// `simd` cargo feature is on and skipping both fast rows under the
+/// `scalar-kernel` feature. An explicit `Simd`/`Butterfly` request
+/// ignores the cargo features (that is what makes differential testing
+/// possible on any build) but still falls back down the table when the
+/// code or the LLRs disqualify the requested tier — kernel choice can
+/// affect only speed, never output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ViterbiKernel {
+    /// Best tier the build, CPU, code and LLRs allow (the default).
+    #[default]
+    Auto,
+    /// The reference per-state `i64` kernel.
+    Scalar,
+    /// The scalar radix-2 butterfly kernel.
+    Butterfly,
+    /// The 8-lane SIMD butterfly tier.
+    Simd,
+}
+
+/// Kernel request for [`ViterbiDecoder::decode_terminated_batch_with`].
+///
+/// `Auto` is cost-aware, not capability-aware: the bitsliced kernel's
+/// add-compare-select runs per *lane* (the group rounded up to a
+/// multiple of 8), so a sparsely occupied group pays for planes that
+/// carry no block, while the per-block loop's cost is exactly linear
+/// in the group. Measured on the paper's K=7 rate-1/2 code, the
+/// per-block 8-lane SIMD tier outruns the bitsliced kernel even at
+/// full 64-lane occupancy, and the scalar butterfly tier loses to it
+/// from about half occupancy up — so `Auto` goes bitsliced only on
+/// builds without the SIMD tier and only for groups of at least half
+/// the lane width. An explicit `Bitsliced` request skips the cost
+/// model (that is what the differential suites and kernel benches
+/// use) but still falls back per block when the group's shape
+/// disqualifies the bitsliced kernel — like [`ViterbiKernel`],
+/// request choice can affect only speed, never output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchKernel {
+    /// Cheapest plan for the group's occupancy on this build (default).
+    #[default]
+    Auto,
+    /// The bitsliced many-block kernel wherever the group fits it.
+    Bitsliced,
+    /// A per-block [`ViterbiKernel::Auto`] loop.
+    PerBlock,
+}
+
+/// Phase timing of one decode, from
+/// [`ViterbiDecoder::decode_terminated_profiled`]: where a block's time
+/// went and which kernel tier actually ran.
+#[derive(Debug, Clone, Copy)]
+pub struct DecodeProfile {
+    /// Forward pass: branch metrics + add-compare-select recursion.
+    pub acs: Duration,
+    /// Backward pass: survivor traceback (and output assembly).
+    pub traceback: Duration,
+    /// The kernel tier dispatched: `"scalar"`, `"butterfly"`,
+    /// `"simd-portable"` or `"simd-avx2"`.
+    pub kernel: &'static str,
+}
+
+/// One step-kernel binding: the butterfly tables plus (optionally) the
+/// SIMD lane tier layered on top. Every `i32` decode path runs through
+/// [`StepKernel::acs_step`], so tier choice is a single seam.
+#[derive(Clone, Copy)]
+struct StepKernel<'a> {
+    bf: &'a ButterflyTrellis,
+    simd: Option<&'a SimdTrellis>,
+}
+
+impl StepKernel<'_> {
+    #[inline]
+    fn acs_step(&self, bm: &[i32], cur: &[i32], nxt: &mut [i32], surv: &mut [u64]) {
+        match self.simd {
+            Some(s) => s.acs_step(bm, cur, nxt, surv),
+            None => self.bf.acs_step(bm, cur, nxt, surv),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self.simd {
+            Some(s) => s.name(),
+            None => "butterfly",
+        }
+    }
 }
 
 impl ViterbiDecoder {
@@ -144,16 +267,26 @@ impl ViterbiDecoder {
             .map(|s| [spec.step(s, 0), spec.step(s, 1)])
             .collect();
         let butterfly = ButterflyTrellis::new(&spec);
+        let simd = butterfly.as_ref().and_then(SimdTrellis::new);
         Self {
             spec,
             transitions,
             butterfly,
+            simd,
         }
     }
 
     /// The code this decoder targets.
     pub fn spec(&self) -> &CodeSpec {
         &self.spec
+    }
+
+    /// The butterfly trellis whose `i32` arithmetic is exact for
+    /// `soft`, ignoring the feature flags — the shared eligibility
+    /// check under every explicit kernel request.
+    #[inline]
+    fn butterfly_safe(&self, soft: &[Llr]) -> Option<&ButterflyTrellis> {
+        self.butterfly.as_ref().filter(|bf| bf.safe_for(soft))
     }
 
     /// The butterfly trellis to use for `soft`, or `None` when the
@@ -165,7 +298,50 @@ impl ViterbiDecoder {
         if cfg!(feature = "scalar-kernel") {
             return None;
         }
-        self.butterfly.as_ref().filter(|bf| bf.safe_for(soft))
+        self.butterfly_safe(soft)
+    }
+
+    /// The [`ViterbiKernel::Auto`] step kernel for `soft`: butterfly
+    /// tables when eligible, with the SIMD lane tier on top when the
+    /// `simd` feature is enabled and the code fits the lanes. `None`
+    /// means the scalar fallback must run.
+    #[inline]
+    fn step_kernel_for(&self, soft: &[Llr]) -> Option<StepKernel<'_>> {
+        let bf = self.butterfly_for(soft)?;
+        let simd = if cfg!(feature = "simd") {
+            self.simd.as_ref()
+        } else {
+            None
+        };
+        Some(StepKernel { bf, simd })
+    }
+
+    /// Resolves an explicit kernel request for `soft` (see
+    /// [`ViterbiKernel`]): `None` means scalar.
+    #[inline]
+    fn step_kernel_with(&self, kernel: ViterbiKernel, soft: &[Llr]) -> Option<StepKernel<'_>> {
+        match kernel {
+            ViterbiKernel::Auto => self.step_kernel_for(soft),
+            ViterbiKernel::Scalar => None,
+            ViterbiKernel::Butterfly => {
+                self.butterfly_safe(soft).map(|bf| StepKernel { bf, simd: None })
+            }
+            ViterbiKernel::Simd => self.butterfly_safe(soft).map(|bf| StepKernel {
+                bf,
+                simd: self.simd.as_ref(),
+            }),
+        }
+    }
+
+    /// Name of the kernel tier [`ViterbiKernel::Auto`] would dispatch
+    /// for `soft` on this build and CPU: `"scalar"`, `"butterfly"`,
+    /// `"simd-portable"` or `"simd-avx2"`. Benches record this so
+    /// numbers from different hosts and feature sets are interpretable.
+    pub fn kernel_name(&self, soft: &[Llr]) -> &'static str {
+        match self.step_kernel_for(soft) {
+            Some(k) => k.name(),
+            None => "scalar",
+        }
     }
 
     /// Decodes a zero-terminated block (encoded with
@@ -216,6 +392,205 @@ impl ViterbiDecoder {
     ) -> Result<(), CodingError> {
         self.decode_block_scalar_into(soft, true, ws, out)?;
         self.strip_flush(soft.len(), out)
+    }
+
+    /// [`ViterbiDecoder::decode_terminated_into`] on an explicitly
+    /// requested kernel tier (see [`ViterbiKernel`] for how requests
+    /// degrade when the code or LLRs disqualify a tier) — the entry
+    /// point the differential property suite sweeps.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`ViterbiDecoder::decode_terminated`].
+    pub fn decode_terminated_with(
+        &self,
+        kernel: ViterbiKernel,
+        soft: &[Llr],
+        ws: &mut ViterbiWorkspace,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodingError> {
+        match self.step_kernel_with(kernel, soft) {
+            Some(k) => {
+                let n_branches = self.validate_block(soft)?;
+                self.butterfly_acs_pass(k, soft, ws);
+                Self::butterfly_traceback(k.bf, n_branches, true, ws, out);
+            }
+            None => self.decode_block_scalar_into(soft, true, ws, out)?,
+        }
+        self.strip_flush(soft.len(), out)
+    }
+
+    /// [`ViterbiDecoder::decode_terminated_into`] with per-phase
+    /// timing: how long the forward (branch-metric + ACS) and backward
+    /// (traceback) passes took, and which kernel tier ran. The decode
+    /// itself is the ordinary [`ViterbiKernel::Auto`] dispatch.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`ViterbiDecoder::decode_terminated`].
+    pub fn decode_terminated_profiled(
+        &self,
+        soft: &[Llr],
+        ws: &mut ViterbiWorkspace,
+        out: &mut Vec<u8>,
+    ) -> Result<DecodeProfile, CodingError> {
+        let n_branches = self.validate_block(soft)?;
+        match self.step_kernel_for(soft) {
+            Some(k) => {
+                let t0 = Instant::now();
+                self.butterfly_acs_pass(k, soft, ws);
+                let acs = t0.elapsed();
+                let t1 = Instant::now();
+                Self::butterfly_traceback(k.bf, n_branches, true, ws, out);
+                self.strip_flush(soft.len(), out)?;
+                Ok(DecodeProfile {
+                    acs,
+                    traceback: t1.elapsed(),
+                    kernel: k.name(),
+                })
+            }
+            None => {
+                let t0 = Instant::now();
+                self.scalar_acs_pass(soft, ws);
+                let acs = t0.elapsed();
+                let t1 = Instant::now();
+                self.scalar_traceback(n_branches, true, ws, out);
+                self.strip_flush(soft.len(), out)?;
+                Ok(DecodeProfile {
+                    acs,
+                    traceback: t1.elapsed(),
+                    kernel: "scalar",
+                })
+            }
+        }
+    }
+
+    /// Decodes a batch of independent zero-terminated blocks of this
+    /// code, leaving one output per block (input order) in
+    /// [`BatchViterbiWorkspace::outputs`].
+    ///
+    /// Groups of up to 64 equal-length blocks may run on the bitsliced
+    /// kernel (the private `bitslice` module) — one survivor bit-plane
+    /// per block,
+    /// the whole group through the ACS recursion at once — when the
+    /// [`BatchKernel::Auto`] cost model says the occupancy pays for it;
+    /// everything else (sparse groups, SIMD-tier builds, ragged
+    /// lengths, scalar-only codes, out-of-bound LLRs, `scalar-kernel`
+    /// builds) runs a per-block
+    /// [`ViterbiDecoder::decode_terminated_into`] loop. Either way the
+    /// batch entry point accepts exactly what the per-block one does
+    /// and every output is bit-identical to decoding that block alone.
+    ///
+    /// # Errors
+    ///
+    /// [`CodingError::BadBlockLength`] under the same conditions as
+    /// [`ViterbiDecoder::decode_terminated`], reported for the first
+    /// offending block; outputs of other blocks are unspecified after
+    /// an error.
+    pub fn decode_terminated_batch(
+        &self,
+        blocks: &[&[Llr]],
+        ws: &mut BatchViterbiWorkspace,
+    ) -> Result<(), CodingError> {
+        self.decode_terminated_batch_with(BatchKernel::Auto, blocks, ws)
+    }
+
+    /// [`ViterbiDecoder::decode_terminated_batch`] with an explicit
+    /// batch-kernel request (see [`BatchKernel`]); `Bitsliced` pins the
+    /// bitsliced tier for differential runs regardless of occupancy or
+    /// cargo features.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`ViterbiDecoder::decode_terminated_batch`].
+    pub fn decode_terminated_batch_with(
+        &self,
+        kernel: BatchKernel,
+        blocks: &[&[Llr]],
+        ws: &mut BatchViterbiWorkspace,
+    ) -> Result<(), CodingError> {
+        ws.reserve_outputs(blocks.len());
+        let mut base = 0usize;
+        for group in blocks.chunks(MAX_LANES) {
+            match self.batch_butterfly_with(kernel, group) {
+                Some(bf) => bitslice::decode_group(&self.spec, bf, group, ws, base),
+                None => {
+                    let BatchViterbiWorkspace { outs, scratch, .. } = ws;
+                    for (i, block) in group.iter().enumerate() {
+                        self.decode_terminated_into(block, scratch, &mut outs[base + i])?;
+                    }
+                }
+            }
+            base += group.len();
+        }
+        Ok(())
+    }
+
+    /// Allocating convenience for
+    /// [`ViterbiDecoder::decode_terminated_batch`]: decodes `blocks`
+    /// and returns one output per block.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`ViterbiDecoder::decode_terminated_batch`].
+    pub fn decode_batch(&self, blocks: &[&[Llr]]) -> Result<Vec<Vec<u8>>, CodingError> {
+        let mut ws = BatchViterbiWorkspace::new();
+        self.decode_terminated_batch(blocks, &mut ws)?;
+        Ok(std::mem::take(&mut ws.outs))
+    }
+
+    /// Resolves a [`BatchKernel`] request for one group: `Some` means
+    /// run the bitsliced kernel on these butterfly tables, `None` means
+    /// the per-block loop.
+    fn batch_butterfly_with(
+        &self,
+        kernel: BatchKernel,
+        group: &[&[Llr]],
+    ) -> Option<&ButterflyTrellis> {
+        match kernel {
+            BatchKernel::Auto => {
+                if cfg!(feature = "scalar-kernel") || !self.bitslice_pays_for(group.len()) {
+                    return None;
+                }
+                self.batch_group_trellis(group)
+            }
+            BatchKernel::Bitsliced => self.batch_group_trellis(group),
+            BatchKernel::PerBlock => None,
+        }
+    }
+
+    /// Whether one batch group *can* run bitsliced: a
+    /// butterfly-eligible code, equal block lengths forming whole
+    /// branch sequences longer than the flush tail, and every block
+    /// inside the `i32` exactness bound. Anything else must fall back
+    /// per block regardless of the request.
+    fn batch_group_trellis(&self, group: &[&[Llr]]) -> Option<&ButterflyTrellis> {
+        let bf = self.butterfly.as_ref()?;
+        let first = group.first()?;
+        let n_out = self.spec.outputs_per_input();
+        if !first.len().is_multiple_of(n_out) {
+            return None;
+        }
+        if first.len() / n_out < self.spec.constraint_length() {
+            return None;
+        }
+        group
+            .iter()
+            .all(|b| b.len() == first.len() && bf.safe_for(b))
+            .then_some(bf)
+    }
+
+    /// The [`BatchKernel::Auto`] cost model: whether a bitsliced group
+    /// of `n` blocks beats `n` per-block decodes. The bitsliced
+    /// recursion pays per lane (`n` rounded up to a multiple of 8)
+    /// whether or not a lane carries a block, and even its full-
+    /// occupancy aggregate rate sits below the per-block 8-lane SIMD
+    /// tier (measured ~14 vs ~19 Mbit/s on the paper's code), so it
+    /// pays only on builds whose per-block tier is the scalar
+    /// butterfly — and there only from about half the lane width up.
+    fn bitslice_pays_for(&self, n: usize) -> bool {
+        let simd_up = cfg!(feature = "simd") && self.simd.is_some();
+        !simd_up && n * 2 >= MAX_LANES
     }
 
     /// Removes the `K-1` trellis flush bits after a terminated decode.
@@ -274,9 +649,24 @@ impl ViterbiDecoder {
     /// Returns [`CodingError::BadBlockLength`] if the input is not a
     /// whole number of branches, or if `window` is zero.
     pub fn decode_windowed(&self, soft: &[Llr], window: usize) -> Result<Vec<u8>, CodingError> {
+        self.decode_windowed_with(ViterbiKernel::Auto, soft, window)
+    }
+
+    /// [`ViterbiDecoder::decode_windowed`] on an explicitly requested
+    /// kernel tier (see [`ViterbiKernel`]).
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`ViterbiDecoder::decode_windowed`].
+    pub fn decode_windowed_with(
+        &self,
+        kernel: ViterbiKernel,
+        soft: &[Llr],
+        window: usize,
+    ) -> Result<Vec<u8>, CodingError> {
         self.check_windowed(soft, window)?;
-        match self.butterfly_for(soft) {
-            Some(bf) => Ok(self.windowed_butterfly(bf, soft, window)),
+        match self.step_kernel_with(kernel, soft) {
+            Some(k) => Ok(self.windowed_butterfly(k, soft, window)),
             None => Ok(self.windowed_scalar(soft, window)),
         }
     }
@@ -318,7 +708,8 @@ impl ViterbiDecoder {
     /// `window × ⌈states/64⌉` mask words — exactly the bounded survivor
     /// RAM of the hardware core — and each commit walks it by
     /// shift-and-mask.
-    fn windowed_butterfly(&self, bf: &ButterflyTrellis, soft: &[Llr], window: usize) -> Vec<u8> {
+    fn windowed_butterfly(&self, kernel: StepKernel<'_>, soft: &[Llr], window: usize) -> Vec<u8> {
+        let bf = kernel.bf;
         let n_out = self.spec.outputs_per_input();
         let n_branches = soft.len() / n_out;
         let n_states = bf.n_states();
@@ -367,7 +758,7 @@ impl ViterbiDecoder {
         for t in 0..n_branches {
             fill_bm_table(&soft[t * n_out..(t + 1) * n_out], &mut bm);
             let row = t % window;
-            bf.acs_step(&bm, &cur, &mut nxt, &mut ring[row * wps..(row + 1) * wps]);
+            kernel.acs_step(&bm, &cur, &mut nxt, &mut ring[row * wps..(row + 1) * wps]);
             std::mem::swap(&mut cur, &mut nxt);
             if (t + 1) % NORM_INTERVAL == 0 {
                 normalize_row(&mut cur);
@@ -469,8 +860,8 @@ impl ViterbiDecoder {
     }
 
     /// Full-block decode into caller-owned storage: validates, then
-    /// dispatches to the butterfly kernel (default) or the scalar
-    /// fallback.
+    /// dispatches to the fastest eligible `i32` kernel tier or the
+    /// scalar fallback.
     fn decode_block_into(
         &self,
         soft: &[Llr],
@@ -478,21 +869,20 @@ impl ViterbiDecoder {
         ws: &mut ViterbiWorkspace,
         out: &mut Vec<u8>,
     ) -> Result<(), CodingError> {
-        match self.butterfly_for(soft) {
-            Some(bf) => self.decode_block_butterfly_into(bf, soft, terminated, ws, out),
+        match self.step_kernel_for(soft) {
+            Some(k) => {
+                let n_branches = self.validate_block(soft)?;
+                self.butterfly_acs_pass(k, soft, ws);
+                Self::butterfly_traceback(k.bf, n_branches, terminated, ws, out);
+                Ok(())
+            }
             None => self.decode_block_scalar_into(soft, terminated, ws, out),
         }
     }
 
-    /// Butterfly-kernel add-compare-select + shift-and-mask traceback.
-    fn decode_block_butterfly_into(
-        &self,
-        bf: &ButterflyTrellis,
-        soft: &[Llr],
-        terminated: bool,
-        ws: &mut ViterbiWorkspace,
-        out: &mut Vec<u8>,
-    ) -> Result<(), CodingError> {
+    /// Checks that `soft` is a whole number of branches; returns the
+    /// branch count.
+    fn validate_block(&self, soft: &[Llr]) -> Result<usize, CodingError> {
         let n_out = self.spec.outputs_per_input();
         if !soft.len().is_multiple_of(n_out) {
             return Err(CodingError::BadBlockLength {
@@ -500,15 +890,23 @@ impl ViterbiDecoder {
                 multiple: n_out,
             });
         }
-        let n_branches = soft.len() / n_out;
-        let wps = bf.words_per_step();
+        Ok(soft.len() / n_out)
+    }
 
-        ws.prepare_butterfly(n_branches, bf);
+    /// Forward pass of a butterfly-tier block decode: branch metrics +
+    /// add-compare-select into the workspace's survivor masks. `soft`
+    /// must already be validated.
+    fn butterfly_acs_pass(&self, kernel: StepKernel<'_>, soft: &[Llr], ws: &mut ViterbiWorkspace) {
+        let n_out = self.spec.outputs_per_input();
+        let n_branches = soft.len() / n_out;
+        let wps = kernel.bf.words_per_step();
+
+        ws.prepare_butterfly(n_branches, kernel.bf);
         ws.row_cur[0] = 0;
 
         for t in 0..n_branches {
             fill_bm_table(&soft[t * n_out..(t + 1) * n_out], &mut ws.bm);
-            bf.acs_step(
+            kernel.acs_step(
                 &ws.bm,
                 &ws.row_cur,
                 &mut ws.row_next,
@@ -519,8 +917,18 @@ impl ViterbiDecoder {
                 normalize_row(&mut ws.row_cur);
             }
         }
+    }
 
-        // Traceback: one survivor bit per step selects the predecessor.
+    /// Backward pass of a butterfly-tier block decode: one survivor bit
+    /// per step selects the predecessor.
+    fn butterfly_traceback(
+        bf: &ButterflyTrellis,
+        n_branches: usize,
+        terminated: bool,
+        ws: &mut ViterbiWorkspace,
+        out: &mut Vec<u8>,
+    ) {
+        let wps = bf.words_per_step();
         let mut state = if terminated {
             0usize
         } else {
@@ -533,7 +941,6 @@ impl ViterbiDecoder {
             out[t] = bit;
             state = prev;
         }
-        Ok(())
     }
 
     /// Scalar-kernel add-compare-select + traceback over the full
@@ -545,13 +952,16 @@ impl ViterbiDecoder {
         ws: &mut ViterbiWorkspace,
         out: &mut Vec<u8>,
     ) -> Result<(), CodingError> {
+        let n_branches = self.validate_block(soft)?;
+        self.scalar_acs_pass(soft, ws);
+        self.scalar_traceback(n_branches, terminated, ws, out);
+        Ok(())
+    }
+
+    /// Forward pass of a scalar-kernel block decode. `soft` must
+    /// already be validated.
+    fn scalar_acs_pass(&self, soft: &[Llr], ws: &mut ViterbiWorkspace) {
         let n_out = self.spec.outputs_per_input();
-        if !soft.len().is_multiple_of(n_out) {
-            return Err(CodingError::BadBlockLength {
-                got: soft.len(),
-                multiple: n_out,
-            });
-        }
         let n_branches = soft.len() / n_out;
         let n_states = self.spec.num_states();
 
@@ -587,8 +997,17 @@ impl ViterbiDecoder {
             }
             std::mem::swap(&mut ws.metrics, &mut ws.next_metrics);
         }
+    }
 
-        // Traceback.
+    /// Backward pass of a scalar-kernel block decode.
+    fn scalar_traceback(
+        &self,
+        n_branches: usize,
+        terminated: bool,
+        ws: &mut ViterbiWorkspace,
+        out: &mut Vec<u8>,
+    ) {
+        let n_states = self.spec.num_states();
         let mut state = if terminated {
             0usize
         } else {
@@ -606,7 +1025,6 @@ impl ViterbiDecoder {
             out[t] = input;
             state = prev;
         }
-        Ok(())
     }
 }
 

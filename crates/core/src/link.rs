@@ -142,8 +142,10 @@ pub struct LinkSimulation {
 /// The transceiver pair under test: exactly one of the two shapes, by
 /// construction — no "neither" or "both" states to defend against.
 enum Endpoints {
-    Mimo(MimoTransmitter, MimoReceiver),
-    Siso(SisoTransmitter, SisoReceiver),
+    // Boxed: each endpoint carries its preallocated workspaces, and
+    // the 4×4 pair would otherwise dwarf the 1×1 variant inline.
+    Mimo(Box<MimoTransmitter>, Box<MimoReceiver>),
+    Siso(Box<SisoTransmitter>, Box<SisoReceiver>),
 }
 
 impl LinkSimulation {
@@ -156,13 +158,13 @@ impl LinkSimulation {
         cfg.validate()?;
         let endpoints = if cfg.n_streams() == 4 {
             Endpoints::Mimo(
-                MimoTransmitter::new(cfg.clone())?,
-                MimoReceiver::new(cfg.clone())?,
+                Box::new(MimoTransmitter::new(cfg.clone())?),
+                Box::new(MimoReceiver::new(cfg.clone())?),
             )
         } else {
             Endpoints::Siso(
-                SisoTransmitter::new(cfg.clone())?,
-                SisoReceiver::new(cfg.clone())?,
+                Box::new(SisoTransmitter::new(cfg.clone())?),
+                Box::new(SisoReceiver::new(cfg.clone())?),
             )
         };
         Ok(Self {

@@ -15,7 +15,7 @@
 //! the table trades a few KiB of memory for never paying that rebuild
 //! on the hot path.)
 
-use mimo_interleave::BlockInterleaver;
+use mimo_interleave::{BlockInterleaver, FusedDeinterleaver};
 use mimo_modem::{SymbolDemapper, SymbolMapper};
 
 use crate::config::LinkGeometry;
@@ -29,6 +29,10 @@ pub(crate) struct RateKit {
     pub(crate) mapper: SymbolMapper,
     pub(crate) demapper: SymbolDemapper,
     pub(crate) interleaver: BlockInterleaver,
+    /// Receive-side deinterleave+depuncture fused into one per-symbol
+    /// scatter table (the transmit side still runs the separate
+    /// interleaver/puncturer stages).
+    pub(crate) fused: FusedDeinterleaver,
 }
 
 impl RateKit {
@@ -39,11 +43,13 @@ impl RateKit {
             mcs.coded_bits_per_symbol(geometry),
             mcs.bits_per_symbol(),
         )?;
+        let fused = FusedDeinterleaver::new(&interleaver, mcs.code_rate().keep_pattern())?;
         Ok(Self {
             mcs,
             mapper,
             demapper,
             interleaver,
+            fused,
         })
     }
 
@@ -51,6 +57,12 @@ impl RateKit {
     /// block size).
     pub(crate) fn coded_bits_per_symbol(&self) -> usize {
         self.interleaver.block_size()
+    }
+
+    /// Mother-code LLRs one symbol expands to after the fused
+    /// deinterleave+depuncture scatter.
+    pub(crate) fn mother_bits_per_symbol(&self) -> usize {
+        self.fused.mother_bits_per_symbol()
     }
 }
 
@@ -107,6 +119,15 @@ mod tests {
             assert_eq!(
                 kit.interleaver.block_size(),
                 48 * mcs.bits_per_symbol(),
+                "{mcs}"
+            );
+            assert_eq!(kit.fused.block_size(), kit.coded_bits_per_symbol());
+            // Mother stream = coded / kept-fraction, per symbol.
+            let keep = mcs.code_rate().keep_pattern();
+            let keeps = keep.iter().filter(|&&k| k).count();
+            assert_eq!(
+                kit.mother_bits_per_symbol(),
+                kit.coded_bits_per_symbol() / keeps * keep.len(),
                 "{mcs}"
             );
         }

@@ -21,8 +21,11 @@
 //! * [`MimoReceiver::process_symbol`] runs one stream × one symbol:
 //!   zero-forcing detection (row `k` of `H⁻¹·r`), then the shared
 //!   [`SymbolPost`] stage — pilot common-phase and timing correction,
-//!   demap, de-interleave — accumulating LLRs in the stream workspace.
-//! * The burst-end bit pipeline ([`decode_bit_pipeline`]), SIGNAL
+//!   then one fused demap→deinterleave→depuncture scatter that lands
+//!   this symbol's LLRs directly in mother-code (Viterbi branch) order
+//!   in the stream workspace.
+//! * The burst-end bit pipeline ([`decode_bit_pipeline`], or the
+//!   all-streams batch decode on the serial path), SIGNAL
 //!   parse ([`parse_header_ws`]) and round-robin reassembly
 //!   ([`assemble_payload`]) close a burst.
 //!
@@ -62,7 +65,7 @@
 
 use mimo_chanest::{ChannelEstimator, CordicQrd, FxMat4};
 use mimo_coding::{
-    bits, depuncture_into, hard_to_llr, CodeSpec, Scrambler, ViterbiDecoder,
+    bits, hard_to_llr, BatchViterbiWorkspace, CodeSpec, Scrambler, ViterbiDecoder,
 };
 use mimo_fixed::{CQ15, Cf64};
 use mimo_ofdm::preamble::{sync_reference, DEFAULT_AMPLITUDE};
@@ -256,10 +259,13 @@ impl SymbolPost {
     }
 
     /// Runs the stage over `ws.eq` for absolute symbol index `sym`
-    /// (the pilot polarity index), appending the de-interleaved LLRs
-    /// to `ws.stream_llrs`. Zero heap allocation: every buffer lives
-    /// in `ws` (sized for the max-MCS envelope, sliced to this burst's
-    /// N_CBPS) and is reused across symbols and bursts.
+    /// (the pilot polarity index), scattering this symbol's LLRs
+    /// straight into their mother-code positions of `ws.stream_llrs`
+    /// through the kit's fused deinterleave+depuncture table — demap,
+    /// de-interleave and depuncture in **one pass**. Zero heap
+    /// allocation: every buffer lives in `ws` (sized by
+    /// `begin_stream_pass` for the burst) and is reused across symbols
+    /// and bursts.
     pub(crate) fn run(
         &self,
         kit: &RateKit,
@@ -301,20 +307,27 @@ impl SymbolPost {
             ws.evm_num += num;
             ws.evm_den += den;
         }
-        let llrs = &mut ws.llrs[..ncbps];
+        // Fused demap→deinterleave→depuncture: one scatter into this
+        // symbol's pre-zeroed mother-code region (punctured positions
+        // are never written, which *is* the zero-LLR erasure).
+        let mps = kit.mother_bits_per_symbol();
+        let out = ws
+            .stream_llrs
+            .get_mut(ws.pass_fill..ws.pass_fill + mps)
+            .ok_or_else(|| {
+                PhyError::Decode("symbol pass overran the reserved LLR buffer".into())
+            })?;
         if self.soft {
-            kit.demapper.soft_demap_into(&ws.data, llrs);
+            kit.demapper
+                .soft_demap_scatter_into(&ws.data, kit.fused.map(), out);
         } else {
             let hard = &mut ws.hard_bits[..ncbps];
             kit.demapper.hard_demap_into(&ws.data, hard);
-            for (llr, &bit) in llrs.iter_mut().zip(hard.iter()) {
-                *llr = hard_to_llr(bit);
+            for (&bit, &pos) in hard.iter().zip(kit.fused.map()) {
+                out[pos as usize] = hard_to_llr(bit);
             }
         }
-        // De-interleave (soft values) and accumulate.
-        kit.interleaver
-            .deinterleave_into(llrs, &mut ws.deinterleaved[..ncbps])?;
-        ws.stream_llrs.extend_from_slice(&ws.deinterleaved[..ncbps]);
+        ws.pass_fill += mps;
         Ok(())
     }
 }
@@ -464,13 +477,18 @@ impl MimoReceiver {
     }
 
     /// Resets a stream workspace for a fresh accumulation pass of
-    /// `n_syms` symbols at `ncbps` coded bits each.
-    pub(crate) fn begin_stream_pass(ws: &mut RxStreamWorkspace, n_syms: usize, ncbps: usize) {
+    /// `n_syms` symbols at `kit`'s rate: zeroes the diagnostics
+    /// accumulators and sizes + pre-zeroes the mother-code LLR stream
+    /// the fused per-symbol scatter fills (the zero fill is the
+    /// depuncturer's erasure insertion — see
+    /// [`mimo_interleave::FusedDeinterleaver`]).
+    pub(crate) fn begin_stream_pass(ws: &mut RxStreamWorkspace, n_syms: usize, kit: &RateKit) {
         ws.evm_num = 0.0;
         ws.evm_den = 0.0;
         ws.phase_acc = 0.0;
+        ws.pass_fill = 0;
         ws.stream_llrs.clear();
-        ws.stream_llrs.reserve(n_syms * ncbps);
+        ws.stream_llrs.resize(n_syms * kit.mother_bits_per_symbol(), 0);
     }
 
     /// One stream × one symbol of the per-symbol core: row `k` of the
@@ -671,6 +689,7 @@ impl MimoReceiver {
             antennas,
             streams: stream_ws,
             header,
+            batch,
         } = workspace;
         let freq: [&[CQ15]; 4] = std::array::from_fn(|a| antennas[a].freq_occ.as_slice());
 
@@ -686,14 +705,23 @@ impl MimoReceiver {
             });
         }
 
-        // --- Payload: all streams, symbols h..h+n, announced MCS. ---
+        // --- Payload: all streams, symbols h..h+n, announced MCS.
+        // Parallel mode decodes each stream on its own worker; serial
+        // mode gathers all four LLR streams and hands them to the
+        // batch Viterbi dispatcher in one pass instead. ---
         let kit = self.rates.kit(params.mcs);
         let n_streams = geometry.n_streams();
         let run_stream = |k: usize, ws: &mut RxStreamWorkspace| -> Result<(), PhyError> {
             self.run_stream_symbols(k, ws, &freq, &front.h_inv, kit, h, n_symbols, true)?;
-            self.decode_stream(kit, params.stream_bytes(k, n_streams), ws)
+            if parallel {
+                self.decode_stream(params.stream_bytes(k, n_streams), ws)?;
+            }
+            Ok(())
         };
         run_four(parallel, stream_ws, run_stream)?;
+        if !parallel {
+            self.decode_streams_batch(&params, n_streams, stream_ws, batch)?;
+        }
 
         let payload = assemble_payload(&params, n_streams, stream_ws)?;
         Ok(finish_result(front.event, params.mcs, n_symbols, stream_ws, payload))
@@ -721,7 +749,7 @@ impl MimoReceiver {
         collect_diag: bool,
     ) -> Result<(), PhyError> {
         let n_occ = self.n_occupied();
-        Self::begin_stream_pass(ws, n_syms, kit.coded_bits_per_symbol());
+        Self::begin_stream_pass(ws, n_syms, kit);
         for m in 0..n_syms {
             // Absolute symbol index after the LTS — also the pilot
             // polarity index (the SIGNAL field occupies the first
@@ -735,25 +763,52 @@ impl MimoReceiver {
     }
 
     /// One stream's bit pipeline, inverse of the transmitter's:
-    /// depuncture → Viterbi → descramble → exactly the byte count the
-    /// SIGNAL field announced, all in workspace buffers.
+    /// Viterbi over the already-mother-ordered LLR stream → descramble
+    /// → exactly the byte count the SIGNAL field announced, all in
+    /// workspace buffers.
     pub(crate) fn decode_stream(
         &self,
-        kit: &RateKit,
         expect_bytes: usize,
         ws: &mut RxStreamWorkspace,
     ) -> Result<(), PhyError> {
         decode_bit_pipeline(
-            kit.mcs.code_rate(),
             self.cfg.scramble(),
             expect_bytes,
             &self.viterbi,
             &ws.stream_llrs,
-            &mut ws.restored,
             &mut ws.viterbi,
             &mut ws.decoded,
             &mut ws.bytes,
         )
+    }
+
+    /// All four streams' bit pipelines in one shot: the batch Viterbi
+    /// dispatcher decodes the four mother-code LLR streams (per-block
+    /// on the SIMD tier, bitsliced where the occupancy cost model says
+    /// that wins), then each stream finishes its descramble + byte
+    /// reassembly. The serial burst-close path — including every
+    /// [`BurstPipeline`](crate::BurstPipeline) back stage, which keeps
+    /// its threads for whole-stage overlap — comes through here.
+    fn decode_streams_batch(
+        &self,
+        params: &BurstParams,
+        n_streams: usize,
+        stream_ws: &mut [RxStreamWorkspace],
+        batch: &mut BatchViterbiWorkspace,
+    ) -> Result<(), PhyError> {
+        let blocks: [&[mimo_coding::Llr]; 4] =
+            std::array::from_fn(|k| stream_ws[k].stream_llrs.as_slice());
+        self.viterbi.decode_terminated_batch(&blocks, batch)?;
+        for (k, ws) in stream_ws.iter_mut().enumerate() {
+            std::mem::swap(&mut ws.decoded, &mut batch.outputs_mut()[k]);
+            finish_bit_pipeline(
+                self.cfg.scramble(),
+                params.stream_bytes(k, n_streams),
+                &mut ws.decoded,
+                &mut ws.bytes,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -766,14 +821,7 @@ pub(crate) fn parse_header_ws(
     ws: &mut RxStreamWorkspace,
     max_bytes: usize,
 ) -> Result<BurstParams, PhyError> {
-    decode_llrs(
-        mimo_coding::CodeRate::Half,
-        viterbi,
-        &ws.stream_llrs,
-        &mut ws.restored,
-        &mut ws.viterbi,
-        &mut ws.decoded,
-    )?;
+    viterbi.decode_terminated_into(&ws.stream_llrs, &mut ws.viterbi, &mut ws.decoded)?;
     // The SIGNAL field is never scrambled: parse the bits as-is.
     if ws.decoded.len() < SIGNAL_BITS {
         return Err(PhyError::Decode(
@@ -892,50 +940,36 @@ fn evm_contribution(kit: &RateKit, ws: &mut RxStreamWorkspace) -> Result<(f64, f
     Ok((num, den))
 }
 
-/// Depuncture + Viterbi over a stream's accumulated LLRs into
-/// `decoded` info bits — the rate-dependent half of the bit pipeline,
-/// shared by the SIGNAL-field parse and the payload decode.
-pub(crate) fn decode_llrs(
-    rate: mimo_coding::CodeRate,
-    viterbi: &ViterbiDecoder,
-    llrs: &[mimo_coding::Llr],
-    restored: &mut Vec<mimo_coding::Llr>,
-    viterbi_ws: &mut mimo_coding::ViterbiWorkspace,
-    decoded: &mut Vec<u8>,
-) -> Result<(), PhyError> {
-    let pattern = rate.keep_pattern();
-    let keeps: usize = pattern.iter().filter(|&&k| k).count();
-    // kept/period = keeps, so mother_len = llrs/keeps*period.
-    if !llrs.len().is_multiple_of(keeps) {
-        return Err(PhyError::Decode(format!(
-            "coded length {} not a multiple of the puncture pattern",
-            llrs.len()
-        )));
-    }
-    let mother_len = llrs.len() / keeps * pattern.len();
-    depuncture_into(llrs, rate, mother_len, restored)?;
-    viterbi.decode_terminated_into(restored, viterbi_ws, decoded)?;
-    Ok(())
-}
-
 /// The per-stream payload bit pipeline shared by the MIMO, SISO and
-/// streaming receivers: depuncture → Viterbi → descramble → exactly
-/// the bytes the SIGNAL field announced for this stream, entirely in
-/// caller-owned buffers. One owner of the burst framing so the 1×1
-/// baseline cannot drift from the 4×4 chain.
-#[allow(clippy::too_many_arguments)] // the workspace split is the point
+/// streaming receivers: Viterbi over the mother-ordered LLR stream
+/// (the fused per-symbol scatter already de-interleaved and
+/// depunctured it) → descramble → exactly the bytes the SIGNAL field
+/// announced for this stream, entirely in caller-owned buffers. One
+/// owner of the burst framing so the 1×1 baseline cannot drift from
+/// the 4×4 chain.
 pub(crate) fn decode_bit_pipeline(
-    rate: mimo_coding::CodeRate,
     scramble: bool,
     expect_bytes: usize,
     viterbi: &ViterbiDecoder,
     llrs: &[mimo_coding::Llr],
-    restored: &mut Vec<mimo_coding::Llr>,
     viterbi_ws: &mut mimo_coding::ViterbiWorkspace,
     decoded: &mut Vec<u8>,
     bytes: &mut Vec<u8>,
 ) -> Result<(), PhyError> {
-    decode_llrs(rate, viterbi, llrs, restored, viterbi_ws, decoded)?;
+    viterbi.decode_terminated_into(llrs, viterbi_ws, decoded)?;
+    finish_bit_pipeline(scramble, expect_bytes, decoded, bytes)
+}
+
+/// The post-Viterbi half of the stream bit pipeline — descramble and
+/// cut exactly the announced bytes — split out so the batch decoder
+/// can run many streams through one Viterbi pass and still share the
+/// burst framing.
+pub(crate) fn finish_bit_pipeline(
+    scramble: bool,
+    expect_bytes: usize,
+    decoded: &mut [u8],
+    bytes: &mut Vec<u8>,
+) -> Result<(), PhyError> {
     if scramble {
         Scrambler::new(SCRAMBLER_SEED).scramble_in_place(decoded);
     }

@@ -262,12 +262,10 @@ impl SisoReceiver {
         // --- Payload at the announced rate. ---
         self.run_symbols(stream, data_start, &equalizer, params.mcs, h_syms, n_symbols, true)?;
         crate::rx::decode_bit_pipeline(
-            params.mcs.code_rate(),
             self.cfg.scramble(),
             params.length,
             &self.viterbi,
             &self.ws.stream_llrs,
-            &mut self.ws.restored,
             &mut self.ws.viterbi,
             &mut self.ws.decoded,
             &mut self.ws.bytes,
@@ -304,11 +302,7 @@ impl SisoReceiver {
         let sym_len = self.cfg.symbol_samples();
         let n_occ = self.post.n_occupied();
         self.ant.freq_occ.resize(n_occ, CQ15::ZERO);
-        crate::rx::MimoReceiver::begin_stream_pass(
-            &mut self.ws,
-            count,
-            kit.coded_bits_per_symbol(),
-        );
+        crate::rx::MimoReceiver::begin_stream_pass(&mut self.ws, count, kit);
         for m in first..first + count {
             let start = data_start + m * sym_len;
             let frame = self.ant.ingest.ingest_period(&stream[start..start + sym_len])?;

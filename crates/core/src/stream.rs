@@ -402,7 +402,7 @@ impl StreamingReceiver {
                     MimoReceiver::begin_stream_pass(
                         &mut self.ws.header,
                         h_syms,
-                        self.rx.rates.header_kit().coded_bits_per_symbol(),
+                        self.rx.rates.header_kit(),
                     );
                     self.phase = Phase::HeaderDecode {
                         ctx: Box::new(BurstCtx {
@@ -446,9 +446,9 @@ impl StreamingReceiver {
                             }
                         };
                     let n_symbols = params.payload_symbols(&geometry);
-                    let ncbps = self.rx.rates.kit(params.mcs).coded_bits_per_symbol();
+                    let kit = self.rx.rates.kit(params.mcs);
                     for ws in &mut self.ws.streams {
-                        MimoReceiver::begin_stream_pass(ws, n_symbols, ncbps);
+                        MimoReceiver::begin_stream_pass(ws, n_symbols, kit);
                     }
                     self.phase = Phase::Payload {
                         ctx,
@@ -502,10 +502,9 @@ impl StreamingReceiver {
                     // re-arm the search. ---
                     let burst_end = ctx.data_start + (h_syms + n_symbols) * sym_len;
                     let result: Result<RxResult, PhyError> = (|| {
-                        let kit = self.rx.rates.kit(params.mcs);
                         for (k, ws) in self.ws.streams.iter_mut().enumerate() {
                             self.rx
-                                .decode_stream(kit, params.stream_bytes(k, n_streams), ws)?;
+                                .decode_stream(params.stream_bytes(k, n_streams), ws)?;
                         }
                         let payload = assemble_payload(&params, n_streams, &self.ws.streams)?;
                         Ok(finish_result(

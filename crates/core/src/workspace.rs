@@ -18,7 +18,7 @@
 //! per burst via `resize`/`reserve` and keep their capacity across
 //! bursts.
 
-use mimo_coding::{Llr, ViterbiWorkspace};
+use mimo_coding::{BatchViterbiWorkspace, Llr, ViterbiWorkspace};
 use mimo_fixed::CQ15;
 use mimo_ofdm::SymbolIngest;
 
@@ -98,19 +98,18 @@ pub(crate) struct RxStreamWorkspace {
     pub signs: Vec<i8>,
     /// One symbol's data carriers.
     pub data: Vec<CQ15>,
-    /// One symbol's demapped LLRs, max-MCS envelope; each burst uses
-    /// the prefix `[..N_CBPS(mcs)]`.
-    pub llrs: Vec<Llr>,
-    /// One symbol's de-interleaved LLRs (same envelope).
-    pub deinterleaved: Vec<Llr>,
     /// Hard-decision bit scratch (envelope; hard-demap mode and EVM).
     pub hard_bits: Vec<u8>,
     /// Re-mapped nearest constellation points for the EVM measurement.
     pub evm_points: Vec<CQ15>,
-    /// The whole burst's accumulated de-interleaved LLRs.
+    /// The whole burst's mother-code LLR stream, filled symbol by
+    /// symbol through the fused demap→deinterleave→depuncture scatter.
+    /// Pre-zeroed at pass start, so puncture erasures are simply the
+    /// positions no scatter ever writes.
     pub stream_llrs: Vec<Llr>,
-    /// Depunctured mother-code LLRs.
-    pub restored: Vec<Llr>,
+    /// Next write offset into [`RxStreamWorkspace::stream_llrs`]
+    /// (advances one `mother_bits_per_symbol` region per symbol).
+    pub pass_fill: usize,
     /// Viterbi path metrics and survivor memory.
     pub viterbi: ViterbiWorkspace,
     /// Decoded (descrambled) info bits.
@@ -136,6 +135,9 @@ pub(crate) struct RxWorkspace {
     pub antennas: Vec<RxAntennaWorkspace>,
     pub streams: Vec<RxStreamWorkspace>,
     pub header: RxStreamWorkspace,
+    /// Bitsliced many-burst Viterbi scratch: the serial burst-close
+    /// path decodes all four streams in one batch through it.
+    pub batch: BatchViterbiWorkspace,
 }
 
 impl RxWorkspace {
@@ -153,12 +155,10 @@ impl RxWorkspace {
             pilots: vec![CQ15::ZERO; n_pilots],
             signs: vec![0; n_pilots],
             data: vec![CQ15::ZERO; geometry.data_carriers()],
-            llrs: vec![0; max_ncbps],
-            deinterleaved: vec![0; max_ncbps],
             hard_bits: vec![0; max_ncbps],
             evm_points: vec![CQ15::ZERO; geometry.data_carriers()],
             stream_llrs: Vec::new(),
-            restored: Vec::new(),
+            pass_fill: 0,
             viterbi: ViterbiWorkspace::new(),
             decoded: Vec::new(),
             bytes: Vec::new(),
@@ -177,6 +177,7 @@ impl RxWorkspace {
                 .collect(),
             streams: (0..n).map(|_| make_stream()).collect(),
             header: make_stream(),
+            batch: BatchViterbiWorkspace::new(),
         }
     }
 }

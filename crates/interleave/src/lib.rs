@@ -14,9 +14,15 @@
 //! * [`PingPongInterleaver`] — the streaming dual-memory model used for
 //!   cycle-accounting and the continual-streaming test (Experiment F3's
 //!   sibling structure on the bit path).
+//! * [`FusedDeinterleaver`] — the receive-side permutation composed
+//!   with depuncturing into one per-symbol scatter table, so the bit
+//!   pipeline's demap→deinterleave→depuncture walk collapses to a
+//!   single pass.
 
+mod fused;
 mod permutation;
 mod pingpong;
 
+pub use fused::FusedDeinterleaver;
 pub use permutation::{BlockInterleaver, InterleaveError};
 pub use pingpong::PingPongInterleaver;

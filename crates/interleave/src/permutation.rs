@@ -25,6 +25,17 @@ pub enum InterleaveError {
         /// Supplied length.
         got: usize,
     },
+    /// A fused deinterleave→depuncture table needs a keep-pattern that
+    /// keeps at least one bit and divides the block evenly (every
+    /// 802.11a operating point does).
+    BadPuncture {
+        /// Coded bits per OFDM symbol.
+        n_cbps: usize,
+        /// Keep-pattern period (mother bits per pattern repeat).
+        period: usize,
+        /// Bits kept per pattern period.
+        keeps: usize,
+    },
 }
 
 impl fmt::Display for InterleaveError {
@@ -41,6 +52,17 @@ impl fmt::Display for InterleaveError {
             }
             InterleaveError::LengthMismatch { expected, got } => {
                 write!(f, "block length {got} does not match interleaver size {expected}")
+            }
+            InterleaveError::BadPuncture {
+                n_cbps,
+                period,
+                keeps,
+            } => {
+                write!(
+                    f,
+                    "cannot fuse puncturing (period {period}, {keeps} kept) into a \
+                     {n_cbps}-bit block: pattern keeps nothing or does not divide the block"
+                )
             }
         }
     }

@@ -145,6 +145,42 @@ impl SymbolDemapper {
         }
     }
 
+    /// Fused soft demap: demaps each symbol and scatters its LLRs
+    /// through a precomputed map (demapped bit `k` of the block lands
+    /// at `out[map[k]]`), collapsing the receiver's
+    /// demap→deinterleave→depuncture walk into one pass. Positions of
+    /// `out` that `map` never names are left untouched, so a pre-zeroed
+    /// buffer keeps zero-LLR puncture erasures for free.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `map` covers exactly
+    /// `symbols.len() * bits_per_symbol` demapped bits, or when a map
+    /// entry falls outside `out` (the workspace sizes both from the
+    /// operating point).
+    // phylint: hot
+    pub fn soft_demap_scatter_into(&self, symbols: &[CQ15], map: &[u32], out: &mut [Llr]) {
+        let bps = self.modulation.bits_per_symbol();
+        assert_eq!(map.len(), symbols.len() * bps, "scatter map size");
+        let half = self.modulation.bits_per_axis();
+        let mut llrs = [0 as Llr; 8];
+        for (&sym, positions) in symbols.iter().zip(map.chunks_exact(bps)) {
+            let c = Cf64::from_fixed(sym);
+            match self.modulation {
+                Modulation::Bpsk => self.axis_soft_llrs_into(c.re, &mut llrs[..1]),
+                _ => {
+                    let (i_llrs, q_llrs) = llrs[..bps].split_at_mut(half);
+                    self.axis_soft_llrs_into(c.re, i_llrs);
+                    self.axis_soft_llrs_into(c.im, q_llrs);
+                }
+            }
+            for (&pos, &l) in positions.iter().zip(&llrs[..bps]) {
+                out[pos as usize] = l;
+            }
+        }
+    }
+    // phylint: end-hot
+
     /// Slices one axis to the nearest odd level and writes its Gray
     /// bits (MSB first) into `bits`.
     fn axis_hard_bits_into(&self, x: f64, bits: &mut [u8]) {
@@ -243,6 +279,29 @@ mod tests {
                 sym.im.to_f64() - 0.4 * unit,
             );
             assert_eq!(demapper.hard_demap(&[noisy]), bits);
+        }
+    }
+
+    #[test]
+    fn scatter_demap_equals_soft_demap_through_the_map() {
+        for m in Modulation::ALL {
+            let mapper = SymbolMapper::new(m).unwrap();
+            let demapper = SymbolDemapper::matched_to(&mapper);
+            let bps = m.bits_per_symbol();
+            // Eight symbols through a stride-rotation map into a wider
+            // buffer with interspersed never-written erasure slots.
+            let bits: Vec<u8> = (0..8 * bps).map(|i| ((i * 5 + 1) % 3 == 0) as u8).collect();
+            let symbols = mapper.map_bits(&bits).unwrap();
+            let n = 8 * bps;
+            let map: Vec<u32> = (0..n).map(|k| (2 * ((k * 7) % n)) as u32).collect();
+            let mut out = vec![0 as Llr; 2 * n];
+            demapper.soft_demap_scatter_into(&symbols, &map, &mut out);
+            let soft = demapper.soft_demap(&symbols);
+            let mut expect = vec![0 as Llr; 2 * n];
+            for (k, &l) in soft.iter().enumerate() {
+                expect[map[k] as usize] = l;
+            }
+            assert_eq!(out, expect, "{m}");
         }
     }
 

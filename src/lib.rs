@@ -95,8 +95,17 @@
 //! # Ok(())
 //! # }
 //! ```
-
-/// Fixed-point arithmetic (Q1.15 samples, Q2.16 CORDIC words).
+//!
+//! ## Cargo features
+//!
+//! * `parallel` (default) — fan the four spatial channels out across
+//!   scoped threads; serial builds stay bit-identical.
+//! * `simd` (default) — 8-lane SIMD tier of the butterfly Viterbi ACS
+//!   kernel (AVX2 behind runtime CPU detection, a portable-array tier
+//!   elsewhere), decode-for-decode bit-identical to the scalar and
+//!   butterfly kernels. Disable it (or enable the coding crate's
+//!   `scalar-kernel`) to pin the dispatch for differential runs; the
+//!   bitsliced many-burst batch decoder is always available.
 pub use mimo_fixed as fixed;
 
 /// CORDIC rotation/vectoring engines with the paper's 20-cycle pipeline.
