@@ -23,6 +23,7 @@ use crate::N_ANTENNAS;
 
 /// Errors from channel estimation and inversion.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum ChanestError {
     /// Unsupported FFT size.
     UnsupportedFftSize(usize),
@@ -104,6 +105,7 @@ impl ChannelEstimate {
                 let r_inv = invert_upper_triangular(&decomp.r)?;
                 Ok(r_inv.mul_mat(&decomp.q_h))
             })
+            // phylint: allow(hot_transitive) -- matrix inversion runs once per burst preamble, never in the per-sample steady state
             .collect()
     }
 }
@@ -207,8 +209,11 @@ impl ChannelEstimator {
         let occupied = self.map.occupied_indices();
         // averaged[(rx * 4 + slot) * n_occ + occupied_idx], flat.
         let n_occ = occupied.len();
+        // phylint: allow(hot_transitive) -- scratch rows sized once per preamble estimate, not per sample
         let mut averaged = vec![CQ15::ZERO; N_ANTENNAS * N_ANTENNAS * n_occ];
+        // phylint: allow(hot_transitive) -- scratch rows sized once per preamble estimate, not per sample
         let mut first = vec![CQ15::ZERO; n];
+        // phylint: allow(hot_transitive) -- scratch rows sized once per preamble estimate, not per sample
         let mut second = vec![CQ15::ZERO; n];
         for (rx, per_rx) in lts_blocks.iter().enumerate() {
             for (slot, block) in per_rx.as_ref().iter().enumerate() {
@@ -246,6 +251,7 @@ impl ChannelEstimator {
                     v.scale(self.inv_amplitude)
                 })
             })
+            // phylint: allow(hot_transitive) -- gathers the per-burst channel matrix once per preamble
             .collect();
 
         Ok(ChannelEstimate {

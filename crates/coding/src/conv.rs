@@ -12,6 +12,7 @@ use std::fmt;
 
 /// Errors produced when building or running the coding blocks.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum CodingError {
     /// Constraint length outside the supported 3..=9 range.
     BadConstraintLength(usize),

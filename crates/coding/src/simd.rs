@@ -117,6 +117,7 @@ impl SimdTrellis {
             // SAFETY: the `Avx2` variant is only constructed after
             // `is_x86_feature_detected!("avx2")` reported support on
             // this CPU, so the target-feature contract holds.
+            // phylint: allow(simd_guard) -- the `Avx2` kernel variant is only constructed after `is_x86_feature_detected!("avx2")` succeeded in `pick_kernel`, so this dispatch site is feature-guarded at construction time
             LaneKernel::Avx2 => unsafe { self.acs_step_avx2(&bm8, cur, nxt, surv) },
             LaneKernel::Portable => self.acs_step_portable(&bm8, cur, nxt, surv),
         }

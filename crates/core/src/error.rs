@@ -207,4 +207,34 @@ mod tests {
         let err: PhyError = src.into();
         assert!(err.to_string().contains("singular"));
     }
+
+    /// Every subsystem error that crosses into `PhyError` keeps its
+    /// payload readable through the conversion — this audits the
+    /// Display impl of each `#[non_exhaustive]` subsystem enum at the
+    /// same time.
+    #[test]
+    fn every_subsystem_conversion_keeps_its_display_payload() {
+        let coding: PhyError = mimo_coding::CodingError::BadConstraintLength(11).into();
+        assert!(coding.to_string().contains("11"), "{coding}");
+        assert!(matches!(coding, PhyError::Decode(_)), "{coding:?}");
+
+        let detect: PhyError = mimo_detect::DetectError::BadStreamCount(3).into();
+        assert!(detect.to_string().contains("got 3"), "{detect}");
+        assert!(matches!(detect, PhyError::Decode(_)), "{detect:?}");
+
+        let ofdm: PhyError = mimo_ofdm::OfdmError::UnsupportedFftSize(100).into();
+        assert!(ofdm.to_string().contains("100"), "{ofdm}");
+        assert!(matches!(ofdm, PhyError::BadConfig(_)), "{ofdm:?}");
+
+        let il: PhyError = mimo_interleave::InterleaveError::BadBlockSize(7).into();
+        assert!(il.to_string().contains("7"), "{il}");
+        assert!(il.to_string().contains("16"), "{il}");
+
+        let modem: PhyError = mimo_modem::ModemError::BadScale(1.5).into();
+        assert!(modem.to_string().contains("1.5"), "{modem}");
+
+        let chanest: PhyError = mimo_chanest::ChanestError::UnsupportedFftSize(48).into();
+        assert!(chanest.to_string().contains("48"), "{chanest}");
+        assert!(matches!(chanest, PhyError::Estimation(_)), "{chanest:?}");
+    }
 }

@@ -830,6 +830,7 @@ pub(crate) fn parse_header_ws(
     }
     let params = parse_signal_field(&ws.decoded)?;
     if params.length > max_bytes {
+        // phylint: allow(hot_transitive) -- error path: allocates only when the burst is already being rejected
         return Err(PhyError::Decode(format!(
             "SIGNAL length {} exceeds the {max_bytes}-byte burst maximum",
             params.length
@@ -846,9 +847,11 @@ pub(crate) fn assemble_payload(
     n_streams: usize,
     stream_ws: &[RxStreamWorkspace],
 ) -> Result<Vec<u8>, PhyError> {
+    // phylint: allow(hot_transitive) -- borrows per-stream slices once per completed burst, not per sample
     let per_stream_bytes: Vec<&[u8]> = stream_ws.iter().map(|ws| ws.bytes.as_slice()).collect();
     let total: usize = per_stream_bytes.iter().map(|b| b.len()).sum();
     debug_assert_eq!(total, params.length);
+    // phylint: allow(hot_transitive) -- sizes the output payload once per completed burst
     let mut payload = Vec::with_capacity(total);
     let mut cursors = [0usize; 4];
     for i in 0..total {

@@ -85,6 +85,7 @@ pub fn encode_signal_field(params: &BurstParams, out: &mut Vec<u8>) -> Result<()
 ///   supplied.
 pub fn parse_signal_field(bits: &[u8]) -> Result<BurstParams, PhyError> {
     if bits.len() < SIGNAL_BITS {
+        // phylint: allow(hot_transitive) -- error path: allocates only when the SIGNAL field is already invalid
         return Err(PhyError::Decode(format!(
             "SIGNAL field needs {SIGNAL_BITS} bits, got {}",
             bits.len()

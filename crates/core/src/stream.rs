@@ -373,6 +373,7 @@ impl StreamingReceiver {
                     // the lower edge from the retained history.
                     if lts0 + n / 2 < base {
                         self.abort_search_at(self.pos);
+                        // phylint: allow(hot_transitive) -- error path: allocates only when the stream has already desynchronised
                         return Err(PhyError::Desync(format!(
                             "LTS window at {} precedes retained history (base {base})",
                             lts0 + n / 2
@@ -405,6 +406,7 @@ impl StreamingReceiver {
                         self.rx.rates.header_kit(),
                     );
                     self.phase = Phase::HeaderDecode {
+                        // phylint: allow(hot_transitive) -- one context box per burst header, amortised across the whole burst
                         ctx: Box::new(BurstCtx {
                             event,
                             data_start,
@@ -535,12 +537,14 @@ impl StreamingReceiver {
     fn ingest_symbol_rows(&mut self, start: usize, sym_len: usize) -> Result<(), PhyError> {
         let base = self.hist_base;
         let lo = start.checked_sub(base).ok_or_else(|| {
+            // phylint: allow(hot_transitive) -- error path: allocates only when the stream has already desynchronised
             PhyError::Desync(format!(
                 "symbol window at {start} precedes retained history (base {base})"
             ))
         })?;
         for (ant, hist) in self.ws.antennas.iter_mut().zip(&self.hist) {
             let period = hist.get(lo..lo + sym_len).ok_or_else(|| {
+                // phylint: allow(hot_transitive) -- error path: allocates only when the stream has already desynchronised
                 PhyError::Desync(format!(
                     "symbol window {start}..{} exceeds buffered samples",
                     start + sym_len

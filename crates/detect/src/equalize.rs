@@ -8,6 +8,7 @@ use mimo_fixed::{CFx, CQ15, CQ16, SAMPLE_BITS};
 
 /// Errors from the detection stage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum DetectError {
     /// RX stream count must equal the antenna count (4).
     BadStreamCount(usize),

@@ -7,6 +7,7 @@ use mimo_fixed::{CQ15, Cf64, SAMPLE_BITS};
 
 /// Errors produced by the fixed-point FFT core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum FftError {
     /// Requested transform size is unsupported.
     UnsupportedSize(usize),

@@ -6,6 +6,7 @@ use std::ops::{Add, AddAssign, Mul, Neg, Shl, Shr, Sub, SubAssign};
 
 /// Error type for fallible fixed-point conversions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum FxError {
     /// The source floating-point value was NaN.
     NotANumber,

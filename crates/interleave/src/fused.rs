@@ -121,6 +121,7 @@ impl FusedDeinterleaver {
     /// [`InterleaveError::LengthMismatch`] unless `block` is exactly
     /// [`FusedDeinterleaver::block_size`] and `out` exactly
     /// [`FusedDeinterleaver::mother_bits_per_symbol`].
+    // phylint: hot
     pub fn scatter_into<T: Copy>(&self, block: &[T], out: &mut [T]) -> Result<(), InterleaveError> {
         if block.len() != self.map.len() {
             return Err(InterleaveError::LengthMismatch {
@@ -139,6 +140,7 @@ impl FusedDeinterleaver {
         }
         Ok(())
     }
+    // phylint: end-hot
 }
 
 #[cfg(test)]

@@ -5,6 +5,7 @@ use std::fmt;
 
 /// Errors from interleaver construction or use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum InterleaveError {
     /// Block size must be a positive multiple of 16 (the column count
     /// fixed by the standard's first permutation).

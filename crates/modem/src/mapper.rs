@@ -10,6 +10,7 @@ use crate::CONSTELLATION_SCALE;
 
 /// Errors from the mapper/demapper.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub enum ModemError {
     /// Bit-stream length is not a multiple of bits-per-symbol.
     RaggedBits {

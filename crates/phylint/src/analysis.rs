@@ -111,6 +111,21 @@ impl FileAnalysis {
         line: u32,
         msg: String,
     ) {
+        self.push_finding_with_path(out, rule, line, msg, Vec::new());
+    }
+
+    /// Like [`push_finding`](Self::push_finding) but attaches the call
+    /// path that proves a semantic finding. Suppressions at the
+    /// *landing* line (where the finding is reported) absorb semantic
+    /// findings, same as token findings.
+    pub fn push_finding_with_path(
+        &self,
+        out: &mut Vec<Finding>,
+        rule: RuleId,
+        line: u32,
+        msg: String,
+        call_path: Vec<String>,
+    ) {
         for s in &self.suppressions {
             if s.rule == rule && (s.from_line..=s.to_line).contains(&line) {
                 s.used.set(true);
@@ -122,6 +137,7 @@ impl FileAnalysis {
             path: self.path.clone(),
             line,
             msg,
+            call_path,
         });
     }
 
@@ -130,15 +146,15 @@ impl FileAnalysis {
     pub fn unused_suppression_findings(&self, out: &mut Vec<Finding>) {
         for s in &self.suppressions {
             if !s.used.get() {
-                out.push(Finding {
-                    rule: RuleId::Marker,
-                    path: self.path.clone(),
-                    line: s.decl_line,
-                    msg: format!(
+                out.push(Finding::new(
+                    RuleId::Marker,
+                    self.path.clone(),
+                    s.decl_line,
+                    format!(
                         "unused suppression: allow({}) matched no finding — remove it",
                         s.rule.name()
                     ),
-                });
+                ));
             }
         }
     }
@@ -234,12 +250,7 @@ impl FileAnalysis {
     }
 
     fn marker_finding(&self, line: u32, msg: String) -> Finding {
-        Finding {
-            rule: RuleId::Marker,
-            path: self.path.clone(),
-            line,
-            msg,
-        }
+        Finding::new(RuleId::Marker, self.path.clone(), line, msg)
     }
 
     /// First line after comment `c` that holds a token (the line a

@@ -7,9 +7,11 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::analysis::{FileAnalysis, FileKind};
+use crate::callgraph::CallGraph;
 use crate::manifest::{self, CrateFeatures};
+use crate::model::{self, FileModel, Workspace};
 use crate::report::Report;
-use crate::{rules, wire};
+use crate::{rules, semantic, wire};
 
 /// Directory names never descended into: build output, VCS metadata,
 /// vendored third-party shims (not held to PHY invariants), and the
@@ -36,6 +38,11 @@ pub fn run(root: &Path) -> io::Result<Report> {
     rs_files.sort();
 
     let mut report = Report::default();
+
+    // Lex and marker-parse every file up front: the semantic phase
+    // needs the whole workspace before any cross-file rule can run.
+    let mut fas: Vec<FileAnalysis> = Vec::new();
+    let mut crate_dirs: Vec<PathBuf> = Vec::new();
     for abs in &rs_files {
         let Ok(src) = fs::read_to_string(abs) else {
             continue; // non-UTF-8 or vanished mid-scan: not lintable
@@ -43,16 +50,39 @@ pub fn run(root: &Path) -> io::Result<Report> {
         let rel = abs.strip_prefix(root).unwrap_or(abs).to_path_buf();
         let crate_dir = owning_crate(root, abs, &manifests);
         let kind = file_kind(&crate_dir, abs);
-        let fa = FileAnalysis::new(rel, src, kind);
+        fas.push(FileAnalysis::new(rel, src, kind));
+        crate_dirs.push(crate_dir);
+    }
 
-        rules::panic_path(&fa, &mut report.findings);
-        rules::alloc_hot(&fa, &mut report.findings);
-        rules::unsafe_safety(&fa, &mut report.findings);
-        let empty = CrateFeatures::default();
-        let features = manifests.get(&crate_dir).unwrap_or(&empty);
-        rules::feature_gate(&fa, features, &mut report.findings);
-
+    // Phase 1a: per-file token rules.
+    let empty = CrateFeatures::default();
+    for (fa, crate_dir) in fas.iter().zip(&crate_dirs) {
+        rules::panic_path(fa, &mut report.findings);
+        rules::alloc_hot(fa, &mut report.findings);
+        rules::unsafe_safety(fa, &mut report.findings);
+        let features = manifests.get(crate_dir).unwrap_or(&empty);
+        rules::feature_gate(fa, features, &mut report.findings);
         report.findings.extend(fa.marker_findings.iter().cloned());
+    }
+
+    // Phase 1b: item model over crate source (tests/benches/examples
+    // are not resolution targets — they may allocate freely and must
+    // not pull production fns into the hot closure).
+    let models: Vec<FileModel> = fas
+        .iter()
+        .enumerate()
+        .filter(|(_, fa)| fa.kind == FileKind::CrateSrc)
+        .map(|(i, fa)| model::extract(fa, i))
+        .collect();
+    let ws = Workspace::assemble(models);
+
+    // Phase 2: semantic rules over the call graph.
+    let cg = CallGraph::new(&ws);
+    semantic::check(&ws, &cg, &fas, &mut report.findings);
+
+    // Suppression accounting runs last so semantic findings can mark
+    // their suppressions used before stale ones are flagged.
+    for fa in &fas {
         fa.unused_suppression_findings(&mut report.findings);
         report.suppressions_used += fa
             .suppressions

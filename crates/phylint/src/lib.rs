@@ -10,6 +10,8 @@
 //!
 //! # Rules
 //!
+//! Token rules (per file, v1):
+//!
 //! | rule | what it enforces |
 //! |------|------------------|
 //! | `panic_path` | no `.unwrap()` / `.expect()` / `panic!` / `todo!` / `unimplemented!` in crate source outside tests; `[idx]` indexing additionally denied in `// phylint: datapath` modules |
@@ -18,6 +20,20 @@
 //! | `feature_gate` | every `feature = "name"` reference names a feature declared in the owning crate's `Cargo.toml` |
 //! | `wire_format` | `crates/transport` frame constants (magic, control-frame size, type-byte range, header field widths) match the wire-format tables documented in its `lib.rs` |
 //! | `marker` | phylint's own markers are well-formed and every suppression is used |
+//!
+//! Semantic rules (workspace call graph, v2 — see [`model`] and
+//! [`callgraph`] for the approximation):
+//!
+//! | rule | what it enforces |
+//! |------|------------------|
+//! | `hot_transitive` | functions *reachable* from a `// phylint: hot` region (via the workspace call graph) are allocation-free, not just the literal region text; panic-freedom of reachable code is already guaranteed workspace-wide by `panic_path` |
+//! | `simd_guard` | every `#[target_feature(enable = …)]` fn is declared `unsafe`, and each call site sits in a fn that is itself `#[target_feature]` or contains an `is_x86_feature_detected!` runtime guard |
+//! | `lock_order` | `Mutex`/`RwLock` struct fields have a canonical rank (declaration order, files sorted by path); no call chain may acquire a lower-ranked lock while holding a higher-ranked one, or re-acquire a lock it already holds |
+//! | `error_surface` | public `Result`-returning fns in crate source use typed errors (no `String` / `Box<dyn Error>` / `&str` / `()` payloads), and public `…Error` enums carry `#[non_exhaustive]` |
+//!
+//! Semantic findings carry the **call path** that proves them, and the
+//! binary can emit the whole report as line-oriented JSON
+//! (`--format json`) with a stable schema (see [`json`]).
 //!
 //! # Suppressions
 //!
@@ -54,11 +70,15 @@
 //! never touches the network.
 
 pub mod analysis;
+pub mod callgraph;
 pub mod engine;
+pub mod json;
 pub mod lexer;
 pub mod manifest;
+pub mod model;
 pub mod report;
 pub mod rules;
+pub mod semantic;
 pub mod wire;
 
 pub use engine::run;

@@ -14,8 +14,21 @@ pub enum RuleId {
     PanicPath,
     /// Allocation inside a `// phylint: hot` region.
     AllocHot,
+    /// Allocation in a function transitively reachable from a
+    /// `// phylint: hot` region via the workspace call graph.
+    HotTransitive,
     /// `unsafe` without an immediately preceding `// SAFETY:` comment.
     UnsafeSafety,
+    /// `#[target_feature]` soundness: such fns must be `unsafe`, and
+    /// their call sites must sit in runtime-feature-guarded (or
+    /// equally gated) dispatch functions.
+    SimdGuard,
+    /// Locks acquired against the canonical declaration order, or the
+    /// same lock acquired twice along one call chain.
+    LockOrder,
+    /// Public `Result` APIs with stringly error payloads, or public
+    /// error enums missing `#[non_exhaustive]`.
+    ErrorSurface,
     /// `cfg(feature = "…")` naming a feature the owning crate does
     /// not declare.
     FeatureGate,
@@ -26,10 +39,14 @@ pub enum RuleId {
 }
 
 /// All rules, in report order.
-pub const ALL_RULES: [RuleId; 6] = [
+pub const ALL_RULES: [RuleId; 10] = [
     RuleId::PanicPath,
     RuleId::AllocHot,
+    RuleId::HotTransitive,
     RuleId::UnsafeSafety,
+    RuleId::SimdGuard,
+    RuleId::LockOrder,
+    RuleId::ErrorSurface,
     RuleId::FeatureGate,
     RuleId::WireFormat,
     RuleId::Marker,
@@ -41,7 +58,11 @@ impl RuleId {
         match self {
             RuleId::PanicPath => "panic_path",
             RuleId::AllocHot => "alloc_hot",
+            RuleId::HotTransitive => "hot_transitive",
             RuleId::UnsafeSafety => "unsafe_safety",
+            RuleId::SimdGuard => "simd_guard",
+            RuleId::LockOrder => "lock_order",
+            RuleId::ErrorSurface => "error_surface",
             RuleId::FeatureGate => "feature_gate",
             RuleId::WireFormat => "wire_format",
             RuleId::Marker => "marker",
@@ -71,6 +92,22 @@ pub struct Finding {
     pub line: u32,
     /// Human-readable description.
     pub msg: String,
+    /// For semantic (call-graph) rules: the chain of functions that
+    /// proves reachability, root first. Empty for per-file findings.
+    pub call_path: Vec<String>,
+}
+
+impl Finding {
+    /// A per-file finding with no call path.
+    pub fn new(rule: RuleId, path: PathBuf, line: u32, msg: String) -> Finding {
+        Finding {
+            rule,
+            path,
+            line,
+            msg,
+            call_path: Vec::new(),
+        }
+    }
 }
 
 impl fmt::Display for Finding {
@@ -82,7 +119,11 @@ impl fmt::Display for Finding {
             self.line,
             self.rule,
             self.msg
-        )
+        )?;
+        if !self.call_path.is_empty() {
+            write!(f, "\n    call path: {}", self.call_path.join("\n            -> "))?;
+        }
+        Ok(())
     }
 }
 

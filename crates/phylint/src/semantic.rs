@@ -1,0 +1,446 @@
+//! Phase 2 of the workspace analyzer: the four semantic rules that
+//! run over the assembled [`Workspace`] model and its [`CallGraph`].
+//!
+//! * `hot_transitive` — functions *reachable* from a
+//!   `// phylint: hot` region must be allocation-free, not just the
+//!   literal region text. Panic-freedom of reachable code is already
+//!   guaranteed workspace-wide by the `panic_path` token rule (which
+//!   covers all crate source, a strict superset of any reachability
+//!   set), so this rule reports allocation sites only — one rule per
+//!   defect, no double reports.
+//! * `simd_guard` — every `#[target_feature(enable = …)]` fn must
+//!   be declared `unsafe` (its `// SAFETY:` comment is enforced by the
+//!   `unsafe_safety` token rule), and every call site must sit in a fn
+//!   that is itself `#[target_feature]` or textually contains an
+//!   `is_x86_feature_detected!` runtime guard. Dispatch that proves
+//!   the feature at *construction* time instead needs a justified
+//!   suppression spelling out the invariant.
+//! * `lock_order` — lock fields have a canonical rank (declaration
+//!   order, files sorted by path). While a guard is held, no lock of
+//!   equal or lower rank may be acquired — directly, or transitively
+//!   through any call made inside the guard's scope.
+//! * `error_surface` — public `Result`-returning fns in crate
+//!   source must use typed errors (no `String` / `Box<dyn Error>` /
+//!   `&str` / `()` payloads), and public `…Error` enums must carry
+//!   `#[non_exhaustive]`.
+//!
+//! Every cross-function finding carries the call path that proves it.
+//! Findings land on a concrete source line and honour in-place
+//! suppressions at that line, exactly like token-rule findings.
+
+use std::collections::BTreeMap;
+
+use crate::analysis::FileAnalysis;
+use crate::callgraph::CallGraph;
+use crate::model::{FnId, Workspace};
+use crate::report::{Finding, RuleId};
+
+/// Run all four semantic rules. `files` is the engine's full analysis
+/// list; `FnItem::file` indexes into it.
+pub fn check(
+    ws: &Workspace,
+    cg: &CallGraph<'_>,
+    files: &[FileAnalysis],
+    out: &mut Vec<Finding>,
+) {
+    hot_transitive(ws, cg, files, out);
+    simd_guard(ws, cg, files, out);
+    lock_order(ws, cg, files, out);
+    error_surface(ws, files, out);
+}
+
+/// Push a semantic finding through the landing file's suppression
+/// filter.
+fn emit(
+    files: &[FileAnalysis],
+    out: &mut Vec<Finding>,
+    rule: RuleId,
+    file: usize,
+    line: u32,
+    msg: String,
+    call_path: Vec<String>,
+) {
+    files[file].push_finding_with_path(out, rule, line, msg, call_path);
+}
+
+/// Allocation sites in any function reachable from a hot-region call
+/// site. The literal region text is already covered by `alloc_hot`,
+/// so sites that themselves sit inside a hot region are skipped here.
+fn hot_transitive(
+    ws: &Workspace,
+    cg: &CallGraph<'_>,
+    files: &[FileAnalysis],
+    out: &mut Vec<Finding>,
+) {
+    let paths: Vec<std::path::PathBuf> = files.iter().map(|f| f.path.clone()).collect();
+    let mut roots: Vec<(FnId, &crate::model::CallSite)> = Vec::new();
+    for (id, f) in ws.fns.iter().enumerate() {
+        for call in &f.calls {
+            if call.in_hot_region {
+                roots.push((id, call));
+            }
+        }
+    }
+    let reached = cg.reach(&roots);
+    for (&id, hops) in &reached {
+        let f = &ws.fns[id];
+        let rendered = cg.render_path(&paths, hops);
+        for site in &f.alloc_sites {
+            if files[f.file].in_hot_region(site.line) {
+                continue; // alloc_hot already owns this site
+            }
+            emit(
+                files,
+                out,
+                RuleId::HotTransitive,
+                f.file,
+                site.line,
+                format!(
+                    "allocation (`{}`) in `{}`, which is reachable from a \
+                     `phylint: hot` region",
+                    site.what,
+                    f.display_name()
+                ),
+                rendered.clone(),
+            );
+        }
+    }
+}
+
+/// `#[target_feature]` declaration and call-site soundness.
+fn simd_guard(
+    ws: &Workspace,
+    cg: &CallGraph<'_>,
+    files: &[FileAnalysis],
+    out: &mut Vec<Finding>,
+) {
+    let paths: Vec<std::path::PathBuf> = files.iter().map(|f| f.path.clone()).collect();
+    // Declaration check: a target_feature fn that is not `unsafe`
+    // hides its precondition from callers.
+    for f in &ws.fns {
+        let Some(feat) = &f.target_feature else {
+            continue;
+        };
+        if !f.is_unsafe {
+            emit(
+                files,
+                out,
+                RuleId::SimdGuard,
+                f.file,
+                f.line,
+                format!(
+                    "`{}` is #[target_feature(enable = \"{feat}\")] but not \
+                     declared `unsafe fn` — callers must see the CPU-feature \
+                     precondition",
+                    f.display_name()
+                ),
+                Vec::new(),
+            );
+        }
+    }
+    // Call-site check: the enclosing fn must prove the feature — by
+    // being target_feature itself, or by containing a runtime
+    // `is_x86_feature_detected!` guard.
+    for (id, caller) in ws.fns.iter().enumerate() {
+        if caller.cfg_test {
+            continue;
+        }
+        for call in &caller.calls {
+            for callee_id in cg.resolve(caller, call) {
+                let callee = &ws.fns[callee_id];
+                let Some(feat) = &callee.target_feature else {
+                    continue;
+                };
+                if caller.target_feature.is_some() || caller.has_feature_guard {
+                    continue;
+                }
+                let call_path = cg.render_path(
+                    &paths,
+                    &[crate::callgraph::Hop {
+                        caller: id,
+                        line: call.line,
+                        callee: callee_id,
+                    }],
+                );
+                emit(
+                    files,
+                    out,
+                    RuleId::SimdGuard,
+                    caller.file,
+                    call.line,
+                    format!(
+                        "`{}` calls #[target_feature(enable = \"{feat}\")] fn \
+                         `{}` without an `is_x86_feature_detected!` guard in \
+                         scope — dispatch guarded elsewhere needs a justified \
+                         suppression stating the invariant",
+                        caller.display_name(),
+                        callee.display_name()
+                    ),
+                    call_path,
+                );
+            }
+        }
+    }
+}
+
+/// A witness that some fn (transitively) acquires a lock field: the
+/// call hops from that fn down to the acquiring fn, plus the
+/// acquisition line.
+#[derive(Clone)]
+struct LockWitness {
+    hops: Vec<crate::callgraph::Hop>,
+    acquirer: FnId,
+    line: u32,
+}
+
+/// Canonical-order audit over direct and call-transitive acquisitions.
+fn lock_order(
+    ws: &Workspace,
+    cg: &CallGraph<'_>,
+    files: &[FileAnalysis],
+    out: &mut Vec<Finding>,
+) {
+    if ws.lock_fields.is_empty() {
+        return;
+    }
+    let paths: Vec<std::path::PathBuf> = files.iter().map(|f| f.path.clone()).collect();
+    let lock_name = |rank: usize| {
+        let lf = &ws.lock_fields[rank];
+        format!("{}.{}", lf.struct_name, lf.name)
+    };
+
+    // Resolve every call once: fn → [(line, callees)].
+    let edges: Vec<Vec<(u32, Vec<FnId>)>> = ws
+        .fns
+        .iter()
+        .map(|f| {
+            f.calls
+                .iter()
+                .map(|c| (c.line, cg.resolve(f, c)))
+                .collect()
+        })
+        .collect();
+
+    // Fixpoint lock closure: rank → first witness, per fn.
+    let mut closure: Vec<BTreeMap<usize, LockWitness>> = ws
+        .fns
+        .iter()
+        .enumerate()
+        .map(|(id, f)| {
+            f.locks
+                .iter()
+                .map(|l| {
+                    (
+                        l.field,
+                        LockWitness {
+                            hops: Vec::new(),
+                            acquirer: id,
+                            line: l.line,
+                        },
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for id in 0..ws.fns.len() {
+            for (line, callees) in &edges[id] {
+                for &callee in callees {
+                    if callee == id {
+                        continue;
+                    }
+                    let add: Vec<(usize, LockWitness)> = closure[callee]
+                        .iter()
+                        .filter(|(rank, _)| !closure[id].contains_key(rank))
+                        .map(|(rank, w)| {
+                            let mut hops = vec![crate::callgraph::Hop {
+                                caller: id,
+                                line: *line,
+                                callee,
+                            }];
+                            hops.extend(w.hops.iter().cloned());
+                            (
+                                *rank,
+                                LockWitness {
+                                    hops,
+                                    acquirer: w.acquirer,
+                                    line: w.line,
+                                },
+                            )
+                        })
+                        .collect();
+                    if !add.is_empty() {
+                        changed = true;
+                        closure[id].extend(add);
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Per-fn scan: while a guard is held, no equal-or-lower rank may
+    // be acquired, directly or through a call.
+    for (id, f) in ws.fns.iter().enumerate() {
+        if f.cfg_test {
+            continue;
+        }
+        let mut seen: Vec<(usize, usize)> = Vec::new(); // (held, acquired) pairs reported
+        // Direct-vs-direct.
+        for b in &f.locks {
+            for a in &f.locks {
+                if a.ord >= b.ord || b.line > a.scope_end_line {
+                    continue; // a not held at b
+                }
+                if b.field > a.field || seen.contains(&(a.field, b.field)) {
+                    continue;
+                }
+                seen.push((a.field, b.field));
+                let msg = if a.field == b.field {
+                    format!(
+                        "`{}` re-acquires `{}` (locked at line {}) while the \
+                         first guard is still held — self-deadlock",
+                        f.display_name(),
+                        lock_name(a.field),
+                        a.line
+                    )
+                } else {
+                    format!(
+                        "`{}` acquires `{}` (rank {}) while holding `{}` \
+                         (rank {}, locked at line {}) — violates the canonical \
+                         lock order (declaration order, files sorted by path)",
+                        f.display_name(),
+                        lock_name(b.field),
+                        b.field,
+                        lock_name(a.field),
+                        a.field,
+                        a.line
+                    )
+                };
+                emit(files, out, RuleId::LockOrder, f.file, b.line, msg, Vec::new());
+            }
+        }
+        // Direct-vs-transitive: calls made inside a guard's scope.
+        for (line, callees) in &edges[id] {
+            for a in &f.locks {
+                if *line < a.line || *line > a.scope_end_line {
+                    continue; // guard not held at this call
+                }
+                for &callee in callees {
+                    for (&rank, w) in &closure[callee] {
+                        if rank > a.field || seen.contains(&(a.field, rank)) {
+                            continue;
+                        }
+                        seen.push((a.field, rank));
+                        let mut hops = vec![crate::callgraph::Hop {
+                            caller: id,
+                            line: *line,
+                            callee,
+                        }];
+                        hops.extend(w.hops.iter().cloned());
+                        let rendered = cg.render_path(&paths, &hops);
+                        let msg = if rank == a.field {
+                            format!(
+                                "`{}` holds `{}` (locked at line {}) across a \
+                                 call chain that re-acquires it in `{}` (line \
+                                 {}) — self-deadlock",
+                                f.display_name(),
+                                lock_name(a.field),
+                                a.line,
+                                ws.fns[w.acquirer].display_name(),
+                                w.line
+                            )
+                        } else {
+                            format!(
+                                "`{}` holds `{}` (rank {}, locked at line {}) \
+                                 across a call chain that acquires `{}` (rank \
+                                 {}) in `{}` (line {}) — violates the \
+                                 canonical lock order",
+                                f.display_name(),
+                                lock_name(a.field),
+                                a.field,
+                                a.line,
+                                lock_name(rank),
+                                rank,
+                                ws.fns[w.acquirer].display_name(),
+                                w.line
+                            )
+                        };
+                        emit(files, out, RuleId::LockOrder, f.file, *line, msg, rendered);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Error-type tokens that make a public `Result` stringly or opaque.
+fn stringly(err_tokens: &str) -> Option<&'static str> {
+    let toks: Vec<&str> = err_tokens.split_whitespace().collect();
+    if toks.is_empty() || toks == ["(", ")"] {
+        return Some("`()`");
+    }
+    if toks.contains(&"String") {
+        return Some("`String`");
+    }
+    if toks.contains(&"str") {
+        return Some("`&str`");
+    }
+    if err_tokens.contains("Box < dyn") {
+        return Some("`Box<dyn …>`");
+    }
+    None
+}
+
+/// Public error-surface audit: typed payloads and `#[non_exhaustive]`
+/// on public error enums.
+fn error_surface(ws: &Workspace, files: &[FileAnalysis], out: &mut Vec<Finding>) {
+    for f in &ws.fns {
+        if !f.is_pub || f.cfg_test {
+            continue;
+        }
+        let Some(err) = &f.result_err else {
+            continue;
+        };
+        if let Some(what) = stringly(err) {
+            // Squish token gaps, keeping the one after `dyn`.
+            let compact: String = err
+                .split_whitespace()
+                .map(|t| if t == "dyn" { "dyn " } else { t })
+                .collect();
+            emit(
+                files,
+                out,
+                RuleId::ErrorSurface,
+                f.file,
+                f.line,
+                format!(
+                    "public fn `{}` returns `Result<_, {compact}>` — use a \
+                     typed error ({what} is not matchable by callers)",
+                    f.display_name(),
+                ),
+                Vec::new(),
+            );
+        }
+    }
+    for e in &ws.error_enums {
+        if !e.non_exhaustive {
+            emit(
+                files,
+                out,
+                RuleId::ErrorSurface,
+                e.file,
+                e.line,
+                format!(
+                    "public error enum `{}` is missing `#[non_exhaustive]` — \
+                     adding a variant would be a breaking change",
+                    e.name
+                ),
+                Vec::new(),
+            );
+        }
+    }
+}

@@ -38,12 +38,7 @@ pub fn check(root: &Path, out: &mut Vec<Finding>) {
 
     let fc = parse_frame_consts(&frame_src);
     let mut fail = |path: &PathBuf, line: u32, msg: String| {
-        out.push(Finding {
-            rule: RuleId::WireFormat,
-            path: path.clone(),
-            line,
-            msg,
-        });
+        out.push(Finding::new(RuleId::WireFormat, path.clone(), line, msg));
     };
 
     // --- Constants that must exist in frame.rs -----------------------

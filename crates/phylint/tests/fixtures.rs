@@ -4,7 +4,7 @@
 
 use std::path::Path;
 
-use phylint::{run, Report, RuleId};
+use phylint::{run, Finding, Report, RuleId};
 
 fn fixture(name: &str) -> Report {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -36,6 +36,11 @@ fn rule_findings(report: &Report, rule: RuleId) -> Vec<(String, u32, String)> {
         .filter(|f| f.rule == rule)
         .map(|f| (f.path.display().to_string(), f.line, f.msg.clone()))
         .collect()
+}
+
+/// Full findings (including proving call paths) for one rule.
+fn full_findings(report: &Report, rule: RuleId) -> Vec<&Finding> {
+    report.findings.iter().filter(|f| f.rule == rule).collect()
 }
 
 #[test]
@@ -142,6 +147,138 @@ fn wire_fixture_catches_control_length_drift() {
     );
     assert!(found[0].2.contains("22"), "{}", found[0].2);
     assert!(found[0].2.contains("21"), "{}", found[0].2);
+}
+
+#[test]
+fn hot_transitive_fixture_proves_the_smuggled_allocation() {
+    let report = fixture("hot_transitive");
+    assert_eq!(
+        report.findings.len(),
+        1,
+        "exactly the planted allocation, nothing else:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| format!("  {f}\n"))
+            .collect::<String>()
+    );
+    let found = full_findings(&report, RuleId::HotTransitive);
+    assert_eq!(found.len(), 1);
+    let f = found[0];
+    assert_eq!(f.path.display().to_string(), "src/lib.rs");
+    assert_eq!(
+        f.line,
+        line_of("hot_transitive", "src/lib.rs", "Vec::with_capacity"),
+        "the finding lands on the allocation site, not the hot region"
+    );
+    assert!(f.msg.contains("Vec::with_capacity"), "{}", f.msg);
+    assert!(f.msg.contains("leaf_alloc"), "{}", f.msg);
+    // The proving call path walks hot region -> middle -> leaf.
+    assert_eq!(f.call_path.len(), 3, "{:?}", f.call_path);
+    assert!(f.call_path[0].contains("hot_entry"), "{:?}", f.call_path);
+    let call_site = line_of("hot_transitive", "src/lib.rs", "middle(4)");
+    assert!(
+        f.call_path[0].contains(&format!("src/lib.rs:{call_site}")),
+        "first hop pins the in-region call site: {:?}",
+        f.call_path
+    );
+    assert!(f.call_path[1].contains("middle"), "{:?}", f.call_path);
+    assert!(f.call_path[2].contains("leaf_alloc"), "{:?}", f.call_path);
+}
+
+#[test]
+fn simd_guard_fixture_flags_decl_and_unguarded_call() {
+    let report = fixture("simd_guard");
+    let found = full_findings(&report, RuleId::SimdGuard);
+    assert_eq!(report.findings.len(), 2, "only simd_guard fires here");
+    assert_eq!(found.len(), 2, "{found:?}");
+    let decl = found
+        .iter()
+        .find(|f| f.msg.contains("not declared"))
+        .expect("missing-unsafe declaration finding");
+    assert_eq!(
+        decl.line,
+        line_of("simd_guard", "src/lib.rs", "pub fn sneaky_kernel")
+    );
+    assert!(decl.msg.contains("sneaky_kernel"), "{}", decl.msg);
+    let call = found
+        .iter()
+        .find(|f| f.msg.contains("guard"))
+        .expect("unguarded call-site finding");
+    assert_eq!(
+        call.line,
+        line_of("simd_guard", "src/lib.rs", "unsafe { kernel(xs) };"),
+        "the guarded dispatch must stay silent; only `unguarded` is flagged"
+    );
+    assert_eq!(call.call_path.len(), 2, "{:?}", call.call_path);
+    assert!(call.call_path[0].contains("unguarded"), "{:?}", call.call_path);
+    assert!(call.call_path[1].contains("kernel"), "{:?}", call.call_path);
+}
+
+#[test]
+fn lock_order_fixture_flags_direct_and_transitive_inversions() {
+    let report = fixture("lock_order");
+    let found = full_findings(&report, RuleId::LockOrder);
+    assert_eq!(report.findings.len(), 2, "only lock_order fires here");
+    assert_eq!(found.len(), 2, "{found:?}");
+    // Direct inversion: `a` taken while `b` is held, both in one body.
+    let direct = found
+        .iter()
+        .find(|f| f.call_path.is_empty())
+        .expect("direct inversion finding");
+    assert_eq!(
+        direct.line,
+        line_of("lock_order", "src/lib.rs", "let Ok(inner) = self.a.lock()")
+    );
+    assert!(direct.msg.contains("Shared.a"), "{}", direct.msg);
+    assert!(direct.msg.contains("Shared.b"), "{}", direct.msg);
+    assert!(direct.msg.contains("rank 0"), "{}", direct.msg);
+    assert!(direct.msg.contains("rank 1"), "{}", direct.msg);
+    // Transitive inversion: the acquisition hides behind a call.
+    let transitive = found
+        .iter()
+        .find(|f| !f.call_path.is_empty())
+        .expect("transitive inversion finding");
+    assert_eq!(
+        transitive.line,
+        line_of("lock_order", "src/lib.rs", "self.helper_locks_a()")
+    );
+    assert_eq!(transitive.call_path.len(), 2, "{:?}", transitive.call_path);
+    assert!(
+        transitive.call_path[0].contains("inverted_via_call"),
+        "{:?}",
+        transitive.call_path
+    );
+    assert!(
+        transitive.call_path[1].contains("helper_locks_a"),
+        "{:?}",
+        transitive.call_path
+    );
+    // `in_order` and `scoped_reacquire` stayed silent (count == 2 above).
+}
+
+#[test]
+fn error_surface_fixture_flags_stringly_apis_and_matchable_enums() {
+    let report = fixture("error_surface");
+    let found = rule_findings(&report, RuleId::ErrorSurface);
+    assert_eq!(report.findings.len(), 4, "only error_surface fires here");
+    assert_eq!(found.len(), 4, "{found:?}");
+    for (needle, msg_part) in [
+        ("pub enum FixtureError", "non_exhaustive"),
+        ("pub fn stringly", "String"),
+        ("pub fn boxed", "Box<dyn std::error::Error>"),
+        ("pub fn str_ref", "str"),
+    ] {
+        let want = line_of("error_surface", "src/lib.rs", needle);
+        assert!(
+            found
+                .iter()
+                .any(|(_, line, msg)| *line == want && msg.contains(msg_part)),
+            "no finding at line {want} mentioning {msg_part:?}: {found:?}"
+        );
+    }
+    // `typed`, `uses_private`, `private_stringly`, and `GoodError`
+    // are all negative cases — the count of 4 proves they stayed silent.
 }
 
 #[test]

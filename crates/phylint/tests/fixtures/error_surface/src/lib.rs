@@ -1,0 +1,36 @@
+//! Deliberately dirty: public `Result` APIs with stringly/opaque
+//! error payloads, and a public error enum callers could exhaustively
+//! match. Typed and private counterparts are the negative cases.
+
+pub enum FixtureError {
+    Bad,
+}
+
+#[non_exhaustive]
+pub enum GoodError {
+    Bad,
+}
+
+pub fn stringly() -> Result<u32, String> {
+    Ok(1)
+}
+
+pub fn boxed() -> Result<u32, Box<dyn std::error::Error>> {
+    Ok(2)
+}
+
+pub fn str_ref() -> Result<u32, &'static str> {
+    Ok(3)
+}
+
+pub fn typed() -> Result<u32, GoodError> {
+    Ok(4)
+}
+
+fn private_stringly() -> Result<u32, String> {
+    Ok(5)
+}
+
+pub fn uses_private() -> Result<u32, GoodError> {
+    private_stringly().map_err(|_| GoodError::Bad)
+}

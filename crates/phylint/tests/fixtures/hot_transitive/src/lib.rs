@@ -1,0 +1,23 @@
+//! Deliberately dirty: a helper two calls away from the hot region
+//! allocates. The literal region text is clean, so only the
+//! call-graph rule can see it. `pure_leaf` proves reachable-but-clean
+//! functions stay silent.
+
+pub fn leaf_alloc(n: usize) -> Vec<u8> {
+    Vec::with_capacity(n)
+}
+
+pub fn middle(n: usize) -> Vec<u8> {
+    leaf_alloc(n)
+}
+
+pub fn pure_leaf(x: u32) -> u32 {
+    x.wrapping_add(1)
+}
+
+// phylint: hot
+pub fn hot_entry(x: u32) -> u32 {
+    let v = middle(4);
+    pure_leaf(x).wrapping_add(v.len() as u32)
+}
+// phylint: end-hot

@@ -1,0 +1,46 @@
+//! Deliberately dirty: the canonical order is declaration order —
+//! `a` (rank 0) before `b` (rank 1). `in_order` respects it;
+//! `inverted_direct` swaps it inline, and `inverted_via_call` holds
+//! `b` across a call whose callee acquires `a` — only the call graph
+//! sees that one. `scoped_reacquire` shows a guard dropped at block
+//! close does not poison later acquisitions.
+
+use std::sync::Mutex;
+
+pub struct Shared {
+    pub a: Mutex<u32>,
+    pub b: Mutex<u32>,
+}
+
+impl Shared {
+    pub fn in_order(&self) -> u32 {
+        let Ok(ga) = self.a.lock() else { return 0 };
+        let Ok(gb) = self.b.lock() else { return 0 };
+        ga.wrapping_add(*gb)
+    }
+
+    pub fn inverted_direct(&self) -> u32 {
+        let Ok(outer) = self.b.lock() else { return 0 };
+        let Ok(inner) = self.a.lock() else { return 0 };
+        inner.wrapping_add(*outer)
+    }
+
+    pub fn helper_locks_a(&self) -> u32 {
+        let Ok(only) = self.a.lock() else { return 0 };
+        *only
+    }
+
+    pub fn inverted_via_call(&self) -> u32 {
+        let Ok(held) = self.b.lock() else { return 0 };
+        held.wrapping_add(self.helper_locks_a())
+    }
+
+    pub fn scoped_reacquire(&self) -> u32 {
+        let first = {
+            let Ok(ga) = self.a.lock() else { return 0 };
+            *ga
+        };
+        let Ok(ga) = self.a.lock() else { return 0 };
+        first.wrapping_add(*ga)
+    }
+}

@@ -1,0 +1,31 @@
+//! Deliberately dirty: one unguarded call to a `#[target_feature]`
+//! kernel, and one kernel that hides its precondition by not being
+//! `unsafe`. The guarded dispatcher is the negative case.
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+// SAFETY: caller must prove AVX2 support at runtime.
+pub unsafe fn kernel(xs: &mut [u32]) {
+    for x in xs.iter_mut() {
+        *x = x.wrapping_mul(3);
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub fn sneaky_kernel(xs: &mut [u32]) {
+    for x in xs.iter_mut() {
+        *x = x.wrapping_add(7);
+    }
+}
+
+pub fn dispatch(xs: &mut [u32]) {
+    if is_x86_feature_detected!("avx2") {
+        // SAFETY: the branch above proved AVX2 support.
+        unsafe { kernel(xs) }
+    }
+}
+
+pub fn unguarded(xs: &mut [u32]) {
+    // SAFETY: none — this is the planted violation.
+    unsafe { kernel(xs) };
+}

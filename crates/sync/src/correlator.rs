@@ -11,6 +11,7 @@ use crate::CORRELATOR_TAPS;
 
 /// Errors from synchroniser construction.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum SyncError {
     /// The reference must contain exactly 32 taps.
     BadTapCount(usize),

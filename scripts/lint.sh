@@ -11,3 +11,7 @@ cargo clippy --all-targets -- -D warnings
 echo
 echo "== phylint (PHY invariants) =="
 cargo run -p phylint --release
+
+echo
+echo "== phylint (JSON baseline diff) =="
+scripts/phylint_diff.sh

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Diff phylint's machine-readable findings against the committed
+# baseline (scripts/phylint_baseline.json). Any drift fails: new
+# findings obviously, but also findings that vanished — the baseline
+# must be refreshed deliberately so it cannot rot.
+#
+#   scripts/phylint_diff.sh            # compare (CI mode)
+#   scripts/phylint_diff.sh --refresh  # rewrite the baseline
+#
+# The schema serialises one finding per line (see crates/phylint's
+# README), so a plain line diff is exact.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BASELINE=scripts/phylint_baseline.json
+CURRENT=$(mktemp)
+trap 'rm -f "$CURRENT"' EXIT
+
+# Exit 1 just means findings exist; the diff below decides pass/fail.
+cargo run -q -p phylint --release -- --format json > "$CURRENT" || true
+
+if [[ "${1:-}" == "--refresh" ]]; then
+  cp "$CURRENT" "$BASELINE"
+  echo "phylint_diff: baseline refreshed ($BASELINE)"
+  exit 0
+fi
+
+findings() { grep '^{"rule":' "$1" | sed 's/,$//' || true; }
+
+if diff <(findings "$BASELINE") <(findings "$CURRENT") > /dev/null; then
+  n=$(findings "$BASELINE" | wc -l)
+  echo "phylint_diff: findings match the baseline ($n finding(s))"
+else
+  echo "phylint_diff: findings drifted from the baseline:" >&2
+  diff <(findings "$BASELINE") <(findings "$CURRENT") >&2 || true
+  echo "phylint_diff: if intentional, refresh with: scripts/phylint_diff.sh --refresh" >&2
+  exit 1
+fi
